@@ -1,0 +1,34 @@
+"""Shared plumbing for the benchmark suite.
+
+Every benchmark reproduces one paper artifact (see DESIGN.md section 4).
+Its scenario runs deterministically inside a fresh ``World``; the
+pytest-benchmark fixture measures how fast the *simulator* executes it,
+while :func:`report` emits the paper-style table — to stdout (visible
+with ``pytest -s``) and to ``benchmarks/results/<name>.txt`` so
+EXPERIMENTS.md numbers are regenerable.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def report(name: str, text: str) -> str:
+    """Print and persist one benchmark's rendered table."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n{text}\n[saved to {path}]")
+    return text
+
+
+def run_once(benchmark, fn):
+    """Benchmark ``fn`` with a single measured round.
+
+    The scenarios are deterministic (virtual time, seeded RNG), so one
+    round reproduces the exact same tables every run; the timing column
+    then reports the simulator's wall-clock cost for that scenario.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

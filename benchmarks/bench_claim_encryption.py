@@ -1,0 +1,89 @@
+"""CLAIM-ENC — Section II.C: data-channel protection is off by default
+"because of cost.  (An order of magnitude slowdown is not unusual on
+high-speed links.)"
+
+Measures a 10 GB transfer at each PROT level (Clear / Safe=integrity /
+Private=confidentiality) on a 10 Gb/s link and on a 100 Mb/s link: the
+slowdown is ~10x on the fast link and negligible on the slow one —
+exactly why the default is off.
+"""
+
+from benchmarks._harness import report, run_once
+from repro.gridftp.dcau import DataChannelSecurity, DCAUMode
+from repro.gridftp.transfer import SinkSpec, SourceSpec, TransferEngine, TransferOptions
+from repro.metrics.report import render_table
+from repro.pki.validation import TrustStore
+from repro.sim.world import World
+from repro.storage.data import SyntheticData
+from repro.storage.posix import PosixStorage
+from repro.util.units import GB, MB, fmt_rate, gbps, mbps
+from repro.xio.drivers import Protection
+
+PAYLOAD = 10 * GB
+
+
+def run_transfer(world, src, dst, protection, tag):
+    src_fs = PosixStorage(world.clock)
+    src_fs.makedirs("/d", 0)
+    dst_fs = PosixStorage(world.clock)
+    dst_fs.makedirs("/d", 0)
+    data = SyntheticData(seed=11, length=PAYLOAD)
+    src_fs.write_file(f"/d/{tag}", data)
+    none = lambda n: DataChannelSecurity(mode=DCAUMode.NONE, credential=None,
+                                         trust=TrustStore(), endpoint_name=n)
+    source = SourceSpec(hosts=(src,), data=src_fs.open_read(f"/d/{tag}", 0),
+                        security=none("s"))
+    sink = SinkSpec(hosts=(dst,), sink=dst_fs.open_write(f"/d/{tag}", 0, PAYLOAD),
+                    security=none("d"))
+    opts = TransferOptions(parallelism=16, tcp_window_bytes=16 * MB,
+                           protection=protection)
+    return TransferEngine(world).execute(source, sink, opts)
+
+
+def run_claim_enc():
+    results = {}
+    for label, bw in (("10 Gb/s", gbps(10)), ("100 Mb/s", mbps(100))):
+        world = World(seed=11)
+        net = world.network
+        net.add_host("src", nic_bps=gbps(10))
+        net.add_host("dst", nic_bps=gbps(10))
+        net.add_link("src", "dst", bw, 0.01, loss=0.0)
+        per_level = {}
+        for protection in (Protection.CLEAR, Protection.SAFE, Protection.PRIVATE):
+            res = run_transfer(world, "src", "dst", protection, protection.value)
+            per_level[protection] = res
+        results[label] = per_level
+    return results
+
+
+def test_claim_encryption_order_of_magnitude(benchmark):
+    results = run_once(benchmark, run_claim_enc)
+    rows = []
+    for link, per_level in results.items():
+        clear = per_level[Protection.CLEAR].rate_bps
+        for protection, res in per_level.items():
+            rows.append([
+                link,
+                {"C": "clear", "S": "integrity", "P": "private"}[protection.value],
+                fmt_rate(res.rate_bps),
+                f"{clear / res.rate_bps:.1f}x",
+            ])
+    report("claim_encryption", render_table(
+        f"CLAIM-ENC (reproduced): {PAYLOAD // GB} GB at each data-channel "
+        "protection level",
+        ["link", "protection", "rate", "slowdown vs clear"],
+        rows,
+    ))
+    fast = results["10 Gb/s"]
+    slow = results["100 Mb/s"]
+    fast_slowdown = (fast[Protection.CLEAR].rate_bps /
+                     fast[Protection.PRIVATE].rate_bps)
+    slow_slowdown = (slow[Protection.CLEAR].rate_bps /
+                     slow[Protection.PRIVATE].rate_bps)
+    # "an order of magnitude slowdown is not unusual on high-speed links"
+    assert 8 <= fast_slowdown <= 15
+    # ...and invisible on slow links (cipher faster than the wire)
+    assert slow_slowdown < 1.1
+    # integrity-only sits in between on the fast link
+    assert (fast[Protection.CLEAR].rate_bps > fast[Protection.SAFE].rate_bps
+            > fast[Protection.PRIVATE].rate_bps)

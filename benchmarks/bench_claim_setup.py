@@ -1,0 +1,100 @@
+"""CLAIM-SETUP — Section III vs Section IV: conventional GridFTP install
+is a multi-day, expert, per-user ordeal; GCMU is four commands and a
+password ("instant").
+
+Two views:
+
+1. the *step model*: total actions, expert actions and wall-clock
+   minutes for admin + N users, per method (conventional / GCMU /
+   GridFTP-Lite);
+2. the *lived experience*: actual virtual time-to-first-verified-
+   transfer for GCMU, measured by executing the whole flow.
+"""
+
+from benchmarks._harness import report, run_once
+from repro.core.installer import (
+    conventional_admin_steps,
+    conventional_user_steps,
+    expert_step_count,
+    gcmu_admin_steps,
+    gcmu_user_steps,
+    gridftp_lite_admin_steps,
+    gridftp_lite_user_steps,
+    step_count,
+    total_minutes,
+)
+from repro.core.client_tools import install_client
+from repro.metrics.report import render_table
+from repro.scenarios import gcmu_site
+from repro.sim.world import World
+from repro.storage.data import LiteralData
+from repro.util.units import MINUTE, fmt_duration, gbps
+
+USER_COUNTS = (1, 10, 100)
+
+METHODS = {
+    "conventional": (conventional_admin_steps, conventional_user_steps),
+    "GCMU": (gcmu_admin_steps, gcmu_user_steps),
+    "GridFTP-Lite": (gridftp_lite_admin_steps, gridftp_lite_user_steps),
+}
+
+
+def measured_gcmu_time_to_first_transfer() -> float:
+    """Run the real flow and clock it."""
+    world = World(seed=13)
+    net = world.network
+    net.add_host("dtn", nic_bps=gbps(10))
+    net.add_host("laptop", nic_bps=gbps(1))
+    net.add_link("dtn", "laptop", gbps(1), 0.01)
+    t0 = world.now
+    ep = gcmu_site(world, "dtn", "site", {"alice": "pw"},
+                   charge_install_time=True)
+    uid = ep.accounts.get("alice").uid
+    ep.storage.write_file("/home/alice/f.dat", LiteralData(b"x" * 4096), uid=uid)
+    tools = install_client(world, "laptop", username="alice")
+    tools.myproxy_logon(ep, "alice", "pw")
+    tools.local_storage.makedirs("/dl", 0)
+    res = tools.globus_url_copy("gsiftp://dtn:2811/home/alice/f.dat",
+                                "file:///dl/f.dat")
+    assert res.verified
+    return world.now - t0
+
+
+def run_claim_setup():
+    model_rows = []
+    totals = {}
+    for users in USER_COUNTS:
+        for method, (admin_fn, user_fn) in METHODS.items():
+            admin, user_steps = admin_fn(), user_fn()
+            minutes = total_minutes(admin, users) + total_minutes(user_steps, users)
+            steps = step_count(admin, users) + step_count(user_steps, users)
+            experts = expert_step_count(admin, users) + expert_step_count(
+                user_steps, users)
+            totals[(method, users)] = minutes
+            model_rows.append([users, method, steps, experts,
+                               fmt_duration(minutes * MINUTE)])
+    measured = measured_gcmu_time_to_first_transfer()
+    return model_rows, totals, measured
+
+
+def test_claim_setup_instant_vs_conventional(benchmark):
+    model_rows, totals, measured = run_once(benchmark, run_claim_setup)
+    txt = render_table(
+        "CLAIM-SETUP (reproduced): deployment effort by method "
+        "(admin + all users)",
+        ["site users", "method", "total steps", "expert steps", "wall-clock"],
+        model_rows,
+    )
+    txt += ("\n\nMeasured GCMU time-to-first-verified-transfer "
+            f"(install -> logon -> globus-url-copy): {fmt_duration(measured)}")
+    report("claim_setup", txt)
+
+    for users in USER_COUNTS:
+        conv = totals[("conventional", users)]
+        gcmu = totals[("GCMU", users)]
+        # "instant": 2+ orders of magnitude less wall-clock at any scale
+        assert conv / gcmu > 100
+    # GCMU requires zero expert steps; conventional requires many
+    assert all(row[3] == 0 for row in model_rows if row[1] == "GCMU")
+    # the measured end-to-end flow fits inside 20 minutes
+    assert measured < 20 * MINUTE

@@ -1,0 +1,60 @@
+"""FIG1 — Figure 1: Globus GridFTP usage data.
+
+Regenerates the paper's usage series: transfers/day and bytes/day across
+a multi-year fleet growth window, ending (as Section II.A reports) at
+roughly 5,000 deployed servers, >10 million transfers/day and ~0.5 PB
+moved per day — aggregated from the reporting subset of servers through
+the same usage-collector path a live server feeds.
+"""
+
+from benchmarks._harness import report, run_once
+from repro.metrics.report import render_series, render_table
+from repro.metrics.usage import UsageCollector
+from repro.util.units import PB, fmt_bytes
+from repro.workloads.fleet import FleetModel
+
+
+def run_fig1():
+    model = FleetModel(seed=2012)
+    collector = UsageCollector()
+    for day in model.series(step_days=7):
+        collector.add_aggregate(
+            day_index=day.day_index,
+            transfers=day.transfers,
+            bytes_moved=day.bytes_moved,
+            servers=day.servers_reporting,
+        )
+    xs, transfers, nbytes = collector.series()
+    final = model.day(model.days - 1)
+    return model, collector, xs, transfers, nbytes, final
+
+
+def test_fig1_usage_series(benchmark):
+    model, collector, xs, transfers, nbytes, final = run_once(benchmark, run_fig1)
+
+    series_txt = render_series(
+        "Figure 1 (reproduced): GridFTP usage growth, weekly samples over 4 years",
+        "day",
+        xs,
+        {
+            "transfers/day": transfers,
+            "GB/day": [b / 1e9 for b in nbytes],
+            "servers reporting": [collector.day(d).server_count for d in xs],
+        },
+    )
+    summary_txt = render_table(
+        "Figure 1 endpoint values: paper vs reproduced (final simulated day)",
+        ["metric", "paper (Section II.A)", "reproduced"],
+        [
+            ["deployed servers", "> 5,000", final.servers_total],
+            ["transfers per day", "> 10 million", f"{final.transfers:,}"],
+            ["data moved per day", "~ 0.5 PB", fmt_bytes(final.bytes_moved)],
+        ],
+    )
+    report("fig1_usage", series_txt + "\n\n" + summary_txt)
+
+    # shape assertions: growth and endpoints in the paper's ballpark
+    assert final.servers_total >= 4900
+    assert final.transfers > 5e6
+    assert 0.2 * PB < final.bytes_moved < 1.0 * PB
+    assert transfers[0] < transfers[-1] / 5

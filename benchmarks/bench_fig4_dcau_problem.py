@@ -1,0 +1,93 @@
+"""FIG4 — Figure 4: the data channel authentication problem.
+
+A matrix of third-party transfers between endpoints whose trust domains
+do and do not overlap, all without DCSC.  Same-domain pairs succeed;
+cross-domain pairs fail at DCAU with the exact trust-root error the
+paper diagrams.
+"""
+
+from benchmarks._harness import report, run_once
+from repro.errors import DCAUError
+from repro.gridftp.client import GridFTPClient
+from repro.gridftp.third_party import third_party_transfer
+from repro.metrics.report import render_table
+from repro.myproxy.client import myproxy_logon
+from repro.pki.validation import TrustStore
+from repro.scenarios import gcmu_site
+from repro.sim.world import World
+from repro.storage.data import LiteralData
+from repro.util.units import gbps, mbps
+
+
+def build(world):
+    net = world.network
+    for h in ("dtn-a", "dtn-b", "dtn-c", "laptop"):
+        net.add_host(h, nic_bps=gbps(10))
+    net.add_router("wan")
+    for h in ("dtn-a", "dtn-b", "dtn-c"):
+        net.add_link(h, "wan", gbps(10), 0.02, loss=1e-6)
+    net.add_link("laptop", "wan", mbps(50), 0.02)
+
+    ep_a = gcmu_site(world, "dtn-a", "alcf", {"alice": "pw"})
+    ep_b = gcmu_site(world, "dtn-b", "nersc", {"alice": "pw"})
+    # site C shares site A's trust domain (a second server run by ALCF):
+    # it accepts certificates from A's MyProxy CA.
+    ep_c = gcmu_site(world, "dtn-c", "alcf-two", {"alice": "pw"})
+    ep_c.server.trust.add_anchor(ep_a.myproxy.ca.certificate)
+    from repro.gsi.gridmap import Gridmap
+
+    gm = Gridmap()
+    gm.add(ep_a.myproxy.user_subject("alice"), "alice")
+    ep_c.server.authz.fallback = gm
+    return {"alcf": ep_a, "nersc": ep_b, "alcf-two": ep_c}
+
+
+def run_fig4():
+    world = World(seed=4)
+    endpoints = build(world)
+    trust = TrustStore()
+    creds = {
+        name: myproxy_logon(world, "laptop", ep.myproxy, "alice", "pw", trust=trust)
+        for name, ep in endpoints.items()
+    }
+    for name, ep in endpoints.items():
+        uid = ep.accounts.get("alice").uid
+        ep.storage.write_file("/home/alice/f.bin", LiteralData(b"x" * 4096), uid=uid)
+
+    outcomes = []
+    pairs = [("alcf", "alcf-two"), ("alcf", "nersc"), ("nersc", "alcf"),
+             ("nersc", "alcf-two")]
+    for src_name, dst_name in pairs:
+        src_ep, dst_ep = endpoints[src_name], endpoints[dst_name]
+        # within one trust domain the user logs into both endpoints with
+        # the SAME credential (the classic single-CA world); across
+        # domains each endpoint requires its own site's credential.
+        dst_cred_name = src_name if (src_name, dst_name) == ("alcf", "alcf-two") else dst_name
+        sa = GridFTPClient(world, "laptop", credential=creds[src_name],
+                           trust=trust).connect(src_ep.server)
+        sb = GridFTPClient(world, "laptop", credential=creds[dst_cred_name],
+                           trust=trust).connect(dst_ep.server)
+        try:
+            third_party_transfer(sa, "/home/alice/f.bin", sb,
+                                 f"/home/alice/from-{src_name}.bin")
+            outcomes.append((src_name, dst_name, "OK", ""))
+        except DCAUError as exc:
+            outcomes.append((src_name, dst_name, "DCAU FAILED", str(exc)[:60]))
+        sa.quit(); sb.quit()
+    return outcomes
+
+
+def test_fig4_dcau_problem_matrix(benchmark):
+    outcomes = run_once(benchmark, run_fig4)
+    report("fig4_dcau_problem", render_table(
+        "Figure 4 (reproduced): third-party DCAU without DCSC",
+        ["source", "destination", "outcome", "error"],
+        [list(o) for o in outcomes],
+    ))
+    by_pair = {(s, d): o for s, d, o, _ in outcomes}
+    # same trust domain: works
+    assert by_pair[("alcf", "alcf-two")] == "OK"
+    # disjoint domains: the Figure 4 failure, in both directions
+    assert by_pair[("alcf", "nersc")] == "DCAU FAILED"
+    assert by_pair[("nersc", "alcf")] == "DCAU FAILED"
+    assert by_pair[("nersc", "alcf-two")] == "DCAU FAILED"

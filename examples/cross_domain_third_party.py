@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Cross-domain third-party transfer: Figures 4 and 5.
+
+Two GCMU sites with *disjoint* trust roots.  A plain third-party
+transfer fails at data-channel authentication (Figure 4); sending the
+new ``DCSC P`` command to one endpoint fixes it (Figure 5) — including
+when the other endpoint is a legacy server that has never heard of DCSC.
+
+Run:  python examples/cross_domain_third_party.py
+"""
+
+from repro import World, install_client
+from repro.auth import AccountDatabase, Control, NisDomain, NisPamModule, PamStack
+from repro.core.gcmu import install_gcmu
+from repro.errors import DCAUError
+from repro.gridftp.client import GridFTPClient
+from repro.gridftp.third_party import third_party_transfer
+from repro.gridftp.transfer import TransferOptions
+from repro.storage.data import LiteralData
+from repro.util.units import MB, fmt_rate, gbps, mbps
+
+
+def build_site(world, host, site_name, username, password, dcsc_enabled=True):
+    accounts = AccountDatabase()
+    accounts.add_user(username)
+    nis = NisDomain(site_name)
+    nis.add_user(username, password)
+    pam = PamStack().add(Control.SUFFICIENT, NisPamModule(nis))
+    endpoint = install_gcmu(world, host, site_name, accounts, pam,
+                            dcsc_enabled=dcsc_enabled, charge_install_time=False)
+    endpoint.make_home(username)
+    return endpoint
+
+
+def main() -> None:
+    world = World(seed=45)
+    net = world.network
+    net.add_host("dtn.alcf.gov", nic_bps=gbps(10))
+    net.add_host("dtn.nersc.gov", nic_bps=gbps(10))
+    net.add_host("laptop", nic_bps=gbps(1))
+    net.add_link("dtn.alcf.gov", "dtn.nersc.gov", gbps(10), 0.028, loss=1e-5)
+    net.add_link("laptop", "dtn.alcf.gov", mbps(20), 0.02)
+    net.add_link("laptop", "dtn.nersc.gov", mbps(20), 0.03)
+
+    ep_a = build_site(world, "dtn.alcf.gov", "alcf", "alice", "pwA")
+    ep_b = build_site(world, "dtn.nersc.gov", "nersc", "asmith", "pwB")
+    uid = ep_a.accounts.get("alice").uid
+    ep_a.storage.write_file("/home/alice/run042.h5",
+                            LiteralData(b"H5" * MB), uid=uid)
+
+    # one human, two identities — a myproxy-logon per site
+    tools = install_client(world, "laptop", username="alice",
+                           charge_install_time=False)
+    cred_a = tools.myproxy_logon(ep_a, "alice", "pwA")
+    cred_b = tools.myproxy_logon(ep_b, "asmith", "pwB")
+    print(f"identity at ALCF : {cred_a.subject}")
+    print(f"identity at NERSC: {cred_b.subject}")
+
+    client_a = GridFTPClient(world, "laptop", credential=cred_a, trust=tools.trust)
+    client_b = GridFTPClient(world, "laptop", credential=cred_b, trust=tools.trust)
+    session_a = client_a.connect(ep_a.server)
+    session_b = client_b.connect(ep_b.server)
+
+    print("\n== Figure 4: third-party transfer WITHOUT DCSC ==")
+    try:
+        third_party_transfer(session_a, "/home/alice/run042.h5",
+                             session_b, "/home/asmith/run042.h5")
+        print("   unexpected success?!")
+    except DCAUError as exc:
+        print(f"   DCAU failed, as the paper describes:\n   {exc}")
+
+    print("\n== Figure 5: same transfer WITH `DCSC P <credential A>` to NERSC ==")
+    result = third_party_transfer(
+        session_a, "/home/alice/run042.h5", session_b, "/home/asmith/run042.h5",
+        options=TransferOptions(parallelism=8, tcp_window_bytes=8 * MB),
+        use_dcsc=cred_a,
+    )
+    print(f"   transferred {result.nbytes} bytes at {fmt_rate(result.rate_bps)}; "
+          f"verified={result.verified}")
+    print("   (data moved site-to-site on the 10 Gb/s link, "
+          "not through the 20 Mb/s laptop)")
+
+    print("\n== Figure 5, legacy case: NERSC replaced by a DCSC-unaware server ==")
+    ep_b.server.dcsc_enabled = False
+    session_b2 = GridFTPClient(world, "laptop", credential=cred_b,
+                               trust=tools.trust).connect(ep_b.server)
+    result2 = third_party_transfer(
+        session_a, "/home/alice/run042.h5", session_b2, "/home/asmith/copy2.h5",
+        use_dcsc=cred_b,  # credential B handed to the DCSC-capable ALCF side
+    )
+    print(f"   still works: verified={result2.verified} "
+          "(the blob went to the one endpoint that understands DCSC)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""repro — a full reproduction of "Instant GridFTP" (Kettimuthu et al., 2012).
+
+The package implements, in simulation, the complete system the paper
+describes: the Globus GridFTP protocol stack (parallel streams,
+striping, pipelining, restart markers, DCAU, and the new DCSC command),
+the GSI/PKI security substrate, MyProxy Online CA with PAM-backed site
+authentication, the GCMU packaging that wires them together with zero
+PKI configuration, the Globus Online hosted transfer service (with
+OAuth), and every baseline tool the paper compares against.
+
+Quickstart (see ``examples/quickstart.py`` for the full version)::
+
+    from repro import World, install_gcmu, install_client
+    from repro.auth import AccountDatabase, PamStack, Control
+    from repro.auth import LdapDirectory, LdapPamModule
+    from repro.util.units import gbps
+
+    world = World(seed=1)
+    world.network.add_host("dtn.site.edu", nic_bps=gbps(10))
+    world.network.add_host("laptop")
+    world.network.add_link("dtn.site.edu", "laptop", gbps(1), 0.01)
+
+    accounts = AccountDatabase(); accounts.add_user("alice")
+    ldap = LdapDirectory(); ldap.add_entry("alice", "s3cret")
+    pam = PamStack().add(Control.SUFFICIENT, LdapPamModule(ldap))
+
+    endpoint = install_gcmu(world, "dtn.site.edu", "siteX", accounts, pam)
+    tools = install_client(world, "laptop", username="alice")
+    tools.myproxy_logon(endpoint, "alice", "s3cret")
+    tools.globus_url_copy("gsiftp://dtn.site.edu:2811/path", "file:///path")
+"""
+
+from repro.sim.world import World
+from repro.core.gcmu import GCMUEndpoint, install_gcmu
+from repro.core.client_tools import GCMUClientTools, install_client
+from repro.gridftp.client import GridFTPClient, globus_url_copy
+from repro.gridftp.server import GridFTPServer
+from repro.gridftp.striped import StripedGridFTPServer
+from repro.gridftp.transfer import TransferOptions, TransferResult
+from repro.gridftp.third_party import third_party_transfer
+from repro.globusonline.service import GlobusOnline
+from repro.myproxy.client import myproxy_logon
+from repro.myproxy.server import MyProxyOnlineCA
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "World",
+    "GCMUEndpoint",
+    "install_gcmu",
+    "GCMUClientTools",
+    "install_client",
+    "GridFTPClient",
+    "globus_url_copy",
+    "GridFTPServer",
+    "StripedGridFTPServer",
+    "TransferOptions",
+    "TransferResult",
+    "third_party_transfer",
+    "GlobusOnline",
+    "myproxy_logon",
+    "MyProxyOnlineCA",
+    "__version__",
+]

@@ -1,0 +1,41 @@
+"""Site-local authentication: accounts, PAM, LDAP/NIS/RADIUS backends.
+
+GCMU's promise is that users authenticate to MyProxy Online CA "by
+providing his username and password for the server", which MyProxy
+verifies against "the local authentication system such as LDAP, RADIUS,
+or NIS via a Pluggable Authentication Module (PAM) API" (paper Section
+IV, Figure 3 steps 1-2).  This package is that machinery.
+"""
+
+from repro.auth.accounts import Account, AccountDatabase
+from repro.auth.pam import PamStack, PamModule, PamResult, Control
+from repro.auth.backends import (
+    LdapDirectory,
+    LdapPamModule,
+    NisDomain,
+    NisPamModule,
+    RadiusServer,
+    RadiusPamModule,
+    HtpasswdFile,
+    HtpasswdPamModule,
+)
+from repro.auth.otp import OtpDevice, OtpPamModule
+
+__all__ = [
+    "Account",
+    "AccountDatabase",
+    "PamStack",
+    "PamModule",
+    "PamResult",
+    "Control",
+    "LdapDirectory",
+    "LdapPamModule",
+    "NisDomain",
+    "NisPamModule",
+    "RadiusServer",
+    "RadiusPamModule",
+    "HtpasswdFile",
+    "HtpasswdPamModule",
+    "OtpDevice",
+    "OtpPamModule",
+]

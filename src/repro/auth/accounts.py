@@ -1,0 +1,108 @@
+"""Local Unix-style accounts and the setuid model.
+
+GridFTP's authorization callout ends by determining "the local user id
+for which the request should be executed. ... the server does a setuid
+to the local user id" (paper Section II.C).  We model accounts with
+uids, home directories and a lock flag, and expose a ``setuid``-style
+resolution that the server PI uses to run each session as the mapped
+user against the storage layer's permission checks.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from repro.errors import AccountLockedError, UnknownUserError
+
+
+def hash_password(password: str, salt: str) -> str:
+    """Salted password hash (crypt(3) stand-in)."""
+    return hashlib.sha256(f"{salt}:{password}".encode("utf-8")).hexdigest()
+
+
+@dataclass
+class Account:
+    """One local user account."""
+
+    username: str
+    uid: int
+    home: str
+    password_hash: str = ""
+    salt: str = ""
+    locked: bool = False
+    gecos: str = ""
+
+    def check_password(self, password: str) -> bool:
+        """Constant-structure password verification."""
+        if not self.password_hash:
+            return False
+        return hash_password(password, self.salt) == self.password_hash
+
+
+@dataclass
+class AccountDatabase:
+    """The site's /etc/passwd equivalent."""
+
+    accounts: dict[str, Account] = field(default_factory=dict)
+    _next_uid: int = 1000
+
+    def add_user(
+        self,
+        username: str,
+        password: str | None = None,
+        uid: int | None = None,
+        home: str | None = None,
+        gecos: str = "",
+    ) -> Account:
+        """Create an account (optionally with a local password)."""
+        if username in self.accounts:
+            raise ValueError(f"account {username!r} already exists")
+        if uid is None:
+            uid = self._next_uid
+            self._next_uid += 1
+        salt = hashlib.sha1(username.encode()).hexdigest()[:8]
+        account = Account(
+            username=username,
+            uid=uid,
+            home=home or f"/home/{username}",
+            password_hash=hash_password(password, salt) if password else "",
+            salt=salt,
+            gecos=gecos,
+        )
+        self.accounts[username] = account
+        return account
+
+    def get(self, username: str) -> Account:
+        """Look up an account; raise :class:`UnknownUserError` if absent."""
+        try:
+            return self.accounts[username]
+        except KeyError:
+            raise UnknownUserError(f"no such user: {username!r}") from None
+
+    def exists(self, username: str) -> bool:
+        """True if the name is present."""
+        return username in self.accounts
+
+    def lock(self, username: str) -> None:
+        """Administratively disable the account."""
+        self.get(username).locked = True
+
+    def unlock(self, username: str) -> None:
+        """Re-enable a locked account."""
+        self.get(username).locked = False
+
+    def setuid(self, username: str) -> Account:
+        """Resolve the account a server process should run as.
+
+        Raises if the account is missing or locked — the two ways the
+        final authorization step (Figure 3 step 5) can fail even after a
+        valid certificate is presented.
+        """
+        account = self.get(username)
+        if account.locked:
+            raise AccountLockedError(f"account {username!r} is locked")
+        return account
+
+    def __len__(self) -> int:
+        return len(self.accounts)

@@ -1,0 +1,217 @@
+"""Site identity backends: LDAP, NIS, RADIUS, htpasswd.
+
+Each backend is a small standalone store plus a :class:`PamModule`
+adapter, mirroring how pam_ldap / pam_nis / pam_radius sit between PAM
+and the site directory.  All are deterministic and in-memory; they share
+the password-hashing helper from :mod:`repro.auth.accounts` so secrets
+are never stored in the clear even inside the simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.auth.accounts import hash_password
+from repro.auth.pam import PamModule, PamResult
+
+
+# ---------------------------------------------------------------------------
+# LDAP
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _LdapEntry:
+    dn: str
+    password_hash: str
+    salt: str
+    disabled: bool = False
+
+
+class LdapDirectory:
+    """A minimal LDAP directory: bind-DN → password verification."""
+
+    def __init__(self, base_dn: str = "dc=example,dc=org") -> None:
+        self.base_dn = base_dn
+        self._entries: dict[str, _LdapEntry] = {}
+
+    def add_entry(self, uid: str, password: str) -> str:
+        """Add ``uid`` with ``password``; returns the entry DN."""
+        dn = f"uid={uid},ou=people,{self.base_dn}"
+        salt = f"ldap:{uid}"
+        self._entries[uid] = _LdapEntry(
+            dn=dn, password_hash=hash_password(password, salt), salt=salt
+        )
+        return dn
+
+    def disable(self, uid: str) -> None:
+        """Administratively disable the entry."""
+        self._entries[uid].disabled = True
+
+    def bind(self, uid: str, password: str) -> bool:
+        """Simple bind as the user's entry; False on any failure."""
+        entry = self._entries.get(uid)
+        if entry is None or entry.disabled:
+            return False
+        return hash_password(password, entry.salt) == entry.password_hash
+
+    def has_entry(self, uid: str) -> bool:
+        """True if the uid exists in the directory."""
+        return uid in self._entries
+
+    def is_disabled(self, uid: str) -> bool:
+        """True if the entry is administratively disabled."""
+        entry = self._entries.get(uid)
+        return entry is not None and entry.disabled
+
+
+class LdapPamModule(PamModule):
+    """pam_ldap: authenticate by binding as the user."""
+
+    name = "pam_ldap"
+
+    def __init__(self, directory: LdapDirectory) -> None:
+        self.directory = directory
+
+    def authenticate(self, username: str, secret: str) -> PamResult:
+        """Check the user's secret (PamModule interface)."""
+        if not self.directory.has_entry(username):
+            return PamResult.USER_UNKNOWN
+        if self.directory.is_disabled(username):
+            return PamResult.ACCT_LOCKED
+        return (
+            PamResult.SUCCESS
+            if self.directory.bind(username, secret)
+            else PamResult.AUTH_ERR
+        )
+
+
+# ---------------------------------------------------------------------------
+# NIS
+# ---------------------------------------------------------------------------
+
+
+class NisDomain:
+    """A NIS passwd.byname map."""
+
+    def __init__(self, domain: str = "example") -> None:
+        self.domain = domain
+        self._passwd: dict[str, tuple[str, str]] = {}  # user -> (hash, salt)
+
+    def add_user(self, username: str, password: str) -> None:
+        """Register a user with a password."""
+        salt = f"nis:{self.domain}:{username}"
+        self._passwd[username] = (hash_password(password, salt), salt)
+
+    def match(self, username: str, password: str) -> bool | None:
+        """True/False for known users; None for unknown."""
+        rec = self._passwd.get(username)
+        if rec is None:
+            return None
+        pw_hash, salt = rec
+        return hash_password(password, salt) == pw_hash
+
+
+class NisPamModule(PamModule):
+    """pam_unix against NIS maps."""
+
+    name = "pam_nis"
+
+    def __init__(self, domain: NisDomain) -> None:
+        self.domain = domain
+
+    def authenticate(self, username: str, secret: str) -> PamResult:
+        """Check the user's secret (PamModule interface)."""
+        outcome = self.domain.match(username, secret)
+        if outcome is None:
+            return PamResult.USER_UNKNOWN
+        return PamResult.SUCCESS if outcome else PamResult.AUTH_ERR
+
+
+# ---------------------------------------------------------------------------
+# RADIUS
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class RadiusServer:
+    """A RADIUS server reachable with a shared secret."""
+
+    shared_secret: str
+    users: dict[str, tuple[str, str]] = field(default_factory=dict)
+    reject_all: bool = False  # simulate an unreachable/misconfigured server
+
+    def add_user(self, username: str, password: str) -> None:
+        """Register a user with a password."""
+        salt = f"radius:{username}"
+        self.users[username] = (hash_password(password, salt), salt)
+
+    def access_request(self, shared_secret: str, username: str, password: str) -> str:
+        """Returns 'accept', 'reject', or 'unknown'."""
+        if self.reject_all or shared_secret != self.shared_secret:
+            return "reject"
+        rec = self.users.get(username)
+        if rec is None:
+            return "unknown"
+        pw_hash, salt = rec
+        return "accept" if hash_password(password, salt) == pw_hash else "reject"
+
+
+class RadiusPamModule(PamModule):
+    """pam_radius_auth."""
+
+    name = "pam_radius"
+
+    def __init__(self, server: RadiusServer, shared_secret: str) -> None:
+        self.server = server
+        self.shared_secret = shared_secret
+
+    def authenticate(self, username: str, secret: str) -> PamResult:
+        """Check the user's secret (PamModule interface)."""
+        outcome = self.server.access_request(self.shared_secret, username, secret)
+        if outcome == "accept":
+            return PamResult.SUCCESS
+        if outcome == "unknown":
+            return PamResult.USER_UNKNOWN
+        return PamResult.AUTH_ERR
+
+
+# ---------------------------------------------------------------------------
+# htpasswd (flat file — handy in tests)
+# ---------------------------------------------------------------------------
+
+
+class HtpasswdFile:
+    """A flat username:hash file."""
+
+    def __init__(self) -> None:
+        self._users: dict[str, tuple[str, str]] = {}
+
+    def set_password(self, username: str, password: str) -> None:
+        """Set (or replace) a user's password."""
+        salt = f"ht:{username}"
+        self._users[username] = (hash_password(password, salt), salt)
+
+    def verify(self, username: str, password: str) -> bool | None:
+        """Check a password; None for unknown users."""
+        rec = self._users.get(username)
+        if rec is None:
+            return None
+        pw_hash, salt = rec
+        return hash_password(password, salt) == pw_hash
+
+
+class HtpasswdPamModule(PamModule):
+    """pam over a flat htpasswd file."""
+
+    name = "pam_htpasswd"
+
+    def __init__(self, htfile: HtpasswdFile) -> None:
+        self.htfile = htfile
+
+    def authenticate(self, username: str, secret: str) -> PamResult:
+        """Check the user's secret (PamModule interface)."""
+        outcome = self.htfile.verify(username, secret)
+        if outcome is None:
+            return PamResult.USER_UNKNOWN
+        return PamResult.SUCCESS if outcome else PamResult.AUTH_ERR

@@ -1,0 +1,68 @@
+"""One-time-password support.
+
+Paper Section IV.A: MyProxy Online CA "authenticates the user to the
+site's MyProxy Online CA using the user's credentials for the site
+(username/password, OTP, etc.)".  We implement an HOTP-style counter
+scheme: a device and the server share a secret; each generated code is
+valid once, within a small look-ahead window.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+
+from repro.auth.pam import PamModule, PamResult
+
+
+def _hotp(secret: bytes, counter: int, digits: int = 6) -> str:
+    """RFC-4226-style HOTP value."""
+    msg = counter.to_bytes(8, "big")
+    digest = hmac.new(secret, msg, hashlib.sha1).digest()
+    offset = digest[-1] & 0x0F
+    code = int.from_bytes(digest[offset : offset + 4], "big") & 0x7FFFFFFF
+    return str(code % (10**digits)).zfill(digits)
+
+
+class OtpDevice:
+    """The user's token generator."""
+
+    def __init__(self, secret: bytes) -> None:
+        self.secret = secret
+        self.counter = 0
+
+    def next_code(self) -> str:
+        """Generate the next one-time code (advances the counter)."""
+        code = _hotp(self.secret, self.counter)
+        self.counter += 1
+        return code
+
+
+class OtpPamModule(PamModule):
+    """Server-side HOTP verifier with a look-ahead window."""
+
+    name = "pam_otp"
+
+    def __init__(self, window: int = 4) -> None:
+        self.window = window
+        self._secrets: dict[str, bytes] = {}
+        self._counters: dict[str, int] = {}
+
+    def enroll(self, username: str, secret: bytes) -> OtpDevice:
+        """Register a user; returns the matching device."""
+        self._secrets[username] = secret
+        self._counters[username] = 0
+        return OtpDevice(secret)
+
+    def authenticate(self, username: str, secret: str) -> PamResult:
+        """Check the user's secret (PamModule interface)."""
+        stored = self._secrets.get(username)
+        if stored is None:
+            return PamResult.USER_UNKNOWN
+        counter = self._counters[username]
+        for offset in range(self.window):
+            if _hotp(stored, counter + offset) == secret:
+                # resynchronize past the used code: single-use guarantee
+                self._counters[username] = counter + offset + 1
+                return PamResult.SUCCESS
+        return PamResult.AUTH_ERR

@@ -1,0 +1,112 @@
+"""A Pluggable Authentication Module stack.
+
+Follows the shape of OSF RFC 86.0 / Linux-PAM: a stack of modules, each
+with a control flag, evaluated in order.
+
+* ``REQUIRED``   — must succeed; failure is remembered but the stack
+  continues (so an attacker can't tell *which* module failed);
+* ``REQUISITE``  — must succeed; failure aborts immediately;
+* ``SUFFICIENT`` — success ends the stack successfully (if no prior
+  required failure); failure is ignored;
+* ``OPTIONAL``   — result only matters if nothing else was decisive.
+
+MyProxy Online CA drives this stack with the username/password it
+receives (Figure 3 step 2).
+"""
+
+from __future__ import annotations
+
+import enum
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.errors import PamError
+
+
+class PamResult(enum.Enum):
+    """Outcome of one module's authenticate()."""
+
+    SUCCESS = "success"
+    AUTH_ERR = "auth_err"  # credentials wrong
+    USER_UNKNOWN = "user_unknown"  # module has no record of the user
+    ACCT_LOCKED = "acct_locked"  # account administratively disabled
+    IGNORE = "ignore"  # module does not apply (e.g. OTP module, no token)
+
+
+class Control(enum.Enum):
+    """Stack control flag for a module entry."""
+
+    REQUIRED = "required"
+    REQUISITE = "requisite"
+    SUFFICIENT = "sufficient"
+    OPTIONAL = "optional"
+
+
+class PamModule(ABC):
+    """One pluggable module."""
+
+    name: str = "pam_base"
+
+    @abstractmethod
+    def authenticate(self, username: str, secret: str) -> PamResult:
+        """Check the user's secret; never raises for bad credentials."""
+
+
+@dataclass
+class _Entry:
+    control: Control
+    module: PamModule
+
+
+class PamStack:
+    """An ordered stack of (control, module) entries.
+
+    ``authenticate`` returns normally on success and raises
+    :class:`PamError` (with a generic message) on failure — callers such
+    as MyProxy must not leak which module rejected the attempt.
+    """
+
+    def __init__(self, service: str = "myproxy") -> None:
+        self.service = service
+        self._entries: list[_Entry] = []
+
+    def add(self, control: Control, module: PamModule) -> "PamStack":
+        """Append an entry; returns self for chaining."""
+        self._entries.append(_Entry(control=control, module=module))
+        return self
+
+    @property
+    def entries(self) -> list[tuple[Control, PamModule]]:
+        """The (control, module) entries, in stack order."""
+        return [(e.control, e.module) for e in self._entries]
+
+    def authenticate(self, username: str, secret: str) -> None:
+        """Run the stack; raise :class:`PamError` unless it succeeds."""
+        if not self._entries:
+            raise PamError(f"PAM service {self.service!r} has no modules configured")
+        required_failed = False
+        optional_success = False
+        any_decisive = False
+        for entry in self._entries:
+            result = entry.module.authenticate(username, secret)
+            if entry.control is Control.REQUISITE:
+                any_decisive = True
+                if result is not PamResult.SUCCESS:
+                    raise PamError("authentication failure")
+            elif entry.control is Control.REQUIRED:
+                any_decisive = True
+                if result is not PamResult.SUCCESS:
+                    required_failed = True
+            elif entry.control is Control.SUFFICIENT:
+                if result is PamResult.SUCCESS and not required_failed:
+                    return
+                any_decisive = any_decisive or result is PamResult.SUCCESS
+            elif entry.control is Control.OPTIONAL:
+                if result is PamResult.SUCCESS:
+                    optional_success = True
+        if required_failed:
+            raise PamError("authentication failure")
+        if not any_decisive and not optional_success:
+            # nothing succeeded decisively (e.g. only sufficient modules,
+            # all of which failed)
+            raise PamError("authentication failure")

@@ -1,0 +1,27 @@
+"""Baseline data-movement tools the paper compares against.
+
+Section I/III/VII name them all: SCP ("routes data through the client
+... low-bandwidth links"), legacy FTP ("poor performance and
+reliability"), rsync and HTTP ("modest performance and no fault
+recovery", "do not support third-party transfers"), and GridFTP-Lite
+(SSH-authenticated GridFTP with three specific limitations).  Each
+baseline runs on the same network model and fault plan as GridFTP, so
+every comparison in the benchmarks is apples-to-apples.
+"""
+
+from repro.baselines.common import BaselineResult
+from repro.baselines.scp import ScpTool
+from repro.baselines.ftp_plain import PlainFtpTool
+from repro.baselines.rsync import RsyncTool
+from repro.baselines.http import HttpTool
+from repro.baselines.gridftp_lite import GridFTPLite, SshIdentity
+
+__all__ = [
+    "BaselineResult",
+    "ScpTool",
+    "PlainFtpTool",
+    "RsyncTool",
+    "HttpTool",
+    "GridFTPLite",
+    "SshIdentity",
+]

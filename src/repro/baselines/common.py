@@ -1,0 +1,88 @@
+"""Shared pieces for the baseline tools."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import TransferFaultError
+from repro.net.topology import PathStats
+from repro.sim.world import World
+from repro.util.ranges import ByteRangeSet
+
+
+@dataclass(frozen=True)
+class BaselineResult:
+    """Outcome of a baseline tool run."""
+
+    tool: str
+    nbytes: int
+    start_time: float
+    end_time: float
+    restarted_from_zero: int = 0  # how many times progress was discarded
+    wasted_bytes: int = 0  # bytes re-sent because of restarts
+
+    @property
+    def duration_s(self) -> float:
+        """Elapsed virtual seconds."""
+        return self.end_time - self.start_time
+
+    @property
+    def rate_bps(self) -> float:
+        """Effective payload rate in bits per second."""
+        if self.duration_s <= 0:
+            return 0.0
+        return self.nbytes * 8.0 / self.duration_s
+
+
+def run_flow_with_faults(
+    world: World,
+    path: PathStats,
+    nbytes: int,
+    rate_bps: float,
+    setup_s: float,
+    resume_offset: int = 0,
+) -> tuple[int, float | None]:
+    """Advance time for a single-flow transfer, honouring the fault plan.
+
+    Returns (bytes_delivered_beyond_resume_offset, fault_time_or_None).
+    Caller decides what a fault means (restart from zero, resume, give
+    up).  The clock ends at completion or at the fault.
+    """
+    start_window = world.now
+    world.advance(setup_s)
+    payload_start = world.now
+    remaining = nbytes - resume_offset
+    payload_s = remaining * 8.0 / rate_bps if rate_bps > 0 else float("inf")
+    end = payload_start + payload_s
+    fault_at = world.faults.first_interruption(
+        path.link_ids, path.hosts, start_window, end
+    )
+    if fault_at is None:
+        world.advance(payload_s)
+        return remaining, None
+    delivered = 0
+    if fault_at > payload_start:
+        delivered = int(rate_bps / 8.0 * (fault_at - payload_start))
+    world.advance_to(max(fault_at, world.now))
+    return delivered, fault_at
+
+
+def wait_until_clear(world: World, path: PathStats, poll_s: float = 5.0) -> None:
+    """Advance the clock until the path is up again (user retry behaviour)."""
+    clear = world.faults.next_clear_time(path.link_ids, path.hosts, world.now)
+    if clear > world.now:
+        world.advance_to(clear)
+    world.advance(poll_s)  # the human (or cron job) notices and retries
+
+
+class RestartFromZeroError(TransferFaultError):
+    """A tool without restart support lost all progress."""
+
+
+__all__ = [
+    "BaselineResult",
+    "run_flow_with_faults",
+    "wait_until_clear",
+    "RestartFromZeroError",
+    "ByteRangeSet",
+]

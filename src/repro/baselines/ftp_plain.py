@@ -1,0 +1,89 @@
+"""Legacy FTP (RFC 959).
+
+"Traditional methods such as FTP and SCP are ill-suited to data movement
+on this scale because of their poor performance and reliability"
+(Section I).  Modelled: one stream-mode TCP connection, untuned windows,
+cleartext control channel (the password exposure is logged), stream-mode
+REST (resume from a single offset — coarser than GridFTP's range
+markers, and only if the user's client retries at all).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.common import BaselineResult, run_flow_with_faults, wait_until_clear
+from repro.errors import TransferError
+from repro.net.tcp import TCPModel, tcp_stream_rate
+from repro.sim.world import World
+
+
+@dataclass
+class PlainFtpTool:
+    """A legacy FTP client."""
+
+    world: World
+    client_host: str
+    tcp_model: TCPModel = TCPModel.untuned()
+    #: USER/PASS/TYPE/PASV/RETR command exchanges
+    command_rtts: float = 5.0
+    max_retries: int = 20
+
+    def fetch(
+        self,
+        server_host: str,
+        nbytes: int,
+        username: str = "anonymous",
+        password: str = "guest",
+        use_rest: bool = False,
+    ) -> BaselineResult:
+        """RETR a file from ``server_host`` to the client.
+
+        ``use_rest=True`` resumes from the received offset after faults
+        (stream-mode REST); otherwise each failure starts over.
+        """
+        world = self.world
+        path = world.network.path(self.client_host, server_host)
+        world.emit(
+            "credential.exposure", "password observed",
+            party="network:cleartext", username=username, channel="ftp-control",
+        )
+        rate = tcp_stream_rate(path, self.tcp_model)
+        setup = (self.tcp_model.handshake_rtts + self.command_rtts) * path.rtt_s
+        start = world.now
+        offset = 0
+        restarted = 0
+        wasted = 0
+        attempt = 0
+        while True:
+            attempt += 1
+            if attempt > self.max_retries:
+                raise TransferError(f"ftp gave up after {self.max_retries} attempts")
+            delivered, fault = run_flow_with_faults(
+                world, path, nbytes, rate, setup, resume_offset=offset
+            )
+            if fault is None:
+                break
+            if use_rest:
+                offset += delivered  # REST <offset> on retry
+            else:
+                restarted += 1
+                wasted += offset + delivered
+                offset = 0
+            wait_until_clear(world, path)
+        result = BaselineResult(
+            tool="ftp",
+            nbytes=nbytes,
+            start_time=start,
+            end_time=world.now,
+            restarted_from_zero=restarted,
+            wasted_bytes=wasted,
+        )
+        world.emit("baseline.ftp", "ftp fetch done", nbytes=nbytes,
+                   duration=result.duration_s, rate_bps=result.rate_bps)
+        return result
+
+    def estimated_rate_bps(self, server_host: str) -> float:
+        """Steady-state rate estimate for this tool."""
+        path = self.world.network.path(self.client_host, server_host)
+        return tcp_stream_rate(path, self.tcp_model)

@@ -1,0 +1,207 @@
+"""GridFTP-Lite: SSH-authenticated GridFTP (paper Section III.B.1).
+
+"GridFTP-Lite uses SSH for user authentication.  Specifically, it uses
+SSH to dynamically start a GridFTP server on a target machine and then
+uses that SSH session to tunnel the GridFTP control channel."  It avoids
+all X.509 setup, but with three limitations the paper enumerates — each
+of which this implementation genuinely exhibits:
+
+1. **the data channel has no security** — transfers always run DCAU N
+   and PROT C; asking for more raises;
+2. **SSH does not support delegation** — the session credential is
+   marked ``no_delegation``, so handing the transfer off to Globus
+   Online fails in :func:`repro.gsi.delegation.delegate_credential`;
+3. **no security on the PI→DTP internal channel** of a striped server —
+   striped deployments are created with ``internal_channel_secure=False``
+   and their coordination messages are logged accordingly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.auth.accounts import AccountDatabase, hash_password
+from repro.errors import AuthenticationError, DCAUError
+from repro.gridftp.dcau import DataChannelSecurity, DCAUMode
+from repro.gridftp.mode_e import DEFAULT_BLOCK_SIZE
+from repro.gridftp.transfer import (
+    SinkSpec,
+    SourceSpec,
+    TransferEngine,
+    TransferOptions,
+    TransferResult,
+)
+from repro.pki.ca import self_signed_credential
+from repro.pki.credential import Credential
+from repro.pki.dn import DistinguishedName
+from repro.pki.validation import TrustStore
+from repro.sim.world import World
+from repro.storage.dsi import DataStorageInterface
+from repro.util.units import HOUR
+from repro.xio.drivers import Protection
+
+
+@dataclass
+class SshIdentity:
+    """One user's SSH access to a GridFTP-Lite host."""
+
+    username: str
+    password_hash: str
+    salt: str
+
+    def check(self, password: str) -> bool:
+        """Verify a password against the stored hash."""
+        return hash_password(password, self.salt) == self.password_hash
+
+
+class GridFTPLite:
+    """A host reachable via sshd that can spawn GridFTP on demand."""
+
+    SSH_HANDSHAKE_RTTS = 6.0
+
+    def __init__(
+        self,
+        world: World,
+        host: str,
+        accounts: AccountDatabase,
+        dsi: DataStorageInterface,
+        stripe_hosts: tuple[str, ...] = (),
+        internal_channel_secure: bool = False,  # limitation 3
+    ) -> None:
+        world.network.host(host)
+        self.world = world
+        self.host = host
+        self.accounts = accounts
+        self.dsi = dsi
+        self.stripe_hosts = stripe_hosts or (host,)
+        self.internal_channel_secure = internal_channel_secure
+        self._ssh_users: dict[str, SshIdentity] = {}
+
+    def add_ssh_user(self, username: str, password: str) -> None:
+        """Authorize SSH logins for an existing local account."""
+        self.accounts.get(username)  # must exist
+        salt = f"ssh:{self.host}:{username}"
+        self._ssh_users[username] = SshIdentity(
+            username=username,
+            password_hash=hash_password(password, salt),
+            salt=salt,
+        )
+
+    def ssh_login(self, client_host: str, username: str, password: str) -> "LiteSession":
+        """SSH in; dynamically start GridFTP; tunnel the control channel."""
+        world = self.world
+        path = world.network.path(client_host, self.host)
+        world.network.check_path_up(path)
+        world.clock.advance(self.SSH_HANDSHAKE_RTTS * path.rtt_s)
+        identity = self._ssh_users.get(username)
+        if identity is None or not identity.check(password):
+            raise AuthenticationError(f"ssh login failed for {username}@{self.host}")
+        account = self.accounts.setuid(username)
+        # the ephemeral session identity: self-signed, non-delegatable —
+        # this is what "SSH does not support delegation" means here.
+        session_cred = self_signed_credential(
+            DistinguishedName.make(("O", "gridftp-lite"), ("CN", username)),
+            world.clock,
+            world.rng.python(f"lite:{self.host}:{username}"),
+            lifetime=12 * HOUR,
+            extensions={"no_delegation": True},
+        )
+        world.emit("gridftp_lite.login", "ssh session established",
+                   host=self.host, username=username, client=client_host)
+        return LiteSession(self, client_host, account.uid, username, session_cred)
+
+    def internal_message(self, dtp_host: str, message: str) -> None:
+        """PI→DTP coordination — logged with its (in)security flag."""
+        self.world.emit(
+            "gridftp.striped.internal",
+            message,
+            server=f"gridftp-lite@{self.host}",
+            dtp=dtp_host,
+            secure=self.internal_channel_secure,
+        )
+
+
+@dataclass
+class LiteSession:
+    """A live SSH-tunneled GridFTP-Lite session."""
+
+    server: GridFTPLite
+    client_host: str
+    uid: int
+    username: str
+    credential: Credential  # non-delegatable
+
+    @property
+    def world(self) -> World:
+        """The world this object lives in."""
+        return self.server.world
+
+    def _security(self) -> DataChannelSecurity:
+        # limitation 1: the data channel has no security, full stop.
+        return DataChannelSecurity(
+            mode=DCAUMode.NONE,
+            credential=None,
+            trust=TrustStore(),
+            endpoint_name=f"gridftp-lite@{self.server.host}",
+        )
+
+    def _check_options(self, options: TransferOptions) -> TransferOptions:
+        if options.protection is not Protection.CLEAR:
+            raise DCAUError(
+                "GridFTP-Lite cannot protect the data channel "
+                "(limitation 1, paper Section III.B)"
+            )
+        if options.dcau is not DCAUMode.NONE:
+            # silently run DCAU N, as the real tool does
+            options = options.with_(dcau=DCAUMode.NONE)
+        return options
+
+    def get(
+        self,
+        remote_path: str,
+        local_storage: DataStorageInterface,
+        local_path: str,
+        options: TransferOptions | None = None,
+    ) -> TransferResult:
+        """Fetch a file over the SSH-started server."""
+        options = self._check_options(options or TransferOptions())
+        data = self.server.dsi.open_read(remote_path, self.uid)
+        if len(self.server.stripe_hosts) > 1:
+            for h in self.server.stripe_hosts:
+                self.server.internal_message(h, f"serve {remote_path}")
+        source = SourceSpec(
+            hosts=self.server.stripe_hosts,
+            data=data,
+            security=self._security(),
+        )
+        sink = local_storage.open_write(local_path, 0, data.size)
+        sink_spec = SinkSpec(
+            hosts=(self.client_host,),
+            sink=sink,
+            security=DataChannelSecurity(
+                mode=DCAUMode.NONE, credential=None, trust=TrustStore(),
+                endpoint_name=f"lite-client@{self.client_host}",
+            ),
+        )
+        engine = TransferEngine(self.world)
+        result = engine.execute(source, sink_spec, options)
+        self.world.emit("gridftp_lite.transfer", "transfer complete",
+                        host=self.server.host, nbytes=result.nbytes,
+                        dcau="N", protection="C")
+        return result
+
+    def delegate(self):
+        """Hand our credential to a transfer agent — always fails.
+
+        Limitation 2: "since SSH does not support delegation, users
+        cannot hand off SSH-based GridFTP transfers to transfer agents
+        such as Globus Online."
+        """
+        from repro.gsi.delegation import delegate_credential
+
+        return delegate_credential(
+            self.credential, self.world.clock, self.world.rng.python("lite-delegate")
+        )
+
+
+__all__ = ["GridFTPLite", "LiteSession", "SshIdentity", "DEFAULT_BLOCK_SIZE"]

@@ -1,0 +1,72 @@
+"""HTTP downloads.
+
+"Legacy FTP, SFTP, and HTTP also suffer from low performance" (Section
+VII); HTTP additionally "do[es] not support third-party transfers".
+Modelled: a single TCP stream per GET, Range-request resume (what wget
+-c does), no server-to-server mode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.common import BaselineResult, run_flow_with_faults, wait_until_clear
+from repro.errors import TransferError
+from repro.net.tcp import TCPModel, tcp_stream_rate
+from repro.sim.world import World
+
+
+@dataclass
+class HttpTool:
+    """An HTTP client (wget/curl style) on ``client_host``."""
+
+    world: World
+    client_host: str
+    tcp_model: TCPModel = TCPModel.untuned()
+    request_rtts: float = 1.0  # GET after the TCP handshake
+    max_retries: int = 20
+
+    def download(
+        self, server_host: str, nbytes: int, resume: bool = True
+    ) -> BaselineResult:
+        """GET a file; ``resume`` uses Range requests after faults."""
+        world = self.world
+        path = world.network.path(self.client_host, server_host)
+        rate = tcp_stream_rate(path, self.tcp_model)
+        setup = (self.tcp_model.handshake_rtts + self.request_rtts) * path.rtt_s
+        start = world.now
+        offset = 0
+        restarted = 0
+        wasted = 0
+        attempt = 0
+        while True:
+            attempt += 1
+            if attempt > self.max_retries:
+                raise TransferError(f"http gave up after {self.max_retries} attempts")
+            delivered, fault = run_flow_with_faults(
+                world, path, nbytes, rate, setup, resume_offset=offset
+            )
+            if fault is None:
+                break
+            if resume:
+                offset += delivered
+            else:
+                restarted += 1
+                wasted += offset + delivered
+                offset = 0
+            wait_until_clear(world, path)
+        result = BaselineResult(
+            tool="http",
+            nbytes=nbytes,
+            start_time=start,
+            end_time=world.now,
+            restarted_from_zero=restarted,
+            wasted_bytes=wasted,
+        )
+        world.emit("baseline.http", "http download done", nbytes=nbytes,
+                   duration=result.duration_s, rate_bps=result.rate_bps)
+        return result
+
+    def third_party(self, *_args, **_kwargs):
+        """HTTP has no third-party transfer; always raises."""
+        raise TransferError("HTTP does not support third-party transfers")

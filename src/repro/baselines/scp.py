@@ -1,0 +1,97 @@
+"""SCP.
+
+The paper's headline comparator: "GridFTP has been shown to deliver
+multiple orders of magnitude higher throughput than do other data
+transfer methods such as secure copy (SCP)."  The reasons, all modelled:
+
+* one TCP stream with the era's default (small) windows — window/RTT
+  bound on long paths;
+* all payload through a single-core SSH cipher — a hard rate cap;
+* no restart support: a failure loses everything ("require frequent
+  user intervention");
+* no third-party mode: remote→remote copies relay *through the client*
+  ("SCP routes data through the client for transfers between two remote
+  hosts"), typically over a slow access link.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.common import BaselineResult, run_flow_with_faults, wait_until_clear
+from repro.errors import TransferError
+from repro.net.tcp import TCPModel, tcp_stream_rate
+from repro.sim.world import World
+from repro.util.units import mbps
+
+
+@dataclass
+class ScpTool:
+    """An scp client run from ``client_host``."""
+
+    world: World
+    client_host: str
+    #: single-core cipher+MAC throughput cap (3des/aes-cbc era)
+    cipher_cap_bps: float = mbps(400)
+    #: ssh connection setup: TCP + key exchange + auth round trips
+    handshake_rtts: float = 6.0
+    tcp_model: TCPModel = TCPModel.untuned()
+    max_retries: int = 20
+
+    def _rate(self, path) -> float:
+        return min(tcp_stream_rate(path, self.tcp_model), self.cipher_cap_bps)
+
+    def copy(self, src_host: str, dst_host: str, nbytes: int) -> BaselineResult:
+        """``scp src:file dst:file`` — relays via the client if remote-remote.
+
+        On failure the user re-runs scp from scratch (no resume).
+        """
+        world = self.world
+        start = world.now
+        legs = self._legs(src_host, dst_host)
+        restarted = 0
+        wasted = 0
+        for path in legs:
+            rate = self._rate(path)
+            setup = self.handshake_rtts * path.rtt_s
+            attempt = 0
+            while True:
+                attempt += 1
+                if attempt > self.max_retries:
+                    raise TransferError(
+                        f"scp gave up after {self.max_retries} attempts"
+                    )
+                delivered, fault = run_flow_with_faults(
+                    world, path, nbytes, rate, setup
+                )
+                if fault is None:
+                    break
+                # no restart markers: everything re-sent from byte 0
+                restarted += 1
+                wasted += delivered
+                wait_until_clear(world, path)
+        result = BaselineResult(
+            tool="scp",
+            nbytes=nbytes,
+            start_time=start,
+            end_time=world.now,
+            restarted_from_zero=restarted,
+            wasted_bytes=wasted,
+        )
+        world.emit("baseline.scp", "scp copy done", nbytes=nbytes,
+                   duration=result.duration_s, rate_bps=result.rate_bps,
+                   restarts=restarted)
+        return result
+
+    def _legs(self, src_host: str, dst_host: str) -> list:
+        """The network legs the data actually crosses."""
+        net = self.world.network
+        if src_host == self.client_host or dst_host == self.client_host:
+            return [net.path(src_host, dst_host)]
+        # remote -> remote: data flows src -> client -> dst, sequentially
+        # (classic scp buffers through the invoking host).
+        return [net.path(src_host, self.client_host), net.path(self.client_host, dst_host)]
+
+    def estimated_rate_bps(self, src_host: str, dst_host: str) -> float:
+        """Effective end-to-end rate (slowest leg for relayed copies)."""
+        return min(self._rate(p) for p in self._legs(src_host, dst_host))

@@ -1,0 +1,58 @@
+"""Globus Connect Multi User (GCMU) — the paper's primary contribution.
+
+GCMU "combines a GridFTP server, a MyProxy Online Certificate Authority
+server, and a custom authorization callout for GridFTP" (Section IV,
+Figure 3) so that neither users nor administrators ever touch PKI
+configuration:
+
+* :mod:`repro.core.gcmu` — the one-call installer that provisions and
+  wires all three components;
+* :mod:`repro.core.authz_callout` — the callout that parses the local
+  username out of a MyProxy-issued DN (no gridmap file);
+* :mod:`repro.core.installer` — the step model of conventional vs GCMU
+  installation (Section III.A vs IV.D/E), behind the setup benchmark;
+* :mod:`repro.core.client_tools` — the GCMU client install +
+  myproxy-logon + transfer convenience path;
+* :mod:`repro.core.endpoint` — endpoint descriptors for Globus Online
+  registration.
+"""
+
+from repro.core.gcmu import GCMUEndpoint, install_gcmu
+from repro.core.appliance import AdminConsole, ApplianceImage, GCMUAppliance
+from repro.core.authz_callout import MyProxyDNCallout
+from repro.core.installer import (
+    InstallStep,
+    StepCategory,
+    conventional_admin_steps,
+    conventional_user_steps,
+    gcmu_admin_steps,
+    gcmu_user_steps,
+    gridftp_lite_admin_steps,
+    gridftp_lite_user_steps,
+    total_minutes,
+    expert_step_count,
+)
+from repro.core.client_tools import GCMUClientTools, install_client
+from repro.core.endpoint import EndpointInfo
+
+__all__ = [
+    "GCMUEndpoint",
+    "install_gcmu",
+    "ApplianceImage",
+    "GCMUAppliance",
+    "AdminConsole",
+    "MyProxyDNCallout",
+    "InstallStep",
+    "StepCategory",
+    "conventional_admin_steps",
+    "conventional_user_steps",
+    "gcmu_admin_steps",
+    "gcmu_user_steps",
+    "gridftp_lite_admin_steps",
+    "gridftp_lite_user_steps",
+    "total_minutes",
+    "expert_step_count",
+    "GCMUClientTools",
+    "install_client",
+    "EndpointInfo",
+]

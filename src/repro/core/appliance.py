@@ -1,0 +1,235 @@
+"""The GCMU virtual appliance (paper Section VIII future work).
+
+"We will also create a virtual appliance consisting of a virtual
+machine image that includes GCMU and a simple web-based (and command
+line) administrative console for configuring the virtual appliance."
+
+:class:`ApplianceImage` is the distributable artifact: a frozen
+configuration that, when booted onto a host, provisions a complete GCMU
+deployment (optionally with the packaged OAuth server) and brings up an
+:class:`AdminConsole`.  The console exposes the operations a site admin
+actually needs — status, user management, Globus Online visibility,
+trust-root additions, service restarts — as both a command-line
+interface (text in/out) and a REST-ish one (dicts in/out), mirroring
+the "web-based (and command line)" phrasing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.auth.accounts import AccountDatabase
+from repro.auth.backends import HtpasswdFile, HtpasswdPamModule
+from repro.auth.pam import Control, PamStack
+from repro.core.gcmu import GCMUEndpoint, install_gcmu
+from repro.errors import ReproError
+from repro.pki.certificate import Certificate
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.globusonline.service import GlobusOnline
+    from repro.sim.world import World
+
+
+@dataclass(frozen=True)
+class ApplianceImage:
+    """A bootable GCMU appliance image.
+
+    The image is configuration, not state: booting the same image on two
+    hosts yields two independent sites with the same settings.
+    """
+
+    site_name: str
+    version: str = "1.0"
+    with_oauth: bool = True
+    gridftp_port: int = 2811
+    myproxy_port: int = 7512
+    oauth_port: int = 443
+    preloaded_users: tuple[tuple[str, str], ...] = ()  # (username, password)
+
+    def boot(
+        self,
+        world: "World",
+        host: str,
+        register_with: "GlobusOnline | None" = None,
+        endpoint_name: str | None = None,
+    ) -> "GCMUAppliance":
+        """Instantiate the image on ``host``; returns the running appliance."""
+        accounts = AccountDatabase()
+        htfile = HtpasswdFile()
+        for username, password in self.preloaded_users:
+            accounts.add_user(username)
+            htfile.set_password(username, password)
+        pam = PamStack(f"appliance-{self.site_name}").add(
+            Control.SUFFICIENT, HtpasswdPamModule(htfile)
+        )
+        endpoint = install_gcmu(
+            world,
+            host,
+            self.site_name,
+            accounts,
+            pam,
+            gridftp_port=self.gridftp_port,
+            myproxy_port=self.myproxy_port,
+            register_with=register_with,
+            endpoint_name=endpoint_name,
+            with_oauth=self.with_oauth,
+            oauth_port=self.oauth_port,
+            charge_install_time=False,  # the appliance boots, it doesn't build
+        )
+        for username, _ in self.preloaded_users:
+            endpoint.make_home(username)
+        appliance = GCMUAppliance(
+            world=world, image=self.version, endpoint=endpoint, htpasswd=htfile
+        )
+        world.emit("gcmu.appliance.boot", "appliance booted",
+                   site=self.site_name, host=host, version=self.version,
+                   oauth=self.with_oauth)
+        return appliance
+
+
+@dataclass
+class GCMUAppliance:
+    """A booted appliance: the GCMU endpoint plus its admin console."""
+
+    world: "World"
+    image: str
+    endpoint: GCMUEndpoint
+    htpasswd: HtpasswdFile
+    restarts: int = 0
+
+    @property
+    def console(self) -> "AdminConsole":
+        """The admin console bound to this appliance."""
+        return AdminConsole(self)
+
+
+@dataclass
+class AdminConsole:
+    """The appliance's administrative console.
+
+    ``api_*`` methods are the web (REST-shaped) interface; :meth:`run`
+    dispatches CLI command lines onto them.
+    """
+
+    appliance: GCMUAppliance
+    audit_log: list[str] = field(default_factory=list)
+
+    # -- web/REST interface ------------------------------------------------
+
+    def api_status(self) -> dict[str, Any]:
+        """GET /status — service health and configuration."""
+        ep = self.appliance.endpoint
+        # listener presence is the ground truth for "running"
+        listeners = ep.world.network.listeners
+        gridftp_up = ep.server.address in listeners
+        myproxy_up = ep.myproxy.address in listeners
+        oauth_up = ep.oauth is not None and ep.oauth.address in listeners
+        return {
+            "site": ep.site_name,
+            "host": ep.host,
+            "image_version": self.appliance.image,
+            "gridftp": {"address": f"{ep.host}:{ep.server.port}", "up": gridftp_up},
+            "myproxy": {"address": f"{ep.host}:{ep.myproxy.port}", "up": myproxy_up},
+            "oauth": ({"address": f"{ep.host}:{ep.oauth.port}", "up": oauth_up}
+                      if ep.oauth is not None else None),
+            "users": len(ep.accounts),
+            "credentials_issued": ep.myproxy.issued_count,
+            "restarts": self.appliance.restarts,
+            "registered_endpoint": (ep.endpoint_info.name
+                                    if ep.endpoint_info else None),
+        }
+
+    def api_add_user(self, username: str, password: str) -> dict[str, Any]:
+        """POST /users — create an account + home directory."""
+        ep = self.appliance.endpoint
+        ep.accounts.add_user(username)
+        self.appliance.htpasswd.set_password(username, password)
+        ep.make_home(username)
+        self._audit(f"add-user {username}")
+        return {"added": username, "home": ep.accounts.get(username).home}
+
+    def api_lock_user(self, username: str) -> dict[str, Any]:
+        """POST /users/<u>/lock."""
+        self.appliance.endpoint.accounts.lock(username)
+        self._audit(f"lock-user {username}")
+        return {"locked": username}
+
+    def api_unlock_user(self, username: str) -> dict[str, Any]:
+        """POST /users/<u>/unlock."""
+        self.appliance.endpoint.accounts.unlock(username)
+        self._audit(f"unlock-user {username}")
+        return {"unlocked": username}
+
+    def api_trust_ca(self, certificate: Certificate) -> dict[str, Any]:
+        """Add an external CA to the endpoint's trust roots."""
+        self.appliance.endpoint.server.trust.add_anchor(certificate)
+        self._audit(f"trust-ca {certificate.subject}")
+        return {"trusted": str(certificate.subject),
+                "anchors": len(self.appliance.endpoint.server.trust)}
+
+    def api_register(self, service: "GlobusOnline", endpoint_name: str) -> dict[str, Any]:
+        """Publish (or republish) the endpoint on Globus Online."""
+        from repro.core.endpoint import EndpointInfo
+
+        ep = self.appliance.endpoint
+        info = EndpointInfo(
+            name=endpoint_name,
+            display_name=f"{ep.site_name} appliance",
+            gridftp_address=ep.server.address,
+            myproxy_address=ep.myproxy.address,
+            oauth_address=ep.oauth.address if ep.oauth is not None else None,
+            site=ep.site_name,
+        )
+        service.register_endpoint(info, ep, oauth=ep.oauth)
+        ep.endpoint_info = info
+        self._audit(f"register {endpoint_name}")
+        return {"registered": endpoint_name}
+
+    def api_restart_services(self) -> dict[str, Any]:
+        """Bounce GridFTP + MyProxy (+OAuth): sessions drop, ports rebind."""
+        ep = self.appliance.endpoint
+        ep.server.stop()
+        ep.myproxy.stop()
+        if ep.oauth is not None:
+            ep.oauth.stop()
+        self.appliance.world.advance(5.0)  # the classic service bounce
+        ep.server.start()
+        ep.myproxy.start()
+        if ep.oauth is not None:
+            ep.oauth.start()
+        self.appliance.restarts += 1
+        self._audit("restart-services")
+        return {"restarted": True, "count": self.appliance.restarts}
+
+    # -- CLI interface ---------------------------------------------------------
+
+    def run(self, command_line: str) -> str:
+        """Dispatch one console command; returns its text output."""
+        parts = command_line.split()
+        if not parts:
+            raise ReproError("empty console command")
+        verb, args = parts[0], parts[1:]
+        if verb == "status":
+            status = self.api_status()
+            lines = [f"{k}: {v}" for k, v in status.items()]
+            return "\n".join(lines)
+        if verb == "add-user" and len(args) == 2:
+            out = self.api_add_user(args[0], args[1])
+            return f"user {out['added']} created (home {out['home']})"
+        if verb == "lock-user" and len(args) == 1:
+            return f"user {self.api_lock_user(args[0])['locked']} locked"
+        if verb == "unlock-user" and len(args) == 1:
+            return f"user {self.api_unlock_user(args[0])['unlocked']} unlocked"
+        if verb == "restart-services" and not args:
+            out = self.api_restart_services()
+            return f"services restarted (restart #{out['count']})"
+        if verb == "help":
+            return ("commands: status | add-user <u> <pw> | lock-user <u> | "
+                    "unlock-user <u> | restart-services | help")
+        raise ReproError(f"unknown console command: {command_line!r}")
+
+    def _audit(self, entry: str) -> None:
+        self.audit_log.append(entry)
+        self.appliance.world.emit("gcmu.appliance.admin", entry,
+                                  site=self.appliance.endpoint.site_name)

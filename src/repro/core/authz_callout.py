@@ -1,0 +1,64 @@
+"""GCMU's custom authorization callout.
+
+Paper Section IV.C: "In GCMU, we eliminate the need for a Gridmap file;
+instead, user certificates are issued by the local MyProxy Online CA.
+We configure the MyProxy Online CA to include the local username in the
+certificate's subject.  In addition, we have developed a custom
+authorization callout in GridFTP that picks up the local user id from
+the certificate subject if the certificate is signed by the local
+MyProxy Online CA."
+
+The "signed by the local CA" check is done on the *validation anchor*,
+not on any claim inside the certificate: only chains that terminated at
+the site's own MyProxy CA certificate get the DN-parsing shortcut.
+Anything else falls back to an optional gridmap (for sites that also
+accept external CAs) or is refused.
+"""
+
+from __future__ import annotations
+
+from repro.errors import AuthorizationError
+from repro.gsi.authz import AuthorizationCallout
+from repro.gsi.gridmap import Gridmap
+from repro.pki.certificate import Certificate
+from repro.pki.validation import ValidationResult
+
+
+class MyProxyDNCallout(AuthorizationCallout):
+    """Username = final CN of the DN, iff the local MyProxy CA signed it."""
+
+    name = "gcmu-myproxy-dn"
+
+    def __init__(self, ca_certificate: Certificate, fallback: Gridmap | None = None) -> None:
+        self.ca_fingerprint = ca_certificate.fingerprint()
+        self.ca_subject = ca_certificate.subject
+        self.fallback = fallback
+
+    def map_subject(
+        self, result: ValidationResult, requested_user: str | None = None
+    ) -> str:
+        """Map an authenticated subject to a local username."""
+        if result.anchor.fingerprint() == self.ca_fingerprint:
+            username = result.identity.common_name
+            if not username:
+                raise AuthorizationError(
+                    f"MyProxy-issued subject {result.identity} has no CN to map"
+                )
+            if requested_user is not None and requested_user != username:
+                raise AuthorizationError(
+                    f"{result.identity} is mapped to {username!r}, "
+                    f"not the requested {requested_user!r}"
+                )
+            return username
+        if self.fallback is not None:
+            if requested_user is not None:
+                if self.fallback.authorize(result.identity, requested_user):
+                    return requested_user
+                raise AuthorizationError(
+                    f"{result.identity} is not mapped to account {requested_user!r}"
+                )
+            return self.fallback.lookup(result.identity)
+        raise AuthorizationError(
+            f"{result.identity} was not issued by the local MyProxy CA "
+            f"({self.ca_subject}) and no gridmap fallback is configured"
+        )

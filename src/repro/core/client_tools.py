@@ -1,0 +1,109 @@
+"""GCMU client tools (Section IV.E).
+
+``install_client`` models the client-side tarball install; the returned
+:class:`GCMUClientTools` bundles the two commands a user then runs:
+``myproxy-logon`` (site username/password → short-lived credential, with
+trust bootstrap) and ``globus-url-copy`` (via a ready-made
+:class:`~repro.gridftp.client.GridFTPClient`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.core.gcmu import GCMUEndpoint
+from repro.core.installer import gcmu_user_steps
+from repro.gridftp.client import ClientSession, GridFTPClient
+from repro.gridftp.transfer import TransferOptions, TransferResult
+from repro.gsi.credentials import CredentialStore
+from repro.myproxy.client import myproxy_logon
+from repro.pki.validation import TrustStore
+from repro.storage.dsi import DataStorageInterface
+from repro.storage.posix import PosixStorage
+from repro.util.units import MINUTE
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.world import World
+
+
+@dataclass
+class GCMUClientTools:
+    """What the client install leaves on the user's machine."""
+
+    world: "World"
+    host: str
+    username: str
+    store: CredentialStore
+    trust: TrustStore
+    local_storage: DataStorageInterface
+
+    def myproxy_logon(
+        self,
+        endpoint: GCMUEndpoint | tuple[str, int],
+        site_username: str,
+        password: str,
+        lifetime_s: float | None = None,
+    ):
+        """Run ``myproxy-logon -b -T -s <server>`` against a GCMU site."""
+        address = (
+            endpoint.myproxy_address if isinstance(endpoint, GCMUEndpoint) else endpoint
+        )
+        credential = myproxy_logon(
+            self.world,
+            self.host,
+            address,
+            site_username,
+            password,
+            lifetime_s=lifetime_s,
+            trust=self.trust,  # -b: bootstrap the site CA into our trust roots
+        )
+        self.store.install_proxy(credential)
+        return credential
+
+    def gridftp_client(self) -> GridFTPClient:
+        """A GridFTP client using the active (myproxy-issued) credential."""
+        return GridFTPClient(
+            self.world,
+            self.host,
+            credential=self.store.active_credential(),
+            trust=self.trust,
+            local_storage=self.local_storage,
+            username=self.username,
+        )
+
+    def connect(self, endpoint: GCMUEndpoint) -> ClientSession:
+        """Open a logged-in session to a GCMU endpoint's GridFTP server."""
+        return self.gridftp_client().connect(endpoint.server)
+
+    def globus_url_copy(
+        self, src_url: str, dst_url: str, options: TransferOptions | None = None
+    ) -> TransferResult:
+        """The Section IV.E transfer command."""
+        from repro.gridftp.client import globus_url_copy as _guc
+
+        return _guc(self.world, src_url, dst_url, self.gridftp_client(), options)
+
+
+def install_client(
+    world: "World",
+    host: str,
+    username: str = "user",
+    local_storage: DataStorageInterface | None = None,
+    charge_install_time: bool = True,
+) -> GCMUClientTools:
+    """Download + install the GCMU client tools on ``host``."""
+    if charge_install_time:
+        install_step = gcmu_user_steps()[0]
+        world.advance(install_step.minutes * MINUTE)
+    storage = local_storage if local_storage is not None else PosixStorage(world.clock)
+    tools = GCMUClientTools(
+        world=world,
+        host=host,
+        username=username,
+        store=CredentialStore(username, world.clock, world.rng.python(f"client:{username}")),
+        trust=TrustStore(),
+        local_storage=storage,
+    )
+    world.emit("gcmu.client.install", "client tools installed", host=host, user=username)
+    return tools

@@ -1,0 +1,39 @@
+"""Endpoint descriptors for Globus Online registration.
+
+"GCMU has an option in the installation to make the server available as
+an endpoint on Globus Online" (paper Section VI.B).  An
+:class:`EndpointInfo` is the record that registration publishes: where
+the GridFTP server listens, where the MyProxy Online CA listens (so the
+hosted service can run activations), and whether the site runs an OAuth
+server (Figure 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class EndpointInfo:
+    """A published Globus Online endpoint."""
+
+    name: str  # e.g. "alcf#dtn1"
+    display_name: str
+    gridftp_address: tuple[str, int]
+    myproxy_address: tuple[str, int] | None = None
+    oauth_address: tuple[str, int] | None = None
+    site: str = ""
+
+    @property
+    def supports_activation(self) -> bool:
+        """Can Globus Online obtain short-term credentials here?"""
+        return self.myproxy_address is not None
+
+    @property
+    def supports_oauth(self) -> bool:
+        """True when a site OAuth server is published."""
+        return self.oauth_address is not None
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        host, port = self.gridftp_address
+        return f"{self.name} (gsiftp://{host}:{port})"

@@ -1,0 +1,191 @@
+"""The GCMU installer and endpoint object.
+
+``install_gcmu`` is the programmatic equivalent of ``sudo ./install``:
+one call provisions, on one host,
+
+1. a MyProxy Online CA wired to the site's PAM stack (Figure 3 steps
+   1-3),
+2. a GridFTP server whose trust directory contains exactly the local
+   MyProxy CA (no external CAs to curate — step (g) gone), whose host
+   certificate is *issued by that same CA* (step (e)/(f) gone), and
+   whose authorization callout parses usernames from MyProxy-issued DNs
+   (step (h), the gridmap, gone),
+3. optionally, a Globus Online endpoint registration (Section VI.B).
+
+The call advances the virtual clock by the install duration, so
+time-to-first-transfer benchmarks can measure the whole "instant" claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.auth.accounts import AccountDatabase
+from repro.auth.pam import PamStack
+from repro.core.authz_callout import MyProxyDNCallout
+from repro.core.endpoint import EndpointInfo
+from repro.core.installer import gcmu_admin_steps, total_minutes
+from repro.gridftp.server import GridFTPServer
+from repro.gsi.gridmap import Gridmap
+from repro.myproxy.server import MyProxyOnlineCA
+from repro.pki.validation import TrustStore
+from repro.storage.dsi import DataStorageInterface
+from repro.storage.posix import PosixStorage
+from repro.util.units import MINUTE
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.globusonline.service import GlobusOnline
+    from repro.sim.world import World
+
+
+@dataclass
+class GCMUEndpoint:
+    """Everything ``sudo ./install`` left running on the host."""
+
+    world: "World"
+    site_name: str
+    host: str
+    myproxy: MyProxyOnlineCA
+    server: GridFTPServer
+    storage: DataStorageInterface
+    accounts: AccountDatabase
+    endpoint_info: EndpointInfo | None = None
+    #: present when installed with ``with_oauth=True`` (the Section VIII
+    #: future-work packaging, implemented here)
+    oauth: "object | None" = None
+
+    @property
+    def gridftp_address(self) -> tuple[str, int]:
+        """The GridFTP server's (host, port)."""
+        return self.server.address
+
+    @property
+    def myproxy_address(self) -> tuple[str, int]:
+        """The MyProxy CA's (host, port)."""
+        return self.myproxy.address
+
+    def make_home(self, username: str) -> None:
+        """Provision a home directory owned by the account (admin helper)."""
+        account = self.accounts.get(username)
+        storage = self.storage
+        mk = getattr(storage, "makedirs", None)
+        if mk is not None:
+            mk(account.home, 0)
+        chown = getattr(storage, "chown", None)
+        if chown is None and hasattr(storage, "inner"):
+            chown = storage.inner.chown
+        if chown is not None:
+            chown(account.home, account.uid)
+
+    def stop(self) -> None:
+        """Release the listening port."""
+        self.server.stop()
+        self.myproxy.stop()
+        if self.oauth is not None:
+            self.oauth.stop()
+
+
+def install_gcmu(
+    world: "World",
+    host: str,
+    site_name: str,
+    accounts: AccountDatabase,
+    pam: PamStack,
+    storage: DataStorageInterface | None = None,
+    gridftp_port: int = GridFTPServer.DEFAULT_PORT,
+    myproxy_port: int = MyProxyOnlineCA.DEFAULT_PORT,
+    register_with: "GlobusOnline | None" = None,
+    endpoint_name: str | None = None,
+    dcsc_enabled: bool = True,
+    usage_reporting: bool = True,
+    gridmap_fallback: Gridmap | None = None,
+    extra_trust_anchors: tuple = (),
+    charge_install_time: bool = True,
+    with_oauth: bool = False,
+    oauth_port: int = 443,
+) -> GCMUEndpoint:
+    """Provision a complete GCMU deployment on ``host``.
+
+    ``extra_trust_anchors`` lets a site additionally accept external CAs
+    (with the gridmap fallback handling their mappings) — GCMU does not
+    *forbid* conventional trust, it just makes it unnecessary.
+
+    ``with_oauth=True`` also packages a site OAuth server (the paper's
+    Section VIII plan: "we plan to package an OAuth server in GCMU so
+    that this feature ... is available automatically"); Globus Online
+    registration then advertises OAuth activation out of the box.
+    """
+    if charge_install_time:
+        world.advance(total_minutes(gcmu_admin_steps()) * MINUTE)
+
+    # 1. MyProxy Online CA tied to the local identity domain via PAM
+    myproxy = MyProxyOnlineCA(world, host, site_name, pam, port=myproxy_port).start()
+
+    # 2. host credential issued by the local CA — no external CA enrollment
+    host_subject = myproxy.ca.subject.parent().with_cn(f"host-{host}")
+    # the CA's namespace policy covers /O=GCMU/OU=<site>/*, which includes hosts
+    host_credential = myproxy.ca.issue_credential(host_subject)
+
+    # 3. trust directory: exactly the local CA (plus any site extras)
+    trust = TrustStore()
+    trust.add_anchor(myproxy.ca.certificate, policy=myproxy.ca.policy)
+    for anchor in extra_trust_anchors:
+        trust.add_anchor(anchor)
+
+    # 4. the custom AUTHZ callout — no gridmap needed
+    authz = MyProxyDNCallout(myproxy.ca.certificate, fallback=gridmap_fallback)
+
+    storage = storage if storage is not None else PosixStorage(world.clock)
+    server = GridFTPServer(
+        world,
+        host,
+        host_credential,
+        trust,
+        authz,
+        accounts,
+        storage,
+        port=gridftp_port,
+        dcsc_enabled=dcsc_enabled,
+        usage_reporting=usage_reporting,
+        name=f"gcmu@{site_name}",
+    ).start()
+
+    oauth = None
+    if with_oauth:
+        from repro.globusonline.oauth import OAuthServer
+
+        oauth = OAuthServer(world, host, myproxy, port=oauth_port).start()
+
+    endpoint = GCMUEndpoint(
+        world=world,
+        site_name=site_name,
+        host=host,
+        myproxy=myproxy,
+        server=server,
+        storage=storage,
+        accounts=accounts,
+        oauth=oauth,
+    )
+    world.emit(
+        "gcmu.install",
+        "GCMU installed",
+        site=site_name,
+        host=host,
+        gridftp=f"{host}:{gridftp_port}",
+        myproxy=f"{host}:{myproxy_port}",
+        oauth=bool(oauth),
+    )
+
+    if register_with is not None:
+        info = EndpointInfo(
+            name=endpoint_name or f"{site_name}#{host}",
+            display_name=f"{site_name} GCMU endpoint",
+            gridftp_address=server.address,
+            myproxy_address=myproxy.address,
+            oauth_address=oauth.address if oauth is not None else None,
+            site=site_name,
+        )
+        register_with.register_endpoint(info, endpoint, oauth=oauth)
+        endpoint.endpoint_info = info
+    return endpoint

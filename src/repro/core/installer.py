@@ -1,0 +1,178 @@
+"""Install-process step models: conventional GridFTP vs GCMU vs GridFTP-Lite.
+
+Paper Section III.A enumerates the conventional process — installation
+steps (a)-(d), security configuration steps (e)-(h), and the per-user
+certificate ordeal — and Section IV.D/E shows GCMU's replacement (four
+shell commands server-side; install + ``myproxy-logon`` client-side).
+The setup benchmark (CLAIM-SETUP in DESIGN.md) totals these.
+
+Durations are order-of-magnitude estimates grounded in the paper's
+qualitative claims ("time consuming", "out-of-band vetting", "too
+complex for many users"); the benchmark compares *totals and expert-step
+counts across methods*, which is robust to the exact minute values.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.util.units import DAY, MINUTE
+
+
+class StepCategory(enum.Enum):
+    """What kind of work a step is."""
+
+    SOFTWARE = "software"  # download/build/install
+    SECURITY = "security"  # PKI/certificate/trust configuration
+    ADMIN_COORD = "admin-coordination"  # emailing admins, waiting for humans
+
+
+@dataclass(frozen=True)
+class InstallStep:
+    """One step of a deployment procedure."""
+
+    name: str
+    minutes: float
+    expert: bool  # requires sysadmin/PKI expertise
+    category: StepCategory
+    per_user: bool = False  # repeated for every user at the site
+
+    @property
+    def seconds(self) -> float:
+        """Step duration in seconds."""
+        return self.minutes * MINUTE
+
+
+# ---------------------------------------------------------------------------
+# Conventional GridFTP (Section III.A)
+# ---------------------------------------------------------------------------
+
+
+def conventional_admin_steps() -> list[InstallStep]:
+    """Steps (a)-(h): install + security configuration, admin side."""
+    return [
+        # 1. installation, steps (a)-(d)
+        InstallStep("(a) download Globus", 5, False, StepCategory.SOFTWARE),
+        InstallStep("(b) untar the Globus tar file", 1, False, StepCategory.SOFTWARE),
+        InstallStep("(c) run configure", 10, True, StepCategory.SOFTWARE),
+        InstallStep("(d) run make and make install", 30, True, StepCategory.SOFTWARE),
+        # 2. security configuration, steps (e)-(h)
+        InstallStep(
+            "(e) obtain X.509 host certificate from a well-known CA "
+            "(CSR, out-of-band vetting)",
+            2 * DAY / MINUTE,
+            True,
+            StepCategory.SECURITY,
+        ),
+        InstallStep("(f) install the X.509 host certificate", 10, True, StepCategory.SECURITY),
+        InstallStep(
+            "(g) configure the trusted certificates directory", 15, True, StepCategory.SECURITY
+        ),
+        InstallStep(
+            "(h) generate gridmap DN-to-account mappings",
+            5,
+            True,
+            StepCategory.SECURITY,
+            per_user=True,
+        ),
+    ]
+
+
+def conventional_user_steps() -> list[InstallStep]:
+    """Section III.A item 3: what *each user* must do."""
+    return [
+        InstallStep(
+            "obtain X.509 user certificate from a well-known CA "
+            "(key pair, CSR, vetting, browser export, OpenSSL format dance)",
+            1 * DAY / MINUTE,
+            True,
+            StepCategory.SECURITY,
+            per_user=True,
+        ),
+        InstallStep("install the user certificate", 15, True, StepCategory.SECURITY, per_user=True),
+        InstallStep(
+            "configure the trusted certificates directory", 15, True, StepCategory.SECURITY,
+            per_user=True,
+        ),
+        InstallStep(
+            "send the certificate DN to the server admin for mapping",
+            30,
+            False,
+            StepCategory.ADMIN_COORD,
+            per_user=True,
+        ),
+    ]
+
+
+# ---------------------------------------------------------------------------
+# GCMU (Section IV.D/E)
+# ---------------------------------------------------------------------------
+
+
+def gcmu_admin_steps() -> list[InstallStep]:
+    """The four server-side commands of Section IV.D."""
+    return [
+        InstallStep("wget the GCMU tarball", 2, False, StepCategory.SOFTWARE),
+        InstallStep("tar -xvzf", 1, False, StepCategory.SOFTWARE),
+        InstallStep("cd gcmu*", 0.1, False, StepCategory.SOFTWARE),
+        InstallStep("sudo ./install", 5, False, StepCategory.SOFTWARE),
+    ]
+
+
+def gcmu_user_steps() -> list[InstallStep]:
+    """Section IV.E: install the client, myproxy-logon with site password."""
+    return [
+        InstallStep("download + install GCMU client tools", 5, False, StepCategory.SOFTWARE,
+                    per_user=True),
+        InstallStep("myproxy-logon with site username/password", 1, False, StepCategory.SECURITY,
+                    per_user=True),
+    ]
+
+
+# ---------------------------------------------------------------------------
+# GridFTP-Lite (Section III.B.1)
+# ---------------------------------------------------------------------------
+
+
+def gridftp_lite_admin_steps() -> list[InstallStep]:
+    """SSH-based GridFTP: software install only, no X.509 setup."""
+    return [
+        InstallStep("install GridFTP-Lite packages", 15, False, StepCategory.SOFTWARE),
+        InstallStep("verify sshd reachable for users", 5, False, StepCategory.SOFTWARE),
+    ]
+
+
+def gridftp_lite_user_steps() -> list[InstallStep]:
+    """Per-user GridFTP-Lite setup steps."""
+    return [
+        InstallStep("install GridFTP-Lite client", 5, False, StepCategory.SOFTWARE, per_user=True),
+        InstallStep("confirm SSH login works", 2, False, StepCategory.SECURITY, per_user=True),
+    ]
+
+
+# ---------------------------------------------------------------------------
+# totals
+# ---------------------------------------------------------------------------
+
+
+def total_minutes(steps: list[InstallStep], users: int = 1) -> float:
+    """Total wall-clock minutes for ``users`` site users."""
+    total = 0.0
+    for step in steps:
+        total += step.minutes * (users if step.per_user else 1)
+    return total
+
+
+def expert_step_count(steps: list[InstallStep], users: int = 1) -> int:
+    """How many expert-skill actions the procedure demands."""
+    count = 0
+    for step in steps:
+        if step.expert:
+            count += users if step.per_user else 1
+    return count
+
+
+def step_count(steps: list[InstallStep], users: int = 1) -> int:
+    """Total actions (per-user steps multiplied out)."""
+    return sum((users if s.per_user else 1) for s in steps)

@@ -1,0 +1,30 @@
+"""Globus Online: the hosted (SaaS) transfer service of paper Section VI.
+
+* :mod:`repro.globusonline.service` — the hosted service: endpoint
+  registry, user accounts, activation (username/password via the
+  endpoint's MyProxy CA, Figure 6, with credential-exposure accounting),
+  transfer submission;
+* :mod:`repro.globusonline.oauth` — the site OAuth server and the
+  redirect flow that keeps passwords off the third party (Figure 7);
+* :mod:`repro.globusonline.transfer` — transfer jobs with automatic
+  fault recovery: re-authenticate with the stored short-term credential
+  and "restart the transfer from the last checkpoint";
+* :mod:`repro.globusonline.interfaces` — the REST-style and CLI facades
+  the paper's Section VI.A describes.
+"""
+
+from repro.globusonline.service import GlobusOnline, GOUser
+from repro.globusonline.oauth import OAuthServer
+from repro.globusonline.transfer import BatchTransferJob, TransferJob, JobStatus
+from repro.globusonline.interfaces import TransferAPI, format_job_cli
+
+__all__ = [
+    "GlobusOnline",
+    "GOUser",
+    "OAuthServer",
+    "TransferJob",
+    "BatchTransferJob",
+    "JobStatus",
+    "TransferAPI",
+    "format_job_cli",
+]

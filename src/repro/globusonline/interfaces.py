@@ -1,0 +1,135 @@
+"""Globus Online access interfaces.
+
+Section VI.A: "A simple web GUI serves the needs of ad hoc and less
+technical users.  A command line interface via SSH exposes more advanced
+capabilities ... A REST API facilitates integration for system
+builders."  :class:`TransferAPI` is the REST-shaped facade (plain dicts
+in/out, no objects leak), and :func:`format_job_cli` renders the CLI
+view of a job.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.errors import ReproError
+from repro.globusonline.transfer import JobStatus
+from repro.util.units import fmt_bytes, fmt_duration, fmt_rate
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.globusonline.service import GlobusOnline, GOUser
+
+
+class TransferAPI:
+    """REST-style facade: every method takes/returns JSON-shaped dicts."""
+
+    def __init__(self, service: "GlobusOnline") -> None:
+        self.service = service
+
+    def endpoint_list(self) -> list[dict[str, Any]]:
+        """GET /endpoint_list"""
+        out = []
+        for name, record in sorted(self.service.endpoints.items()):
+            host, port = record.gridftp_address
+            out.append(
+                {
+                    "name": name,
+                    "display_name": record.info.display_name,
+                    "gridftp": f"gsiftp://{host}:{port}",
+                    "activation": record.info.supports_activation,
+                    "oauth": record.oauth is not None,
+                }
+            )
+        return out
+
+    def activate(self, payload: dict[str, Any]) -> dict[str, Any]:
+        """POST /endpoint/<name>/activate"""
+        user = self._user(payload["user"])
+        method = payload.get("method", "password")
+        if method == "oauth":
+            activation = self.service.activate_oauth(
+                user, payload["endpoint"], payload["username"], payload["password"]
+            )
+        else:
+            activation = self.service.activate(
+                user, payload["endpoint"], payload["username"], payload["password"]
+            )
+        return {
+            "endpoint": activation.endpoint_name,
+            "subject": str(activation.credential.subject),
+            "expires_at": activation.credential.expires_at(),
+            "code": "Activated.Success",
+        }
+
+    def submit(self, payload: dict[str, Any]) -> dict[str, Any]:
+        """POST /transfer"""
+        user = self._user(payload["user"])
+        job = self.service.submit_transfer(
+            user,
+            payload["source_endpoint"],
+            payload["source_path"],
+            payload["destination_endpoint"],
+            payload["destination_path"],
+        )
+        return {"task_id": job.job_id, "code": "Accepted"}
+
+    def submit_batch(self, payload: dict[str, Any]) -> dict[str, Any]:
+        """POST /transfer with a DATA list (the directory-move shape)."""
+        user = self._user(payload["user"])
+        pairs = [(item["source_path"], item["destination_path"])
+                 for item in payload["DATA"]]
+        job = self.service.submit_batch_transfer(
+            user,
+            payload["source_endpoint"],
+            payload["destination_endpoint"],
+            pairs,
+        )
+        return {"task_id": job.job_id, "code": "Accepted",
+                "files": len(pairs)}
+
+    def task_status(self, task_id: str) -> dict[str, Any]:
+        """GET /task/<id>"""
+        job = self.service.jobs.get(task_id)
+        if job is None:
+            raise ReproError(f"no such task {task_id!r}")
+        body: dict[str, Any] = {
+            "task_id": job.job_id,
+            "status": job.status.value.upper(),
+        }
+        if hasattr(job, "attempts"):  # single-file job
+            body["attempts"] = job.attempts
+            body["faults"] = job.faults_survived
+            if job.result is not None:
+                body["bytes_transferred"] = job.result.nbytes
+                body["effective_rate_bps"] = job.result.rate_bps
+        else:  # batch job
+            body["files"] = job.files_done
+            body["bytes_transferred"] = job.bytes_done
+        if job.error:
+            body["nice_status"] = job.error
+        return body
+
+    def _user(self, name: str) -> "GOUser":
+        user = self.service.users.get(name)
+        if user is None:
+            raise ReproError(f"no such Globus Online user {name!r}")
+        return user
+
+
+def format_job_cli(job) -> str:
+    """The ``status``-command view a CLI user would see."""
+    lines = [
+        f"Task ID     : {job.job_id}",
+        f"Status      : {job.status.value.upper()}",
+        f"Request Time: t={job.submitted_at:.1f}",
+        f"Attempts    : {job.attempts} (faults survived: {job.faults_survived})",
+    ]
+    if job.result is not None:
+        lines += [
+            f"Bytes       : {fmt_bytes(job.result.nbytes)}",
+            f"Rate        : {fmt_rate(job.result.rate_bps)}",
+            f"Duration    : {fmt_duration(job.result.duration_s)}",
+        ]
+    if job.status is JobStatus.FAILED:
+        lines.append(f"Error       : {job.error}")
+    return "\n".join(lines)

@@ -1,0 +1,122 @@
+"""The site OAuth server (Figure 7).
+
+"With an OAuth server on GCMU endpoint ... users do not have to enter a
+username or password on Globus Online.  Instead, when users access a
+GCMU endpoint, they will be redirected to a web page running on the
+endpoint; when they enter the username/password on that site, Globus
+Online will get a short-term certificate from the endpoint via the OAuth
+protocol."
+
+Flow implemented (authorization-code style):
+
+1. Globus Online redirects the user's browser to the site OAuth page;
+2. the user posts username/password *to the site* (exposure: site only);
+3. the site authenticates via the same MyProxy CA PAM stack and returns
+   an authorization code to the redirect URI;
+4. Globus Online exchanges the code for a short-term credential.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.errors import AuthenticationError, PamError
+from repro.myproxy.server import MyProxyOnlineCA
+from repro.net.sockets import Listener, ServerSession, Service, listen, close_listener
+from repro.pki.credential import Credential
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.world import World
+
+
+@dataclass
+class _PendingCode:
+    code: str
+    username: str
+    credential: Credential
+    redeemed: bool = False
+
+
+class OAuthServer(Service):
+    """A site-run OAuth authorization server fronting the MyProxy CA."""
+
+    DEFAULT_PORT = 443
+
+    def __init__(
+        self,
+        world: "World",
+        host: str,
+        myproxy: MyProxyOnlineCA,
+        port: int = DEFAULT_PORT,
+    ) -> None:
+        self.world = world
+        self.host = host
+        self.port = port
+        self.myproxy = myproxy
+        self._codes: dict[str, _PendingCode] = {}
+        self._counter = 0
+        self._listener: Listener | None = None
+
+    def start(self) -> "OAuthServer":
+        """Bind the listening port and begin serving."""
+        self._listener = listen(self.world.network, self.host, self.port, self)
+        self.world.emit("oauth.start", "site OAuth server up",
+                        site=self.myproxy.site_name, address=f"{self.host}:{self.port}")
+        return self
+
+    def stop(self) -> None:
+        """Release the listening port."""
+        if self._listener is not None:
+            close_listener(self.world.network, self._listener)
+            self._listener = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The (host, port) this service listens on."""
+        return (self.host, self.port)
+
+    def open_session(self, client_host: str) -> ServerSession:  # pragma: no cover
+        """Accept one connection (Service interface)."""
+        raise NotImplementedError("use authorize()/exchange() directly")
+
+    # -- the two legs of the flow -----------------------------------------------
+
+    def authorize(self, username: str, password: str, lifetime_s: float | None = None) -> str:
+        """The user's browser posts credentials to the *site's* page.
+
+        Returns an authorization code.  The password is seen only here —
+        the exposure event names the site, never the third party.
+        """
+        self.world.emit(
+            "credential.exposure",
+            "password observed",
+            party=f"site:{self.myproxy.site_name}",
+            username=username,
+            channel="oauth-web-page",
+        )
+        try:
+            credential = self.myproxy.logon(username, password, lifetime_s)
+        except PamError as exc:
+            raise AuthenticationError(f"OAuth login failed: {exc}") from exc
+        self._counter += 1
+        code = hashlib.sha256(
+            f"{self.myproxy.site_name}:{username}:{self._counter}".encode()
+        ).hexdigest()[:20]
+        self._codes[code] = _PendingCode(code=code, username=username, credential=credential)
+        return code
+
+    def exchange(self, code: str) -> Credential:
+        """Globus Online redeems the code for the short-term credential."""
+        pending = self._codes.get(code)
+        if pending is None or pending.redeemed:
+            raise AuthenticationError("invalid or already-redeemed OAuth code")
+        pending.redeemed = True
+        self.world.emit(
+            "oauth.exchange",
+            "authorization code redeemed",
+            site=self.myproxy.site_name,
+            username=pending.username,
+        )
+        return pending.credential

@@ -1,0 +1,282 @@
+"""The hosted Globus Online service.
+
+"The Globus team operates this hosted service as a third-party
+mediator/facilitator of file transfers between GridFTP servers" (paper
+Section VI.A).  The service holds an endpoint registry and per-user
+activation tables; all of its GridFTP activity originates from its own
+host, using the short-term credentials activations obtained — it never
+holds a user's long-term key and never stores a password.
+
+Credential-exposure accounting: every time a password transits a party,
+a ``credential.exposure`` event is emitted naming that party.  The
+Figure 7 benchmark compares the party sets of password activation
+(site + Globus Online) vs OAuth activation (site only).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.core.endpoint import EndpointInfo
+from repro.core.gcmu import GCMUEndpoint
+from repro.errors import AuthenticationError, ReproError
+from repro.globusonline.oauth import OAuthServer
+from repro.globusonline.transfer import (
+    BatchTransferJob,
+    JobStatus,
+    TransferJob,
+    run_batch_job,
+    run_job,
+)
+from repro.gridftp.transfer import TransferOptions
+from repro.myproxy.client import myproxy_logon
+from repro.pki.credential import Credential
+from repro.pki.validation import TrustStore
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.world import World
+
+
+@dataclass
+class Activation:
+    """A user's live short-term credential for one endpoint."""
+
+    endpoint_name: str
+    credential: Credential
+    activated_at: float
+
+    def valid_at(self, t: float) -> bool:
+        """True while the credential is within validity."""
+        return self.credential.valid_at(t)
+
+
+@dataclass
+class GOUser:
+    """A Globus Online account."""
+
+    name: str
+    activations: dict[str, Activation] = field(default_factory=dict)
+
+    def activation_for(self, endpoint_name: str, now: float) -> Activation:
+        """The live activation for an endpoint (or raise)."""
+        act = self.activations.get(endpoint_name)
+        if act is None:
+            raise AuthenticationError(
+                f"user {self.name!r} has not activated endpoint {endpoint_name!r}"
+            )
+        if not act.valid_at(now):
+            raise AuthenticationError(
+                f"activation for {endpoint_name!r} has expired; re-activate"
+            )
+        return act
+
+
+@dataclass
+class EndpointRecord:
+    """One registered endpoint."""
+
+    info: EndpointInfo
+    gcmu: GCMUEndpoint | None = None
+    oauth: OAuthServer | None = None
+    #: trust anchors needed to validate this endpoint's GridFTP server
+    trust: TrustStore = field(default_factory=TrustStore)
+
+    @property
+    def gridftp_address(self) -> tuple[str, int]:
+        """The GridFTP server's (host, port)."""
+        return self.info.gridftp_address
+
+
+class GlobusOnline:
+    """The SaaS itself, running on its own host."""
+
+    def __init__(self, world: "World", host: str) -> None:
+        world.network.host(host)  # must exist in the topology
+        self.world = world
+        self.host = host
+        self.endpoints: dict[str, EndpointRecord] = {}
+        self.users: dict[str, GOUser] = {}
+        self.jobs: dict[str, TransferJob] = {}
+        self._job_ids = itertools.count(1)
+
+    # -- registry -----------------------------------------------------------
+
+    def register_endpoint(
+        self,
+        info: EndpointInfo,
+        gcmu: GCMUEndpoint | None = None,
+        oauth: OAuthServer | None = None,
+    ) -> EndpointRecord:
+        """Publish an endpoint (GCMU's install option does this)."""
+        record = EndpointRecord(info=info, gcmu=gcmu, oauth=oauth)
+        if gcmu is not None:
+            # registration carries the site CA certificate so the service
+            # can validate the endpoint's host certificate.
+            record.trust.add_anchor(gcmu.myproxy.ca.certificate)
+        self.endpoints[info.name] = record
+        self.world.emit("globusonline.register", "endpoint registered",
+                        endpoint=info.name, site=info.site)
+        return record
+
+    def attach_oauth(self, endpoint_name: str, oauth: OAuthServer) -> None:
+        """Enable the Figure 7 flow for an already-registered endpoint."""
+        self.endpoint(endpoint_name).oauth = oauth
+
+    def endpoint(self, name: str) -> EndpointRecord:
+        """Look up a registered endpoint record."""
+        try:
+            return self.endpoints[name]
+        except KeyError:
+            raise ReproError(f"unknown endpoint {name!r}") from None
+
+    def register_user(self, name: str) -> GOUser:
+        """Create a Globus Online account."""
+        user = GOUser(name=name)
+        self.users[name] = user
+        return user
+
+    # -- activation (Figure 6) ------------------------------------------------
+
+    def activate(
+        self,
+        user: GOUser,
+        endpoint_name: str,
+        username: str,
+        password: str,
+        lifetime_s: float | None = None,
+    ) -> Activation:
+        """Password activation: the user types credentials into the
+        Globus Online web page, which relays them to the endpoint's
+        MyProxy CA.  The password transits Globus Online (exposure is
+        recorded) but is not stored — only the short-term certificate is.
+        """
+        record = self.endpoint(endpoint_name)
+        if not record.info.supports_activation:
+            raise AuthenticationError(
+                f"endpoint {endpoint_name!r} has no MyProxy CA for activation"
+            )
+        self.world.emit(
+            "credential.exposure", "password observed",
+            party="globusonline", username=username, channel="web-activation",
+        )
+        self.world.emit(
+            "credential.exposure", "password observed",
+            party=f"site:{record.info.site}", username=username, channel="myproxy-logon",
+        )
+        credential = myproxy_logon(
+            self.world,
+            self.host,
+            record.info.myproxy_address,
+            username,
+            password,
+            lifetime_s=lifetime_s,
+            trust=record.trust,
+        )
+        activation = Activation(
+            endpoint_name=endpoint_name,
+            credential=credential,
+            activated_at=self.world.now,
+        )
+        user.activations[endpoint_name] = activation
+        self.world.emit("globusonline.activate", "endpoint activated",
+                        user=user.name, endpoint=endpoint_name, method="password")
+        return activation
+
+    def activate_oauth(
+        self,
+        user: GOUser,
+        endpoint_name: str,
+        username: str,
+        password: str,
+        lifetime_s: float | None = None,
+    ) -> Activation:
+        """OAuth activation (Figure 7): the password goes only to the
+        site's own web page; Globus Online receives an authorization code
+        and exchanges it for the short-term credential.
+        """
+        record = self.endpoint(endpoint_name)
+        if record.oauth is None:
+            raise AuthenticationError(
+                f"endpoint {endpoint_name!r} has no OAuth server configured"
+            )
+        # the user's browser talks to the site directly: the exposure
+        # event for the site is emitted by OAuthServer.authorize itself.
+        code = record.oauth.authorize(username, password, lifetime_s)
+        credential = record.oauth.exchange(code)
+        if record.gcmu is not None:
+            record.trust.add_anchor(record.gcmu.myproxy.ca.certificate)
+        activation = Activation(
+            endpoint_name=endpoint_name,
+            credential=credential,
+            activated_at=self.world.now,
+        )
+        user.activations[endpoint_name] = activation
+        self.world.emit("globusonline.activate", "endpoint activated",
+                        user=user.name, endpoint=endpoint_name, method="oauth")
+        return activation
+
+    # -- transfers (Figure 6) -----------------------------------------------------
+
+    def submit_transfer(
+        self,
+        user: GOUser,
+        src_endpoint: str,
+        src_path: str,
+        dst_endpoint: str,
+        dst_path: str,
+        options: TransferOptions | None = None,
+        max_attempts: int = 5,
+    ) -> TransferJob:
+        """Submit and (synchronously, in virtual time) run a transfer job.
+
+        With ``options=None`` the service auto-tunes (Section VI.A).
+        The job survives injected faults by re-authenticating with the
+        stored short-term credentials and restarting from the last
+        checkpoint.
+        """
+        job = TransferJob(
+            job_id=f"go-{next(self._job_ids):06d}",
+            user=user.name,
+            src_endpoint=src_endpoint,
+            src_path=src_path,
+            dst_endpoint=dst_endpoint,
+            dst_path=dst_path,
+            submitted_at=self.world.now,
+            max_attempts=max_attempts,
+        )
+        self.jobs[job.job_id] = job
+        run_job(self, user, job, options)
+        return job
+
+    def submit_batch_transfer(
+        self,
+        user: GOUser,
+        src_endpoint: str,
+        dst_endpoint: str,
+        pairs: list[tuple[str, str]],
+        options: TransferOptions | None = None,
+    ) -> BatchTransferJob:
+        """Submit a multi-file (directory-style) transfer.
+
+        The batch path pipelines the control traffic, reuses mode E data
+        channels, and moves several files concurrently — the reason a
+        folder of small files through Globus Online does not cost one
+        round trip per file.
+        """
+        job = BatchTransferJob(
+            job_id=f"go-batch-{next(self._job_ids):06d}",
+            user=user.name,
+            src_endpoint=src_endpoint,
+            dst_endpoint=dst_endpoint,
+            pairs=tuple(pairs),
+            submitted_at=self.world.now,
+        )
+        self.jobs[job.job_id] = job
+        run_batch_job(self, user, job, options)
+        return job
+
+    def job_status(self, job_id: str) -> JobStatus:
+        """Status of a submitted job by id."""
+        return self.jobs[job_id].status

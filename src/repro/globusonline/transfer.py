@@ -1,0 +1,351 @@
+"""Globus Online transfer jobs: monitoring, retry, checkpoint restart.
+
+Figure 6's recovery story: "If any failure occurs during the transfer,
+Globus Online will use the short-term certificate to reauthenticate with
+the endpoints on the user's behalf and restart the transfer from the
+last checkpoint."  ``run_job`` is that loop: each attempt opens fresh
+control channels (re-authentication with the stored activation
+credentials), installs a DCSC context automatically when the two
+endpoints live in different trust domains (Section VIII: "all the
+transfers done by Globus Online are third-party transfers"), and resumes
+from the accumulated restart markers.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.errors import LinkDownError, ReproError, TransferFaultError
+from repro.gridftp.client import GridFTPClient
+from repro.gridftp.restart import ByteRangeSet
+from repro.gridftp.third_party import third_party_transfer
+from repro.gridftp.transfer import TransferOptions, TransferResult
+from repro.gridftp.tuning import DatasetShape, autotune
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.globusonline.service import GlobusOnline, GOUser
+
+
+class JobStatus(enum.Enum):
+    """Lifecycle of a transfer job."""
+
+    PENDING = "pending"
+    ACTIVE = "active"
+    SUCCEEDED = "succeeded"
+    FAILED = "failed"
+
+
+@dataclass
+class BatchTransferJob:
+    """A multi-file (directory-style) transfer task.
+
+    Globus Online's normal unit of work is a folder, not a file; the
+    batch job pipelines the control traffic, reuses mode E data channels
+    and moves ``concurrency`` files at once.
+    """
+
+    job_id: str
+    user: str
+    src_endpoint: str
+    dst_endpoint: str
+    pairs: tuple[tuple[str, str], ...]
+    submitted_at: float
+    status: JobStatus = JobStatus.PENDING
+    files_done: int = 0
+    bytes_done: int = 0
+    error: str = ""
+    completed_at: float | None = None
+
+
+@dataclass
+class TransferJob:
+    """One submitted transfer task."""
+
+    job_id: str
+    user: str
+    src_endpoint: str
+    src_path: str
+    dst_endpoint: str
+    dst_path: str
+    submitted_at: float
+    max_attempts: int = 5
+    status: JobStatus = JobStatus.PENDING
+    attempts: int = 0
+    faults_survived: int = 0
+    result: TransferResult | None = None
+    error: str = ""
+    checkpoint: ByteRangeSet = field(default_factory=ByteRangeSet)
+    completed_at: float | None = None
+    #: set after a successful post-transfer CKSM comparison
+    checksum_verified: bool = False
+
+    @property
+    def bytes_at_checkpoint(self) -> int:
+        """Bytes safely received before the interruption."""
+        return self.checkpoint.total_bytes()
+
+
+def _connect_sessions(go: "GlobusOnline", user: "GOUser", job: TransferJob):
+    """(Re-)authenticate to both endpoints with the activation credentials."""
+    now = go.world.now
+    src_rec = go.endpoint(job.src_endpoint)
+    dst_rec = go.endpoint(job.dst_endpoint)
+    src_act = user.activation_for(job.src_endpoint, now)
+    dst_act = user.activation_for(job.dst_endpoint, now)
+    src_client = GridFTPClient(
+        go.world, go.host, credential=src_act.credential, trust=src_rec.trust,
+        username=user.name,
+    )
+    dst_client = GridFTPClient(
+        go.world, go.host, credential=dst_act.credential, trust=dst_rec.trust,
+        username=user.name,
+    )
+    src_session = src_client.connect(src_rec.gridftp_address)
+    dst_session = dst_client.connect(dst_rec.gridftp_address)
+    return src_rec, dst_rec, src_act, dst_act, src_session, dst_session
+
+
+def _wait_for_outage(go: "GlobusOnline", job: TransferJob, backoff_s: float = 15.0) -> None:
+    """Advance the clock until every path the job needs is up again."""
+    world = go.world
+    src_host = go.endpoint(job.src_endpoint).gridftp_address[0]
+    dst_host = go.endpoint(job.dst_endpoint).gridftp_address[0]
+    links: set[str] = set()
+    hosts: set[str] = set()
+    for a, b in ((src_host, dst_host), (go.host, src_host), (go.host, dst_host)):
+        try:
+            path = world.network.path(a, b)
+        except Exception:
+            continue
+        links.update(path.link_ids)
+        hosts.update(path.hosts)
+    clear = world.faults.next_clear_time(links, hosts, world.now)
+    world.advance_to(clear)
+    world.advance(backoff_s)
+
+
+def _cross_domain(src_rec, dst_rec) -> bool:
+    """Do the endpoints share any trust anchor?  If not, DCSC is required."""
+    src_fps = set(src_rec.trust.anchors)
+    dst_fps = set(dst_rec.trust.anchors)
+    return not (src_fps & dst_fps)
+
+
+def run_job(
+    go: "GlobusOnline",
+    user: "GOUser",
+    job: TransferJob,
+    options: TransferOptions | None = None,
+) -> TransferJob:
+    """Drive a job to SUCCEEDED or FAILED (advancing virtual time)."""
+    world = go.world
+    job.status = JobStatus.ACTIVE
+    restart: ByteRangeSet | None = None
+
+    while job.attempts < job.max_attempts:
+        job.attempts += 1
+        try:
+            src_rec, dst_rec, src_act, _, src_session, dst_session = _connect_sessions(
+                go, user, job
+            )
+        except LinkDownError as exc:
+            # endpoint or path still down: wait out the outage, retry
+            job.error = str(exc)
+            _wait_for_outage(go, job)
+            continue
+        except ReproError as exc:
+            job.error = str(exc)
+            job.status = JobStatus.FAILED
+            world.emit("globusonline.job.failed", "job failed", job=job.job_id,
+                       reason=job.error)
+            return job
+
+        try:
+            opts = options
+            if opts is None:
+                size = src_session.size(job.src_path)
+                path = world.network.path(
+                    src_rec.gridftp_address[0], dst_rec.gridftp_address[0]
+                )
+                opts = autotune(DatasetShape(file_count=1, total_bytes=size), path)
+            # Globus Online transfers are always third-party; cross-domain
+            # endpoint pairs get a DCSC context built from the source
+            # activation credential (the Figure 5 strategy).
+            dcsc_credential = src_act.credential if _cross_domain(src_rec, dst_rec) else None
+            result = third_party_transfer(
+                src_session,
+                job.src_path,
+                dst_session,
+                job.dst_path,
+                opts,
+                use_dcsc=dcsc_credential,
+                restart=restart,
+            )
+            # post-transfer integrity: CKSM on both endpoints must agree
+            # (the hosted service's end-to-end check).
+            src_sum = src_session.checksum(job.src_path)
+            dst_sum = dst_session.checksum(job.dst_path)
+            if src_sum != dst_sum:
+                job.error = (
+                    f"checksum mismatch after transfer: {src_sum} != {dst_sum}"
+                )
+                job.status = JobStatus.FAILED
+                world.emit("globusonline.job.failed", "checksum mismatch",
+                           job=job.job_id)
+                return job
+            job.checksum_verified = True
+            job.status = JobStatus.SUCCEEDED
+            job.result = result
+            job.completed_at = world.now
+            world.emit(
+                "globusonline.job.succeeded", "job complete",
+                job=job.job_id, attempts=job.attempts, nbytes=result.nbytes,
+                faults_survived=job.faults_survived,
+            )
+            return job
+        except TransferFaultError as fault:
+            job.faults_survived += 1
+            marker = fault.received if fault.received is not None else ByteRangeSet()
+            restart = restart.union(marker) if restart is not None else marker
+            job.checkpoint = restart.copy()
+            world.emit(
+                "globusonline.job.fault", "transfer interrupted; will restart",
+                job=job.job_id, checkpoint_bytes=job.bytes_at_checkpoint,
+                attempt=job.attempts,
+            )
+            # wait out the outage before the next attempt; re-auth happens
+            # on reconnect with the stored short-term certificate.
+            _wait_for_outage(go, job)
+            continue
+        except LinkDownError as exc:
+            job.error = str(exc)
+            _wait_for_outage(go, job)
+            continue
+        except ReproError as exc:
+            job.error = str(exc)
+            job.status = JobStatus.FAILED
+            world.emit("globusonline.job.failed", "job failed", job=job.job_id,
+                       reason=job.error)
+            return job
+        finally:
+            for session in (locals().get("src_session"), locals().get("dst_session")):
+                try:
+                    if session is not None:
+                        session.channel.close()
+                except Exception:
+                    pass
+
+    job.status = JobStatus.FAILED
+    job.error = f"exhausted {job.max_attempts} attempts"
+    world.emit("globusonline.job.failed", "job failed", job=job.job_id, reason=job.error)
+    return job
+
+
+def run_batch_job(
+    go: "GlobusOnline",
+    user: "GOUser",
+    job: BatchTransferJob,
+    options: TransferOptions | None = None,
+) -> BatchTransferJob:
+    """Drive a multi-file job: pipelined control, cached data channels,
+    concurrent file lanes.
+
+    Auto-tunes from the whole dataset shape when ``options`` is None.
+    Fault handling is per-job (a mid-batch outage fails the job; resubmit
+    resumes cheaply because completed files simply re-verify) — the
+    single-file path owns checkpoint restart.
+    """
+    from repro.errors import LinkDownError
+    from repro.gridftp.transfer import SinkSpec, SourceSpec
+
+    world = go.world
+    job.status = JobStatus.ACTIVE
+    try:
+        src_rec, dst_rec, src_act, _, src_session, dst_session = _connect_sessions(
+            go, user, job
+        )
+    except ReproError as exc:
+        job.error = str(exc)
+        job.status = JobStatus.FAILED
+        return job
+    try:
+        # pipelined SIZE sweep for auto-tuning (and early missing-file errors)
+        from repro.gridftp.replies import Reply, raise_for_reply
+
+        sizes = []
+        for lines in src_session.channel.pipeline(
+            [f"SIZE {sp}" for sp, _ in job.pairs]
+        ):
+            sizes.append(int(raise_for_reply(Reply.parse(lines[-1])).text))
+        opts = options
+        if opts is None:
+            path = world.network.path(
+                src_rec.gridftp_address[0], dst_rec.gridftp_address[0]
+            )
+            opts = autotune(DatasetShape.from_sizes(sizes), path)
+        src_session.apply_options(opts)
+        dst_session.apply_options(opts)
+        if _cross_domain(src_rec, dst_rec):
+            from repro.gridftp.third_party import install_dcsc_contexts
+
+            install_dcsc_contexts(src_session, dst_session, src_act.credential)
+        addr = dst_session.passive()
+        src_session.port(addr)
+
+        # pipeline the STOR/RETR pairs on their respective channels
+        for lines in dst_session.channel.pipeline(
+            [f"STOR {dp}" for _, dp in job.pairs]
+        ):
+            raise_for_reply(Reply.parse(lines[-1]))
+        for lines in src_session.channel.pipeline(
+            [f"RETR {sp}" for sp, _ in job.pairs]
+        ):
+            raise_for_reply(Reply.parse(lines[-1]))
+
+        engine = src_session.client.engine
+        k = max(1, opts.concurrency)
+        lane_time = [0.0] * k
+        for i, ((sp, dp), size) in enumerate(zip(job.pairs, sizes)):
+            recv_intent = dst_session.server_session.take_intent()
+            send_intent = src_session.server_session.take_intent()
+            sink = dst_session.server_session.make_sink(recv_intent, size)
+            source = SourceSpec(
+                hosts=src_session.server.dtp_hosts,
+                data=send_intent.data,
+                security=src_session.server_session.data_channel_security(),
+            )
+            sink_spec = SinkSpec(
+                hosts=dst_session.server.dtp_hosts,
+                sink=sink,
+                security=dst_session.server_session.data_channel_security(),
+            )
+            result = engine.execute(
+                source, sink_spec, opts,
+                charge_setup=(i < k), advance_clock=False,
+            )
+            lane = min(range(k), key=lane_time.__getitem__)
+            lane_time[lane] += result.duration_s
+            job.files_done += 1
+            job.bytes_done += result.nbytes
+            src_session.server.record_transfer(result, "retrieve", sp)
+            dst_session.server.record_transfer(result, "store", dp)
+        world.advance(max(lane_time) if lane_time else 0.0)
+        job.status = JobStatus.SUCCEEDED
+        job.completed_at = world.now
+        world.emit("globusonline.batch.succeeded", "batch complete",
+                   job=job.job_id, files=job.files_done, nbytes=job.bytes_done)
+        return job
+    except (ReproError, LinkDownError) as exc:
+        job.error = str(exc)
+        job.status = JobStatus.FAILED
+        world.emit("globusonline.batch.failed", "batch failed",
+                   job=job.job_id, reason=job.error, files_done=job.files_done)
+        return job
+    finally:
+        for session in (src_session, dst_session):
+            try:
+                session.channel.close()
+            except Exception:
+                pass

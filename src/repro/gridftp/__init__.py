@@ -1,0 +1,41 @@
+"""Globus GridFTP: protocol, server, client, DTP, striping, DCAU, DCSC.
+
+The full data-movement stack of paper Section II, plus the Section V
+protocol extension (DCSC).  Layout mirrors the architecture of Figure 2:
+
+* control channel: :mod:`replies`, :mod:`commands`, :mod:`server`
+  (server PI), :mod:`client` (client PI);
+* data channel: :mod:`mode_e` (extended block mode framing),
+  :mod:`restart` / :mod:`perf` (markers), :mod:`dtp` (data transfer
+  process), :mod:`transfer` (the engine that binds the protocol to the
+  network model), :mod:`striped` (striped servers);
+* security: :mod:`dcau` (data channel authentication), :mod:`dcsc`
+  (the Data Channel Security Context command);
+* orchestration: :mod:`third_party`, :mod:`tuning`.
+"""
+
+from repro.gridftp.replies import Reply
+from repro.gridftp.restart import ByteRangeSet, format_restart_marker, parse_restart_marker
+from repro.gridftp.transfer import TransferOptions, TransferResult
+from repro.gridftp.server import GridFTPServer
+from repro.gridftp.client import GridFTPClient, GridFTPUrl, globus_url_copy
+from repro.gridftp.striped import StripedGridFTPServer
+from repro.gridftp.dcau import DCAUMode
+from repro.gridftp.dcsc import encode_dcsc_blob, decode_dcsc_blob
+
+__all__ = [
+    "Reply",
+    "ByteRangeSet",
+    "format_restart_marker",
+    "parse_restart_marker",
+    "TransferOptions",
+    "TransferResult",
+    "GridFTPServer",
+    "GridFTPClient",
+    "GridFTPUrl",
+    "globus_url_copy",
+    "StripedGridFTPServer",
+    "DCAUMode",
+    "encode_dcsc_blob",
+    "decode_dcsc_blob",
+]

@@ -1,0 +1,542 @@
+"""The GridFTP client PI and the ``globus-url-copy``-style API.
+
+A :class:`GridFTPClient` holds a user's credential and trust roots on a
+client host; :meth:`~GridFTPClient.connect` opens a control channel and
+performs the mutual GSI handshake (client validates the server's host
+certificate; server validates the user's delegated proxy).  The session
+object then exposes the protocol commands plus high-level ``get``/
+``put``/``get_many`` operations that drive the transfer engine.
+
+``globus_url_copy`` mirrors the command from paper Section IV.E::
+
+    globus-url-copy gsiftp://<server>/<path> file:/<path>
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import AuthenticationError, ProtocolError, TransferError
+from repro.gridftp.dcau import DataChannelSecurity, DCAUMode
+from repro.gridftp.replies import Reply, raise_for_reply
+from repro.gridftp.restart import ByteRangeSet, format_restart_marker
+from repro.gridftp.server import GridFTPServer, GridFTPSession, TransferIntent
+from repro.gridftp.transfer import (
+    SinkSpec,
+    SourceSpec,
+    TransferEngine,
+    TransferOptions,
+    TransferResult,
+)
+from repro.gsi.delegation import delegate_credential
+from repro.net.channel import ControlChannel
+from repro.pki.certificate import Certificate
+from repro.pki.credential import Credential
+from repro.pki.validation import TrustStore, validate_chain
+from repro.sim.world import World
+from repro.storage.dsi import DataStorageInterface
+from repro.util.encoding import b64decode_str, b64encode_str, pem_decode_all
+
+
+@dataclass(frozen=True)
+class GridFTPUrl:
+    """A parsed ``gsiftp://host[:port]/path`` or ``file:///path`` URL."""
+
+    scheme: str
+    host: str
+    port: int
+    path: str
+
+    @staticmethod
+    def parse(url: str) -> "GridFTPUrl":
+        """Parse from the textual form."""
+        scheme, sep, rest = url.partition("://")
+        if not sep:
+            # accept the paper's "file:/<path>" single-slash spelling
+            if url.startswith("file:/"):
+                return GridFTPUrl(scheme="file", host="", port=0, path=url[len("file:") :])
+            raise ProtocolError(f"malformed URL {url!r}", code=501)
+        scheme = scheme.lower()
+        if scheme == "file":
+            return GridFTPUrl(scheme="file", host="", port=0, path="/" + rest.lstrip("/"))
+        if scheme not in ("gsiftp", "ftp"):
+            raise ProtocolError(f"unsupported URL scheme {scheme!r}", code=501)
+        hostport, slash, path = rest.partition("/")
+        host, _, port_s = hostport.partition(":")
+        port = int(port_s) if port_s else GridFTPServer.DEFAULT_PORT
+        return GridFTPUrl(scheme=scheme, host=host, port=port, path="/" + path)
+
+    def __str__(self) -> str:
+        if self.scheme == "file":
+            return f"file://{self.path}"
+        return f"{self.scheme}://{self.host}:{self.port}{self.path}"
+
+
+class GridFTPClient:
+    """A user's GridFTP client on a particular host."""
+
+    def __init__(
+        self,
+        world: World,
+        host: str,
+        credential: Credential | None = None,
+        trust: TrustStore | None = None,
+        local_storage: DataStorageInterface | None = None,
+        username: str = "user",
+    ) -> None:
+        self.world = world
+        self.host = host
+        self.credential = credential
+        self.trust = trust or TrustStore()
+        self.local_storage = local_storage
+        self.username = username
+        self.engine = TransferEngine(world)
+
+    # -- connection ----------------------------------------------------------
+
+    def connect(
+        self,
+        server: GridFTPServer | tuple[str, int],
+        login: bool = True,
+        username: str | None = None,
+    ) -> "ClientSession":
+        """Open a control channel; optionally authenticate and log in."""
+        address = server.address if isinstance(server, GridFTPServer) else server
+        channel = ControlChannel(self.world.network, self.host, address)
+        session = ClientSession(self, channel)
+        if login:
+            session.login(username=username)
+        return session
+
+    # -- local data-channel posture --------------------------------------------
+
+    def data_channel_security(self, mode: DCAUMode) -> DataChannelSecurity:
+        """The client side of a two-party data channel."""
+        expected = self.credential.identity if self.credential else None
+        return DataChannelSecurity(
+            mode=mode,
+            credential=self.credential,
+            trust=self.trust,
+            expected_identity=expected,
+            endpoint_name=f"client@{self.host}",
+        )
+
+
+class ClientSession:
+    """A logged-in control-channel session, with high-level operations."""
+
+    def __init__(self, client: GridFTPClient, channel: ControlChannel) -> None:
+        self.client = client
+        self.channel = channel
+        self.world = client.world
+        self.authenticated = False
+        self.logged_in_as: str | None = None
+        self._options_applied: TransferOptions | None = None
+
+    # -- low-level helpers ---------------------------------------------------
+
+    @property
+    def server_session(self) -> GridFTPSession:
+        """The server-side session object (introspection)."""
+        session = self.channel.session
+        assert isinstance(session, GridFTPSession)
+        return session
+
+    @property
+    def server(self) -> GridFTPServer:
+        """The GridFTP server this session talks to."""
+        return self.server_session.server
+
+    def command(self, line: str) -> Reply:
+        """Send one command; return the final reply (raise on 4xx/5xx)."""
+        lines = self.channel.request(line)
+        if not lines:
+            raise ProtocolError(f"no reply to {line!r}")
+        return raise_for_reply(Reply.parse(lines[-1]))
+
+    def command_lines(self, line: str) -> list[str]:
+        """Send one command; return every reply line (multiline replies)."""
+        lines = self.channel.request(line)
+        raise_for_reply(Reply.parse(lines[-1]))
+        return lines
+
+    # -- the GSI handshake -------------------------------------------------------
+
+    def login(self, username: str | None = None) -> str:
+        """AUTH/ADAT mutual authentication, then USER mapping.
+
+        Returns the local account name the server mapped us to.
+        """
+        client = self.client
+        if client.credential is None:
+            raise AuthenticationError(
+                f"client {client.username!r} has no credential to authenticate with"
+            )
+        reply = self.command("AUTH GSSAPI")
+        # the 334 carries the server's certificate chain; validate it
+        # against *our* trust roots (the client half of mutual auth).
+        if not reply.text.startswith("ADAT="):
+            raise AuthenticationError(f"unexpected AUTH reply: {reply}")
+        chain = _parse_cert_chain(b64decode_str(reply.text[len("ADAT=") :]))
+        try:
+            validate_chain(chain, client.trust, self.world.now)
+        except Exception as exc:
+            raise AuthenticationError(
+                f"client rejected server certificate {chain[0].subject}: {exc}"
+            ) from exc
+        # delegate a proxy to the server and present it
+        delegated = delegate_credential(
+            client.credential, self.world.clock, self.world.rng.python("delegation")
+        )
+        blob = b64encode_str(delegated.to_pem(include_key=True).encode("ascii"))
+        user_arg = username if username is not None else ":globus-mapping:"
+        try:
+            self.command(f"ADAT {blob}")
+            self.authenticated = True
+            self.command(f"USER {user_arg}")
+        except ProtocolError as exc:
+            if exc.code in (530, 535):
+                raise AuthenticationError(str(exc)) from exc
+            raise
+        self.logged_in_as = self.server_session.account.username
+        return self.logged_in_as
+
+    # -- session parameter helpers ---------------------------------------------------
+
+    def apply_options(self, options: TransferOptions) -> None:
+        """Push transfer options to the server (idempotent per option set)."""
+        if self._options_applied == options:
+            return
+        commands = ["TYPE I", "MODE E", f"OPTS RETR Parallelism={options.parallelism};"]
+        commands.append("PBSZ 0")
+        commands.append(f"PROT {options.protection.value}")
+        if options.dcau is DCAUMode.SUBJECT and options.dcau_subject:
+            commands.append(f"DCAU S {options.dcau_subject}")
+        else:
+            commands.append(f"DCAU {options.dcau.value}")
+        if options.tcp_window_bytes:
+            commands.append(f"SBUF {options.tcp_window_bytes}")
+        for lines in self.channel.pipeline(commands):
+            raise_for_reply(Reply.parse(lines[-1]))
+        self._options_applied = options
+
+    def dcsc(self, blob_or_default: str) -> Reply:
+        """Send a DCSC command: a P blob, or "D" to revert."""
+        if blob_or_default.upper() == "D":
+            return self.command("DCSC D")
+        return self.command(f"DCSC P {blob_or_default}")
+
+    # -- namespace convenience ------------------------------------------------------
+
+    def pwd(self) -> str:
+        """Current working directory (PWD)."""
+        reply = self.command("PWD")
+        return reply.text.split('"')[1]
+
+    def cwd(self, path: str) -> None:
+        """Change working directory (CWD)."""
+        self.command(f"CWD {path}")
+
+    def mkdir(self, path: str) -> None:
+        """Create a directory (MKD)."""
+        self.command(f"MKD {path}")
+
+    def delete(self, path: str) -> None:
+        """Remove a file (DELE)."""
+        self.command(f"DELE {path}")
+
+    def rename(self, old: str, new: str) -> None:
+        """Move a file (RNFR/RNTO)."""
+        self.command(f"RNFR {old}")
+        self.command(f"RNTO {new}")
+
+    def size(self, path: str) -> int:
+        """Remote file size in bytes (SIZE)."""
+        return int(self.command(f"SIZE {path}").text)
+
+    def checksum(self, path: str, algorithm: str = "sha256") -> str:
+        """Server-side checksum of a file (CKSM)."""
+        return self.command(f"CKSM {algorithm} {path}").text
+
+    def list_dir(self, path: str = "") -> list[str]:
+        """Names in a directory (LIST)."""
+        lines = self.command_lines(f"LIST {path}".strip())
+        return [l.strip() for l in lines[1:-1]]
+
+    def features(self) -> list[str]:
+        """The server's FEAT extension labels."""
+        lines = self.command_lines("FEAT")
+        return [l.strip() for l in lines[1:-1]]
+
+    def supports(self, feature: str) -> bool:
+        """True if the server advertises ``feature`` in FEAT."""
+        return feature.upper() in {f.upper() for f in self.features()}
+
+    def quit(self) -> None:
+        """Close the session (QUIT)."""
+        self.command("QUIT")
+        self.channel.close()
+
+    # -- data port negotiation ----------------------------------------------------------
+
+    def passive(self) -> tuple[str, int]:
+        """PASV; returns the server's data address."""
+        reply = self.command("PASV")
+        addr = reply.text.split("(", 1)[1].rstrip(")")
+        host, _, port_s = addr.rpartition(":")
+        return (host, int(port_s))
+
+    def striped_passive(self) -> list[tuple[str, int]]:
+        """SPAS; returns one data address per stripe."""
+        lines = self.command_lines("SPAS")
+        out: list[tuple[str, int]] = []
+        for line in lines[1:-1]:
+            host, _, port_s = line.strip().rpartition(":")
+            out.append((host, int(port_s)))
+        return out
+
+    def port(self, addr: tuple[str, int]) -> None:
+        """Tell the server where to connect (PORT)."""
+        self.command(f"PORT {addr[0]}:{addr[1]}")
+
+    def striped_port(self, addrs: list[tuple[str, int]]) -> None:
+        """Striped PORT (SPOR) with one address per stripe."""
+        arg = " ".join(f"{h}:{p}" for h, p in addrs)
+        self.command(f"SPOR {arg}")
+
+    def rest(self, ranges: ByteRangeSet) -> None:
+        """Send a restart marker (REST) with the held ranges."""
+        self.command(f"REST {format_restart_marker(ranges)}")
+
+    # -- whole-file operations ------------------------------------------------------------
+
+    def get(
+        self,
+        remote_path: str,
+        local_path: str,
+        options: TransferOptions | None = None,
+        restart: ByteRangeSet | None = None,
+    ) -> TransferResult:
+        """RETR ``remote_path`` into the client's local storage."""
+        client = self.client
+        if client.local_storage is None:
+            raise TransferError("client has no local storage configured")
+        options = options or TransferOptions()
+        self.apply_options(options)
+        if restart is not None:
+            self.rest(restart)  # the ranges we already hold
+        self.command(f"RETR {remote_path}")
+        intent = self.server_session.take_intent()
+        assert intent.data is not None
+        source = SourceSpec(
+            hosts=self.server.dtp_hosts,
+            data=intent.data,
+            security=self.server_session.data_channel_security(),
+            needed=intent.needed,
+        )
+        sink = client.local_storage.open_write(
+            local_path, 0, intent.data.size, resume=restart is not None
+        )
+        sink_spec = SinkSpec(
+            hosts=(client.host,),
+            sink=sink,
+            security=client.data_channel_security(options.dcau),
+        )
+        result = client.engine.execute(source, sink_spec, options)
+        self.server.record_transfer(result, "retrieve", intent.path)
+        return result
+
+    def put(
+        self,
+        local_path: str,
+        remote_path: str,
+        options: TransferOptions | None = None,
+        restart: ByteRangeSet | None = None,
+    ) -> TransferResult:
+        """STOR the client's local file to ``remote_path``."""
+        client = self.client
+        if client.local_storage is None:
+            raise TransferError("client has no local storage configured")
+        options = options or TransferOptions()
+        self.apply_options(options)
+        data = client.local_storage.open_read(local_path, 0)
+        needed = None
+        if restart is not None:
+            needed = restart.complement(data.size)
+            self.rest(restart)
+        self.passive()
+        self.command(f"STOR {remote_path}")
+        intent = self.server_session.take_intent()
+        sink = self.server_session.make_sink(intent, data.size)
+        source = SourceSpec(
+            hosts=(client.host,),
+            data=data,
+            security=client.data_channel_security(options.dcau),
+            needed=needed,
+        )
+        sink_spec = SinkSpec(
+            hosts=self.server.dtp_hosts,
+            sink=sink,
+            security=self.server_session.data_channel_security(),
+        )
+        result = client.engine.execute(source, sink_spec, options)
+        self.server.record_transfer(result, "store", intent.path)
+        return result
+
+    def get_partial(
+        self,
+        remote_path: str,
+        offset: int,
+        length: int,
+        local_path: str,
+        options: TransferOptions | None = None,
+    ) -> TransferResult:
+        """ERET: retrieve only [offset, offset+length) of a remote file.
+
+        The local file is created at the remote file's full size with
+        just that window populated (the partial persists, so later
+        windows can fill in around it).
+        """
+        client = self.client
+        if client.local_storage is None:
+            raise TransferError("client has no local storage configured")
+        options = options or TransferOptions()
+        self.apply_options(options)
+        size = self.size(remote_path)
+        self.command(f"ERET P {offset} {length} {remote_path}")
+        intent = self.server_session.take_intent()
+        assert intent.data is not None
+        source = SourceSpec(
+            hosts=self.server.dtp_hosts,
+            data=intent.data,
+            security=self.server_session.data_channel_security(),
+            needed=intent.needed,
+        )
+        sink = client.local_storage.open_write(local_path, 0, size, resume=True)
+        sink_spec = SinkSpec(
+            hosts=(client.host,),
+            sink=sink,
+            security=client.data_channel_security(options.dcau),
+        )
+        # a window transfer cannot verify the whole-file fingerprint;
+        # finalize only once the accumulated windows cover the file.
+        complete = sink.received.union(
+            intent.needed if intent.needed is not None else sink.received
+        ).covers(size)
+        result = client.engine.execute(source, sink_spec, options,
+                                       finalize=complete)
+        self.server.record_transfer(result, "retrieve-partial", intent.path)
+        return result
+
+    def get_many(
+        self,
+        paths: list[tuple[str, str]],
+        options: TransferOptions | None = None,
+    ) -> list[TransferResult]:
+        """Fetch many (remote, local) files.
+
+        Honours the two lots-of-small-files optimizations from the paper:
+
+        * **pipelining** — all RETR commands stream back-to-back in one
+          round trip instead of one round trip each;
+        * **concurrency** — ``options.concurrency`` files move at once;
+          the elapsed virtual time is the concurrent makespan.
+
+        Data channels are mode E cached: only the first file pays
+        channel setup.
+        """
+        client = self.client
+        if client.local_storage is None:
+            raise TransferError("client has no local storage configured")
+        options = options or TransferOptions()
+        self.apply_options(options)
+
+        intents: list[tuple[TransferIntent, str]] = []
+        if options.pipelining:
+            batches = self.channel.pipeline([f"RETR {r}" for r, _ in paths])
+            for (remote, local), lines in zip(paths, batches):
+                raise_for_reply(Reply.parse(lines[-1]))
+                intents.append((self.server_session.take_intent(), local))
+        else:
+            for remote, local in paths:
+                self.command(f"RETR {remote}")
+                intents.append((self.server_session.take_intent(), local))
+
+        results: list[TransferResult] = []
+        k = max(1, options.concurrency)
+        lane_time = [0.0] * k
+        for i, (intent, local) in enumerate(intents):
+            assert intent.data is not None
+            source = SourceSpec(
+                hosts=self.server.dtp_hosts,
+                data=intent.data,
+                security=self.server_session.data_channel_security(),
+            )
+            sink = client.local_storage.open_write(local, 0, intent.data.size)
+            sink_spec = SinkSpec(
+                hosts=(client.host,),
+                sink=sink,
+                security=client.data_channel_security(options.dcau),
+            )
+            result = client.engine.execute(
+                source,
+                sink_spec,
+                options,
+                charge_setup=(i < k),  # one channel set per lane
+                advance_clock=False,
+            )
+            lane = min(range(k), key=lane_time.__getitem__)
+            lane_time[lane] += result.duration_s
+            results.append(result)
+            self.server.record_transfer(result, "retrieve", intent.path)
+        self.world.advance(max(lane_time) if lane_time else 0.0)
+        return results
+
+
+def _parse_cert_chain(pem_bytes: bytes) -> list[Certificate]:
+    """Certificates from concatenated PEM (server AUTH reply)."""
+    text = pem_bytes.decode("ascii", errors="replace")
+    return [Certificate.from_der(der) for label, der in pem_decode_all(text)
+            if label == "CERTIFICATE"]
+
+
+def globus_url_copy(
+    world: World,
+    src_url: str,
+    dst_url: str,
+    client: GridFTPClient,
+    options: TransferOptions | None = None,
+) -> TransferResult:
+    """The command-line workhorse from paper Section IV.E.
+
+    Supports ``gsiftp -> file`` (get), ``file -> gsiftp`` (put), and
+    ``gsiftp -> gsiftp`` (third-party transfer).
+    """
+    src = GridFTPUrl.parse(src_url)
+    dst = GridFTPUrl.parse(dst_url)
+    options = options or TransferOptions()
+    if src.scheme == "gsiftp" and dst.scheme == "file":
+        session = client.connect((src.host, src.port))
+        try:
+            return session.get(src.path, dst.path, options)
+        finally:
+            session.quit()
+    if src.scheme == "file" and dst.scheme == "gsiftp":
+        session = client.connect((dst.host, dst.port))
+        try:
+            return session.put(src.path, dst.path, options)
+        finally:
+            session.quit()
+    if src.scheme == "gsiftp" and dst.scheme == "gsiftp":
+        from repro.gridftp.third_party import third_party_transfer
+
+        src_session = client.connect((src.host, src.port))
+        dst_session = client.connect((dst.host, dst.port))
+        try:
+            return third_party_transfer(
+                src_session, src.path, dst_session, dst.path, options
+            )
+        finally:
+            src_session.quit()
+            dst_session.quit()
+    raise ProtocolError(f"unsupported URL pair {src_url!r} -> {dst_url!r}", code=501)

@@ -1,0 +1,92 @@
+"""The Data Channel Security Context (DCSC) command — paper Section V.
+
+``DCSC P <base64 blob>`` hands a server a credential to *both present to
+and accept from* the other endpoint of a third-party transfer, enabling
+secure DCAU across security domains whose CAs do not trust each other
+(Figure 5).  ``DCSC D`` reverts to the default context (whatever was in
+effect immediately after login).
+
+Blob format, exactly as Section V.A specifies:
+
+1. an X.509 certificate in PEM format;
+2. a private key in PEM format;
+3. additional X.509 certificates in PEM format, unordered (optional).
+
+"A DCSC P command will overwrite any previous request."  "The
+certificate in (1) must be self-signed or verifiable by using only
+intermediate and/or CA certificates in (3)."  The decoded context's
+self-signed certificates become policy-exempt validation anchors;
+non-self-signed ones become available intermediates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ProtocolError
+from repro.pki.certificate import Certificate
+from repro.pki.credential import Credential
+from repro.pki.validation import TrustStore, validate_chain
+from repro.util.encoding import b64decode_str, b64encode_str, is_printable_ascii
+
+
+@dataclass(frozen=True)
+class DcscContext:
+    """A decoded, verified DCSC P context installed on a session."""
+
+    credential: Credential
+
+    @property
+    def anchors(self) -> tuple[Certificate, ...]:
+        """Self-signed certificates from the blob: extra trust anchors."""
+        return tuple(c for c in self.credential.chain if c.is_self_signed)
+
+    @property
+    def intermediates(self) -> tuple[Certificate, ...]:
+        """Non-self-signed blob certificates: chain-completion material."""
+        return tuple(c for c in self.credential.chain if not c.is_self_signed)
+
+
+def encode_dcsc_blob(credential: Credential) -> str:
+    """Encode a credential as the DCSC P argument.
+
+    Base64 over the concatenated PEM blocks; the result is printable
+    ASCII as the protocol requires.
+    """
+    blob = b64encode_str(credential.to_pem(include_key=True).encode("ascii"))
+    assert is_printable_ascii(blob)
+    return blob
+
+
+def decode_dcsc_blob(blob: str, now: float) -> DcscContext:
+    """Decode and verify a DCSC P blob.
+
+    Enforces the Section V.A self-containedness rule: the leaf must be
+    self-signed or verifiable using only the blob's own certificates.
+    Raises :class:`ProtocolError` (mapped to a 501 reply) on violations.
+    """
+    text = b64decode_str(blob).decode("ascii", errors="replace")
+    try:
+        credential = Credential.from_pem(text)
+    except Exception as exc:
+        raise ProtocolError(f"malformed DCSC blob: {exc}", code=501) from exc
+
+    context = DcscContext(credential=credential)
+    leaf = credential.certificate
+    if not leaf.is_self_signed:
+        # must verify using only blob material
+        try:
+            validate_chain(
+                credential.chain,
+                TrustStore(),  # deliberately empty: blob must be self-contained
+                now,
+                extra_anchors=context.anchors,
+                extra_intermediates=context.intermediates,
+            )
+        except Exception as exc:
+            raise ProtocolError(
+                f"DCSC certificate is not self-signed and its chain is not "
+                f"verifiable from the blob alone: {exc}",
+                code=501,
+            ) from exc
+    return context

@@ -1,0 +1,57 @@
+"""The Data Transfer Process (DTP).
+
+Figure 2 separates GridFTP into protocol interpreters and "the data
+transfer process (DTP), which handles access to the actual data and its
+movement via the data channel protocol.  These components can be
+combined in various ways to create servers with different capabilities."
+
+A :class:`DataTransferProcess` is the storage-facing half: it lives on a
+host, owns a DSI, and produces the source/sink halves the transfer
+engine consumes.  ``GridFTPServer`` is the PI+DTP-in-one-process
+composition ("a conventional FTP server"); ``StripedGridFTPServer``
+fronts one DTP per stripe node.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.gridftp.restart import ByteRangeSet
+from repro.storage.data import FileData
+from repro.storage.dsi import DataStorageInterface, WriteSink
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.world import World
+
+
+class DataTransferProcess:
+    """The data-moving component on one host."""
+
+    def __init__(self, world: "World", host: str, dsi: DataStorageInterface) -> None:
+        world.network.host(host)  # must exist
+        self.world = world
+        self.host = host
+        self.dsi = dsi
+
+    def open_source(self, path: str, uid: int, needed: ByteRangeSet | None = None) -> FileData:
+        """Open a file for sending (permission-checked as ``uid``)."""
+        del needed  # range selection happens in the engine's block plan
+        return self.dsi.open_read(path, uid)
+
+    def open_sink(
+        self, path: str, uid: int, expected_size: int, resume: bool = False
+    ) -> WriteSink:
+        """Open a file for receiving."""
+        return self.dsi.open_write(path, uid, expected_size, resume=resume)
+
+
+def compose_conventional_server(world: "World", host: str, dsi: DataStorageInterface,
+                                **server_kwargs) -> "object":
+    """PI + DTP in one process: a conventional (non-striped) server.
+
+    A convenience mirroring the Figure 2 narrative; equivalent to
+    constructing :class:`~repro.gridftp.server.GridFTPServer` directly.
+    """
+    from repro.gridftp.server import GridFTPServer
+
+    return GridFTPServer(world, host, dsi=dsi, **server_kwargs)

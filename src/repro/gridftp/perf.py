@@ -1,0 +1,87 @@
+"""Performance markers (``112 Perf Marker``).
+
+During a transfer the server periodically reports, per stripe, how many
+bytes have moved.  Globus Online's monitoring (and its auto-tuner's
+feedback loop) read these.  We generate markers from the transfer
+engine's progress samples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ProtocolError
+
+
+@dataclass(frozen=True)
+class PerfMarker:
+    """One performance marker sample."""
+
+    timestamp: float
+    stripe_index: int
+    stripe_count: int
+    bytes_transferred: int
+
+    def format(self) -> str:
+        """Render the textual form."""
+        return (
+            "112-Perf Marker\n"
+            f" Timestamp: {self.timestamp:.1f}\n"
+            f" Stripe Index: {self.stripe_index}\n"
+            f" Stripe Bytes Transferred: {self.bytes_transferred}\n"
+            f" Total Stripe Count: {self.stripe_count}\n"
+            "112 End"
+        )
+
+    @staticmethod
+    def parse(text: str) -> "PerfMarker":
+        """Parse from the textual form."""
+        fields: dict[str, str] = {}
+        for line in text.splitlines():
+            line = line.strip()
+            if ":" in line:
+                key, _, value = line.partition(":")
+                fields[key.strip()] = value.strip()
+        try:
+            return PerfMarker(
+                timestamp=float(fields["Timestamp"]),
+                stripe_index=int(fields["Stripe Index"]),
+                stripe_count=int(fields["Total Stripe Count"]),
+                bytes_transferred=int(fields["Stripe Bytes Transferred"]),
+            )
+        except (KeyError, ValueError) as exc:
+            raise ProtocolError(f"malformed perf marker: {exc}", code=501) from exc
+
+
+def progress_markers(
+    start_time: float,
+    duration: float,
+    total_bytes: int,
+    stripes: int = 1,
+    interval_s: float = 5.0,
+) -> list[PerfMarker]:
+    """Synthesize the marker sequence a transfer would have emitted.
+
+    Bytes are attributed uniformly over time and round-robin over
+    stripes, matching the engine's constant-rate steady state.
+    """
+    if duration < 0 or total_bytes < 0 or stripes < 1:
+        raise ValueError("invalid progress parameters")
+    markers: list[PerfMarker] = []
+    if duration == 0 or total_bytes == 0:
+        return markers
+    t = interval_s
+    while t < duration:
+        done = int(total_bytes * (t / duration))
+        for stripe in range(stripes):
+            share = done // stripes + (1 if stripe < done % stripes else 0)
+            markers.append(
+                PerfMarker(
+                    timestamp=start_time + t,
+                    stripe_index=stripe,
+                    stripe_count=stripes,
+                    bytes_transferred=share,
+                )
+            )
+        t += interval_s
+    return markers

@@ -1,0 +1,66 @@
+"""Restart markers.
+
+GridFTP provides "increased reliability via restart markers" (paper
+Section I): during a mode E transfer the receiver periodically reports
+the byte ranges it has safely stored (``111 Range Marker``); after a
+failure the client resends only the complement via ``REST`` with a
+range-list argument.
+
+The range algebra lives in :class:`repro.util.ranges.ByteRangeSet`; this
+module adds the wire format: ``"0-1048576,2097152-3145728"``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ProtocolError
+from repro.util.ranges import ByteRangeSet
+
+__all__ = [
+    "ByteRangeSet",
+    "format_restart_marker",
+    "parse_restart_marker",
+    "marker_reply_line",
+]
+
+
+def format_restart_marker(ranges: ByteRangeSet) -> str:
+    """Render a range set as the REST/marker argument string."""
+    return ",".join(f"{s}-{e}" for s, e in ranges)
+
+
+def parse_restart_marker(text: str) -> ByteRangeSet:
+    """Parse ``"0-100,200-300"`` into a range set.
+
+    Also accepts the stream-mode single-offset form ``"12345"`` as
+    ``[12345, inf)`` is unrepresentable, we interpret it as "resume from
+    offset" by returning the completed prefix [0, offset).
+    """
+    text = text.strip()
+    if not text:
+        return ByteRangeSet()
+    out = ByteRangeSet()
+    if "-" not in text:
+        try:
+            offset = int(text)
+        except ValueError:
+            raise ProtocolError(f"malformed restart marker {text!r}", code=501) from None
+        out.add(0, offset)
+        return out
+    for part in text.split(","):
+        part = part.strip()
+        start_s, sep, end_s = part.partition("-")
+        if not sep:
+            raise ProtocolError(f"malformed range {part!r}", code=501)
+        try:
+            start, end = int(start_s), int(end_s)
+        except ValueError:
+            raise ProtocolError(f"malformed range {part!r}", code=501) from None
+        if end < start:
+            raise ProtocolError(f"inverted range {part!r}", code=501)
+        out.add(start, end)
+    return out
+
+
+def marker_reply_line(ranges: ByteRangeSet) -> str:
+    """The periodic ``111 Range Marker`` performance report line."""
+    return f"111 Range Marker {format_restart_marker(ranges)}"

@@ -1,0 +1,101 @@
+"""Striped GridFTP servers.
+
+Figure 2: "a striped server might use one server PI on the head node of
+a cluster and a DTP on all other nodes."  The head node answers the
+control channel; SPAS/SPOR negotiate one data address per stripe node,
+and the transfer engine aggregates the per-stripe flows' bandwidth —
+this is how a cluster of 1 Gb/s data movers fills a 10 Gb/s WAN.
+
+The head node coordinates its DTP nodes over an internal control
+channel.  Whether that channel is secured matters: GridFTP-Lite's third
+limitation is "no security exists on the communication channel between
+the control node and the data mover node in the striped GridFTP server"
+(Section III.B).  We record every internal message with its security
+flag so tests and benches can audit it.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import NetworkError
+from repro.gridftp.server import GridFTPServer
+from repro.pki.credential import Credential
+from repro.pki.validation import TrustStore
+from repro.storage.dsi import DataStorageInterface
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.auth.accounts import AccountDatabase
+    from repro.gsi.authz import AuthorizationCallout
+    from repro.sim.world import World
+
+
+class StripedGridFTPServer(GridFTPServer):
+    """A server PI on a head node fronting DTPs on stripe nodes.
+
+    All stripe nodes share one DSI (a parallel filesystem in real
+    deployments).  ``internal_channel_secure`` reflects whether the
+    PI→DTP coordination traffic is authenticated/encrypted; GSI-based
+    deployments secure it, SSH-based GridFTP-Lite cannot.
+    """
+
+    def __init__(
+        self,
+        world: "World",
+        head_host: str,
+        stripe_hosts: list[str],
+        credential: Credential,
+        trust: TrustStore,
+        authz: "AuthorizationCallout",
+        accounts: "AccountDatabase",
+        dsi: DataStorageInterface,
+        port: int = GridFTPServer.DEFAULT_PORT,
+        dcsc_enabled: bool = True,
+        usage_reporting: bool = True,
+        internal_channel_secure: bool = True,
+        name: str | None = None,
+    ) -> None:
+        if not stripe_hosts:
+            raise NetworkError("a striped server needs at least one stripe host")
+        super().__init__(
+            world,
+            head_host,
+            credential,
+            trust,
+            authz,
+            accounts,
+            dsi,
+            port=port,
+            dcsc_enabled=dcsc_enabled,
+            usage_reporting=usage_reporting,
+            name=name or f"striped-gridftp@{head_host}",
+        )
+        for h in stripe_hosts:
+            world.network.host(h)  # validate they exist
+        self.stripe_hosts = tuple(stripe_hosts)
+        self.dtp_hosts = self.stripe_hosts
+        self.internal_channel_secure = internal_channel_secure
+
+    @property
+    def stripe_count(self) -> int:
+        """Number of stripe (DTP) nodes."""
+        return len(self.stripe_hosts)
+
+    def internal_message(self, dtp_host: str, message: str) -> None:
+        """One PI→DTP coordination message (logged with its security flag)."""
+        if dtp_host not in self.stripe_hosts:
+            raise NetworkError(f"{dtp_host} is not a stripe node of {self.name}")
+        self.world.emit(
+            "gridftp.striped.internal",
+            message,
+            server=self.name,
+            dtp=dtp_host,
+            secure=self.internal_channel_secure,
+        )
+
+    def dispatch_stripe_plan(self, paths: list[str]) -> None:
+        """Tell each DTP which stripe it serves (round-robin by index)."""
+        for i, host in enumerate(self.stripe_hosts):
+            self.internal_message(host, f"serve stripe {i}/{self.stripe_count}")
+        for p in paths:
+            self.internal_message(self.stripe_hosts[0], f"open {p}")

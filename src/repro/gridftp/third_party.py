@@ -1,0 +1,192 @@
+"""Third-party transfers: a client moving data between two servers.
+
+Paper Section II.C: the client sends PASV to the receiving server, PORT
+(with the returned address) to the sending server, then STOR/RETR; the
+data flows server-to-server while the client only watches the control
+channels.  Data channel authentication runs *between the two servers*,
+which is where the cross-domain trust problem of Figure 4 lives and
+where a DCSC context (Figure 5) fixes it.
+
+``use_dcsc`` selects the Figure 5 strategies:
+
+* ``None`` — no DCSC: plain DCAU (fails across domains);
+* a :class:`~repro.pki.credential.Credential` — send its blob via
+  ``DCSC P`` to whichever endpoint(s) advertise DCSC support, so they
+  present/accept that credential on the data channel.
+"""
+
+from __future__ import annotations
+
+from repro.errors import LinkDownError, TransferFaultError
+from repro.gridftp.client import ClientSession
+from repro.gridftp.dcsc import encode_dcsc_blob
+from repro.gridftp.restart import ByteRangeSet
+from repro.gridftp.transfer import SinkSpec, SourceSpec, TransferOptions, TransferResult
+from repro.pki.credential import Credential
+
+
+def install_dcsc_contexts(
+    source_session: ClientSession,
+    dest_session: ClientSession,
+    context_credential: Credential,
+    both: bool = False,
+) -> list[str]:
+    """Send DCSC P to the DCSC-capable endpoint(s); returns who accepted.
+
+    The paper's key property: "this works even if one endpoint is a
+    legacy GridFTP server that knows nothing about DCSC" — so we probe
+    FEAT and only send where supported.  With ``both=True`` (the
+    higher-security self-signed-context mode) both endpoints must accept.
+    """
+    blob = encode_dcsc_blob(context_credential)
+    accepted: list[str] = []
+    sessions = [dest_session, source_session]
+    for session in sessions:
+        if session.supports("DCSC"):
+            session.dcsc(blob)
+            accepted.append(session.server.name)
+            if not both and accepted:
+                break
+    return accepted
+
+
+def third_party_transfer(
+    source_session: ClientSession,
+    source_path: str,
+    dest_session: ClientSession,
+    dest_path: str,
+    options: TransferOptions | None = None,
+    use_dcsc: Credential | None = None,
+    dcsc_both: bool = False,
+    restart: ByteRangeSet | None = None,
+) -> TransferResult:
+    """Run one third-party transfer between two logged-in sessions.
+
+    Raises :class:`~repro.errors.DCAUError` when the servers' trust
+    domains are disjoint and no adequate DCSC context was installed
+    (the Figure 4 outcome), and :class:`TransferFaultError` on injected
+    faults (restartable via ``restart``).
+    """
+    options = options or TransferOptions()
+    source_session.apply_options(options)
+    dest_session.apply_options(options)
+
+    if use_dcsc is not None:
+        accepted = install_dcsc_contexts(source_session, dest_session, use_dcsc, both=dcsc_both)
+        if not accepted:
+            source_session.world.emit(
+                "gridftp.dcsc", "no endpoint accepted the DCSC context",
+                source=source_session.server.name, dest=dest_session.server.name,
+            )
+
+    # receiver listens (PASV / SPAS for striped receivers)
+    if len(dest_session.server.dtp_hosts) > 1:
+        addrs = dest_session.striped_passive()
+        source_session.striped_port(addrs)
+    else:
+        addr = dest_session.passive()
+        source_session.port(addr)
+
+    # restart marker: the sender learns which ranges the receiver already
+    # holds (it sends the complement); the receiver reopens its partial
+    # file instead of truncating.
+    if restart is not None:
+        source_session.rest(restart)
+        dest_session.rest(restart)
+
+    dest_session.command(f"STOR {dest_path}")
+    source_session.command(f"RETR {source_path}")
+
+    recv_intent = dest_session.server_session.take_intent()
+    send_intent = source_session.server_session.take_intent()
+    assert send_intent.data is not None
+
+    sink = dest_session.server_session.make_sink(recv_intent, send_intent.data.size)
+    source = SourceSpec(
+        hosts=source_session.server.dtp_hosts,
+        data=send_intent.data,
+        security=source_session.server_session.data_channel_security(),
+        needed=send_intent.needed,
+    )
+    sink_spec = SinkSpec(
+        hosts=dest_session.server.dtp_hosts,
+        sink=sink,
+        security=dest_session.server_session.data_channel_security(),
+    )
+    engine = source_session.client.engine
+    result = engine.execute(source, sink_spec, options)
+    source_session.server.record_transfer(result, "retrieve", send_intent.path)
+    dest_session.server.record_transfer(result, "store", recv_intent.path)
+    return result
+
+
+def third_party_with_restart(
+    source_session: ClientSession,
+    source_path: str,
+    dest_session: ClientSession,
+    dest_path: str,
+    options: TransferOptions | None = None,
+    use_dcsc: Credential | None = None,
+    max_attempts: int = 5,
+    retry_backoff_s: float = 10.0,
+) -> tuple[TransferResult, int]:
+    """Retry a third-party transfer across faults using restart markers.
+
+    This is the client-side recovery loop a tool like globus-url-copy
+    runs; Globus Online's hosted equivalent (which also re-activates
+    credentials) lives in :mod:`repro.globusonline.transfer`.  Returns
+    (result, attempts_used).
+    """
+    world = source_session.world
+    received: ByteRangeSet | None = None
+    for attempt in range(1, max_attempts + 1):
+        _wait_paths_clear(world, source_session, dest_session)
+        try:
+            result = third_party_transfer(
+                source_session,
+                source_path,
+                dest_session,
+                dest_path,
+                options,
+                use_dcsc=use_dcsc,
+                restart=received,
+            )
+            return result, attempt
+        except TransferFaultError as fault:
+            marker = fault.received if fault.received is not None else ByteRangeSet()
+            received = received.union(marker) if received is not None else marker
+            world.advance(retry_backoff_s)
+        except LinkDownError:
+            # an endpoint became unreachable even for control traffic
+            world.advance(retry_backoff_s)
+    raise TransferFaultError(
+        f"transfer failed after {max_attempts} attempts", received=received
+    )
+
+
+#: longest a retry loop will sleep waiting for one outage to end
+_MAX_OUTAGE_WAIT_S = 3600.0
+
+
+def _wait_paths_clear(
+    world, source_session: ClientSession, dest_session: ClientSession
+) -> None:
+    """Advance the clock until (or up to an hour toward) path recovery."""
+    links: set[str] = set()
+    hosts: set[str] = set()
+    src_host = source_session.server.host
+    dst_host = dest_session.server.host
+    for a, b in (
+        (src_host, dst_host),
+        (source_session.client.host, src_host),
+        (dest_session.client.host, dst_host),
+    ):
+        try:
+            path = world.network.path(a, b)
+        except Exception:
+            continue
+        links.update(path.link_ids)
+        hosts.update(path.hosts)
+    clear = world.faults.next_clear_time(links, hosts, world.now)
+    if clear > world.now:
+        world.advance_to(min(clear, world.now + _MAX_OUTAGE_WAIT_S))

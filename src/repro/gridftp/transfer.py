@@ -1,0 +1,327 @@
+"""The transfer engine: moving bytes under the network model.
+
+This is where the GridFTP data channel meets the simulated WAN.  An
+execute() call takes a source (file content + stripe hosts + security),
+a sink (write sink + stripe hosts + security), and options (parallelism,
+protection, transport, block size), then:
+
+1. performs data-channel authentication (the Figure 4/5 logic);
+2. computes the achievable rate from the XIO stack over every
+   stripe-pair flow;
+3. streams mode E blocks — real payload bytes for literal files — into
+   the sink, charging virtual time;
+4. honours the fault plan: an interruption mid-transfer persists the
+   received ranges (restart markers) and raises
+   :class:`~repro.errors.TransferFaultError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import TransferError, TransferFaultError
+from repro.gridftp.dcau import DataChannelSecurity, DCAUMode, authenticate_data_channel
+from repro.gridftp.mode_e import DEFAULT_BLOCK_SIZE, iter_blocks
+from repro.gridftp.perf import PerfMarker, progress_markers
+from repro.net.tcp import TCPModel
+from repro.net.topology import PathStats
+from repro.sim.world import World
+from repro.storage.data import FileData
+from repro.storage.dsi import WriteSink
+from repro.util.ranges import ByteRangeSet
+from repro.xio.drivers import GsiProtectDriver, Protection, TcpDriver, UdtDriver
+from repro.xio.stack import XIOStack
+
+
+@dataclass(frozen=True)
+class TransferOptions:
+    """Tunable knobs for one transfer (the OPTS/SBUF/PROT command state)."""
+
+    parallelism: int = 1
+    block_size: int = DEFAULT_BLOCK_SIZE
+    protection: Protection = Protection.CLEAR
+    dcau: DCAUMode = DCAUMode.SELF
+    dcau_subject: str | None = None  # DCAU S <subject> argument
+    tcp_window_bytes: int | None = None  # None -> era-default 64 KiB
+    transport: str = "tcp"  # "tcp" | "udt"
+    marker_interval_s: float = 5.0
+    pipelining: bool = False  # batch control commands for many-file jobs
+    concurrency: int = 1  # simultaneous whole-file transfers
+
+    def __post_init__(self) -> None:
+        if self.parallelism < 1:
+            raise TransferError("parallelism must be >= 1")
+        if self.concurrency < 1:
+            raise TransferError("concurrency must be >= 1")
+        if self.transport not in ("tcp", "udt"):
+            raise TransferError(f"unknown transport {self.transport!r}")
+
+    def with_(self, **kwargs) -> "TransferOptions":
+        """A modified copy (convenience for sweeps)."""
+        return replace(self, **kwargs)
+
+    def build_stack(self) -> XIOStack:
+        """The XIO stack these options imply."""
+        if self.transport == "udt":
+            transport = UdtDriver()
+        else:
+            model = (
+                TCPModel.tuned(self.tcp_window_bytes)
+                if self.tcp_window_bytes
+                else TCPModel.untuned()
+            )
+            transport = TcpDriver(model=model)
+        stack = XIOStack(transport=transport)
+        if self.protection is not Protection.CLEAR:
+            stack = stack.push(GsiProtectDriver(protection=self.protection))
+        return stack
+
+
+@dataclass(frozen=True)
+class TransferResult:
+    """Outcome of a completed transfer."""
+
+    nbytes: int
+    start_time: float
+    end_time: float
+    streams: int
+    stripes: int
+    verified: bool
+    checksum: str
+    markers: tuple[PerfMarker, ...] = ()
+
+    @property
+    def duration_s(self) -> float:
+        """Elapsed virtual seconds."""
+        return self.end_time - self.start_time
+
+    @property
+    def rate_bps(self) -> float:
+        """Effective payload rate in bits per second."""
+        if self.duration_s <= 0:
+            return 0.0
+        return self.nbytes * 8.0 / self.duration_s
+
+
+@dataclass
+class SourceSpec:
+    """The sending side of a transfer."""
+
+    hosts: tuple[str, ...]
+    data: FileData
+    security: DataChannelSecurity
+    needed: ByteRangeSet | None = None  # restart: only these ranges
+
+    def __post_init__(self) -> None:
+        if not self.hosts:
+            raise TransferError("source has no hosts")
+
+
+@dataclass
+class SinkSpec:
+    """The receiving side of a transfer."""
+
+    hosts: tuple[str, ...]
+    sink: WriteSink
+    security: DataChannelSecurity
+
+    def __post_init__(self) -> None:
+        if not self.hosts:
+            raise TransferError("sink has no hosts")
+
+
+@dataclass(frozen=True)
+class _Flow:
+    src: str
+    dst: str
+    path: PathStats
+
+
+class TransferEngine:
+    """Executes transfers against one world."""
+
+    def __init__(self, world: World) -> None:
+        self.world = world
+
+    # -- internals -----------------------------------------------------------
+
+    def _flows(self, source: SourceSpec, sink: SinkSpec) -> list[_Flow]:
+        """Stripe-pair flows: one per max(src stripes, dst stripes)."""
+        n = max(len(source.hosts), len(sink.hosts))
+        flows = []
+        for i in range(n):
+            src = source.hosts[i % len(source.hosts)]
+            dst = sink.hosts[i % len(sink.hosts)]
+            flows.append(_Flow(src=src, dst=dst, path=self.world.network.path(src, dst)))
+        return flows
+
+    @staticmethod
+    def _all_resources(flows: list[_Flow]) -> tuple[set[str], set[str]]:
+        links: set[str] = set()
+        hosts: set[str] = set()
+        for f in flows:
+            links.update(f.path.link_ids)
+            hosts.update(f.path.hosts)
+            hosts.update((f.src, f.dst))
+        return links, hosts
+
+    # -- the main entry point ----------------------------------------------------
+
+    def execute(
+        self,
+        source: SourceSpec,
+        sink: SinkSpec,
+        options: TransferOptions,
+        charge_setup: bool = True,
+        advance_clock: bool = True,
+        finalize: bool = True,
+    ) -> TransferResult:
+        """Run one transfer to completion (or interruption).
+
+        Raises :class:`~repro.errors.DCAUError` if data-channel
+        authentication fails (Figure 4) and
+        :class:`~repro.errors.TransferFaultError` if the fault plan cuts
+        the transfer; in the latter case the sink's partial state has
+        been persisted for restart.
+
+        ``advance_clock=False`` computes timing without moving the world
+        clock — used by batch orchestration (concurrency lanes), whose
+        caller advances the clock by the lane makespan itself.  Fault
+        interruption is only modelled when the clock advances.
+        """
+        world = self.world
+        flows = self._flows(source, sink)
+        for f in flows:
+            world.network.check_path_up(f.path)
+
+        window_start = world.now
+
+        # 1. data channel authentication (sender connects, receiver listens).
+        # Mode E data channels are cached across files, so a reused channel
+        # (charge_setup=False) re-validates logically but pays no time.
+        max_rtt = max(f.path.rtt_s for f in flows)
+        authed = authenticate_data_channel(source.security, sink.security, world.now)
+        extra_time = 0.0
+        if authed and charge_setup:
+            extra_time += 2.0 * max_rtt
+
+        # 2. achievable rate.  Concurrent whole-file transfers (the
+        # "concurrency" optimization) share the bottleneck fairly.
+        stack = options.build_stack()
+        rate_bps = 0.0
+        for f in flows:
+            per_flow = stack.throughput(f.path, options.parallelism)
+            if options.concurrency > 1:
+                per_flow = min(per_flow, f.path.bottleneck_bps / options.concurrency)
+            rate_bps += per_flow
+        if rate_bps <= 0:
+            raise TransferError("zero achievable rate on every flow")
+        if charge_setup:
+            extra_time += max(stack.setup_time_s(f.path) for f in flows)
+            extra_time += max(stack.ramp_penalty_s(f.path, options.parallelism) for f in flows)
+        if advance_clock:
+            world.advance(extra_time)
+
+        # 3. the block schedule
+        blocks = list(iter_blocks(source.data, options.block_size, source.needed))
+        total = sum(b.size for b in blocks)
+        start = world.now if advance_clock else world.now + extra_time
+        payload_s = total * 8.0 / rate_bps
+        end = start + payload_s
+
+        # 4. fault check over the whole window (setup included)
+        links, hosts = self._all_resources(flows)
+        fault_at = None
+        if advance_clock:
+            fault_at = world.faults.first_interruption(links, hosts, window_start, end)
+
+        if fault_at is not None:
+            delivered = 0
+            if fault_at > start:
+                delivered = int(rate_bps / 8.0 * (fault_at - start))
+            self._write_blocks(sink.sink, blocks, limit=delivered)
+            received = sink.sink.received
+            sink.sink.close(complete=False)
+            world.advance_to(max(fault_at, world.now))
+            world.emit(
+                "gridftp.transfer.fault",
+                "transfer interrupted",
+                bytes_done=received.total_bytes(),
+                bytes_total=total,
+            )
+            raise TransferFaultError(
+                f"transfer interrupted at t={fault_at:.3f} after "
+                f"{received.total_bytes()}/{total} bytes",
+                received=received,
+                at_time=fault_at,
+            )
+
+        # 5. clean completion: move every block, advance, verify.
+        # finalize=False leaves the destination as a persisted partial
+        # (ERET window retrievals): nothing to fingerprint yet.
+        self._write_blocks(sink.sink, blocks, limit=None)
+        if advance_clock:
+            world.advance(payload_s)
+        if finalize:
+            committed = sink.sink.close(complete=True)
+            verified = (
+                committed is not None
+                and committed.fingerprint() == source.data.fingerprint()
+            )
+        else:
+            sink.sink.close(complete=False)
+            verified = False
+        markers = progress_markers(
+            start, payload_s, total, stripes=len(flows), interval_s=options.marker_interval_s
+        )
+        result = TransferResult(
+            nbytes=total,
+            start_time=window_start,
+            end_time=world.now if advance_clock else end,
+            streams=options.parallelism * len(flows),
+            stripes=len(flows),
+            verified=verified,
+            checksum=source.data.fingerprint(),
+            markers=tuple(markers),
+        )
+        world.emit(
+            "gridftp.transfer.complete",
+            "transfer complete",
+            nbytes=total,
+            duration=result.duration_s,
+            rate_bps=result.rate_bps,
+            streams=result.streams,
+            stripes=result.stripes,
+            stack=stack.describe(),
+            verified=verified,
+        )
+        return result
+
+    @staticmethod
+    def _write_blocks(sink: WriteSink, blocks, limit: int | None) -> None:
+        """Write blocks into the sink; stop once ``limit`` bytes are spent.
+
+        Only *whole* blocks count as received (a cut mid-block delivers
+        nothing for that block), matching mode E semantics where a block
+        is acknowledged only when fully stored.
+        """
+        spent = 0
+        for block in blocks:
+            if limit is not None and spent + block.size > limit:
+                return
+            if block.synthetic is not None:
+                sink.write_synthetic_block(block.offset, block.size, block.synthetic)
+            else:
+                sink.write_block(block.offset, block.payload or b"")
+            spent += block.size
+
+
+def estimate_rate_bps(
+    world: World,
+    src_host: str,
+    dst_host: str,
+    options: TransferOptions,
+) -> float:
+    """Steady-state rate the options would achieve host-to-host (no I/O)."""
+    path = world.network.path(src_host, dst_host)
+    return options.build_stack().throughput(path, options.parallelism)

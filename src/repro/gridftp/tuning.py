@@ -1,0 +1,82 @@
+"""Transfer auto-tuning heuristics.
+
+"Globus Online also has the ability to automatically tune GridFTP
+transfer options for high performance" (paper Section VI.A).  These
+heuristics pick parallelism, concurrency, pipelining and TCP windows
+from what is cheaply observable: the dataset shape and the path's
+bandwidth-delay product.  They follow the published Globus Online
+tuning rules in spirit: few large files → parallel streams and big
+windows; many small files → concurrency + pipelining.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.gridftp.transfer import TransferOptions
+from repro.net.topology import PathStats
+from repro.util.units import GB, KB, MB
+from repro.xio.drivers import Protection
+
+
+@dataclass(frozen=True)
+class DatasetShape:
+    """What the tuner knows about the job."""
+
+    file_count: int
+    total_bytes: int
+
+    @property
+    def mean_size(self) -> float:
+        """Average file size in bytes."""
+        return self.total_bytes / self.file_count if self.file_count else 0.0
+
+    @staticmethod
+    def from_sizes(sizes: Sequence[int]) -> "DatasetShape":
+        """Build a shape from a list of file sizes."""
+        return DatasetShape(file_count=len(sizes), total_bytes=sum(sizes))
+
+
+def bandwidth_delay_product(path: PathStats) -> float:
+    """BDP in bytes: what a single stream's window must hold to fill the pipe."""
+    return path.bottleneck_bps / 8.0 * path.rtt_s
+
+
+def autotune(
+    shape: DatasetShape,
+    path: PathStats,
+    protection: Protection = Protection.CLEAR,
+) -> TransferOptions:
+    """Pick transfer options for a dataset on a path."""
+    bdp = bandwidth_delay_product(path)
+
+    if shape.file_count == 0:
+        return TransferOptions(protection=protection)
+
+    if shape.mean_size < 4 * MB and shape.file_count > 8:
+        # lots of small files: round trips dominate — pipeline commands,
+        # move several files at once, keep per-file streams modest.
+        return TransferOptions(
+            parallelism=2,
+            concurrency=min(8, max(2, shape.file_count // 64 + 2)),
+            pipelining=True,
+            tcp_window_bytes=int(min(4 * MB, max(256 * KB, bdp))),
+            protection=protection,
+        )
+
+    # bulk data: escape window and loss limits with parallel streams and
+    # tuned buffers.
+    parallelism = 4
+    if shape.mean_size >= GB:
+        parallelism = 8
+    if path.rtt_s >= 0.05:
+        parallelism = min(16, parallelism * 2)
+    window = int(min(16 * MB, max(1 * MB, bdp / parallelism)))
+    return TransferOptions(
+        parallelism=parallelism,
+        concurrency=2 if shape.file_count > 1 else 1,
+        pipelining=shape.file_count > 1,
+        tcp_window_bytes=window,
+        protection=protection,
+    )

@@ -1,0 +1,60 @@
+"""Authorization callouts.
+
+After GSI authentication succeeds, "an authorization callout is invoked
+to verify authorization and determine the local user id for which the
+request should be executed.  This callout is linked dynamically" (paper
+Section II.C).  We model the callout as a small interface; the classic
+implementation consults a gridmap file, and GCMU's replacement (which
+parses the username out of the MyProxy-issued DN) lives in
+:mod:`repro.core.authz_callout`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.errors import AuthorizationError
+from repro.gsi.gridmap import Gridmap
+from repro.pki.validation import ValidationResult
+
+
+class AuthorizationCallout(ABC):
+    """Maps an authenticated subject to a local username (or raises)."""
+
+    name: str = "authz_base"
+
+    @abstractmethod
+    def map_subject(
+        self, result: ValidationResult, requested_user: str | None = None
+    ) -> str:
+        """Return the local username the session should run as.
+
+        ``result`` is the chain-validation outcome for the authenticated
+        peer (identity = proxy-stripped DN).  ``requested_user`` is the
+        account the client asked for (FTP USER argument), if any.
+
+        Raises :class:`~repro.errors.AuthorizationError` (or subclass)
+        when no mapping exists or the requested account is not permitted.
+        """
+
+
+class GridmapCallout(AuthorizationCallout):
+    """The conventional callout: look the identity up in a gridmap file."""
+
+    name = "gridmap"
+
+    def __init__(self, gridmap: Gridmap) -> None:
+        self.gridmap = gridmap
+
+    def map_subject(
+        self, result: ValidationResult, requested_user: str | None = None
+    ) -> str:
+        """Map an authenticated subject to a local username."""
+        identity = result.identity
+        if requested_user is not None:
+            if not self.gridmap.authorize(identity, requested_user):
+                raise AuthorizationError(
+                    f"{identity} is not mapped to account {requested_user!r}"
+                )
+            return requested_user
+        return self.gridmap.lookup(identity)  # raises GridmapError if stale

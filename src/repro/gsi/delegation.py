@@ -1,0 +1,43 @@
+"""Credential delegation.
+
+Delegation hands a service a proxy so it can act as the user — the
+capability that makes hosted transfer agents possible: "since SSH does
+not support delegation, users cannot hand off SSH-based GridFTP
+transfers to transfer agents such as Globus Online" (paper Section
+III.B, limitation 2).  GridFTP also delegates during data-channel setup
+for third-party transfers (Section II.C).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import DelegationError
+from repro.pki.credential import Credential
+from repro.pki.proxy import DEFAULT_PROXY_LIFETIME, create_proxy
+from repro.sim.clock import Clock
+
+
+def delegate_credential(
+    credential: Credential,
+    clock: Clock,
+    rng: random.Random | None = None,
+    lifetime: float = DEFAULT_PROXY_LIFETIME,
+) -> Credential:
+    """Delegate: mint a fresh proxy of ``credential`` for a remote party.
+
+    The delegate receives its own key pair; the user's private key never
+    travels.  Raises :class:`DelegationError` if the source credential is
+    expired or marked non-delegatable (SSH-derived credentials set
+    ``extensions["no_delegation"]``).
+    """
+    leaf = credential.certificate
+    if leaf.extensions.get("no_delegation"):
+        raise DelegationError(
+            f"credential for {credential.identity} does not support delegation"
+        )
+    if not credential.valid_at(clock.now):
+        raise DelegationError(
+            f"cannot delegate an expired credential for {credential.identity}"
+        )
+    return create_proxy(credential, clock, rng, lifetime)

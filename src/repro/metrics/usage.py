@@ -1,0 +1,124 @@
+"""Usage records and the collector behind Figure 1.
+
+Live GridFTP servers with ``usage_reporting`` enabled emit a
+``usage.record`` event per transfer; a :class:`UsageCollector`
+subscribed to the world log turns those into per-day aggregates —
+exactly the transfers/day and bytes/day series the paper's Figure 1
+plots.  The fleet generator can also feed pre-aggregated days in
+directly (one cannot simulate 10 million individual transfers a day,
+but the aggregation path is identical).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.logging import Event, EventLog
+from repro.util.units import DAY
+
+
+@dataclass(frozen=True)
+class UsageRecord:
+    """One transfer's usage report."""
+
+    time: float
+    server: str
+    nbytes: int
+    duration_s: float
+    direction: str = ""
+    streams: int = 1
+    stripes: int = 1
+
+
+@dataclass
+class DailyUsage:
+    """Aggregate for one day bucket."""
+
+    day_index: int
+    transfers: int = 0
+    bytes_moved: int = 0
+    servers: set[str] | None = None
+
+    def __post_init__(self) -> None:
+        if self.servers is None:
+            self.servers = set()
+
+    @property
+    def server_count(self) -> int:
+        """Distinct servers that reported this day."""
+        return len(self.servers or ())
+
+
+class UsageCollector:
+    """Aggregates usage records into day buckets."""
+
+    def __init__(self, day_length_s: float = DAY) -> None:
+        self.day_length_s = day_length_s
+        self._days: dict[int, DailyUsage] = {}
+        self.total_records = 0
+
+    # -- ingestion ----------------------------------------------------------
+
+    def add(self, record: UsageRecord) -> None:
+        """Ingest one per-transfer record."""
+        day = int(record.time // self.day_length_s)
+        bucket = self._days.setdefault(day, DailyUsage(day_index=day))
+        bucket.transfers += 1
+        bucket.bytes_moved += record.nbytes
+        bucket.servers.add(record.server)
+        self.total_records += 1
+
+    def add_aggregate(
+        self, day_index: int, transfers: int, bytes_moved: int, servers: int = 0
+    ) -> None:
+        """Ingest a pre-aggregated day (fleet generator path)."""
+        bucket = self._days.setdefault(day_index, DailyUsage(day_index=day_index))
+        bucket.transfers += transfers
+        bucket.bytes_moved += bytes_moved
+        for i in range(servers):
+            bucket.servers.add(f"fleet-server-{day_index}-{i}")
+        self.total_records += transfers
+
+    def subscribe_to(self, log: EventLog) -> None:
+        """Attach to a world event log; ``usage.record`` events flow in."""
+        log.subscribe(self._on_event)
+
+    def _on_event(self, event: Event) -> None:
+        if event.category != "usage.record":
+            return
+        self.add(
+            UsageRecord(
+                time=event.time,
+                server=str(event.fields.get("server", "?")),
+                nbytes=int(event.fields.get("nbytes", 0)),
+                duration_s=float(event.fields.get("duration", 0.0)),
+                direction=str(event.fields.get("direction", "")),
+                streams=int(event.fields.get("streams", 1)),
+                stripes=int(event.fields.get("stripes", 1)),
+            )
+        )
+
+    # -- queries ---------------------------------------------------------------
+
+    def days(self) -> list[DailyUsage]:
+        """All day buckets, in order."""
+        return [self._days[k] for k in sorted(self._days)]
+
+    def day(self, day_index: int) -> DailyUsage:
+        """The bucket for ``day_index`` (empty if nothing reported)."""
+        return self._days.get(day_index, DailyUsage(day_index=day_index))
+
+    def totals(self) -> tuple[int, int]:
+        """(total transfers, total bytes) across all days."""
+        t = sum(d.transfers for d in self._days.values())
+        b = sum(d.bytes_moved for d in self._days.values())
+        return t, b
+
+    def series(self) -> tuple[list[int], list[int], list[int]]:
+        """(day_indices, transfers_per_day, bytes_per_day) for plotting."""
+        days = self.days()
+        return (
+            [d.day_index for d in days],
+            [d.transfers for d in days],
+            [d.bytes_moved for d in days],
+        )

@@ -1,0 +1,15 @@
+"""MyProxy Online Certificate Authority.
+
+"MyProxy Online CA ... can be run at a site and tied to the local
+identity domain via a PAM.  It issues short-lived X.509 credentials to
+authenticated users, which can then be used to authenticate with the
+GridFTP server" (paper Section IV.A).  The server here does exactly
+that: PAM-verified username/password (or OTP) in, short-lived
+certificate with the local username embedded in its DN out.
+"""
+
+from repro.myproxy.protocol import LogonRequest, LogonResponse
+from repro.myproxy.server import MyProxyOnlineCA
+from repro.myproxy.client import myproxy_logon
+
+__all__ = ["LogonRequest", "LogonResponse", "MyProxyOnlineCA", "myproxy_logon"]

@@ -1,0 +1,76 @@
+"""The ``myproxy-logon`` client.
+
+Paper Section IV.E: "the client runs a command to get a short-term
+credential from the MyProxy CA on the server:
+``myproxy-logon -b -T -s <server-name>`` ... This credential is used to
+authenticate with the GridFTP server when moving data."
+
+The ``-b``/``-T`` behaviour (bootstrap trust) is also modelled: on first
+contact the client fetches the site CA certificate into its trust store,
+which is what frees GCMU users from ever editing trusted-certificate
+directories.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import AuthenticationError, ProtocolError
+from repro.myproxy.protocol import LogonRequest, LogonResponse
+from repro.myproxy.server import MyProxyOnlineCA
+from repro.net.channel import ControlChannel
+from repro.pki.credential import Credential
+from repro.pki.validation import TrustStore
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.world import World
+
+
+def myproxy_logon(
+    world: "World",
+    client_host: str,
+    server: MyProxyOnlineCA | tuple[str, int],
+    username: str,
+    passphrase: str,
+    lifetime_s: float | None = None,
+    trust: TrustStore | None = None,
+    bootstrap_trust: bool = True,
+) -> Credential:
+    """Obtain a short-lived credential from a site's MyProxy Online CA.
+
+    Returns the issued credential.  When ``trust`` is given and
+    ``bootstrap_trust`` is true, the site CA's certificate is added to it
+    (myproxy-logon's ``-b`` flag), so the caller can immediately validate
+    GridFTP servers at that site.
+
+    Raises :class:`AuthenticationError` when the site rejects the
+    username/passphrase.
+    """
+    address = server.address if isinstance(server, MyProxyOnlineCA) else server
+    channel = ControlChannel(world.network, client_host, address)
+    try:
+        request = LogonRequest(
+            username=username,
+            passphrase=passphrase,
+            lifetime_s=lifetime_s if lifetime_s is not None else MyProxyOnlineCA.DEFAULT_LIFETIME,
+        )
+        lines = channel.request(request.encode())
+        if not lines:
+            raise ProtocolError("empty myproxy response")
+        response = LogonResponse.decode(lines[0])
+        if not response.ok:
+            raise AuthenticationError(f"myproxy-logon failed: {response.error}")
+        credential = Credential.from_pem(response.credential_pem)
+    finally:
+        channel.close()
+    if trust is not None and bootstrap_trust:
+        # the chain's root is the site CA; trust it (-b bootstrap)
+        trust.add_anchor(credential.chain[-1])
+    world.emit(
+        "myproxy.logon",
+        "client obtained short-lived credential",
+        client=client_host,
+        username=username,
+        subject=str(credential.subject),
+    )
+    return credential

@@ -1,0 +1,99 @@
+"""Request/response control channels with round-trip accounting.
+
+The FTP/GridFTP control channel is a synchronous text protocol: every
+command costs a round trip unless the client *pipelines* (GridFTP
+Pipelining, Bresnahan et al. 2007).  The channel charges virtual time
+accordingly, which is what makes the lots-of-small-files benchmark
+meaningful:
+
+* ``request(line)`` — one command, one round trip;
+* ``pipeline(lines)`` — N commands streamed back-to-back: one round trip
+  plus server processing for all of them.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import NetworkError
+from repro.net.sockets import ServerSession, connect
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.topology import Network, PathStats
+
+
+class ControlChannel:
+    """A client's connection to a line-oriented service.
+
+    ``proc_time_s`` models per-command server processing; it is tiny but
+    nonzero so that pipelined batches still take measurable time.
+    """
+
+    DEFAULT_PROC_TIME = 200e-6
+
+    def __init__(
+        self,
+        network: "Network",
+        client_host: str,
+        address: tuple[str, int],
+        proc_time_s: float = DEFAULT_PROC_TIME,
+    ) -> None:
+        self.network = network
+        self.client_host = client_host
+        self.address = address
+        self.proc_time_s = proc_time_s
+        self._session: ServerSession | None = None
+        self._path: "PathStats | None" = None
+        self.closed = False
+        self._connect()
+
+    def _connect(self) -> None:
+        self._session, self._path = connect(self.network, self.client_host, self.address)
+
+    @property
+    def path(self) -> "PathStats":
+        """The destination path of this sink."""
+        assert self._path is not None
+        return self._path
+
+    @property
+    def rtt_s(self) -> float:
+        """Round-trip time of this channel's path."""
+        return self.path.rtt_s
+
+    @property
+    def session(self) -> ServerSession:
+        """The server-side session (tests reach in to inspect state)."""
+        if self._session is None or self.closed:
+            raise NetworkError("channel is closed")
+        return self._session
+
+    def _check_open(self) -> None:
+        if self.closed or self._session is None:
+            raise NetworkError("channel is closed")
+        self.network.check_path_up(self.path)
+
+    def request(self, line: str) -> list[str]:
+        """Send one command, wait for its replies.  Costs one RTT."""
+        self._check_open()
+        self.network.world.clock.advance(self.rtt_s + self.proc_time_s)
+        return self._session.handle(line)
+
+    def pipeline(self, lines: list[str]) -> list[list[str]]:
+        """Send many commands back-to-back without waiting between them.
+
+        Costs one RTT for the whole batch plus per-command processing.
+        Returns the reply list of each command, in order.
+        """
+        self._check_open()
+        if not lines:
+            return []
+        self.network.world.clock.advance(self.rtt_s + self.proc_time_s * len(lines))
+        return [self._session.handle(line) for line in lines]
+
+    def close(self) -> None:
+        """Close the connection (idempotent)."""
+        if not self.closed and self._session is not None:
+            self._session.close()
+        self.closed = True
+        self._session = None

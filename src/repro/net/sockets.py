@@ -1,0 +1,95 @@
+"""Ports, listeners and connection establishment.
+
+A :class:`Service` is anything that can be bound to a (host, port) pair —
+GridFTP server PIs, MyProxy CAs, OAuth servers, data-channel listeners.
+``connect`` routes from a client host, charges the TCP handshake on the
+virtual clock, verifies the path is up, and hands back a per-connection
+:class:`ServerSession` produced by the service.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.errors import ConnectionRefusedError_, PortInUseError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.topology import Network, PathStats
+
+
+class ServerSession(ABC):
+    """Server-side state for one accepted connection."""
+
+    @abstractmethod
+    def handle(self, line: str) -> list[str]:
+        """Process one request line, return zero or more reply lines."""
+
+    def close(self) -> None:
+        """Tear down per-connection state (default: nothing)."""
+
+
+class Service(ABC):
+    """Something listening on a port."""
+
+    @abstractmethod
+    def open_session(self, client_host: str) -> ServerSession:
+        """Accept a connection from ``client_host``."""
+
+
+@dataclass
+class Listener:
+    """A bound (host, port, service) triple."""
+
+    host: str
+    port: int
+    service: Service
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The (host, port) this service listens on."""
+        return (self.host, self.port)
+
+
+def listen(network: "Network", host: str, port: int, service: Service) -> Listener:
+    """Bind ``service`` to ``host:port``."""
+    network.host(host)  # validates the host exists
+    key = (host, port)
+    if key in network.listeners:
+        raise PortInUseError(f"{host}:{port} already has a listener")
+    listener = Listener(host=host, port=port, service=service)
+    network.listeners[key] = listener
+    return listener
+
+
+def listen_ephemeral(network: "Network", host: str, service: Service) -> Listener:
+    """Bind ``service`` to an OS-chosen port on ``host`` (PASV-style)."""
+    return listen(network, host, network.ephemeral_port(), service)
+
+
+def close_listener(network: "Network", listener: Listener) -> None:
+    """Unbind a listener; subsequent connects are refused."""
+    network.listeners.pop(listener.address, None)
+
+
+def connect(
+    network: "Network",
+    client_host: str,
+    address: tuple[str, int],
+    handshake_rtts: float = 1.5,
+) -> tuple[ServerSession, "PathStats"]:
+    """Establish a connection: route, check faults, charge handshake time.
+
+    Returns the service's per-connection session plus the path statistics
+    (which the caller reuses for subsequent request timing).
+    """
+    host, port = address
+    listener = network.listeners.get((host, port))
+    if listener is None:
+        raise ConnectionRefusedError_(f"connection refused: {host}:{port}")
+    path = network.path(client_host, host)
+    network.check_path_up(path)
+    network.world.clock.advance(handshake_rtts * path.rtt_s)
+    session = listener.service.open_session(client_host)
+    return session, path

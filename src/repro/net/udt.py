@@ -1,0 +1,44 @@
+"""UDT transport model (the XIO ``udt`` driver).
+
+UDT (Gu & Grossman) is a rate-based, UDP-framed protocol designed for
+high-bandwidth-delay-product paths: unlike loss-driven TCP its achievable
+rate is largely insensitive to RTT and to low levels of random loss.  The
+paper cites UDT as one of the alternative wide-area protocols GridFTP can
+target through its extensible I/O (XIO) layer.
+
+We model UDT as achieving a fixed efficiency of the bottleneck bandwidth
+for loss below a tolerance threshold, degrading linearly beyond it, with
+a slightly longer rendezvous handshake than TCP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net.topology import PathStats
+
+
+@dataclass(frozen=True)
+class UDTModel:
+    """UDT stack parameters."""
+
+    efficiency: float = 0.90  # fraction of bottleneck achieved in steady state
+    loss_tolerance: float = 0.01  # below this, throughput unaffected by loss
+    handshake_rtts: float = 2.0
+
+    def stream_rate(self, path: PathStats) -> float:
+        """Steady-state rate (bits/s) of one UDT flow on ``path``."""
+        base = self.efficiency * path.bottleneck_bps
+        if path.loss <= self.loss_tolerance:
+            return base
+        # Beyond tolerance the rate controller backs off roughly linearly
+        # until it gives up entirely at 10x the tolerance.
+        overload = (path.loss - self.loss_tolerance) / (9.0 * self.loss_tolerance)
+        return max(base * (1.0 - min(overload, 0.99)), 1.0)
+
+    def transfer_time(self, nbytes: int, path: PathStats) -> float:
+        """Seconds to move ``nbytes`` over one UDT flow."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        rate = self.stream_rate(path)
+        return self.handshake_rtts * path.rtt_s + (nbytes * 8.0 / rate if nbytes else 0.0)

@@ -1,0 +1,37 @@
+"""Public-key infrastructure: RSA, X.509-style certificates, CAs, proxies.
+
+This package replaces OpenSSL/X.509 for the reproduction.  It implements
+the *logical* PKI semantics the paper depends on — issuer/subject chains,
+trust anchors, validity windows, signing policies, RFC-3820-style proxy
+certificates — over a small but real RSA implementation (Miller-Rabin
+keygen, hash-and-sign).  Certificates serialize to PEM-style blocks so
+the DCSC blob format of Section V can be implemented faithfully.
+"""
+
+from repro.pki.rsa import KeyPair, PublicKey, generate_keypair, sign, verify
+from repro.pki.dn import DistinguishedName
+from repro.pki.certificate import Certificate
+from repro.pki.credential import Credential
+from repro.pki.policy import SigningPolicy
+from repro.pki.ca import CertificateAuthority
+from repro.pki.proxy import create_proxy, is_proxy_subject, strip_proxy_cns
+from repro.pki.validation import TrustStore, ValidationResult, validate_chain
+
+__all__ = [
+    "KeyPair",
+    "PublicKey",
+    "generate_keypair",
+    "sign",
+    "verify",
+    "DistinguishedName",
+    "Certificate",
+    "Credential",
+    "SigningPolicy",
+    "CertificateAuthority",
+    "create_proxy",
+    "is_proxy_subject",
+    "strip_proxy_cns",
+    "TrustStore",
+    "ValidationResult",
+    "validate_chain",
+]

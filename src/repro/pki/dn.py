@@ -1,0 +1,129 @@
+"""X.509 distinguished names, in the Globus slash notation.
+
+GSI identities are written ``/O=Grid/OU=GCMU/CN=alice``; GCMU's central
+trick (paper Section IV.C) is to *embed the local username in the DN* of
+the short-lived certificate so that no gridmap file is needed.  The DN
+type here supports parsing, formatting, appending CN components (how
+proxy certificates extend their parent subject), and structured access
+to the final CN (how the GCMU authorization callout recovers the
+username).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CertificateError
+
+_ESCAPE = "\\"
+
+
+def _escape(value: str) -> str:
+    return value.replace(_ESCAPE, _ESCAPE + _ESCAPE).replace("/", _ESCAPE + "/")
+
+
+def _unescape(value: str) -> str:
+    out: list[str] = []
+    i = 0
+    while i < len(value):
+        c = value[i]
+        if c == _ESCAPE and i + 1 < len(value):
+            out.append(value[i + 1])
+            i += 2
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+@dataclass(frozen=True)
+class DistinguishedName:
+    """An ordered sequence of (attribute, value) RDNs."""
+
+    rdns: tuple[tuple[str, str], ...]
+
+    def __post_init__(self) -> None:
+        if not self.rdns:
+            raise CertificateError("a DN must have at least one RDN")
+        for attr, value in self.rdns:
+            if not attr or not value:
+                raise CertificateError(f"empty RDN component in {self.rdns!r}")
+
+    # -- constructors ------------------------------------------------------
+
+    @staticmethod
+    def make(*pairs: tuple[str, str]) -> "DistinguishedName":
+        """Build from (attr, value) pairs: ``DN.make(("O","Grid"),("CN","x"))``."""
+        return DistinguishedName(rdns=tuple(pairs))
+
+    @staticmethod
+    def parse(text: str) -> "DistinguishedName":
+        """Parse slash notation: ``/O=Grid/OU=site/CN=alice``.
+
+        Values may contain escaped slashes (``\\/``).
+        """
+        if not text.startswith("/"):
+            raise CertificateError(f"DN must start with '/': {text!r}")
+        # split on unescaped slashes
+        parts: list[str] = []
+        current: list[str] = []
+        i = 1
+        while i < len(text):
+            c = text[i]
+            if c == _ESCAPE and i + 1 < len(text):
+                current.append(c)
+                current.append(text[i + 1])
+                i += 2
+                continue
+            if c == "/":
+                parts.append("".join(current))
+                current = []
+            else:
+                current.append(c)
+            i += 1
+        parts.append("".join(current))
+        rdns: list[tuple[str, str]] = []
+        for part in parts:
+            if "=" not in part:
+                raise CertificateError(f"malformed RDN {part!r} in {text!r}")
+            attr, _, value = part.partition("=")
+            rdns.append((attr.strip(), _unescape(value)))
+        return DistinguishedName(rdns=tuple(rdns))
+
+    # -- accessors -----------------------------------------------------------
+
+    def __str__(self) -> str:
+        return "".join(f"/{attr}={_escape(value)}" for attr, value in self.rdns)
+
+    def get(self, attr: str) -> list[str]:
+        """All values of the given attribute, in order."""
+        return [v for a, v in self.rdns if a == attr]
+
+    @property
+    def common_name(self) -> str | None:
+        """The *last* CN component (None if there is no CN)."""
+        cns = self.get("CN")
+        return cns[-1] if cns else None
+
+    def with_cn(self, value: str) -> "DistinguishedName":
+        """A new DN with an extra CN appended (proxy-certificate style)."""
+        return DistinguishedName(rdns=self.rdns + (("CN", value),))
+
+    def parent(self) -> "DistinguishedName":
+        """A new DN with the final RDN removed."""
+        if len(self.rdns) <= 1:
+            raise CertificateError("cannot take parent of a single-RDN DN")
+        return DistinguishedName(rdns=self.rdns[:-1])
+
+    def is_prefix_of(self, other: "DistinguishedName") -> bool:
+        """True iff ``other`` extends this DN by zero or more RDNs."""
+        return other.rdns[: len(self.rdns)] == self.rdns
+
+    def to_dict(self) -> list[list[str]]:
+        """Plain-dict form (serialization)."""
+        return [[a, v] for a, v in self.rdns]
+
+    @staticmethod
+    def from_dict(data: list[list[str]]) -> "DistinguishedName":
+        """Rebuild from :meth:`to_dict` output."""
+        return DistinguishedName(rdns=tuple((a, v) for a, v in data))

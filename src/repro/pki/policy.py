@@ -1,0 +1,74 @@
+"""CA signing policies.
+
+Globus deployments constrain each trusted CA to a namespace of subject
+DNs via ``*.signing_policy`` files; a CA that signs outside its namespace
+is not honoured for those subjects.  Paper Section V spells out the DCSC
+interaction: "Servers do not require signing policy files for any CA
+certificates in (3) [the blob].  If signing policies do exist ... the
+server will still use and enforce them."
+
+Patterns use shell globbing over the string form of the DN, e.g.
+``/O=GCMU/OU=alcf/*``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fnmatch import fnmatchcase
+
+from repro.pki.dn import DistinguishedName
+
+
+@dataclass(frozen=True)
+class SigningPolicy:
+    """Namespace constraint for one CA."""
+
+    ca_subject: DistinguishedName
+    allowed_patterns: tuple[str, ...]
+
+    @staticmethod
+    def make(ca_subject: DistinguishedName, *patterns: str) -> "SigningPolicy":
+        """Build from (attribute, value) patterns."""
+        return SigningPolicy(ca_subject=ca_subject, allowed_patterns=tuple(patterns))
+
+    @staticmethod
+    def namespace(ca_subject: DistinguishedName, prefix: DistinguishedName) -> "SigningPolicy":
+        """Allow exactly the subtree under ``prefix`` (plus ``prefix`` itself)."""
+        return SigningPolicy(
+            ca_subject=ca_subject,
+            allowed_patterns=(str(prefix), str(prefix) + "/*"),
+        )
+
+    def permits(self, subject: DistinguishedName) -> bool:
+        """True iff the CA is allowed to certify ``subject``."""
+        text = str(subject)
+        return any(fnmatchcase(text, pat) for pat in self.allowed_patterns)
+
+    def format_file(self) -> str:
+        """Render in the spirit of a Globus ``.signing_policy`` file."""
+        conds = "'" + "' '".join(self.allowed_patterns) + "'"
+        return (
+            f"access_id_CA  X509  '{self.ca_subject}'\n"
+            f"pos_rights    globus CA:sign\n"
+            f"cond_subjects globus \"{conds}\"\n"
+        )
+
+    @staticmethod
+    def parse_file(text: str) -> "SigningPolicy":
+        """Parse the output of :meth:`format_file`."""
+        ca_subject: DistinguishedName | None = None
+        patterns: tuple[str, ...] = ()
+        for line in text.splitlines():
+            line = line.strip()
+            if line.startswith("access_id_CA"):
+                # access_id_CA  X509  '<dn>'
+                dn_text = line.split("'", 2)[1]
+                ca_subject = DistinguishedName.parse(dn_text)
+            elif line.startswith("cond_subjects"):
+                quoted = line.split('"', 2)[1]
+                patterns = tuple(p for p in quoted.replace("'", " ").split() if p)
+        if ca_subject is None or not patterns:
+            from repro.errors import CertificateError
+
+            raise CertificateError("malformed signing policy file")
+        return SigningPolicy(ca_subject=ca_subject, allowed_patterns=patterns)

@@ -1,0 +1,175 @@
+"""Ready-made deployment scenarios for examples and benchmarks.
+
+These helpers assemble the two deployment styles the paper contrasts on
+existing hosts of a :class:`~repro.sim.world.World`:
+
+* :func:`conventional_site` — the pre-GCMU world: a well-known site CA,
+  a host certificate, user certificates, a gridmap file;
+* :func:`gcmu_site` — a GCMU install with LDAP-backed site accounts.
+
+They are deliberately convenient rather than minimal: each returns a
+small handle object with the pieces examples and benches need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.auth import (
+    AccountDatabase,
+    Control,
+    LdapDirectory,
+    LdapPamModule,
+    PamStack,
+)
+from repro.core.gcmu import GCMUEndpoint, install_gcmu
+from repro.gridftp.client import GridFTPClient
+from repro.gridftp.server import GridFTPServer
+from repro.gsi.authz import GridmapCallout
+from repro.gsi.gridmap import Gridmap
+from repro.pki.ca import CertificateAuthority
+from repro.pki.credential import Credential
+from repro.pki.dn import DistinguishedName
+from repro.pki.proxy import create_proxy
+from repro.pki.validation import TrustStore
+from repro.storage.posix import PosixStorage
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.world import World
+
+
+@dataclass
+class ConventionalSite:
+    """A classic GridFTP deployment: CA, host cert, gridmap."""
+
+    name: str
+    host: str
+    ca: CertificateAuthority
+    trust: TrustStore
+    accounts: AccountDatabase
+    gridmap: Gridmap
+    storage: PosixStorage
+    server: GridFTPServer
+    user_credentials: dict[str, Credential] = field(default_factory=dict)
+
+    def add_user(self, world: "World", username: str) -> Credential:
+        """Account + long-term certificate + gridmap entry + home dir."""
+        self.accounts.add_user(username)
+        cred = self.ca.issue_credential(
+            DistinguishedName.make(("O", self.name), ("OU", "people"), ("CN", username))
+        )
+        self.gridmap.add(cred.subject, username)
+        self.storage.makedirs(f"/home/{username}", 0)
+        self.storage.chown(f"/home/{username}", self.accounts.get(username).uid)
+        self.user_credentials[username] = cred
+        return cred
+
+    def proxy_for(self, world: "World", username: str) -> Credential:
+        """A fresh proxy of the user's long-term credential.
+
+        The RNG stream persists across calls so successive proxies get
+        distinct serials (a new stream per call would repeat them).
+        """
+        rngs = self.__dict__.setdefault("_proxy_rngs", {})
+        rng = rngs.setdefault(
+            username, world.rng.python(f"scenario-proxy:{self.name}:{username}")
+        )
+        return create_proxy(self.user_credentials[username], world.clock, rng)
+
+    def client_for(
+        self,
+        world: "World",
+        username: str,
+        client_host: str,
+        local_storage: PosixStorage | None = None,
+    ) -> GridFTPClient:
+        """A logged-in-capable client for one of this site's users."""
+        if local_storage is None:
+            local_storage = PosixStorage(world.clock)
+            local_storage.makedirs("/tmp", 0)
+        return GridFTPClient(
+            world,
+            client_host,
+            credential=self.proxy_for(world, username),
+            trust=self.trust,
+            local_storage=local_storage,
+            username=username,
+        )
+
+
+def conventional_site(
+    world: "World",
+    name: str,
+    host: str,
+    port: int = GridFTPServer.DEFAULT_PORT,
+) -> ConventionalSite:
+    """Deploy a conventional GridFTP site on an existing host."""
+    rng = world.rng.python(f"scenario-site:{name}")
+    ca = CertificateAuthority(
+        DistinguishedName.make(("O", name), ("CN", f"{name} CA")), world.clock, rng
+    )
+    trust = TrustStore()
+    trust.add_anchor(ca.certificate)
+    accounts = AccountDatabase()
+    gridmap = Gridmap()
+    storage = PosixStorage(world.clock)
+    host_cred = ca.issue_credential(
+        DistinguishedName.make(("O", name), ("OU", "hosts"), ("CN", host))
+    )
+    server = GridFTPServer(
+        world,
+        host,
+        host_cred,
+        trust,
+        GridmapCallout(gridmap),
+        accounts,
+        storage,
+        port=port,
+        name=f"gridftp-{name}",
+    ).start()
+    return ConventionalSite(
+        name=name,
+        host=host,
+        ca=ca,
+        trust=trust,
+        accounts=accounts,
+        gridmap=gridmap,
+        storage=storage,
+        server=server,
+    )
+
+
+def gcmu_site(
+    world: "World",
+    host: str,
+    site_name: str,
+    users: dict[str, str],
+    register_with=None,
+    endpoint_name: str | None = None,
+    dcsc_enabled: bool = True,
+    charge_install_time: bool = False,
+) -> GCMUEndpoint:
+    """Install GCMU on an existing host with LDAP-backed site users."""
+    accounts = AccountDatabase()
+    ldap = LdapDirectory(base_dn=f"dc={site_name}")
+    for username, password in users.items():
+        accounts.add_user(username)
+        ldap.add_entry(username, password)
+    pam = PamStack(f"myproxy-{site_name}").add(
+        Control.SUFFICIENT, LdapPamModule(ldap)
+    )
+    endpoint = install_gcmu(
+        world,
+        host,
+        site_name,
+        accounts,
+        pam,
+        register_with=register_with,
+        endpoint_name=endpoint_name,
+        dcsc_enabled=dcsc_enabled,
+        charge_install_time=charge_install_time,
+    )
+    for username in users:
+        endpoint.make_home(username)
+    return endpoint

@@ -1,0 +1,18 @@
+"""Virtual-time simulation substrate: clock, scheduler, faults, world."""
+
+from repro.sim.clock import Clock
+from repro.sim.events import Scheduler, ScheduledEvent
+from repro.sim.faults import FaultPlan, LinkFault, HostFault
+from repro.sim.random import RngFactory
+from repro.sim.world import World
+
+__all__ = [
+    "Clock",
+    "Scheduler",
+    "ScheduledEvent",
+    "FaultPlan",
+    "LinkFault",
+    "HostFault",
+    "RngFactory",
+    "World",
+]

@@ -1,0 +1,82 @@
+"""A small scheduled-event queue.
+
+Used for things that must happen at an absolute virtual time regardless of
+what the foreground activity is doing: credential expiry sweeps, usage
+report rollups, and fault triggers.  The foreground code advances the
+clock through :class:`repro.sim.world.World`, which fires due events.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.sim.clock import Clock
+
+
+@dataclass(order=True)
+class ScheduledEvent:
+    """A callback due at an absolute virtual time.
+
+    Ordering is (time, seq) so same-time events fire in scheduling order.
+    """
+
+    time: float
+    seq: int
+    callback: Callable[[], Any] = field(compare=False)
+    label: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Prevent the event from firing."""
+        self.cancelled = True
+
+
+class Scheduler:
+    """Priority queue of :class:`ScheduledEvent`, driven by a :class:`Clock`."""
+
+    def __init__(self, clock: Clock) -> None:
+        self._clock = clock
+        self._heap: list[ScheduledEvent] = []
+        self._seq = itertools.count()
+
+    def at(self, time: float, callback: Callable[[], Any], label: str = "") -> ScheduledEvent:
+        """Schedule ``callback`` to run at absolute virtual time ``time``."""
+        if time < self._clock.now:
+            raise ValueError(
+                f"cannot schedule in the past: {time} < now {self._clock.now}"
+            )
+        ev = ScheduledEvent(time=time, seq=next(self._seq), callback=callback, label=label)
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    def after(self, delay: float, callback: Callable[[], Any], label: str = "") -> ScheduledEvent:
+        """Schedule ``callback`` to run ``delay`` seconds from now."""
+        return self.at(self._clock.now + delay, callback, label)
+
+    @property
+    def next_due(self) -> float | None:
+        """Time of the earliest pending event, or None when empty."""
+        self._drop_cancelled()
+        return self._heap[0].time if self._heap else None
+
+    def _drop_cancelled(self) -> None:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+
+    def fire_due(self) -> int:
+        """Run every event whose time is <= now; return how many fired."""
+        fired = 0
+        while True:
+            self._drop_cancelled()
+            if not self._heap or self._heap[0].time > self._clock.now:
+                return fired
+            ev = heapq.heappop(self._heap)
+            ev.callback()
+            fired += 1
+
+    def pending(self) -> int:
+        """Number of not-yet-cancelled events still queued."""
+        return sum(1 for ev in self._heap if not ev.cancelled)

@@ -1,0 +1,147 @@
+"""Fault injection.
+
+The reliability claims in the paper — restart markers, Globus Online
+"restart the transfer from the last checkpoint" — only mean anything if
+things actually fail.  A :class:`FaultPlan` holds scheduled outages of
+links and hosts; the transfer engine consults it to decide whether a
+transfer window [start, end) is interrupted, and baselines consult it the
+same way so comparisons are apples-to-apples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+
+@dataclass(frozen=True)
+class LinkFault:
+    """A link is down during [start, start+duration)."""
+
+    link_id: str
+    start: float
+    duration: float
+
+    @property
+    def end(self) -> float:
+        """End of the outage window (exclusive)."""
+        return self.start + self.duration
+
+    def active_at(self, t: float) -> bool:
+        """True if the fault is in effect at time ``t``."""
+        return self.start <= t < self.end
+
+
+@dataclass(frozen=True)
+class HostFault:
+    """A host (server crash / reboot) is down during [start, start+duration)."""
+
+    host: str
+    start: float
+    duration: float
+
+    @property
+    def end(self) -> float:
+        """End of the outage window (exclusive)."""
+        return self.start + self.duration
+
+    def active_at(self, t: float) -> bool:
+        """True if the fault is in effect at time ``t``."""
+        return self.start <= t < self.end
+
+
+class FaultPlan:
+    """The set of scheduled faults for a simulation run."""
+
+    def __init__(self) -> None:
+        self._link_faults: list[LinkFault] = []
+        self._host_faults: list[HostFault] = []
+
+    # -- construction --------------------------------------------------------
+
+    def cut_link(self, link_id: str, at: float, duration: float) -> LinkFault:
+        """Schedule ``link_id`` to be down during [at, at+duration)."""
+        if duration <= 0:
+            raise ValueError("fault duration must be positive")
+        fault = LinkFault(link_id=link_id, start=at, duration=duration)
+        self._link_faults.append(fault)
+        return fault
+
+    def crash_host(self, host: str, at: float, duration: float) -> HostFault:
+        """Schedule ``host`` to be down during [at, at+duration)."""
+        if duration <= 0:
+            raise ValueError("fault duration must be positive")
+        fault = HostFault(host=host, start=at, duration=duration)
+        self._host_faults.append(fault)
+        return fault
+
+    # -- queries --------------------------------------------------------------
+
+    def link_down(self, link_id: str, t: float) -> bool:
+        """Is ``link_id`` down at time ``t``?"""
+        return any(f.link_id == link_id and f.active_at(t) for f in self._link_faults)
+
+    def host_down(self, host: str, t: float) -> bool:
+        """Is ``host`` down at time ``t``?"""
+        return any(f.host == host and f.active_at(t) for f in self._host_faults)
+
+    def first_interruption(
+        self,
+        link_ids: Iterable[str],
+        hosts: Iterable[str],
+        start: float,
+        end: float,
+    ) -> float | None:
+        """Earliest fault onset in [start, end) affecting any listed resource.
+
+        A fault already active at ``start`` counts as an interruption at
+        ``start``.  Returns the interruption time, or None when the window
+        is clean.
+        """
+        link_ids = set(link_ids)
+        hosts = set(hosts)
+        candidates: list[float] = []
+        for f in self._link_faults:
+            if f.link_id in link_ids and f.start < end and f.end > start:
+                candidates.append(max(f.start, start))
+        for hf in self._host_faults:
+            if hf.host in hosts and hf.start < end and hf.end > start:
+                candidates.append(max(hf.start, start))
+        return min(candidates) if candidates else None
+
+    def next_clear_time(
+        self, link_ids: Iterable[str], hosts: Iterable[str], t: float
+    ) -> float:
+        """Earliest time >= ``t`` at which every listed resource is up.
+
+        Iterates because outages may overlap or abut; bounded by the number
+        of scheduled faults.
+        """
+        link_ids = set(link_ids)
+        hosts = set(hosts)
+        faults_end: list[tuple[float, float]] = [
+            (f.start, f.end) for f in self._link_faults if f.link_id in link_ids
+        ] + [(f.start, f.end) for f in self._host_faults if f.host in hosts]
+        changed = True
+        while changed:
+            changed = False
+            for start, end in faults_end:
+                if start <= t < end:
+                    t = end
+                    changed = True
+        return t
+
+    @property
+    def link_faults(self) -> tuple[LinkFault, ...]:
+        """All scheduled link outages."""
+        return tuple(self._link_faults)
+
+    @property
+    def host_faults(self) -> tuple[HostFault, ...]:
+        """All scheduled host outages."""
+        return tuple(self._host_faults)
+
+    def clear(self) -> None:
+        """Remove all scheduled faults."""
+        self._link_faults.clear()
+        self._host_faults.clear()

@@ -1,0 +1,69 @@
+"""The World: one object tying a simulation run together.
+
+A :class:`World` owns the virtual clock, the scheduler, the fault plan,
+the deterministic RNG factory, the event log, and the network.  Every
+higher-level component (servers, CAs, the Globus Online service) is
+constructed against a world and reads time/network/faults from it.
+
+Creating a world is the first line of every example and benchmark::
+
+    world = World(seed=7)
+    site = world.network.add_host("alcf-dtn1", nic_bps=gbps(10))
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.sim.clock import Clock
+from repro.sim.events import Scheduler
+from repro.sim.faults import FaultPlan
+from repro.sim.random import RngFactory
+from repro.util.logging import EventLog
+
+
+class World:
+    """Container for one reproducible simulation run."""
+
+    def __init__(self, seed: int = 0, start_time: float = 0.0) -> None:
+        self.clock = Clock(start_time)
+        self.scheduler = Scheduler(self.clock)
+        self.faults = FaultPlan()
+        self.rng = RngFactory(seed)
+        self.log = EventLog()
+        # Imported here to avoid a circular import: repro.net needs World
+        # type hints only, but World owns the concrete Network.
+        from repro.net.topology import Network
+
+        self.network = Network(self)
+
+    # -- time ------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current virtual time (seconds)."""
+        return self.clock.now
+
+    def advance(self, dt: float) -> float:
+        """Advance the clock and fire any scheduler events that came due."""
+        t = self.clock.advance(dt)
+        self.scheduler.fire_due()
+        return t
+
+    def advance_to(self, t: float) -> float:
+        """Advance the clock to absolute time ``t`` and fire due events."""
+        now = self.clock.advance_to(t)
+        self.scheduler.fire_due()
+        return now
+
+    # -- logging -----------------------------------------------------------
+
+    def emit(self, category: str, message: str, **fields: Any):
+        """Append a structured event stamped with the current virtual time."""
+        return self.log.emit(self.clock.now, category, message, **fields)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"World(now={self.clock.now:.3f}, hosts={len(self.network.hosts)}, "
+            f"events={len(self.log)})"
+        )

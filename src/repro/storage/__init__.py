@@ -1,0 +1,26 @@
+"""Storage: the Data Storage Interface (DSI) and its backends.
+
+Globus GridFTP's "modular architecture enables a standard
+GridFTP-compliant client access to any storage system that can implement
+its data storage interface, including the HPSS archival storage system
+and POSIX-compliant file systems" (paper Section II.A).  The DSI here is
+that interface; :class:`PosixStorage` and :class:`HpssStorage` are two
+behaviourally distinct backends that exercise it.
+"""
+
+from repro.storage.data import FileData, LiteralData, SyntheticData, PartialData
+from repro.storage.dsi import DataStorageInterface, FileStat, WriteSink
+from repro.storage.posix import PosixStorage
+from repro.storage.hpss import HpssStorage
+
+__all__ = [
+    "FileData",
+    "LiteralData",
+    "SyntheticData",
+    "PartialData",
+    "DataStorageInterface",
+    "FileStat",
+    "WriteSink",
+    "PosixStorage",
+    "HpssStorage",
+]

@@ -1,0 +1,122 @@
+"""HPSS-style archival storage backend.
+
+The paper cites HPSS as the marquee non-POSIX DSI target.  The defining
+behaviour we reproduce: files live on *tape* until staged; the first
+read of a cold file pays a staging latency (mount + seek + drain at tape
+bandwidth), after which the file is cached on disk until evicted.  The
+namespace and permission semantics are delegated to an inner
+:class:`PosixStorage`.
+"""
+
+from __future__ import annotations
+
+from repro.sim.clock import Clock
+from repro.storage.data import FileData, PartialData
+from repro.storage.dsi import DataStorageInterface, FileStat, WriteSink
+from repro.storage.posix import PosixStorage
+from repro.util.units import MB
+
+
+class HpssStorage(DataStorageInterface):
+    """Tape-backed DSI: cold reads stage the file first (and cost time)."""
+
+    name = "hpss"
+
+    def __init__(
+        self,
+        clock: Clock,
+        mount_latency_s: float = 45.0,
+        tape_bandwidth_Bps: float = 160 * MB,
+    ) -> None:
+        self.clock = clock
+        self.inner = PosixStorage(clock)
+        self.mount_latency_s = mount_latency_s
+        self.tape_bandwidth_Bps = tape_bandwidth_Bps
+        self._staged: set[str] = set()
+        self.stage_count = 0  # how many tape mounts this run performed
+
+    # -- staging -----------------------------------------------------------
+
+    def is_staged(self, path: str) -> bool:
+        """True if the file is on the disk cache (not tape-only)."""
+        return path in self._staged
+
+    def _stage(self, path: str, size: int) -> None:
+        if path in self._staged:
+            return
+        self.clock.advance(self.mount_latency_s + size / self.tape_bandwidth_Bps)
+        self._staged.add(path)
+        self.stage_count += 1
+
+    def evict(self, path: str) -> None:
+        """Drop the disk cache copy; next read stages again."""
+        self._staged.discard(path)
+
+    # -- DSI delegation (reads pay staging) ---------------------------------
+
+    def open_read(self, path: str, uid: int) -> FileData:
+        """DSI operation (see :class:`DataStorageInterface`)."""
+        data = self.inner.open_read(path, uid)
+        self._stage(path, data.size)
+        return data
+
+    def stat(self, path: str, uid: int) -> FileStat:
+        """DSI operation (see :class:`DataStorageInterface`)."""
+        return self.inner.stat(path, uid)
+
+    def listdir(self, path: str, uid: int) -> list[str]:
+        """DSI operation (see :class:`DataStorageInterface`)."""
+        return self.inner.listdir(path, uid)
+
+    def exists(self, path: str) -> bool:
+        """True if the name is present."""
+        return self.inner.exists(path)
+
+    def open_write(
+        self, path: str, uid: int, expected_size: int, resume: bool = False
+    ) -> WriteSink:
+        # writes land in the disk cache; the sink commits through *this*
+        # backend so newly written files are considered staged.
+        """DSI operation (see :class:`DataStorageInterface`)."""
+        sink = self.inner.open_write(path, uid, expected_size, resume)
+        sink._backend = self  # route commit back through HPSS
+        return sink
+
+    def commit_file(self, path: str, uid: int, data: FileData) -> None:
+        """DSI operation (see :class:`DataStorageInterface`)."""
+        self.inner.commit_file(path, uid, data)
+        self._staged.add(path)
+
+    def commit_partial(self, path: str, uid: int, partial: PartialData) -> None:
+        """DSI operation (see :class:`DataStorageInterface`)."""
+        self.inner.commit_partial(path, uid, partial)
+
+    def partial_for(self, path: str, uid: int) -> PartialData | None:
+        """DSI operation (see :class:`DataStorageInterface`)."""
+        return self.inner.partial_for(path, uid)
+
+    def mkdir(self, path: str, uid: int) -> None:
+        """Create a directory (MKD)."""
+        self.inner.mkdir(path, uid)
+
+    def makedirs(self, path: str, uid: int) -> None:
+        """DSI operation (see :class:`DataStorageInterface`)."""
+        self.inner.makedirs(path, uid)
+
+    def delete(self, path: str, uid: int) -> None:
+        """Remove a file (DELE)."""
+        self.inner.delete(path, uid)
+        self._staged.discard(path)
+
+    def rename(self, old: str, new: str, uid: int) -> None:
+        """Move a file (RNFR/RNTO)."""
+        self.inner.rename(old, new, uid)
+        if old in self._staged:
+            self._staged.discard(old)
+            self._staged.add(new)
+
+    def write_file(self, path: str, data, uid: int = 0) -> None:
+        """Convenience mirror of :meth:`PosixStorage.write_file` (stays cold)."""
+        self.inner.write_file(path, data, uid)
+        # freshly archived content is on tape, not staged
+        self._staged.discard(path)

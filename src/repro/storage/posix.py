@@ -1,0 +1,262 @@
+"""In-memory POSIX-style filesystem backend.
+
+Implements the DSI over a directory tree with per-node ownership and
+permission bits.  Permission semantics are simplified Unix: the owner
+needs the owner bits, everyone else the "other" bits (no groups); uid 0
+bypasses checks.  Paths are absolute, ``/``-separated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import (
+    FileExistsStorageError,
+    FileNotFoundStorageError,
+    IsADirectoryStorageError,
+    NotADirectoryStorageError,
+    PermissionDeniedError,
+    StorageError,
+)
+from repro.sim.clock import Clock
+from repro.storage.data import FileData, PartialData
+from repro.storage.dsi import DataStorageInterface, FileStat, WriteSink
+
+_R, _W, _X = 4, 2, 1
+
+
+def split_path(path: str) -> list[str]:
+    """Normalize an absolute path into components."""
+    if not path.startswith("/"):
+        raise StorageError(f"path must be absolute: {path!r}")
+    return [p for p in path.split("/") if p]
+
+
+@dataclass
+class _Node:
+    name: str
+    owner_uid: int
+    mode: int
+    mtime: float
+    is_dir: bool
+    data: FileData | None = None
+    partial: PartialData | None = None
+    children: dict[str, "_Node"] = field(default_factory=dict)
+
+    def permits(self, uid: int, want: int) -> bool:
+        """Unix-style permission check for ``uid``."""
+        if uid == 0:
+            return True
+        bits = (self.mode >> 6) & 7 if uid == self.owner_uid else self.mode & 7
+        return (bits & want) == want
+
+
+class PosixStorage(DataStorageInterface):
+    """The in-memory POSIX DSI backend."""
+
+    name = "posix"
+
+    def __init__(self, clock: Clock) -> None:
+        self.clock = clock
+        self.root = _Node(
+            name="/", owner_uid=0, mode=0o755, mtime=clock.now, is_dir=True
+        )
+
+    # -- traversal -------------------------------------------------------------
+
+    def _walk(self, path: str, uid: int, check_exec: bool = True) -> _Node:
+        node = self.root
+        for part in split_path(path):
+            if not node.is_dir:
+                raise NotADirectoryStorageError(f"{node.name!r} is not a directory")
+            if check_exec and not node.permits(uid, _X):
+                raise PermissionDeniedError(f"cannot traverse into {node.name!r} as uid {uid}")
+            child = node.children.get(part)
+            if child is None:
+                raise FileNotFoundStorageError(f"no such path: {path!r}")
+            node = child
+        return node
+
+    def _walk_parent(self, path: str, uid: int) -> tuple[_Node, str]:
+        parts = split_path(path)
+        if not parts:
+            raise StorageError("cannot operate on the root directory")
+        parent_path = "/" + "/".join(parts[:-1])
+        parent = self._walk(parent_path, uid)
+        if not parent.is_dir:
+            raise NotADirectoryStorageError(f"{parent_path!r} is not a directory")
+        return parent, parts[-1]
+
+    # -- DSI reads ----------------------------------------------------------------
+
+    def open_read(self, path: str, uid: int) -> FileData:
+        """DSI operation (see :class:`DataStorageInterface`)."""
+        node = self._walk(path, uid)
+        if node.is_dir:
+            raise IsADirectoryStorageError(f"{path!r} is a directory")
+        if not node.permits(uid, _R):
+            raise PermissionDeniedError(f"uid {uid} cannot read {path!r}")
+        if node.data is None:
+            raise FileNotFoundStorageError(f"{path!r} has no committed content")
+        return node.data
+
+    def stat(self, path: str, uid: int) -> FileStat:
+        """DSI operation (see :class:`DataStorageInterface`)."""
+        node = self._walk(path, uid)
+        size = node.data.size if node.data is not None else 0
+        return FileStat(
+            path=path,
+            size=size,
+            is_dir=node.is_dir,
+            owner_uid=node.owner_uid,
+            mode=node.mode,
+            mtime=node.mtime,
+        )
+
+    def listdir(self, path: str, uid: int) -> list[str]:
+        """DSI operation (see :class:`DataStorageInterface`)."""
+        node = self._walk(path, uid)
+        if not node.is_dir:
+            raise NotADirectoryStorageError(f"{path!r} is not a directory")
+        if not node.permits(uid, _R):
+            raise PermissionDeniedError(f"uid {uid} cannot list {path!r}")
+        return sorted(node.children)
+
+    def exists(self, path: str) -> bool:
+        """True if the name is present."""
+        try:
+            self._walk(path, 0, check_exec=False)
+            return True
+        except FileNotFoundStorageError:
+            return False
+
+    # -- DSI writes -----------------------------------------------------------------
+
+    def open_write(
+        self, path: str, uid: int, expected_size: int, resume: bool = False
+    ) -> WriteSink:
+        """DSI operation (see :class:`DataStorageInterface`)."""
+        parent, name = self._walk_parent(path, uid)
+        existing = parent.children.get(name)
+        if existing is not None:
+            if existing.is_dir:
+                raise IsADirectoryStorageError(f"{path!r} is a directory")
+            if not existing.permits(uid, _W):
+                raise PermissionDeniedError(f"uid {uid} cannot overwrite {path!r}")
+        elif not parent.permits(uid, _W):
+            raise PermissionDeniedError(f"uid {uid} cannot create files in {path!r}")
+        partial: PartialData | None = None
+        if resume and existing is not None and existing.partial is not None:
+            partial = existing.partial
+        if partial is None:
+            partial = PartialData(expected_size=expected_size)
+        return WriteSink(self, path, uid, expected_size, partial)
+
+    def commit_file(self, path: str, uid: int, data: FileData) -> None:
+        """DSI operation (see :class:`DataStorageInterface`)."""
+        parent, name = self._walk_parent(path, uid)
+        node = parent.children.get(name)
+        if node is None:
+            node = _Node(
+                name=name, owner_uid=uid, mode=0o644, mtime=self.clock.now, is_dir=False
+            )
+            parent.children[name] = node
+        node.data = data
+        node.partial = None
+        node.mtime = self.clock.now
+
+    def commit_partial(self, path: str, uid: int, partial: PartialData) -> None:
+        """DSI operation (see :class:`DataStorageInterface`)."""
+        parent, name = self._walk_parent(path, uid)
+        node = parent.children.get(name)
+        if node is None:
+            node = _Node(
+                name=name, owner_uid=uid, mode=0o644, mtime=self.clock.now, is_dir=False
+            )
+            parent.children[name] = node
+        node.partial = partial
+        node.mtime = self.clock.now
+
+    def partial_for(self, path: str, uid: int) -> PartialData | None:
+        """DSI operation (see :class:`DataStorageInterface`)."""
+        try:
+            node = self._walk(path, uid)
+        except FileNotFoundStorageError:
+            return None
+        return node.partial
+
+    # -- namespace ---------------------------------------------------------------------
+
+    def mkdir(self, path: str, uid: int) -> None:
+        """Create a directory (MKD)."""
+        parent, name = self._walk_parent(path, uid)
+        if not parent.permits(uid, _W):
+            raise PermissionDeniedError(f"uid {uid} cannot create directories in {path!r}")
+        if name in parent.children:
+            raise FileExistsStorageError(f"{path!r} already exists")
+        parent.children[name] = _Node(
+            name=name, owner_uid=uid, mode=0o755, mtime=self.clock.now, is_dir=True
+        )
+
+    def makedirs(self, path: str, uid: int) -> None:
+        """Create every missing component of ``path`` (mkdir -p)."""
+        parts = split_path(path)
+        for i in range(1, len(parts) + 1):
+            prefix = "/" + "/".join(parts[:i])
+            if not self.exists(prefix):
+                self.mkdir(prefix, uid)
+
+    def delete(self, path: str, uid: int) -> None:
+        """Remove a file (DELE)."""
+        parent, name = self._walk_parent(path, uid)
+        node = parent.children.get(name)
+        if node is None:
+            raise FileNotFoundStorageError(f"no such path: {path!r}")
+        if node.is_dir and node.children:
+            raise StorageError(f"directory not empty: {path!r}")
+        if not parent.permits(uid, _W):
+            raise PermissionDeniedError(f"uid {uid} cannot delete from {path!r}")
+        del parent.children[name]
+
+    def rename(self, old: str, new: str, uid: int) -> None:
+        """Move a file (RNFR/RNTO)."""
+        old_parent, old_name = self._walk_parent(old, uid)
+        node = old_parent.children.get(old_name)
+        if node is None:
+            raise FileNotFoundStorageError(f"no such path: {old!r}")
+        if not old_parent.permits(uid, _W):
+            raise PermissionDeniedError(f"uid {uid} cannot move {old!r}")
+        new_parent, new_name = self._walk_parent(new, uid)
+        if not new_parent.permits(uid, _W):
+            raise PermissionDeniedError(f"uid {uid} cannot create {new!r}")
+        if new_name in new_parent.children:
+            raise FileExistsStorageError(f"{new!r} already exists")
+        del old_parent.children[old_name]
+        node.name = new_name
+        node.mtime = self.clock.now
+        new_parent.children[new_name] = node
+
+    # -- convenience for tests/examples -------------------------------------------
+
+    def write_file(self, path: str, data: FileData | bytes, uid: int = 0) -> None:
+        """Create parent dirs as root and commit content in one call."""
+        parts = split_path(path)
+        if len(parts) > 1:
+            self.makedirs("/" + "/".join(parts[:-1]), 0)
+        if isinstance(data, bytes):
+            from repro.storage.data import LiteralData
+
+            data = LiteralData(data)
+        self.commit_file(path, uid, data)
+
+    def chmod(self, path: str, mode: int, uid: int = 0) -> None:
+        """DSI operation (see :class:`DataStorageInterface`)."""
+        node = self._walk(path, uid)
+        if uid not in (0, node.owner_uid):
+            raise PermissionDeniedError(f"uid {uid} cannot chmod {path!r}")
+        node.mode = mode
+
+    def chown(self, path: str, owner_uid: int) -> None:
+        """Root-only ownership change (no uid argument: callers are setup code)."""
+        node = self._walk(path, 0, check_exec=False)
+        node.owner_uid = owner_uid

@@ -1,0 +1,53 @@
+"""Shared low-level helpers: units, encodings, checksums, event logging."""
+
+from repro.util.units import (
+    KB,
+    MB,
+    GB,
+    TB,
+    PB,
+    kbps,
+    mbps,
+    gbps,
+    fmt_bytes,
+    fmt_rate,
+    fmt_duration,
+    DAY,
+    HOUR,
+    MINUTE,
+)
+from repro.util.encoding import (
+    b64encode_str,
+    b64decode_str,
+    pem_encode,
+    pem_decode,
+    pem_decode_all,
+    canonical_json,
+)
+from repro.util.checksums import sha256_hex, crc32_hex, adler32_hex
+
+__all__ = [
+    "KB",
+    "MB",
+    "GB",
+    "TB",
+    "PB",
+    "DAY",
+    "HOUR",
+    "MINUTE",
+    "kbps",
+    "mbps",
+    "gbps",
+    "fmt_bytes",
+    "fmt_rate",
+    "fmt_duration",
+    "b64encode_str",
+    "b64decode_str",
+    "pem_encode",
+    "pem_decode",
+    "pem_decode_all",
+    "canonical_json",
+    "sha256_hex",
+    "crc32_hex",
+    "adler32_hex",
+]

@@ -1,0 +1,56 @@
+"""Checksum helpers used by storage backends and the CKSM command.
+
+GridFTP servers expose checksums over the control channel (``CKSM``), and
+the transfer engine verifies end-to-end integrity after reassembling
+parallel-stream data.  All functions return lowercase hex strings.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import zlib
+from typing import Iterable
+
+
+def sha256_hex(data: bytes) -> str:
+    """SHA-256 digest of ``data`` as hex."""
+    return hashlib.sha256(data).hexdigest()
+
+
+def sha256_hex_iter(chunks: Iterable[bytes]) -> str:
+    """SHA-256 over a stream of chunks without concatenating them."""
+    h = hashlib.sha256()
+    for chunk in chunks:
+        h.update(chunk)
+    return h.hexdigest()
+
+
+def crc32_hex(data: bytes) -> str:
+    """CRC32 of ``data`` as 8 hex digits (zero padded)."""
+    return f"{zlib.crc32(data) & 0xFFFFFFFF:08x}"
+
+
+def adler32_hex(data: bytes) -> str:
+    """Adler-32 of ``data`` as 8 hex digits (zero padded)."""
+    return f"{zlib.adler32(data) & 0xFFFFFFFF:08x}"
+
+
+_ALGORITHMS = {
+    "sha256": sha256_hex,
+    "crc32": crc32_hex,
+    "adler32": adler32_hex,
+}
+
+
+def checksum(algorithm: str, data: bytes) -> str:
+    """Dispatch by algorithm name (case-insensitive), as the CKSM command does."""
+    try:
+        fn = _ALGORITHMS[algorithm.lower()]
+    except KeyError:
+        raise ValueError(f"unsupported checksum algorithm {algorithm!r}") from None
+    return fn(data)
+
+
+def supported_algorithms() -> list[str]:
+    """Names accepted by :func:`checksum`, sorted."""
+    return sorted(_ALGORITHMS)

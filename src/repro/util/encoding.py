@@ -1,0 +1,115 @@
+"""Base64 and PEM-style encodings.
+
+The DCSC command (paper Section V) mandates that the context blob be
+"composed of only printable ASCII (32-126) characters, such as base64
+encoding would produce"; certificates and keys travel in "PEM format".
+We implement both framings here, over a canonical JSON serialization of
+our certificate/key objects, so that everything that goes on the wire is
+printable and round-trips exactly.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import textwrap
+from typing import Any
+
+from repro.errors import ProtocolError
+
+_PEM_LINE = 64
+
+
+def b64encode_str(data: bytes) -> str:
+    """Encode bytes as standard base64 text (no line breaks)."""
+    return base64.b64encode(data).decode("ascii")
+
+
+def b64decode_str(text: str) -> bytes:
+    """Decode base64 text produced by :func:`b64encode_str`.
+
+    Raises :class:`ProtocolError` on malformed input so protocol layers can
+    answer with a 5xx reply instead of leaking a ``binascii`` error.
+    """
+    try:
+        return base64.b64decode(text.encode("ascii"), validate=True)
+    except Exception as exc:  # binascii.Error or UnicodeEncodeError
+        raise ProtocolError(f"invalid base64 payload: {exc}", code=501) from exc
+
+
+def is_printable_ascii(text: str) -> bool:
+    """True iff every character is in the printable ASCII range 32..126."""
+    return all(32 <= ord(c) <= 126 for c in text)
+
+
+def pem_encode(label: str, der: bytes) -> str:
+    """Wrap ``der`` bytes in a PEM block with the given label.
+
+    >>> pem_encode("CERTIFICATE", b"hi").startswith("-----BEGIN CERTIFICATE-----")
+    True
+    """
+    body = base64.b64encode(der).decode("ascii")
+    wrapped = "\n".join(textwrap.wrap(body, _PEM_LINE)) if body else ""
+    return f"-----BEGIN {label}-----\n{wrapped}\n-----END {label}-----\n"
+
+
+def pem_decode(text: str, expected_label: str | None = None) -> tuple[str, bytes]:
+    """Decode the *first* PEM block in ``text`` -> (label, der bytes)."""
+    blocks = pem_decode_all(text)
+    if not blocks:
+        raise ProtocolError("no PEM block found", code=501)
+    label, der = blocks[0]
+    if expected_label is not None and label != expected_label:
+        raise ProtocolError(
+            f"expected PEM label {expected_label!r}, found {label!r}", code=501
+        )
+    return label, der
+
+
+def pem_decode_all(text: str) -> list[tuple[str, bytes]]:
+    """Decode every PEM block in ``text``, in order of appearance.
+
+    The DCSC P blob is "an X.509 certificate in PEM format, a private key
+    in PEM format, additional X.509 certificates in PEM format, unordered" —
+    i.e. a concatenation of PEM blocks, which this parses.
+    """
+    blocks: list[tuple[str, bytes]] = []
+    lines = text.splitlines()
+    i = 0
+    while i < len(lines):
+        line = lines[i].strip()
+        if line.startswith("-----BEGIN ") and line.endswith("-----"):
+            label = line[len("-----BEGIN ") : -len("-----")]
+            end_marker = f"-----END {label}-----"
+            body_lines: list[str] = []
+            i += 1
+            while i < len(lines) and lines[i].strip() != end_marker:
+                body_lines.append(lines[i].strip())
+                i += 1
+            if i >= len(lines):
+                raise ProtocolError(f"unterminated PEM block {label!r}", code=501)
+            body = "".join(body_lines)
+            try:
+                der = base64.b64decode(body.encode("ascii"), validate=True)
+            except Exception as exc:
+                raise ProtocolError(f"corrupt PEM body in {label!r} block", code=501) from exc
+            blocks.append((label, der))
+        i += 1
+    return blocks
+
+
+def canonical_json(obj: Any) -> bytes:
+    """Serialize ``obj`` to deterministic JSON bytes.
+
+    Used as the to-be-signed encoding for certificates: the same logical
+    content always produces the same bytes, so signatures are stable.
+    """
+    return json.dumps(obj, sort_keys=True, separators=(",", ":")).encode("utf-8")
+
+
+def from_canonical_json(data: bytes) -> Any:
+    """Inverse of :func:`canonical_json`."""
+    try:
+        return json.loads(data.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ProtocolError(f"malformed canonical JSON: {exc}", code=501) from exc

@@ -1,0 +1,82 @@
+"""Structured event log.
+
+Every interesting action in the simulation (handshakes, command exchanges,
+transfers, faults, credential issuance) appends an :class:`Event` to the
+world's :class:`EventLog`.  Benchmarks and tests query the log to assert
+*how* something happened, not only that it happened — e.g. the OAuth bench
+counts which parties ever observed a password.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+
+@dataclass(frozen=True)
+class Event:
+    """One structured log record.
+
+    ``time`` is virtual seconds, ``category`` a dotted topic such as
+    ``"gridftp.command"`` or ``"myproxy.issue"``, and ``fields`` arbitrary
+    key/value detail.
+    """
+
+    time: float
+    category: str
+    message: str
+    fields: dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        kv = " ".join(f"{k}={v}" for k, v in self.fields.items())
+        return f"[{self.time:12.3f}] {self.category:<24} {self.message} {kv}".rstrip()
+
+
+class EventLog:
+    """Append-only in-memory event log with simple query helpers."""
+
+    def __init__(self) -> None:
+        self._events: list[Event] = []
+        self._subscribers: list[Callable[[Event], None]] = []
+
+    def emit(self, time: float, category: str, message: str, **fields: Any) -> Event:
+        """Record and return a new event."""
+        ev = Event(time=time, category=category, message=message, fields=dict(fields))
+        self._events.append(ev)
+        for sub in self._subscribers:
+            sub(ev)
+        return ev
+
+    def subscribe(self, callback: Callable[[Event], None]) -> None:
+        """Invoke ``callback`` for every future event (used by usage collectors)."""
+        self._subscribers.append(callback)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._events)
+
+    def select(self, category: str | None = None, **field_filters: Any) -> list[Event]:
+        """Events whose category starts with ``category`` and whose fields match."""
+        out = []
+        for ev in self._events:
+            if category is not None and not ev.category.startswith(category):
+                continue
+            if any(ev.fields.get(k) != v for k, v in field_filters.items()):
+                continue
+            out.append(ev)
+        return out
+
+    def count(self, category: str | None = None, **field_filters: Any) -> int:
+        """Number of matching events."""
+        return len(self.select(category, **field_filters))
+
+    def last(self, category: str | None = None) -> Event | None:
+        """Most recent matching event, or None."""
+        matches = self.select(category)
+        return matches[-1] if matches else None
+
+    def clear(self) -> None:
+        """Drop all recorded events (subscribers stay registered)."""
+        self._events.clear()

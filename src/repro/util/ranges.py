@@ -1,0 +1,126 @@
+"""Half-open byte-range sets.
+
+The algebra behind GridFTP restart markers: a receiver accumulates the
+ranges it has safely written; after an interruption the client asks for
+the *complement*.  Ranges are half-open ``[start, end)`` and stored
+coalesced (sorted, non-overlapping, non-adjacent), so equality of sets
+is equality of content.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+
+class ByteRangeSet:
+    """A coalesced set of half-open byte ranges."""
+
+    def __init__(self, ranges: Iterable[tuple[int, int]] = ()) -> None:
+        self._ranges: list[tuple[int, int]] = []
+        for start, end in ranges:
+            self.add(start, end)
+
+    # -- mutation ---------------------------------------------------------
+
+    def add(self, start: int, end: int) -> None:
+        """Insert [start, end); merges with overlapping/adjacent ranges."""
+        if start < 0 or end < start:
+            raise ValueError(f"invalid range [{start}, {end})")
+        if start == end:
+            return
+        merged: list[tuple[int, int]] = []
+        placed = False
+        for s, e in self._ranges:
+            if e < start or s > end:  # disjoint and non-adjacent
+                if s > end and not placed:
+                    merged.append((start, end))
+                    placed = True
+                merged.append((s, e))
+            else:  # overlap or adjacency: absorb
+                start = min(start, s)
+                end = max(end, e)
+        if not placed:
+            merged.append((start, end))
+        merged.sort()
+        self._ranges = merged
+
+    def update(self, other: "ByteRangeSet") -> None:
+        """In-place union."""
+        for s, e in other:
+            self.add(s, e)
+
+    # -- queries ---------------------------------------------------------------
+
+    def __iter__(self) -> Iterator[tuple[int, int]]:
+        return iter(self._ranges)
+
+    def __len__(self) -> int:
+        return len(self._ranges)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ByteRangeSet):
+            return NotImplemented
+        return self._ranges == other._ranges
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ByteRangeSet({self._ranges!r})"
+
+    @property
+    def ranges(self) -> list[tuple[int, int]]:
+        """The coalesced (start, end) pairs, sorted."""
+        return list(self._ranges)
+
+    def total_bytes(self) -> int:
+        """Sum of range lengths."""
+        return sum(e - s for s, e in self._ranges)
+
+    def contains(self, start: int, end: int) -> bool:
+        """True iff [start, end) is fully covered."""
+        if start == end:
+            return True
+        return any(s <= start and end <= e for s, e in self._ranges)
+
+    def contains_point(self, offset: int) -> bool:
+        """True iff ``offset`` lies inside a range."""
+        return any(s <= offset < e for s, e in self._ranges)
+
+    def covers(self, size: int) -> bool:
+        """True iff [0, size) is fully covered."""
+        return size == 0 or self.contains(0, size)
+
+    def complement(self, size: int) -> "ByteRangeSet":
+        """The gaps of [0, size) not in this set — what a restart must fetch."""
+        out = ByteRangeSet()
+        cursor = 0
+        for s, e in self._ranges:
+            if s >= size:
+                break
+            if s > cursor:
+                out.add(cursor, min(s, size))
+            cursor = max(cursor, e)
+        if cursor < size:
+            out.add(cursor, size)
+        return out
+
+    def intersect(self, start: int, end: int) -> "ByteRangeSet":
+        """This set clipped to [start, end)."""
+        out = ByteRangeSet()
+        for s, e in self._ranges:
+            lo, hi = max(s, start), min(e, end)
+            if lo < hi:
+                out.add(lo, hi)
+        return out
+
+    def union(self, other: "ByteRangeSet") -> "ByteRangeSet":
+        """New set: self | other."""
+        out = ByteRangeSet(self._ranges)
+        out.update(other)
+        return out
+
+    def copy(self) -> "ByteRangeSet":
+        """An independent copy."""
+        return ByteRangeSet(self._ranges)
+
+    def is_empty(self) -> bool:
+        """True when the set holds no ranges."""
+        return not self._ranges

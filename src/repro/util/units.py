@@ -1,0 +1,90 @@
+"""Byte, bandwidth and time units.
+
+Conventions used throughout the library:
+
+* file and transfer *sizes* are **bytes** (``int``);
+* link and flow *rates* are **bits per second** (``float``), because that
+  is how network links are specified ("a 10 Gb/s link");
+* *times* and *durations* are **seconds** (``float``) on the virtual clock.
+
+The helpers here convert between the two worlds and render values for
+benchmark tables.
+"""
+
+from __future__ import annotations
+
+# -- sizes (bytes, binary prefixes as is conventional for file sizes) -------
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+TB = 1024 * GB
+PB = 1024 * TB
+
+# -- durations (seconds) -----------------------------------------------------
+MINUTE = 60.0
+HOUR = 60.0 * MINUTE
+DAY = 24.0 * HOUR
+
+
+def kbps(x: float) -> float:
+    """Kilobits per second -> bits per second."""
+    return x * 1e3
+
+
+def mbps(x: float) -> float:
+    """Megabits per second -> bits per second."""
+    return x * 1e6
+
+
+def gbps(x: float) -> float:
+    """Gigabits per second -> bits per second."""
+    return x * 1e9
+
+
+def bytes_per_second(rate_bps: float) -> float:
+    """Convert a bits-per-second rate into bytes per second."""
+    return rate_bps / 8.0
+
+
+def bits(nbytes: int) -> float:
+    """Size in bytes -> size in bits."""
+    return nbytes * 8.0
+
+
+def fmt_bytes(n: float) -> str:
+    """Render a byte count with a binary prefix, e.g. ``1.50 GiB``."""
+    n = float(n)
+    for unit, size in (("PiB", PB), ("TiB", TB), ("GiB", GB), ("MiB", MB), ("KiB", KB)):
+        if abs(n) >= size:
+            return f"{n / size:.2f} {unit}"
+    return f"{n:.0f} B"
+
+
+def fmt_rate(bps: float) -> str:
+    """Render a bits-per-second rate with a decimal prefix, e.g. ``9.41 Gb/s``."""
+    bps = float(bps)
+    for unit, size in (("Tb/s", 1e12), ("Gb/s", 1e9), ("Mb/s", 1e6), ("kb/s", 1e3)):
+        if abs(bps) >= size:
+            return f"{bps / size:.2f} {unit}"
+    return f"{bps:.1f} b/s"
+
+
+def fmt_duration(seconds: float) -> str:
+    """Render a duration human-readably, e.g. ``2h 13m``, ``4.21 s``."""
+    s = float(seconds)
+    if s < 0:
+        return "-" + fmt_duration(-s)
+    if s < 1e-3:
+        return f"{s * 1e6:.1f} us"
+    if s < 1.0:
+        return f"{s * 1e3:.1f} ms"
+    if s < MINUTE:
+        return f"{s:.2f} s"
+    if s < HOUR:
+        m, rem = divmod(s, MINUTE)
+        return f"{int(m)}m {rem:.0f}s"
+    if s < DAY:
+        h, rem = divmod(s, HOUR)
+        return f"{int(h)}h {int(rem // MINUTE)}m"
+    d, rem = divmod(s, DAY)
+    return f"{int(d)}d {int(rem // HOUR)}h"

@@ -1,0 +1,22 @@
+"""Workload synthesis: dataset shapes and the worldwide-fleet generator."""
+
+from repro.workloads.datasets import (
+    FileSpec,
+    single_huge_file,
+    lots_of_small_files,
+    climate_mix,
+    hep_mix,
+    materialize,
+)
+from repro.workloads.fleet import FleetModel, FleetDay
+
+__all__ = [
+    "FileSpec",
+    "single_huge_file",
+    "lots_of_small_files",
+    "climate_mix",
+    "hep_mix",
+    "materialize",
+    "FleetModel",
+    "FleetDay",
+]

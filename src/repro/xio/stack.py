@@ -1,0 +1,54 @@
+"""The XIO stack: ordered transform drivers over one transport driver."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.net.topology import PathStats
+from repro.xio.drivers import Driver, TcpDriver, TransportDriver
+
+
+@dataclass
+class XIOStack:
+    """A composed I/O stack.
+
+    ``transforms`` apply top-down over the ``transport``; the effective
+    rate the data channel sees is the transport rate pushed up through
+    each transform's :meth:`~repro.xio.drivers.Driver.rate_through`.
+    """
+
+    transport: TransportDriver = field(default_factory=TcpDriver)
+    transforms: tuple[Driver, ...] = ()
+
+    def __post_init__(self) -> None:
+        for d in self.transforms:
+            if isinstance(d, TransportDriver):
+                raise ValueError(
+                    f"transport driver {d.name!r} cannot be used as a transform"
+                )
+
+    def push(self, driver: Driver) -> "XIOStack":
+        """A new stack with ``driver`` added on top."""
+        return XIOStack(transport=self.transport, transforms=(*self.transforms, driver))
+
+    def throughput(self, path: PathStats, streams: int = 1) -> float:
+        """Effective payload rate (bits/s) on ``path`` with ``streams`` flows."""
+        rate = self.transport.rate(path, streams)
+        for driver in self.transforms:
+            rate = driver.rate_through(rate)
+        return rate
+
+    def setup_time_s(self, path: PathStats) -> float:
+        """Channel establishment cost: transport handshake + driver setup."""
+        rtts = self.transport.handshake_rtts()
+        rtts += sum(d.setup_rtts() for d in self.transforms)
+        return rtts * path.rtt_s
+
+    def ramp_penalty_s(self, path: PathStats, streams: int) -> float:
+        """Startup ramp charged once per channel set."""
+        return self.transport.ramp_penalty_s(path, streams)
+
+    def describe(self) -> str:
+        """Driver names top-to-bottom, e.g. ``gsi/tcp``."""
+        names = [d.name for d in self.transforms] + [self.transport.name]
+        return "/".join(names)

@@ -1,0 +1,86 @@
+"""Local accounts and the setuid model."""
+
+import pytest
+
+from repro.auth.accounts import AccountDatabase, hash_password
+from repro.errors import AccountLockedError, UnknownUserError
+
+
+def test_add_and_get():
+    db = AccountDatabase()
+    acct = db.add_user("alice", password="pw")
+    assert db.get("alice") is acct
+    assert acct.home == "/home/alice"
+    assert acct.uid >= 1000
+
+
+def test_uids_increment():
+    db = AccountDatabase()
+    a = db.add_user("a")
+    b = db.add_user("b")
+    assert b.uid == a.uid + 1
+
+
+def test_explicit_uid():
+    db = AccountDatabase()
+    acct = db.add_user("svc", uid=99)
+    assert acct.uid == 99
+
+
+def test_duplicate_rejected():
+    db = AccountDatabase()
+    db.add_user("alice")
+    with pytest.raises(ValueError):
+        db.add_user("alice")
+
+
+def test_unknown_user():
+    db = AccountDatabase()
+    with pytest.raises(UnknownUserError):
+        db.get("ghost")
+    assert not db.exists("ghost")
+
+
+def test_password_check():
+    db = AccountDatabase()
+    acct = db.add_user("alice", password="s3cret")
+    assert acct.check_password("s3cret")
+    assert not acct.check_password("wrong")
+
+
+def test_no_password_never_matches():
+    db = AccountDatabase()
+    acct = db.add_user("nopw")
+    assert not acct.check_password("")
+    assert not acct.check_password("anything")
+
+
+def test_password_stored_hashed():
+    db = AccountDatabase()
+    acct = db.add_user("alice", password="s3cret")
+    assert "s3cret" not in acct.password_hash
+    assert acct.password_hash == hash_password("s3cret", acct.salt)
+
+
+def test_setuid_success_and_lock():
+    db = AccountDatabase()
+    db.add_user("alice")
+    assert db.setuid("alice").username == "alice"
+    db.lock("alice")
+    with pytest.raises(AccountLockedError):
+        db.setuid("alice")
+    db.unlock("alice")
+    db.setuid("alice")
+
+
+def test_setuid_unknown_user():
+    db = AccountDatabase()
+    with pytest.raises(UnknownUserError):
+        db.setuid("ghost")
+
+
+def test_len():
+    db = AccountDatabase()
+    db.add_user("a")
+    db.add_user("b")
+    assert len(db) == 2

@@ -1,0 +1,106 @@
+"""LDAP / NIS / RADIUS / htpasswd backends and their PAM adapters."""
+
+from repro.auth.backends import (
+    HtpasswdFile,
+    HtpasswdPamModule,
+    LdapDirectory,
+    LdapPamModule,
+    NisDomain,
+    NisPamModule,
+    RadiusPamModule,
+    RadiusServer,
+)
+from repro.auth.pam import PamResult
+
+
+# -- LDAP ----------------------------------------------------------------
+
+
+def test_ldap_bind():
+    d = LdapDirectory()
+    dn = d.add_entry("alice", "pw")
+    assert dn.startswith("uid=alice,")
+    assert d.bind("alice", "pw")
+    assert not d.bind("alice", "wrong")
+    assert not d.bind("ghost", "pw")
+
+
+def test_ldap_disable():
+    d = LdapDirectory()
+    d.add_entry("alice", "pw")
+    d.disable("alice")
+    assert not d.bind("alice", "pw")
+
+
+def test_ldap_pam_module():
+    d = LdapDirectory()
+    d.add_entry("alice", "pw")
+    m = LdapPamModule(d)
+    assert m.authenticate("alice", "pw") is PamResult.SUCCESS
+    assert m.authenticate("alice", "bad") is PamResult.AUTH_ERR
+    assert m.authenticate("ghost", "pw") is PamResult.USER_UNKNOWN
+    d.disable("alice")
+    assert m.authenticate("alice", "pw") is PamResult.ACCT_LOCKED
+
+
+# -- NIS ---------------------------------------------------------------------
+
+
+def test_nis_match():
+    n = NisDomain("lab")
+    n.add_user("bob", "pw")
+    assert n.match("bob", "pw") is True
+    assert n.match("bob", "no") is False
+    assert n.match("ghost", "pw") is None
+
+
+def test_nis_pam_module():
+    n = NisDomain()
+    n.add_user("bob", "pw")
+    m = NisPamModule(n)
+    assert m.authenticate("bob", "pw") is PamResult.SUCCESS
+    assert m.authenticate("bob", "x") is PamResult.AUTH_ERR
+    assert m.authenticate("nobody", "x") is PamResult.USER_UNKNOWN
+
+
+# -- RADIUS --------------------------------------------------------------------
+
+
+def test_radius_access_request():
+    r = RadiusServer(shared_secret="s3")
+    r.add_user("carol", "pw")
+    assert r.access_request("s3", "carol", "pw") == "accept"
+    assert r.access_request("s3", "carol", "bad") == "reject"
+    assert r.access_request("s3", "ghost", "pw") == "unknown"
+    assert r.access_request("wrong-secret", "carol", "pw") == "reject"
+
+
+def test_radius_reject_all():
+    r = RadiusServer(shared_secret="s3", reject_all=True)
+    r.add_user("carol", "pw")
+    assert r.access_request("s3", "carol", "pw") == "reject"
+
+
+def test_radius_pam_module():
+    r = RadiusServer(shared_secret="s3")
+    r.add_user("carol", "pw")
+    m = RadiusPamModule(r, "s3")
+    assert m.authenticate("carol", "pw") is PamResult.SUCCESS
+    assert m.authenticate("carol", "no") is PamResult.AUTH_ERR
+    assert m.authenticate("ghost", "pw") is PamResult.USER_UNKNOWN
+    bad = RadiusPamModule(r, "wrong")
+    assert bad.authenticate("carol", "pw") is PamResult.AUTH_ERR
+
+
+# -- htpasswd -----------------------------------------------------------------
+
+
+def test_htpasswd():
+    f = HtpasswdFile()
+    f.set_password("dave", "pw")
+    assert f.verify("dave", "pw") is True
+    assert f.verify("dave", "x") is False
+    assert f.verify("ghost", "pw") is None
+    m = HtpasswdPamModule(f)
+    assert m.authenticate("dave", "pw") is PamResult.SUCCESS
+    assert m.authenticate("ghost", "pw") is PamResult.USER_UNKNOWN

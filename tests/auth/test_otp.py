@@ -1,0 +1,61 @@
+"""One-time-password module."""
+
+from repro.auth.otp import OtpDevice, OtpPamModule, _hotp
+from repro.auth.pam import PamResult
+
+
+def test_hotp_is_deterministic_six_digits():
+    code = _hotp(b"secret", 0)
+    assert code == _hotp(b"secret", 0)
+    assert len(code) == 6
+    assert code.isdigit()
+
+
+def test_device_advances():
+    dev = OtpDevice(b"secret")
+    a, b = dev.next_code(), dev.next_code()
+    assert a != b
+
+
+def test_enroll_and_authenticate():
+    mod = OtpPamModule()
+    dev = mod.enroll("alice", b"k1")
+    assert mod.authenticate("alice", dev.next_code()) is PamResult.SUCCESS
+
+
+def test_codes_are_single_use():
+    mod = OtpPamModule()
+    dev = mod.enroll("alice", b"k1")
+    code = dev.next_code()
+    assert mod.authenticate("alice", code) is PamResult.SUCCESS
+    assert mod.authenticate("alice", code) is PamResult.AUTH_ERR
+
+
+def test_lookahead_window_tolerates_skipped_codes():
+    mod = OtpPamModule(window=4)
+    dev = mod.enroll("alice", b"k1")
+    dev.next_code()  # burned on the device, never sent
+    dev.next_code()
+    assert mod.authenticate("alice", dev.next_code()) is PamResult.SUCCESS
+
+
+def test_outside_window_rejected():
+    mod = OtpPamModule(window=2)
+    dev = mod.enroll("alice", b"k1")
+    for _ in range(5):
+        dev.next_code()
+    assert mod.authenticate("alice", dev.next_code()) is PamResult.AUTH_ERR
+
+
+def test_unknown_user():
+    mod = OtpPamModule()
+    assert mod.authenticate("ghost", "123456") is PamResult.USER_UNKNOWN
+
+
+def test_wrong_code():
+    mod = OtpPamModule()
+    mod.enroll("alice", b"k1")
+    assert mod.authenticate("alice", "000000") in (
+        PamResult.AUTH_ERR,
+        PamResult.SUCCESS,  # one-in-a-million collision is acceptable
+    )

@@ -1,0 +1,110 @@
+"""PAM stack semantics."""
+
+import pytest
+
+from repro.auth.pam import Control, PamModule, PamResult, PamStack
+from repro.errors import PamError
+
+
+class FixedModule(PamModule):
+    """Returns a preset result; records calls."""
+
+    def __init__(self, result):
+        self.result = result
+        self.calls = 0
+
+    def authenticate(self, username, secret):
+        self.calls += 1
+        return self.result
+
+
+OK = lambda: FixedModule(PamResult.SUCCESS)
+FAIL = lambda: FixedModule(PamResult.AUTH_ERR)
+
+
+def test_empty_stack_fails():
+    with pytest.raises(PamError):
+        PamStack().authenticate("u", "p")
+
+
+def test_single_required_success():
+    PamStack().add(Control.REQUIRED, OK()).authenticate("u", "p")
+
+
+def test_single_required_failure():
+    with pytest.raises(PamError):
+        PamStack().add(Control.REQUIRED, FAIL()).authenticate("u", "p")
+
+
+def test_required_failure_still_runs_rest():
+    """REQUIRED failure must not reveal which module failed: the stack
+    continues to the end."""
+    second = OK()
+    stack = PamStack().add(Control.REQUIRED, FAIL()).add(Control.REQUIRED, second)
+    with pytest.raises(PamError):
+        stack.authenticate("u", "p")
+    assert second.calls == 1
+
+
+def test_requisite_aborts_immediately():
+    second = OK()
+    stack = PamStack().add(Control.REQUISITE, FAIL()).add(Control.REQUIRED, second)
+    with pytest.raises(PamError):
+        stack.authenticate("u", "p")
+    assert second.calls == 0
+
+
+def test_sufficient_short_circuits():
+    second = OK()
+    stack = PamStack().add(Control.SUFFICIENT, OK()).add(Control.REQUIRED, second)
+    stack.authenticate("u", "p")
+    assert second.calls == 0
+
+
+def test_sufficient_cannot_override_required_failure():
+    stack = PamStack().add(Control.REQUIRED, FAIL()).add(Control.SUFFICIENT, OK())
+    with pytest.raises(PamError):
+        stack.authenticate("u", "p")
+
+
+def test_sufficient_failure_is_ignored():
+    stack = PamStack().add(Control.SUFFICIENT, FAIL()).add(Control.REQUIRED, OK())
+    stack.authenticate("u", "p")
+
+
+def test_all_sufficient_failing_fails():
+    stack = PamStack().add(Control.SUFFICIENT, FAIL()).add(Control.SUFFICIENT, FAIL())
+    with pytest.raises(PamError):
+        stack.authenticate("u", "p")
+
+
+def test_optional_alone_success():
+    PamStack().add(Control.OPTIONAL, OK()).authenticate("u", "p")
+
+
+def test_optional_alone_failure():
+    with pytest.raises(PamError):
+        PamStack().add(Control.OPTIONAL, FAIL()).authenticate("u", "p")
+
+
+def test_error_message_is_generic():
+    """PAM must not leak whether the user exists."""
+    unknown = FixedModule(PamResult.USER_UNKNOWN)
+    bad_pw = FixedModule(PamResult.AUTH_ERR)
+    msg_unknown = msg_badpw = None
+    try:
+        PamStack().add(Control.REQUIRED, unknown).authenticate("ghost", "x")
+    except PamError as e:
+        msg_unknown = str(e)
+    try:
+        PamStack().add(Control.REQUIRED, bad_pw).authenticate("alice", "x")
+    except PamError as e:
+        msg_badpw = str(e)
+    assert msg_unknown == msg_badpw
+
+
+def test_entries_accessor():
+    stack = PamStack("svc").add(Control.REQUIRED, OK())
+    assert stack.service == "svc"
+    assert len(stack.entries) == 1
+    assert stack.entries[0][0] is Control.REQUIRED

@@ -1,0 +1,74 @@
+"""SCP baseline."""
+
+import pytest
+
+from repro.baselines.scp import ScpTool
+from repro.errors import TransferError
+from repro.util.units import GB, MB, gbps, mbps
+
+
+@pytest.fixture
+def topo(world):
+    net = world.network
+    net.add_host("siteA", nic_bps=gbps(10))
+    net.add_host("siteB", nic_bps=gbps(10))
+    net.add_host("laptop", nic_bps=gbps(1))
+    net.add_link("siteA", "siteB", gbps(10), 0.05, loss=1e-5)
+    net.add_link("laptop", "siteA", mbps(20), 0.02)
+    net.add_link("laptop", "siteB", mbps(20), 0.03)
+    return world
+
+
+def test_direct_copy_single_stream_window_bound(topo):
+    world = topo
+    scp = ScpTool(world, "laptop")
+    res = scp.copy("laptop", "siteA", 10 * MB)
+    assert res.tool == "scp"
+    # window limit at 40 ms RTT: 64 KiB * 8 / 0.04 = ~13 Mb/s
+    assert res.rate_bps < mbps(15)
+
+
+def test_cipher_cap_binds_on_fast_lan(topo):
+    world = topo
+    world.network.add_host("lan-peer", nic_bps=gbps(10))
+    world.network.add_link("siteA", "lan-peer", gbps(10), 0.0002)
+    scp = ScpTool(world, "siteA")
+    res = scp.copy("siteA", "lan-peer", 1 * GB)
+    assert res.rate_bps <= scp.cipher_cap_bps * 1.01
+    assert res.rate_bps > scp.cipher_cap_bps * 0.5
+
+
+def test_remote_remote_relays_through_client(topo):
+    """Section VII: 'SCP routes data through the client'."""
+    world = topo
+    scp = ScpTool(world, "laptop")
+    est = scp.estimated_rate_bps("siteA", "siteB")
+    # bound by the laptop's 20 Mb/s links, not the 10 Gb/s site link
+    assert est < mbps(20)
+    res = scp.copy("siteA", "siteB", 10 * MB)
+    # two sequential legs, each window-bound
+    assert res.duration_s > 2 * (10 * MB * 8 / mbps(20)) * 0.5
+
+
+def test_fault_restarts_from_zero(topo):
+    world = topo
+    scp = ScpTool(world, "laptop")
+    # fault strikes mid-copy on the laptop-siteA link
+    link = [l for l in world.network.links.values()
+            if {"laptop", "siteA"} == {l.a, l.b}][0]
+    world.faults.cut_link(link.link_id, at=world.now + 5.0, duration=10.0)
+    res = scp.copy("laptop", "siteA", 20 * MB)
+    assert res.restarted_from_zero >= 1
+    assert res.wasted_bytes > 0
+
+
+def test_gives_up_after_max_retries(topo):
+    world = topo
+    scp = ScpTool(world, "laptop", max_retries=2)
+    link = [l for l in world.network.links.values()
+            if {"laptop", "siteA"} == {l.a, l.b}][0]
+    # a pathological flapping link: down for 10s every 11s, forever-ish
+    for i in range(400):
+        world.faults.cut_link(link.link_id, at=world.now + 1.0 + i * 11.0, duration=10.0)
+    with pytest.raises(TransferError):
+        scp.copy("laptop", "siteA", 10 * GB)

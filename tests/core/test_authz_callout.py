@@ -1,0 +1,93 @@
+"""The GCMU authorization callout (Section IV.C)."""
+
+import pytest
+
+from repro.auth import Control, LdapDirectory, LdapPamModule, PamStack
+from repro.core.authz_callout import MyProxyDNCallout
+from repro.errors import AuthorizationError, GridmapError
+from repro.gsi.gridmap import Gridmap
+from repro.myproxy.server import MyProxyOnlineCA
+from repro.pki.ca import CertificateAuthority
+from repro.pki.dn import DistinguishedName as DN
+from repro.pki.validation import TrustStore, validate_chain
+from repro.util.units import gbps
+
+
+@pytest.fixture
+def env(world):
+    world.network.add_host("dtn", nic_bps=gbps(10))
+    ldap = LdapDirectory()
+    ldap.add_entry("alice", "pw")
+    pam = PamStack().add(Control.SUFFICIENT, LdapPamModule(ldap))
+    myproxy = MyProxyOnlineCA(world, "dtn", "site", pam).start()
+    trust = TrustStore()
+    trust.add_anchor(myproxy.ca.certificate)
+    return world, myproxy, trust
+
+
+def validated(world, myproxy, trust, username="alice", password="pw"):
+    cred = myproxy.logon(username, password)
+    return validate_chain(cred.chain, trust, world.now)
+
+
+def test_username_parsed_from_dn(env):
+    world, myproxy, trust = env
+    callout = MyProxyDNCallout(myproxy.ca.certificate)
+    assert callout.map_subject(validated(world, myproxy, trust)) == "alice"
+
+
+def test_requested_user_must_match_dn(env):
+    world, myproxy, trust = env
+    callout = MyProxyDNCallout(myproxy.ca.certificate)
+    result = validated(world, myproxy, trust)
+    assert callout.map_subject(result, "alice") == "alice"
+    with pytest.raises(AuthorizationError):
+        callout.map_subject(result, "root")
+
+
+def test_foreign_ca_refused_without_fallback(env):
+    """Only chains anchored at the *local* CA get the DN shortcut."""
+    world, myproxy, trust = env
+    other = CertificateAuthority(DN.parse("/O=Other/CN=CA"), world.clock,
+                                 world.rng.python("o"), key_bits=256)
+    trust.add_anchor(other.certificate)
+    # a cert that *claims* a local-looking DN but is signed elsewhere
+    imposter = other.issue_credential(DN.parse("/O=GCMU/OU=site/CN=alice"))
+    result = validate_chain(imposter.chain, trust, world.now)
+    callout = MyProxyDNCallout(myproxy.ca.certificate)
+    with pytest.raises(AuthorizationError, match="not issued by the local MyProxy CA"):
+        callout.map_subject(result)
+
+
+def test_foreign_ca_falls_back_to_gridmap(env):
+    world, myproxy, trust = env
+    other = CertificateAuthority(DN.parse("/O=Other/CN=CA"), world.clock,
+                                 world.rng.python("o2"), key_bits=256)
+    trust.add_anchor(other.certificate)
+    visitor = other.issue_credential(DN.parse("/O=Other/CN=bob"))
+    result = validate_chain(visitor.chain, trust, world.now)
+    gm = Gridmap()
+    gm.add(visitor.subject, "visiting-bob")
+    callout = MyProxyDNCallout(myproxy.ca.certificate, fallback=gm)
+    assert callout.map_subject(result) == "visiting-bob"
+    # unmapped visitor still refused
+    stranger = other.issue_credential(DN.parse("/O=Other/CN=carol"))
+    result2 = validate_chain(stranger.chain, trust, world.now)
+    with pytest.raises(GridmapError):
+        callout.map_subject(result2)
+
+
+def test_fallback_with_requested_user(env):
+    world, myproxy, trust = env
+    other = CertificateAuthority(DN.parse("/O=Other/CN=CA"), world.clock,
+                                 world.rng.python("o3"), key_bits=256)
+    trust.add_anchor(other.certificate)
+    visitor = other.issue_credential(DN.parse("/O=Other/CN=bob"))
+    result = validate_chain(visitor.chain, trust, world.now)
+    gm = Gridmap()
+    gm.add(visitor.subject, "acct1")
+    gm.add(visitor.subject, "acct2")
+    callout = MyProxyDNCallout(myproxy.ca.certificate, fallback=gm)
+    assert callout.map_subject(result, "acct2") == "acct2"
+    with pytest.raises(AuthorizationError):
+        callout.map_subject(result, "acct3")

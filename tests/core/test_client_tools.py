@@ -1,0 +1,70 @@
+"""GCMU client tools: the Section IV.E user experience."""
+
+import pytest
+
+from repro.core.client_tools import install_client
+from repro.errors import AuthenticationError, SecurityError
+from repro.storage.data import LiteralData
+from repro.util.units import HOUR, gbps
+from tests.conftest import make_gcmu_site
+
+
+@pytest.fixture
+def env(world):
+    net = world.network
+    net.add_host("dtn", nic_bps=gbps(10))
+    net.add_host("laptop", nic_bps=gbps(1))
+    net.add_link("dtn", "laptop", gbps(1), 0.01)
+    ep = make_gcmu_site(world, "dtn", "lab", {"alice": "pw"})
+    uid = ep.accounts.get("alice").uid
+    ep.storage.write_file("/home/alice/r.dat", LiteralData(b"results"), uid=uid)
+    tools = install_client(world, "laptop", username="alice",
+                           charge_install_time=False)
+    return world, ep, tools
+
+
+def test_logon_installs_credential_and_trust(env):
+    world, ep, tools = env
+    cred = tools.myproxy_logon(ep, "alice", "pw")
+    assert tools.store.active_credential() is cred
+    assert tools.trust.find_anchor(ep.myproxy.ca.certificate) is not None
+
+
+def test_gridftp_client_requires_logon_first(env):
+    world, ep, tools = env
+    with pytest.raises(SecurityError):
+        tools.gridftp_client()
+
+
+def test_connect_and_transfer(env):
+    world, ep, tools = env
+    tools.myproxy_logon(ep, "alice", "pw")
+    session = tools.connect(ep)
+    assert session.logged_in_as == "alice"
+    tools.local_storage.makedirs("/dl", 0)
+    res = tools.globus_url_copy("gsiftp://dtn:2811/home/alice/r.dat", "file:///dl/r.dat")
+    assert res.verified
+    assert tools.local_storage.open_read("/dl/r.dat", 0).read_all() == b"results"
+
+
+def test_expired_logon_requires_new_one(env):
+    world, ep, tools = env
+    tools.myproxy_logon(ep, "alice", "pw", lifetime_s=1 * HOUR)
+    world.advance(2 * HOUR)
+    with pytest.raises(SecurityError):
+        tools.gridftp_client()
+    tools.myproxy_logon(ep, "alice", "pw")
+    tools.gridftp_client()  # fine again
+
+
+def test_bad_password(env):
+    world, ep, tools = env
+    with pytest.raises(AuthenticationError):
+        tools.myproxy_logon(ep, "alice", "nope")
+
+
+def test_install_charges_time(world):
+    world.network.add_host("l")
+    t0 = world.now
+    install_client(world, "l", charge_install_time=True)
+    assert world.now > t0

@@ -1,0 +1,75 @@
+"""The install-step models behind the CLAIM-SETUP benchmark."""
+
+from repro.core.installer import (
+    StepCategory,
+    conventional_admin_steps,
+    conventional_user_steps,
+    expert_step_count,
+    gcmu_admin_steps,
+    gcmu_user_steps,
+    gridftp_lite_admin_steps,
+    gridftp_lite_user_steps,
+    step_count,
+    total_minutes,
+)
+
+
+def test_conventional_admin_has_the_paper_steps():
+    names = [s.name for s in conventional_admin_steps()]
+    for tag in ["(a)", "(b)", "(c)", "(d)", "(e)", "(f)", "(g)", "(h)"]:
+        assert any(n.startswith(tag) for n in names)
+
+
+def test_gcmu_admin_is_four_commands():
+    steps = gcmu_admin_steps()
+    assert len(steps) == 4
+    assert all(not s.expert for s in steps)
+    assert all(s.category is StepCategory.SOFTWARE for s in steps)
+
+
+def test_gcmu_eliminates_security_steps():
+    conventional_security = [
+        s for s in conventional_admin_steps() if s.category is StepCategory.SECURITY
+    ]
+    gcmu_security = [
+        s for s in gcmu_admin_steps() if s.category is StepCategory.SECURITY
+    ]
+    assert conventional_security and not gcmu_security
+
+
+def test_totals_gcmu_vastly_cheaper():
+    conv = total_minutes(conventional_admin_steps()) + total_minutes(
+        conventional_user_steps()
+    )
+    gcmu = total_minutes(gcmu_admin_steps()) + total_minutes(gcmu_user_steps())
+    assert conv / gcmu > 100  # days vs minutes
+
+
+def test_per_user_steps_scale():
+    one = total_minutes(conventional_user_steps(), users=1)
+    hundred = total_minutes(conventional_user_steps(), users=100)
+    assert hundred == 100 * one
+    # GCMU per-user cost is trivial even at 100 users
+    assert total_minutes(gcmu_user_steps(), users=100) < one
+
+
+def test_expert_steps():
+    assert expert_step_count(conventional_admin_steps()) >= 5
+    assert expert_step_count(gcmu_admin_steps()) == 0
+    assert expert_step_count(gcmu_user_steps(), users=50) == 0
+    assert expert_step_count(conventional_user_steps(), users=50) >= 100
+
+
+def test_gridftp_lite_cheap_but_not_secure():
+    """Lite rivals GCMU on setup cost (its security gaps cost elsewhere)."""
+    lite = total_minutes(gridftp_lite_admin_steps()) + total_minutes(
+        gridftp_lite_user_steps()
+    )
+    conv = total_minutes(conventional_admin_steps())
+    assert lite < conv / 50
+    assert expert_step_count(gridftp_lite_admin_steps()) == 0
+
+
+def test_step_count_multiplies_per_user():
+    assert step_count(conventional_user_steps(), users=3) == 12
+    assert step_count(gcmu_admin_steps(), users=10) == 4  # not per-user

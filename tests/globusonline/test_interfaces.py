@@ -1,0 +1,79 @@
+"""The REST-style and CLI facades."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.globusonline.interfaces import TransferAPI, format_job_cli
+from repro.globusonline.service import GlobusOnline
+from repro.storage.data import LiteralData
+from repro.util.units import gbps
+from tests.conftest import make_gcmu_site
+
+
+@pytest.fixture
+def api_env(world):
+    net = world.network
+    for h in ("dtn-a", "dtn-b", "saas"):
+        net.add_host(h, nic_bps=gbps(10))
+    net.add_link("dtn-a", "dtn-b", gbps(10), 0.04)
+    net.add_link("saas", "dtn-a", gbps(1), 0.02)
+    net.add_link("saas", "dtn-b", gbps(1), 0.02)
+    go = GlobusOnline(world, "saas")
+    ep_a = make_gcmu_site(world, "dtn-a", "alcf", {"alice": "pwA"},
+                          register_with=go, endpoint_name="alcf#dtn")
+    ep_b = make_gcmu_site(world, "dtn-b", "nersc", {"asmith": "pwB"},
+                          register_with=go, endpoint_name="nersc#dtn")
+    uid = ep_a.accounts.get("alice").uid
+    ep_a.storage.write_file("/home/alice/f.dat", LiteralData(b"data"), uid=uid)
+    go.register_user("alice@globusid")
+    return world, go, TransferAPI(go)
+
+
+def test_endpoint_list(api_env):
+    world, go, api = api_env
+    eps = api.endpoint_list()
+    assert [e["name"] for e in eps] == ["alcf#dtn", "nersc#dtn"]
+    assert all(e["activation"] for e in eps)
+    assert all(e["gridftp"].startswith("gsiftp://") for e in eps)
+
+
+def test_activate_and_submit_via_api(api_env):
+    world, go, api = api_env
+    out = api.activate({"user": "alice@globusid", "endpoint": "alcf#dtn",
+                        "username": "alice", "password": "pwA"})
+    assert out["code"] == "Activated.Success"
+    assert "CN=alice" in out["subject"]
+    api.activate({"user": "alice@globusid", "endpoint": "nersc#dtn",
+                  "username": "asmith", "password": "pwB"})
+    submitted = api.submit({
+        "user": "alice@globusid",
+        "source_endpoint": "alcf#dtn", "source_path": "/home/alice/f.dat",
+        "destination_endpoint": "nersc#dtn", "destination_path": "/home/asmith/f.dat",
+    })
+    assert submitted["code"] == "Accepted"
+    status = api.task_status(submitted["task_id"])
+    assert status["status"] == "SUCCEEDED"
+    assert status["bytes_transferred"] == 4
+
+
+def test_unknown_user_and_task(api_env):
+    world, go, api = api_env
+    with pytest.raises(ReproError):
+        api.activate({"user": "nobody", "endpoint": "alcf#dtn",
+                      "username": "x", "password": "y"})
+    with pytest.raises(ReproError):
+        api.task_status("go-999999")
+
+
+def test_cli_format(api_env):
+    world, go, api = api_env
+    api.activate({"user": "alice@globusid", "endpoint": "alcf#dtn",
+                  "username": "alice", "password": "pwA"})
+    api.activate({"user": "alice@globusid", "endpoint": "nersc#dtn",
+                  "username": "asmith", "password": "pwB"})
+    user = go.users["alice@globusid"]
+    job = go.submit_transfer(user, "alcf#dtn", "/home/alice/f.dat",
+                             "nersc#dtn", "/home/asmith/g.dat")
+    text = format_job_cli(job)
+    assert "SUCCEEDED" in text
+    assert job.job_id in text

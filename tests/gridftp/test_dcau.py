@@ -1,0 +1,146 @@
+"""Data channel authentication — the Figure 4 logic in isolation."""
+
+import pytest
+
+from repro.errors import DCAUError
+from repro.gridftp.dcau import DataChannelSecurity, DCAUMode, authenticate_data_channel
+from repro.pki.ca import CertificateAuthority
+from repro.pki.dn import DistinguishedName as DN
+from repro.pki.proxy import create_proxy
+from repro.pki.validation import TrustStore
+from repro.sim.clock import Clock
+from repro.sim.random import RngFactory
+from repro.util.units import DAY
+
+
+@pytest.fixture
+def env():
+    clock = Clock()
+    rng = RngFactory(20).python("dcau")
+    ca_a = CertificateAuthority(DN.parse("/O=A/CN=CA-A"), clock, rng, key_bits=256)
+    ca_b = CertificateAuthority(DN.parse("/O=B/CN=CA-B"), clock, rng, key_bits=256)
+    cred_a = create_proxy(
+        ca_a.issue_credential(DN.parse("/O=A/CN=alice"), lifetime=DAY), clock, rng
+    )
+    cred_b = create_proxy(
+        ca_b.issue_credential(DN.parse("/O=B/CN=asmith"), lifetime=DAY), clock, rng
+    )
+    trust_a = TrustStore(); trust_a.add_anchor(ca_a.certificate)
+    trust_b = TrustStore(); trust_b.add_anchor(ca_b.certificate)
+    return clock, ca_a, ca_b, cred_a, cred_b, trust_a, trust_b
+
+
+def side(mode, cred, trust, expected=None, name="ep", anchors=(), inters=(), override=None):
+    return DataChannelSecurity(
+        mode=mode, credential=cred, trust=trust, expected_identity=expected,
+        endpoint_name=name, extra_anchors=tuple(anchors),
+        extra_intermediates=tuple(inters), expected_subject_override=override,
+    )
+
+
+def test_both_none_skips_auth(env):
+    clock, *_ = env
+    ran = authenticate_data_channel(
+        side(DCAUMode.NONE, None, TrustStore()),
+        side(DCAUMode.NONE, None, TrustStore()),
+        clock.now,
+    )
+    assert ran is False
+
+
+def test_mode_mismatch_rejected(env):
+    clock, ca_a, ca_b, cred_a, cred_b, trust_a, trust_b = env
+    with pytest.raises(DCAUError, match="mismatch"):
+        authenticate_data_channel(
+            side(DCAUMode.NONE, None, TrustStore()),
+            side(DCAUMode.SELF, cred_a, trust_a, cred_a.identity),
+            clock.now,
+        )
+
+
+def test_same_domain_mode_a_succeeds(env):
+    clock, ca_a, ca_b, cred_a, cred_b, trust_a, trust_b = env
+    ran = authenticate_data_channel(
+        side(DCAUMode.SELF, cred_a, trust_a, cred_a.identity, "A"),
+        side(DCAUMode.SELF, cred_a, trust_a, cred_a.identity, "B-same-domain"),
+        clock.now,
+    )
+    assert ran is True
+
+
+def test_figure4_cross_domain_fails(env):
+    """Endpoint B can't validate credential A: DCAUError, naming B."""
+    clock, ca_a, ca_b, cred_a, cred_b, trust_a, trust_b = env
+    with pytest.raises(DCAUError, match="endpoint-B"):
+        authenticate_data_channel(
+            side(DCAUMode.SELF, cred_a, trust_a, cred_a.identity, "endpoint-A"),
+            side(DCAUMode.SELF, cred_b, trust_b, cred_b.identity, "endpoint-B"),
+            clock.now,
+        )
+
+
+def test_figure5_dcsc_context_fixes_cross_domain(env):
+    """B presents/accepts credential A with the blob's anchors."""
+    clock, ca_a, ca_b, cred_a, cred_b, trust_a, trust_b = env
+    b_side = side(
+        DCAUMode.SELF, cred_a, trust_b, cred_b.identity, "endpoint-B",
+        anchors=[c for c in cred_a.chain if c.is_self_signed],
+        inters=[c for c in cred_a.chain if not c.is_self_signed],
+        override=cred_a.identity,
+    )
+    ran = authenticate_data_channel(
+        side(DCAUMode.SELF, cred_a, trust_a, cred_a.identity, "endpoint-A"),
+        b_side,
+        clock.now,
+    )
+    assert ran is True
+
+
+def test_mode_a_wrong_identity_rejected(env):
+    """Valid chain but different user: mode A must refuse."""
+    clock, ca_a, ca_b, cred_a, cred_b, trust_a, trust_b = env
+    rng = RngFactory(21).python("x")
+    mallory = create_proxy(
+        ca_a.issue_credential(DN.parse("/O=A/CN=mallory"), lifetime=DAY), clock, rng
+    )
+    with pytest.raises(DCAUError, match="expected data-channel identity"):
+        authenticate_data_channel(
+            side(DCAUMode.SELF, mallory, trust_a, mallory.identity, "A"),
+            side(DCAUMode.SELF, cred_a, trust_a, cred_a.identity, "B"),
+            clock.now,
+        )
+
+
+def test_subject_mode_checks_given_subject(env):
+    clock, ca_a, ca_b, cred_a, cred_b, trust_a, trust_b = env
+    ok = side(DCAUMode.SUBJECT, cred_a, trust_a, DN.parse("/O=A/CN=alice"), "B")
+    authenticate_data_channel(
+        side(DCAUMode.SUBJECT, cred_a, trust_a, DN.parse("/O=A/CN=alice"), "A"),
+        ok,
+        clock.now,
+    )
+    wrong = side(DCAUMode.SUBJECT, cred_a, trust_a, DN.parse("/O=A/CN=other"), "B")
+    with pytest.raises(DCAUError):
+        authenticate_data_channel(
+            side(DCAUMode.SUBJECT, cred_a, trust_a, DN.parse("/O=A/CN=alice"), "A"),
+            wrong,
+            clock.now,
+        )
+
+
+def test_missing_credential_rejected(env):
+    clock, ca_a, ca_b, cred_a, cred_b, trust_a, trust_b = env
+    with pytest.raises(DCAUError, match="no data-channel credential"):
+        authenticate_data_channel(
+            side(DCAUMode.SELF, None, trust_a, None, "A"),
+            side(DCAUMode.SELF, cred_a, trust_a, cred_a.identity, "B"),
+            clock.now,
+        )
+
+
+def test_mode_parse():
+    assert DCAUMode.parse("n") is DCAUMode.NONE
+    assert DCAUMode.parse("A") is DCAUMode.SELF
+    assert DCAUMode.parse("S") is DCAUMode.SUBJECT
+    with pytest.raises(DCAUError):
+        DCAUMode.parse("Z")

@@ -1,0 +1,71 @@
+"""The DCSC blob format and its Section V.A rules."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.gridftp.dcsc import decode_dcsc_blob, encode_dcsc_blob
+from repro.pki.ca import CertificateAuthority, self_signed_credential
+from repro.pki.credential import Credential
+from repro.pki.dn import DistinguishedName as DN
+from repro.pki.proxy import create_proxy
+from repro.sim.clock import Clock
+from repro.sim.random import RngFactory
+from repro.util.encoding import is_printable_ascii
+from repro.util.units import DAY
+
+
+@pytest.fixture
+def env():
+    clock = Clock()
+    rng = RngFactory(22).python("dcsc")
+    ca = CertificateAuthority(DN.parse("/O=A/CN=CA-A"), clock, rng, key_bits=256)
+    user = ca.issue_credential(DN.parse("/O=A/CN=alice"), lifetime=DAY)
+    proxy = create_proxy(user, clock, rng)
+    return clock, rng, ca, user, proxy
+
+
+def test_blob_is_printable_ascii(env):
+    clock, rng, ca, user, proxy = env
+    blob = encode_dcsc_blob(proxy)
+    assert is_printable_ascii(blob)
+    assert " " not in blob  # must survive as one command argument
+
+
+def test_round_trip(env):
+    clock, rng, ca, user, proxy = env
+    ctx = decode_dcsc_blob(encode_dcsc_blob(proxy), clock.now)
+    assert ctx.credential.chain == proxy.chain
+    assert ctx.credential.key == proxy.key
+
+
+def test_anchors_are_self_signed_blob_certs(env):
+    """The CA root in the blob becomes the extra validation anchor."""
+    clock, rng, ca, user, proxy = env
+    ctx = decode_dcsc_blob(encode_dcsc_blob(proxy), clock.now)
+    assert ca.certificate in ctx.anchors
+    assert proxy.certificate in ctx.intermediates
+    assert proxy.certificate not in ctx.anchors
+
+
+def test_self_signed_context(env):
+    clock, rng, *_ = env
+    ss = self_signed_credential(DN.parse("/CN=random-ctx"), clock, rng)
+    ctx = decode_dcsc_blob(encode_dcsc_blob(ss), clock.now)
+    assert ctx.anchors == (ss.certificate,)
+    assert ctx.intermediates == ()
+
+
+def test_non_self_contained_blob_rejected(env):
+    """Leaf not self-signed and chain truncated: Section V.A violation."""
+    clock, rng, ca, user, proxy = env
+    truncated = Credential(chain=proxy.chain[:1], key=proxy.key)
+    with pytest.raises(ProtocolError, match="not .*verifiable from the blob|self-signed"):
+        decode_dcsc_blob(encode_dcsc_blob(truncated), clock.now)
+
+
+def test_garbage_blob_rejected(env):
+    clock, *_ = env
+    with pytest.raises(ProtocolError):
+        decode_dcsc_blob("!!!not-base64!!!", clock.now)
+    with pytest.raises(ProtocolError):
+        decode_dcsc_blob("aGVsbG8gd29ybGQ=", clock.now)  # b64 of "hello world"

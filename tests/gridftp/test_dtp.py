@@ -1,0 +1,46 @@
+"""The DTP abstraction and PI/DTP composition."""
+
+import pytest
+
+from repro.gridftp.dtp import DataTransferProcess
+from repro.storage.data import LiteralData
+from repro.storage.posix import PosixStorage
+
+
+@pytest.fixture
+def dtp(world):
+    world.network.add_host("mover")
+    fs = PosixStorage(world.clock)
+    fs.makedirs("/data", 0)
+    fs.write_file("/data/f.bin", LiteralData(b"payload"))
+    return world, fs, DataTransferProcess(world, "mover", fs)
+
+
+def test_requires_existing_host(world):
+    from repro.errors import NetworkError
+
+    with pytest.raises(NetworkError):
+        DataTransferProcess(world, "ghost", PosixStorage(world.clock))
+
+
+def test_open_source(dtp):
+    world, fs, proc = dtp
+    data = proc.open_source("/data/f.bin", uid=0)
+    assert data.read_all() == b"payload"
+
+
+def test_open_sink_round_trip(dtp):
+    world, fs, proc = dtp
+    sink = proc.open_sink("/data/out.bin", uid=0, expected_size=3)
+    sink.write_block(0, b"abc")
+    sink.close(complete=True)
+    assert fs.open_read("/data/out.bin", 0).read_all() == b"abc"
+
+
+def test_permissions_enforced_through_dtp(dtp):
+    world, fs, proc = dtp
+    fs.chmod("/data/f.bin", 0o600, uid=0)
+    from repro.errors import PermissionDeniedError
+
+    with pytest.raises(PermissionDeniedError):
+        proc.open_source("/data/f.bin", uid=1234)

@@ -1,0 +1,47 @@
+"""Performance markers."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.gridftp.perf import PerfMarker, progress_markers
+
+
+def test_format_and_parse_round_trip():
+    m = PerfMarker(timestamp=123.5, stripe_index=1, stripe_count=4,
+                   bytes_transferred=1 << 30)
+    text = m.format()
+    assert text.startswith("112-Perf Marker")
+    assert PerfMarker.parse(text) == m
+
+
+def test_parse_malformed():
+    with pytest.raises(ProtocolError):
+        PerfMarker.parse("112-Perf Marker\n112 End")
+
+
+def test_progress_markers_monotonic():
+    markers = progress_markers(start_time=0.0, duration=60.0, total_bytes=6000,
+                               stripes=1, interval_s=10.0)
+    assert len(markers) == 5  # t=10..50
+    byte_counts = [m.bytes_transferred for m in markers]
+    assert byte_counts == sorted(byte_counts)
+    assert byte_counts[-1] < 6000  # never reports completion early
+
+
+def test_progress_markers_stripes_sum_to_total():
+    markers = progress_markers(0.0, 100.0, 1000, stripes=3, interval_s=50.0)
+    at_t50 = [m for m in markers if m.timestamp == 50.0]
+    assert len(at_t50) == 3
+    assert sum(m.bytes_transferred for m in at_t50) == 500
+
+
+def test_progress_markers_empty_cases():
+    assert progress_markers(0.0, 0.0, 100) == []
+    assert progress_markers(0.0, 10.0, 0) == []
+
+
+def test_progress_markers_invalid():
+    with pytest.raises(ValueError):
+        progress_markers(0.0, -1.0, 100)
+    with pytest.raises(ValueError):
+        progress_markers(0.0, 1.0, 100, stripes=0)

@@ -1,0 +1,67 @@
+"""FTP reply codes and classification."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.gridftp.replies import Reply, file_unavailable, raise_for_reply
+
+
+def test_str_format():
+    assert str(Reply(200, "Command okay.")) == "200 Command okay."
+
+
+def test_parse_round_trip():
+    r = Reply.parse("226 Transfer complete.")
+    assert r.code == 226
+    assert r.text == "Transfer complete."
+
+
+def test_parse_malformed():
+    with pytest.raises(ProtocolError):
+        Reply.parse("not a reply")
+
+
+def test_invalid_code_rejected():
+    with pytest.raises(ProtocolError):
+        Reply(99, "too low")
+    with pytest.raises(ProtocolError):
+        Reply(700, "too high")
+
+
+@pytest.mark.parametrize(
+    "code,attr",
+    [
+        (150, "is_preliminary"),
+        (226, "is_completion"),
+        (334, "is_intermediate"),
+        (426, "is_transient_error"),
+        (530, "is_permanent_error"),
+    ],
+)
+def test_categories(code, attr):
+    r = Reply(code, "x")
+    assert getattr(r, attr)
+    # exactly one category is true
+    cats = [r.is_preliminary, r.is_completion, r.is_intermediate,
+            r.is_transient_error, r.is_permanent_error]
+    assert sum(cats) == 1
+
+
+def test_is_error():
+    assert Reply(426, "x").is_error
+    assert Reply(550, "x").is_error
+    assert not Reply(226, "x").is_error
+
+
+def test_file_unavailable_includes_path():
+    r = file_unavailable("/x/y", "No such file")
+    assert r.code == 550
+    assert "/x/y" in r.text
+
+
+def test_raise_for_reply():
+    ok = Reply(200, "fine")
+    assert raise_for_reply(ok) is ok
+    with pytest.raises(ProtocolError) as exc:
+        raise_for_reply(Reply(530, "Not logged in."))
+    assert exc.value.code == 530

@@ -1,0 +1,49 @@
+"""Restart marker wire format."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.gridftp.restart import (
+    ByteRangeSet,
+    format_restart_marker,
+    marker_reply_line,
+    parse_restart_marker,
+)
+
+
+def test_format():
+    s = ByteRangeSet([(0, 100), (200, 300)])
+    assert format_restart_marker(s) == "0-100,200-300"
+
+
+def test_parse_round_trip():
+    s = ByteRangeSet([(0, 1048576), (2097152, 3145728)])
+    assert parse_restart_marker(format_restart_marker(s)) == s
+
+
+def test_parse_empty():
+    assert parse_restart_marker("").is_empty()
+    assert parse_restart_marker("  ").is_empty()
+
+
+def test_parse_stream_mode_offset():
+    """A bare offset means 'I have the prefix [0, offset)'."""
+    s = parse_restart_marker("12345")
+    assert s.ranges == [(0, 12345)]
+
+
+def test_parse_coalesces():
+    s = parse_restart_marker("0-100,100-200,50-150")
+    assert s.ranges == [(0, 200)]
+
+
+@pytest.mark.parametrize("bad", ["abc", "10-", "-5", "1-2-3", "5-1"])
+def test_parse_malformed(bad):
+    with pytest.raises(ProtocolError):
+        parse_restart_marker(bad)
+
+
+def test_marker_reply_line():
+    line = marker_reply_line(ByteRangeSet([(0, 10)]))
+    assert line.startswith("111 Range Marker ")
+    assert "0-10" in line

@@ -1,0 +1,92 @@
+"""Two-party (client <-> striped server) transfers."""
+
+import pytest
+
+from repro.gridftp.striped import StripedGridFTPServer
+from repro.gridftp.transfer import TransferOptions
+from repro.gsi.authz import GridmapCallout
+from repro.pki.dn import DistinguishedName as DN
+from repro.storage.data import LiteralData
+from repro.storage.posix import PosixStorage
+from repro.util.units import MB, gbps
+from tests.conftest import make_conventional_site
+
+CONTENT = bytes(range(256)) * 1024  # 256 KiB patterned
+
+
+@pytest.fixture
+def striped(world):
+    net = world.network
+    net.add_router("lan")
+    net.add_host("head", nic_bps=gbps(10))
+    net.add_link("head", "lan", gbps(10), 0.002)
+    for i in range(2):
+        net.add_host(f"dtp{i}", nic_bps=gbps(1))
+        net.add_link(f"dtp{i}", "lan", gbps(1), 0.002)
+    net.add_host("laptop", nic_bps=gbps(10))
+    net.add_link("laptop", "lan", gbps(10), 0.002)
+    # anchor CA etc. borrowed from a conventional site on the head node
+    site = make_conventional_site(world, "Org", "head", port=9999)
+    site.add_user(world, "alice")
+    fs = PosixStorage(world.clock)
+    fs.makedirs("/home/alice", 0)
+    fs.chown("/home/alice", site.accounts.get("alice").uid)
+    fs.write_file("/home/alice/d.bin", LiteralData(CONTENT),
+                  uid=site.accounts.get("alice").uid)
+    server = StripedGridFTPServer(
+        world, "head", ["dtp0", "dtp1"],
+        site.ca.issue_credential(DN.parse("/O=Org/OU=hosts/CN=head")),
+        site.trust, GridmapCallout(site.gridmap), site.accounts, fs, port=2811,
+    ).start()
+    return world, site, server, fs
+
+
+def test_get_from_striped_server(striped):
+    world, site, server, fs = striped
+    client = site.client_for(world, "alice", "laptop")
+    session = client.connect(server)
+    res = session.get("/home/alice/d.bin", "/tmp/d.bin",
+                      TransferOptions(parallelism=2, block_size=16 * 1024))
+    assert res.stripes == 2  # one flow per DTP node
+    assert res.verified
+    assert client.local_storage.open_read("/tmp/d.bin", 0).read_all() == CONTENT
+
+
+def test_put_to_striped_server(striped):
+    world, site, server, fs = striped
+    client = site.client_for(world, "alice", "laptop")
+    session = client.connect(server)
+    client.local_storage.write_file("/tmp/up.bin", CONTENT)
+    res = session.put("/tmp/up.bin", "/home/alice/up.bin",
+                      TransferOptions(parallelism=2))
+    assert res.verified
+    uid = site.accounts.get("alice").uid
+    assert fs.open_read("/home/alice/up.bin", uid).read_all() == CONTENT
+
+
+def test_striped_pasv_lands_on_stripe_node(striped):
+    world, site, server, fs = striped
+    client = site.client_for(world, "alice", "laptop")
+    session = client.connect(server)
+    host, port = session.passive()
+    assert host == "dtp0"  # data ports live on the movers, not the head
+
+
+def test_striped_two_party_faster_than_single_node(striped):
+    world, site, server, fs = striped
+    uid = site.accounts.get("alice").uid
+    from repro.storage.data import SyntheticData
+    from repro.util.units import GB
+
+    fs.write_file("/home/alice/big.bin", SyntheticData(seed=2, length=2 * GB), uid=uid)
+    single = StripedGridFTPServer(
+        world, "head", ["dtp0"], server.credential, site.trust,
+        server.authz, site.accounts, fs, port=2899, name="one-stripe",
+    ).start()
+    client = site.client_for(world, "alice", "laptop")
+    opts = TransferOptions(parallelism=4, tcp_window_bytes=4 * MB)
+    s1 = client.connect(single)
+    r1 = s1.get("/home/alice/big.bin", "/tmp/b1.bin", opts)
+    s2 = client.connect(server)
+    r2 = s2.get("/home/alice/big.bin", "/tmp/b2.bin", opts)
+    assert r2.rate_bps > 1.7 * r1.rate_bps

@@ -1,0 +1,163 @@
+"""Third-party transfers: Figures 4 and 5, end to end over the protocol."""
+
+import pytest
+
+from repro.errors import DCAUError, TransferFaultError
+from repro.gridftp.third_party import (
+    install_dcsc_contexts,
+    third_party_transfer,
+    third_party_with_restart,
+)
+from repro.gridftp.transfer import TransferOptions
+from repro.pki.ca import self_signed_credential
+from repro.pki.dn import DistinguishedName as DN
+from repro.storage.data import LiteralData, SyntheticData
+from repro.util.units import GB
+
+CONTENT = b"science data " * 10000
+
+
+@pytest.fixture
+def duo(two_domain_world):
+    d = two_domain_world
+    uid = d.site_a.accounts.get("alice").uid
+    d.site_a.storage.write_file("/home/alice/data.bin", LiteralData(CONTENT), uid=uid)
+    client_a = d.site_a.client_for(d.world, "alice", d.laptop)
+    client_b = d.site_b.client_for(d.world, "asmith", d.laptop)
+    sa = client_a.connect(d.site_a.server)
+    sb = client_b.connect(d.site_b.server)
+    return d, sa, sb, client_a
+
+
+def test_figure4_cross_domain_transfer_fails(duo):
+    d, sa, sb, _ = duo
+    with pytest.raises(DCAUError):
+        third_party_transfer(sa, "/home/alice/data.bin", sb, "/home/asmith/data.bin")
+    # nothing landed at B
+    assert not d.site_b.storage.exists("/home/asmith/data.bin")
+
+
+def test_figure5_dcsc_to_receiver(duo):
+    d, sa, sb, client_a = duo
+    res = third_party_transfer(
+        sa, "/home/alice/data.bin", sb, "/home/asmith/data.bin",
+        use_dcsc=client_a.credential,
+    )
+    assert res.verified
+    uid = d.site_b.accounts.get("asmith").uid
+    assert d.site_b.storage.open_read("/home/asmith/data.bin", uid).read_all() == CONTENT
+
+
+def test_figure5_data_flows_direct_not_via_client(duo):
+    """The transfer must not touch the laptop's slow links."""
+    d, sa, sb, client_a = duo
+    t0 = d.world.now
+    res = third_party_transfer(
+        sa, "/home/alice/data.bin", sb, "/home/asmith/data.bin",
+        use_dcsc=client_a.credential,
+        options=TransferOptions(parallelism=4),
+    )
+    # at 20 Mb/s (laptop link) this payload would need ~52s; direct it's fast
+    assert (d.world.now - t0) < 20.0
+    assert res.verified
+
+
+def test_dcsc_with_legacy_receiver(duo):
+    """One endpoint legacy: blob goes to the *source* instead."""
+    d, sa, sb, client_a = duo
+    d.site_b.server.dcsc_enabled = False
+    client_b = d.site_b.client_for(d.world, "asmith", d.laptop)
+    sb2 = client_b.connect(d.site_b.server)
+    res = third_party_transfer(
+        sa, "/home/alice/data.bin", sb2, "/home/asmith/data2.bin",
+        use_dcsc=client_b.credential,  # credential B handed to A
+    )
+    assert res.verified
+
+
+def test_both_legacy_no_dcsc_possible(duo):
+    d, sa, sb, client_a = duo
+    d.site_a.server.dcsc_enabled = False
+    d.site_b.server.dcsc_enabled = False
+    client_a2 = d.site_a.client_for(d.world, "alice", d.laptop)
+    client_b2 = d.site_b.client_for(d.world, "asmith", d.laptop)
+    sa2 = client_a2.connect(d.site_a.server)
+    sb2 = client_b2.connect(d.site_b.server)
+    accepted = install_dcsc_contexts(sa2, sb2, client_a2.credential)
+    assert accepted == []
+    with pytest.raises(DCAUError):
+        third_party_transfer(sa2, "/home/alice/data.bin", sb2, "/home/asmith/d.bin",
+                             use_dcsc=client_a2.credential)
+
+
+def test_self_signed_context_both_endpoints(duo):
+    """Section V: 'clients that desire higher security may specify a
+    random, self-signed certificate as the DCAU context.'"""
+    d, sa, sb, client_a = duo
+    ctx = self_signed_credential(
+        DN.parse("/CN=transfer-ctx"), d.world.clock, d.world.rng.python("ss")
+    )
+    accepted = install_dcsc_contexts(sa, sb, ctx, both=True)
+    assert len(accepted) == 2
+    res = third_party_transfer(sa, "/home/alice/data.bin", sb, "/home/asmith/ss.bin")
+    assert res.verified
+
+
+def test_same_domain_needs_no_dcsc(two_domain_world):
+    """Within one trust domain plain DCAU A just works."""
+    d = two_domain_world
+    # give alice an account at B mapped from her SiteA identity? no —
+    # same-domain means both endpoints at site A; reuse A's server twice
+    # via a second server on dtn-b trusting CA-A.
+    from tests.conftest import make_conventional_site
+
+    d.world.network.add_host("dtn-a2")
+    d.world.network.add_link("dtn-a2", "dtn-a", 10e9, 0.001)
+    d.world.network.add_link("dtn-a2", "laptop", 20e6, 0.02)
+    site_a2 = make_conventional_site(d.world, "SiteA2", "dtn-a2", port=2813)
+    # same CA domain: trust CA-A, map alice
+    site_a2.trust.add_anchor(d.site_a.ca.certificate)
+    alice_cred = d.site_a.user_credentials["alice"]
+    site_a2.accounts.add_user("alice")
+    site_a2.gridmap.add(alice_cred.subject, "alice")
+    site_a2.storage.makedirs("/home/alice", 0)
+    site_a2.storage.chown("/home/alice", site_a2.accounts.get("alice").uid)
+    d.site_a.trust.add_anchor(site_a2.ca.certificate)  # mutual host trust
+    uid = d.site_a.accounts.get("alice").uid
+    d.site_a.storage.write_file("/home/alice/f.bin", LiteralData(b"x" * 1000), uid=uid)
+
+    client = d.site_a.client_for(d.world, "alice", d.laptop)
+    sa = client.connect(d.site_a.server)
+    sa2 = client.connect(site_a2.server)
+    res = third_party_transfer(sa, "/home/alice/f.bin", sa2, "/home/alice/f.bin")
+    assert res.verified
+
+
+def test_third_party_with_restart_survives_fault(duo):
+    d, sa, sb, client_a = duo
+    uid = d.site_a.accounts.get("alice").uid
+    big = SyntheticData(seed=12, length=20 * GB)
+    d.site_a.storage.write_file("/home/alice/big.bin", big, uid=uid)
+    d.world.faults.cut_link(d.inter_site_link_id, at=d.world.now + 10.0, duration=20.0)
+    res, attempts = third_party_with_restart(
+        sa, "/home/alice/big.bin", sb, "/home/asmith/big.bin",
+        options=TransferOptions(parallelism=8, tcp_window_bytes=16 * 1024 * 1024),
+        use_dcsc=client_a.credential,
+    )
+    assert attempts == 2
+    assert res.verified
+    # the retry moved strictly less than the whole file
+    assert res.nbytes < big.size
+    uid_b = d.site_b.accounts.get("asmith").uid
+    assert d.site_b.storage.open_read("/home/asmith/big.bin", uid_b).fingerprint() == big.fingerprint()
+
+
+def test_third_party_with_restart_gives_up(duo):
+    d, sa, sb, client_a = duo
+    # permanent outage
+    d.world.faults.cut_link(d.inter_site_link_id, at=d.world.now + 1.0, duration=1e9)
+    with pytest.raises(TransferFaultError, match="attempts"):
+        third_party_with_restart(
+            sa, "/home/alice/data.bin", sb, "/home/asmith/x.bin",
+            use_dcsc=client_a.credential, max_attempts=2, retry_backoff_s=1.0,
+        )

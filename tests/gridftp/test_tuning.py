@@ -1,0 +1,63 @@
+"""Auto-tuning heuristics."""
+
+from repro.gridftp.tuning import DatasetShape, autotune, bandwidth_delay_product
+from repro.net.topology import PathStats
+from repro.util.units import GB, KB, MB, gbps
+from repro.xio.drivers import Protection
+
+
+def path(rtt=0.05, bw=gbps(10)):
+    return PathStats(src="a", dst="b", rtt_s=rtt, bottleneck_bps=bw, loss=0.0,
+                     link_ids=("l",), hosts=("a", "b"))
+
+
+def test_bdp():
+    assert bandwidth_delay_product(path(rtt=0.1, bw=gbps(10))) == 10e9 / 8 * 0.1
+
+
+def test_shape_from_sizes():
+    shape = DatasetShape.from_sizes([100, 200, 300])
+    assert shape.file_count == 3
+    assert shape.total_bytes == 600
+    assert shape.mean_size == 200
+
+
+def test_small_files_get_concurrency_and_pipelining():
+    shape = DatasetShape(file_count=5000, total_bytes=5000 * 100 * KB)
+    opts = autotune(shape, path())
+    assert opts.pipelining
+    assert opts.concurrency >= 2
+    assert opts.parallelism <= 4
+
+
+def test_bulk_file_gets_parallel_streams_and_windows():
+    shape = DatasetShape(file_count=1, total_bytes=100 * GB)
+    opts = autotune(shape, path(rtt=0.1))
+    assert opts.parallelism >= 8
+    assert opts.tcp_window_bytes >= 1 * MB
+    assert opts.concurrency == 1
+
+
+def test_short_rtt_bulk_uses_fewer_streams():
+    shape = DatasetShape(file_count=1, total_bytes=10 * GB)
+    lan = autotune(shape, path(rtt=0.001))
+    wan = autotune(shape, path(rtt=0.1))
+    assert lan.parallelism <= wan.parallelism
+
+
+def test_protection_is_passed_through():
+    shape = DatasetShape(file_count=1, total_bytes=GB)
+    opts = autotune(shape, path(), protection=Protection.PRIVATE)
+    assert opts.protection is Protection.PRIVATE
+
+
+def test_empty_dataset_gets_defaults():
+    opts = autotune(DatasetShape(file_count=0, total_bytes=0), path())
+    assert opts.parallelism == 1
+
+
+def test_autotuned_options_are_valid():
+    for count, total in [(1, GB), (10, 10 * GB), (100000, 100000 * 10 * KB)]:
+        opts = autotune(DatasetShape(file_count=count, total_bytes=total), path())
+        assert opts.parallelism >= 1
+        assert opts.concurrency >= 1

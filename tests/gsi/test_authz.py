@@ -1,0 +1,54 @@
+"""The gridmap authorization callout."""
+
+import pytest
+
+from repro.errors import AuthorizationError, GridmapError
+from repro.gsi.authz import GridmapCallout
+from repro.gsi.gridmap import Gridmap
+from repro.pki.ca import CertificateAuthority
+from repro.pki.dn import DistinguishedName as DN
+from repro.pki.proxy import create_proxy
+from repro.pki.validation import TrustStore, validate_chain
+from repro.sim.clock import Clock
+from repro.sim.random import RngFactory
+
+
+@pytest.fixture
+def validated_alice():
+    clock = Clock()
+    rng = RngFactory(9).python("authz")
+    ca = CertificateAuthority(DN.parse("/O=T/CN=CA"), clock, rng, key_bits=256)
+    alice = ca.issue_credential(DN.parse("/O=T/CN=alice"))
+    proxy = create_proxy(alice, clock, rng)
+    trust = TrustStore()
+    trust.add_anchor(ca.certificate)
+    return validate_chain(proxy.chain, trust, clock.now)
+
+
+def test_maps_identity_not_proxy_subject(validated_alice):
+    gm = Gridmap()
+    gm.add(DN.parse("/O=T/CN=alice"), "alice")
+    callout = GridmapCallout(gm)
+    assert callout.map_subject(validated_alice) == "alice"
+
+
+def test_requested_user_honoured_when_authorized(validated_alice):
+    gm = Gridmap()
+    gm.add(DN.parse("/O=T/CN=alice"), "alice")
+    gm.add(DN.parse("/O=T/CN=alice"), "project42")
+    callout = GridmapCallout(gm)
+    assert callout.map_subject(validated_alice, "project42") == "project42"
+
+
+def test_requested_user_denied_when_not_mapped(validated_alice):
+    gm = Gridmap()
+    gm.add(DN.parse("/O=T/CN=alice"), "alice")
+    callout = GridmapCallout(gm)
+    with pytest.raises(AuthorizationError):
+        callout.map_subject(validated_alice, "root")
+
+
+def test_missing_entry_raises_gridmap_error(validated_alice):
+    callout = GridmapCallout(Gridmap())
+    with pytest.raises(GridmapError):
+        callout.map_subject(validated_alice)

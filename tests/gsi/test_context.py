@@ -1,0 +1,79 @@
+"""GSI mutual-authentication contexts."""
+
+import pytest
+
+from repro.errors import AuthenticationError
+from repro.gsi.context import establish_context
+from repro.pki.ca import CertificateAuthority
+from repro.pki.dn import DistinguishedName as DN
+from repro.pki.proxy import create_proxy
+from repro.pki.validation import TrustStore
+from repro.sim.clock import Clock
+from repro.sim.random import RngFactory
+from repro.util.units import DAY
+
+
+@pytest.fixture
+def env():
+    clock = Clock()
+    rng = RngFactory(8).python("ctx")
+    ca = CertificateAuthority(DN.parse("/O=T/CN=CA"), clock, rng, key_bits=256)
+    user = ca.issue_credential(DN.parse("/O=T/CN=alice"), lifetime=DAY)
+    host = ca.issue_credential(DN.parse("/O=T/OU=hosts/CN=dtn1"), lifetime=DAY)
+    trust = TrustStore()
+    trust.add_anchor(ca.certificate)
+    return clock, rng, ca, user, host, trust
+
+
+def test_mutual_success(env):
+    clock, rng, ca, user, host, trust = env
+    proxy = create_proxy(user, clock, rng)
+    ctx = establish_context(proxy, host, trust, trust, clock.now)
+    assert ctx.initiator_identity == user.subject
+    assert ctx.acceptor_identity == host.subject
+    assert ctx.encrypted and ctx.integrity
+    assert len(ctx.session_key) == 32
+
+
+def test_acceptor_rejects_untrusted_initiator(env):
+    clock, rng, ca, user, host, trust = env
+    other_ca = CertificateAuthority(DN.parse("/O=X/CN=X"), clock, rng, key_bits=256)
+    stranger = other_ca.issue_credential(DN.parse("/O=X/CN=eve"))
+    with pytest.raises(AuthenticationError, match="rejected initiator"):
+        establish_context(stranger, host, trust, trust, clock.now)
+
+
+def test_initiator_rejects_untrusted_acceptor(env):
+    clock, rng, ca, user, host, trust = env
+    other_ca = CertificateAuthority(DN.parse("/O=X/CN=X"), clock, rng, key_bits=256)
+    fake_host = other_ca.issue_credential(DN.parse("/O=X/OU=hosts/CN=evil"))
+    with pytest.raises(AuthenticationError, match="rejected acceptor"):
+        establish_context(user, fake_host, trust, trust, clock.now)
+
+
+def test_extra_anchors_rescue_each_direction(env):
+    clock, rng, ca, user, host, trust = env
+    other_ca = CertificateAuthority(DN.parse("/O=X/CN=X"), clock, rng, key_bits=256)
+    stranger = other_ca.issue_credential(DN.parse("/O=X/CN=bob"))
+    ctx = establish_context(
+        stranger, host, trust, trust, clock.now,
+        acceptor_extra_anchors=[other_ca.certificate],
+    )
+    assert ctx.initiator_identity == stranger.subject
+
+
+def test_expired_credential_fails(env):
+    clock, rng, ca, user, host, trust = env
+    clock.advance(2 * DAY)
+    fresh_host = ca.issue_credential(DN.parse("/O=T/OU=hosts/CN=dtn2"), lifetime=DAY)
+    with pytest.raises(AuthenticationError):
+        establish_context(user, fresh_host, trust, trust, clock.now)
+
+
+def test_peer_of(env):
+    clock, rng, ca, user, host, trust = env
+    ctx = establish_context(user, host, trust, trust, clock.now)
+    assert ctx.peer_of(ctx.initiator_subject) == host.subject
+    assert ctx.peer_of(ctx.acceptor_subject) == user.subject
+    with pytest.raises(ValueError):
+        ctx.peer_of(DN.parse("/CN=nobody"))

@@ -1,0 +1,59 @@
+"""The per-user credential store."""
+
+import pytest
+
+from repro.errors import SecurityError
+from repro.gsi.credentials import CredentialStore
+from repro.pki.ca import CertificateAuthority
+from repro.pki.dn import DistinguishedName as DN
+from repro.sim.clock import Clock
+from repro.sim.random import RngFactory
+from repro.util.units import DAY, HOUR
+
+
+@pytest.fixture
+def env():
+    clock = Clock()
+    rng = RngFactory(11).python("store")
+    ca = CertificateAuthority(DN.parse("/O=T/CN=CA"), clock, rng, key_bits=256)
+    cred = ca.issue_credential(DN.parse("/O=T/CN=alice"), lifetime=30 * DAY)
+    store = CredentialStore("alice", clock, rng)
+    return clock, ca, cred, store
+
+
+def test_empty_store_has_nothing(env):
+    clock, ca, cred, store = env
+    assert not store.has_valid_credential()
+    with pytest.raises(SecurityError):
+        store.active_credential()
+
+
+def test_grid_proxy_init_requires_long_term(env):
+    clock, ca, cred, store = env
+    with pytest.raises(SecurityError):
+        store.grid_proxy_init()
+
+
+def test_proxy_preferred_over_long_term(env):
+    clock, ca, cred, store = env
+    store.install_certificate(cred)
+    assert store.active_credential() is cred  # no proxy yet: long-term
+    proxy = store.grid_proxy_init(lifetime=12 * HOUR)
+    assert store.active_credential() is proxy
+
+
+def test_expired_proxy_falls_back_to_long_term(env):
+    clock, ca, cred, store = env
+    store.install_certificate(cred)
+    store.grid_proxy_init(lifetime=1 * HOUR)
+    clock.advance(2 * HOUR)
+    assert store.active_credential() is cred
+
+
+def test_myproxy_style_install_proxy(env):
+    clock, ca, cred, store = env
+    short = ca.issue_credential(DN.parse("/O=GCMU/OU=s/CN=alice"), lifetime=12 * HOUR)
+    store.install_proxy(short)
+    assert store.active_credential() is short
+    clock.advance(13 * HOUR)
+    assert not store.has_valid_credential()

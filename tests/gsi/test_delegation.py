@@ -1,0 +1,46 @@
+"""Delegation."""
+
+import pytest
+
+from repro.errors import DelegationError
+from repro.gsi.delegation import delegate_credential
+from repro.pki.ca import CertificateAuthority, self_signed_credential
+from repro.pki.dn import DistinguishedName as DN
+from repro.sim.clock import Clock
+from repro.sim.random import RngFactory
+from repro.util.units import DAY
+
+
+@pytest.fixture
+def env():
+    clock = Clock()
+    rng = RngFactory(10).python("deleg")
+    ca = CertificateAuthority(DN.parse("/O=T/CN=CA"), clock, rng, key_bits=256)
+    user = ca.issue_credential(DN.parse("/O=T/CN=alice"), lifetime=DAY)
+    return clock, rng, user
+
+
+def test_delegation_produces_proxy(env):
+    clock, rng, user = env
+    delegated = delegate_credential(user, clock, rng)
+    assert delegated.identity == user.subject
+    assert delegated.certificate.is_proxy
+    assert delegated.key != user.key  # the user's key never travels
+
+
+def test_ssh_credential_cannot_delegate(env):
+    """Paper Section III.B limitation 2."""
+    clock, rng, user = env
+    ssh_cred = self_signed_credential(
+        DN.parse("/O=gridftp-lite/CN=alice"), clock, rng,
+        extensions={"no_delegation": True},
+    )
+    with pytest.raises(DelegationError, match="does not support delegation"):
+        delegate_credential(ssh_cred, clock, rng)
+
+
+def test_expired_credential_cannot_delegate(env):
+    clock, rng, user = env
+    clock.advance(2 * DAY)
+    with pytest.raises(DelegationError, match="expired"):
+        delegate_credential(user, clock, rng)

@@ -1,0 +1,94 @@
+"""End-to-end: two GCMU sites, disjoint CAs, DCSC third-party transfer.
+
+This is the paper's summary claim (Section VIII): "Users can use a
+certificate issued by one CA to authenticate with a GridFTP server at
+one site and a certificate issued by another CA ... and then perform a
+secure third-party transfer between the two sites without either site
+needing to have the other CA in its trust roots."
+"""
+
+import pytest
+
+from repro.core import install_client
+from repro.errors import DCAUError
+from repro.gridftp.client import GridFTPClient
+from repro.gridftp.third_party import third_party_transfer
+from repro.gridftp.transfer import TransferOptions
+from repro.storage.data import LiteralData
+from repro.util.units import gbps
+from repro.xio.drivers import Protection
+from tests.conftest import make_gcmu_site
+
+
+@pytest.fixture
+def two_gcmu_sites(world):
+    net = world.network
+    net.add_host("dtn.alcf.gov", nic_bps=gbps(10))
+    net.add_host("dtn.nersc.gov", nic_bps=gbps(10))
+    net.add_host("laptop", nic_bps=gbps(1))
+    net.add_link("dtn.alcf.gov", "dtn.nersc.gov", gbps(10), 0.03, loss=1e-5)
+    net.add_link("laptop", "dtn.alcf.gov", gbps(0.02), 0.02)
+    net.add_link("laptop", "dtn.nersc.gov", gbps(0.02), 0.025)
+    ep_a = make_gcmu_site(world, "dtn.alcf.gov", "alcf", {"alice": "pwA"})
+    ep_b = make_gcmu_site(world, "dtn.nersc.gov", "nersc", {"asmith": "pwB"})
+    uid = ep_a.accounts.get("alice").uid
+    ep_a.storage.write_file("/home/alice/results.h5",
+                            LiteralData(b"H5" * 50_000), uid=uid)
+    tools = install_client(world, "laptop", username="alice",
+                           charge_install_time=False)
+    return world, ep_a, ep_b, tools
+
+
+def test_disjoint_trust_roots(two_gcmu_sites):
+    world, ep_a, ep_b, tools = two_gcmu_sites
+    a_anchors = set(ep_a.server.trust.anchors)
+    b_anchors = set(ep_b.server.trust.anchors)
+    assert not (a_anchors & b_anchors)
+
+
+def test_full_cross_domain_story(two_gcmu_sites):
+    world, ep_a, ep_b, tools = two_gcmu_sites
+    # two identities, one per site, via myproxy-logon
+    cred_a = tools.myproxy_logon(ep_a, "alice", "pwA")
+    cred_b = tools.myproxy_logon(ep_b, "asmith", "pwB")
+
+    client_a = GridFTPClient(world, "laptop", credential=cred_a,
+                             trust=tools.trust, username="alice")
+    client_b = GridFTPClient(world, "laptop", credential=cred_b,
+                             trust=tools.trust, username="alice")
+    sa = client_a.connect(ep_a.server)
+    sb = client_b.connect(ep_b.server)
+    assert sa.logged_in_as == "alice"
+    assert sb.logged_in_as == "asmith"
+
+    # Figure 4: without DCSC the data channel cannot authenticate
+    with pytest.raises(DCAUError):
+        third_party_transfer(sa, "/home/alice/results.h5",
+                             sb, "/home/asmith/results.h5")
+
+    # Figure 5: DCSC P with credential A to endpoint B fixes it —
+    # with full data channel protection on top.
+    res = third_party_transfer(
+        sa, "/home/alice/results.h5", sb, "/home/asmith/results.h5",
+        options=TransferOptions(parallelism=4, protection=Protection.PRIVATE),
+        use_dcsc=cred_a,
+    )
+    assert res.verified
+    uid_b = ep_b.accounts.get("asmith").uid
+    data = ep_b.storage.open_read("/home/asmith/results.h5", uid_b)
+    assert data.read_all() == b"H5" * 50_000
+
+
+def test_dcsc_context_reverts_with_d(two_gcmu_sites):
+    world, ep_a, ep_b, tools = two_gcmu_sites
+    cred_a = tools.myproxy_logon(ep_a, "alice", "pwA")
+    cred_b = tools.myproxy_logon(ep_b, "asmith", "pwB")
+    client_b = GridFTPClient(world, "laptop", credential=cred_b,
+                             trust=tools.trust)
+    sb = client_b.connect(ep_b.server)
+    from repro.gridftp.dcsc import encode_dcsc_blob
+
+    sb.dcsc(encode_dcsc_blob(cred_a))
+    assert sb.server_session.dcsc is not None
+    sb.dcsc("D")
+    assert sb.server_session.dcsc is None

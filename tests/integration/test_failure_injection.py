@@ -1,0 +1,134 @@
+"""Failure injection beyond the happy-path outage: crashes and refusals
+at every stage of the workflows."""
+
+import pytest
+
+from repro.errors import (
+    AuthenticationError,
+    ConnectionRefusedError_,
+    LinkDownError,
+    TransferFaultError,
+)
+from repro.gridftp.restart import ByteRangeSet
+from repro.gridftp.transfer import TransferOptions
+from repro.myproxy.client import myproxy_logon
+from repro.storage.data import LiteralData
+from repro.util.units import MB, gbps
+from tests.conftest import make_gcmu_site
+
+
+@pytest.fixture
+def site(world):
+    net = world.network
+    net.add_host("dtn", nic_bps=gbps(10))
+    net.add_host("laptop", nic_bps=gbps(1))
+    net.add_link("dtn", "laptop", gbps(0.1), 0.01)
+    ep = make_gcmu_site(world, "dtn", "lab", {"alice": "pw"})
+    uid = ep.accounts.get("alice").uid
+    ep.storage.write_file("/home/alice/f.bin", LiteralData(b"f" * (4 * MB)), uid=uid)
+    return world, ep
+
+
+def test_myproxy_unreachable_during_logon(site):
+    world, ep = site
+    ep.myproxy.stop()
+    with pytest.raises(ConnectionRefusedError_):
+        myproxy_logon(world, "laptop", ("dtn", 7512), "alice", "pw")
+    ep.myproxy.start()
+    cred = myproxy_logon(world, "laptop", ep.myproxy, "alice", "pw")
+    assert cred.valid_at(world.now)
+
+
+def test_host_crash_during_logon(site):
+    world, ep = site
+    world.faults.crash_host("dtn", at=world.now, duration=60.0)
+    with pytest.raises(LinkDownError):
+        myproxy_logon(world, "laptop", ep.myproxy, "alice", "pw")
+    world.advance(61.0)
+    myproxy_logon(world, "laptop", ep.myproxy, "alice", "pw")
+
+
+def test_control_channel_cut_mid_session(site):
+    world, ep = site
+    from repro.gridftp.client import GridFTPClient
+    from repro.pki.validation import TrustStore
+
+    trust = TrustStore()
+    cred = myproxy_logon(world, "laptop", ep.myproxy, "alice", "pw", trust=trust)
+    client = GridFTPClient(world, "laptop", credential=cred, trust=trust)
+    session = client.connect(ep.server)
+    link = next(iter(world.network.links))
+    world.faults.cut_link(link, at=world.now, duration=30.0)
+    with pytest.raises(LinkDownError):
+        session.pwd()
+    world.advance(31.0)
+    assert session.pwd() == "/home/alice"  # channel survives the outage
+
+
+def test_put_restart_after_fault(site):
+    """Client upload interrupted, resumed via restart marker."""
+    world, ep = site
+    from repro.gridftp.client import GridFTPClient
+    from repro.pki.validation import TrustStore
+    from repro.storage.posix import PosixStorage
+
+    trust = TrustStore()
+    cred = myproxy_logon(world, "laptop", ep.myproxy, "alice", "pw", trust=trust)
+    local = PosixStorage(world.clock)
+    local.makedirs("/tmp", 0)
+    payload = bytes(range(256)) * (8 * 1024)  # 2 MiB patterned
+    local.write_file("/tmp/up.bin", payload)
+    client = GridFTPClient(world, "laptop", credential=cred, trust=trust,
+                           local_storage=local)
+    session = client.connect(ep.server)
+    link = next(iter(world.network.links))
+    # untuned single stream is window-bound (~13 Mb/s): the 2 MiB payload
+    # takes ~1.3 s; a cut at +0.5 s lands mid-payload, past the control
+    # commands and channel setup.
+    world.faults.cut_link(link, at=world.now + 0.5, duration=10.0)
+    with pytest.raises(TransferFaultError) as exc:
+        session.put("/tmp/up.bin", "/home/alice/up.bin",
+                    TransferOptions(block_size=64 * 1024))
+    received = exc.value.received
+    assert 0 < received.total_bytes() < len(payload)
+    world.advance(11.0)
+    session2 = client.connect(ep.server)
+    res = session2.put("/tmp/up.bin", "/home/alice/up.bin",
+                       TransferOptions(block_size=64 * 1024), restart=received)
+    assert res.nbytes == len(payload) - received.total_bytes()
+    assert res.verified
+    uid = ep.accounts.get("alice").uid
+    assert ep.storage.open_read("/home/alice/up.bin", uid).read_all() == payload
+
+
+def test_fault_during_dcau_window_counts_as_interruption(site):
+    world, ep = site
+    from repro.gridftp.client import GridFTPClient
+    from repro.pki.validation import TrustStore
+
+    trust = TrustStore()
+    cred = myproxy_logon(world, "laptop", ep.myproxy, "alice", "pw", trust=trust)
+    client = GridFTPClient(world, "laptop", credential=cred, trust=trust)
+    from repro.storage.posix import PosixStorage
+
+    client.local_storage = PosixStorage(world.clock)
+    client.local_storage.makedirs("/tmp", 0)
+    session = client.connect(ep.server)
+    session.apply_options(TransferOptions())  # control traffic done up front
+    link = next(iter(world.network.links))
+    # the RETR round trip costs one 40 ms RTT; a fault at +0.05 s lands
+    # in the data-channel setup window, before any payload moves
+    world.faults.cut_link(link, at=world.now + 0.05, duration=5.0)
+    with pytest.raises(TransferFaultError) as exc:
+        session.get("/home/alice/f.bin", "/tmp/f.bin")
+    assert exc.value.received.total_bytes() == 0
+
+
+def test_logon_with_locked_account_fails_cleanly(site):
+    """PAM passes (LDAP knows the password) but setuid refuses later;
+    locking at the *directory* level stops issuance immediately."""
+    world, ep = site
+    ldap = ep.myproxy.pam.entries[0][1].directory
+    ldap.disable("alice")
+    with pytest.raises(AuthenticationError):
+        myproxy_logon(world, "laptop", ep.myproxy, "alice", "pw")

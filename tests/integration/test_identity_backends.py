@@ -1,0 +1,116 @@
+"""The paper's identity-system variety: LDAP, NIS, RADIUS, OTP — each
+behind PAM, each driving MyProxy Online CA issuance (Section IV.A:
+"username/password, OTP, etc.")."""
+
+import pytest
+
+from repro.auth import (
+    AccountDatabase,
+    Control,
+    NisDomain,
+    NisPamModule,
+    OtpPamModule,
+    PamStack,
+    RadiusPamModule,
+    RadiusServer,
+)
+from repro.core.gcmu import install_gcmu
+from repro.errors import AuthenticationError
+from repro.myproxy.client import myproxy_logon
+from repro.util.units import gbps
+
+
+@pytest.fixture
+def hosts(world):
+    net = world.network
+    net.add_host("dtn", nic_bps=gbps(10))
+    net.add_host("laptop", nic_bps=gbps(1))
+    net.add_link("dtn", "laptop", gbps(1), 0.01)
+    return world
+
+
+def test_nis_backed_gcmu(hosts):
+    world = hosts
+    accounts = AccountDatabase()
+    accounts.add_user("carol")
+    nis = NisDomain("lab")
+    nis.add_user("carol", "nis-pw")
+    pam = PamStack().add(Control.SUFFICIENT, NisPamModule(nis))
+    ep = install_gcmu(world, "dtn", "nis-site", accounts, pam,
+                      charge_install_time=False)
+    cred = myproxy_logon(world, "laptop", ep.myproxy, "carol", "nis-pw")
+    assert cred.subject.common_name == "carol"
+    with pytest.raises(AuthenticationError):
+        myproxy_logon(world, "laptop", ep.myproxy, "carol", "bad")
+
+
+def test_radius_backed_gcmu(hosts):
+    world = hosts
+    accounts = AccountDatabase()
+    accounts.add_user("dave")
+    radius = RadiusServer(shared_secret="s3")
+    radius.add_user("dave", "radius-pw")
+    pam = PamStack().add(Control.SUFFICIENT, RadiusPamModule(radius, "s3"))
+    ep = install_gcmu(world, "dtn", "radius-site", accounts, pam,
+                      charge_install_time=False)
+    cred = myproxy_logon(world, "laptop", ep.myproxy, "dave", "radius-pw")
+    assert str(cred.subject) == "/O=GCMU/OU=radius-site/CN=dave"
+    # a RADIUS outage stops logons without leaking why
+    radius.reject_all = True
+    with pytest.raises(AuthenticationError):
+        myproxy_logon(world, "laptop", ep.myproxy, "dave", "radius-pw")
+
+
+def test_otp_backed_gcmu(hosts):
+    """The Section IV.A OTP path: each MyProxy logon consumes one code."""
+    world = hosts
+    accounts = AccountDatabase()
+    accounts.add_user("erin")
+    otp = OtpPamModule()
+    device = otp.enroll("erin", b"shared-seed")
+    pam = PamStack().add(Control.SUFFICIENT, otp)
+    ep = install_gcmu(world, "dtn", "otp-site", accounts, pam,
+                      charge_install_time=False)
+    code = device.next_code()
+    cred = myproxy_logon(world, "laptop", ep.myproxy, "erin", code)
+    assert cred.subject.common_name == "erin"
+    # the same code cannot be replayed for a second credential
+    with pytest.raises(AuthenticationError):
+        myproxy_logon(world, "laptop", ep.myproxy, "erin", code)
+    # but the next code works
+    myproxy_logon(world, "laptop", ep.myproxy, "erin", device.next_code())
+
+
+def test_two_factor_stack(hosts):
+    """REQUIRED password + REQUIRED OTP: both must pass."""
+    world = hosts
+    accounts = AccountDatabase()
+    accounts.add_user("frank")
+    nis = NisDomain()
+    nis.add_user("frank", "pw")
+    otp = OtpPamModule()
+    device = otp.enroll("frank", b"seed2")
+
+    class SplitSecretStack(PamStack):
+        """Secret format: '<password>:<otp>' split across two modules."""
+
+        def authenticate(self, username, secret):
+            password, _, code = secret.partition(":")
+            from repro.errors import PamError
+            from repro.auth.pam import PamResult
+
+            if NisPamModule(nis).authenticate(username, password) is not PamResult.SUCCESS:
+                raise PamError("authentication failure")
+            if otp.authenticate(username, code) is not PamResult.SUCCESS:
+                raise PamError("authentication failure")
+
+    ep = install_gcmu(world, "dtn", "2fa-site", accounts, SplitSecretStack(),
+                      charge_install_time=False)
+    good = f"pw:{device.next_code()}"
+    cred = myproxy_logon(world, "laptop", ep.myproxy, "frank", good)
+    assert cred.subject.common_name == "frank"
+    with pytest.raises(AuthenticationError):
+        myproxy_logon(world, "laptop", ep.myproxy, "frank", "pw:000000")
+    with pytest.raises(AuthenticationError):
+        myproxy_logon(world, "laptop", ep.myproxy, "frank",
+                      f"wrong:{device.next_code()}")

@@ -1,0 +1,88 @@
+"""End-to-end: the full GCMU quickstart (paper Sections IV.D/IV.E)."""
+
+import pytest
+
+from repro.core import install_client, install_gcmu
+from repro.gridftp.transfer import TransferOptions
+from repro.storage.data import LiteralData
+from repro.util.units import MINUTE, gbps
+from tests.conftest import make_gcmu_site
+
+
+@pytest.fixture
+def fresh_world(world):
+    net = world.network
+    net.add_host("dtn.univ.edu", nic_bps=gbps(10))
+    net.add_host("laptop", nic_bps=gbps(1))
+    net.add_link("dtn.univ.edu", "laptop", gbps(1), 0.015)
+    return world
+
+
+def test_instant_gridftp_story(fresh_world):
+    """Install server, install client, logon, transfer — all in minutes."""
+    world = fresh_world
+    from repro.auth import AccountDatabase, Control, LdapDirectory, LdapPamModule, PamStack
+
+    t0 = world.now
+
+    # admin: the four commands of Section IV.D
+    accounts = AccountDatabase()
+    accounts.add_user("alice")
+    ldap = LdapDirectory()
+    ldap.add_entry("alice", "s3cret")
+    pam = PamStack().add(Control.SUFFICIENT, LdapPamModule(ldap))
+    endpoint = install_gcmu(world, "dtn.univ.edu", "univ", accounts, pam)
+    endpoint.make_home("alice")
+    uid = accounts.get("alice").uid
+    endpoint.storage.write_file("/home/alice/thesis-data.tar",
+                                LiteralData(b"T" * 100_000), uid=uid)
+
+    # user: install client, myproxy-logon, globus-url-copy (Section IV.E)
+    tools = install_client(world, "laptop", username="alice")
+    tools.myproxy_logon(endpoint, "alice", "s3cret")
+    tools.local_storage.makedirs("/home/alice", 0)
+    result = tools.globus_url_copy(
+        "gsiftp://dtn.univ.edu:2811/home/alice/thesis-data.tar",
+        "file:///home/alice/thesis-data.tar",
+        TransferOptions(parallelism=4),
+    )
+
+    assert result.verified
+    got = tools.local_storage.open_read("/home/alice/thesis-data.tar", 0)
+    assert got.read_all() == b"T" * 100_000
+    # "instant": the whole story fits in well under an hour of virtual time
+    assert world.now - t0 < 60 * MINUTE
+
+
+def test_second_user_needs_no_admin_action(fresh_world):
+    """Adding a user = adding them to the site directory.  No certs, no
+    gridmap edits, no admin email round trips."""
+    world = fresh_world
+    ep = make_gcmu_site(world, "dtn.univ.edu", "univ", {"alice": "pwA"})
+    # later, bob joins the lab: one LDAP entry + one account
+    ep.accounts.add_user("bob")
+    # reach into the pam stack's ldap backend
+    ldap = ep.myproxy.pam.entries[0][1].directory
+    ldap.add_entry("bob", "pwB")
+    ep.make_home("bob")
+
+    tools = install_client(world, "laptop", username="bob",
+                           charge_install_time=False)
+    tools.myproxy_logon(ep, "bob", "pwB")
+    session = tools.connect(ep)
+    assert session.logged_in_as == "bob"
+
+
+def test_short_lived_cert_forces_relogon(fresh_world):
+    world = fresh_world
+    ep = make_gcmu_site(world, "dtn.univ.edu", "univ", {"alice": "pw"})
+    tools = install_client(world, "laptop", username="alice",
+                           charge_install_time=False)
+    tools.myproxy_logon(ep, "alice", "pw", lifetime_s=3600)
+    world.advance(2 * 3600)
+    from repro.errors import SecurityError
+
+    with pytest.raises(SecurityError):
+        tools.connect(ep)
+    tools.myproxy_logon(ep, "alice", "pw")
+    assert tools.connect(ep).logged_in_as == "alice"

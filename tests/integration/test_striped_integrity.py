@@ -1,0 +1,93 @@
+"""End-to-end data integrity through striped, parallel, protected paths."""
+
+import pytest
+
+from repro.gridftp.third_party import third_party_transfer
+from repro.gridftp.transfer import TransferOptions
+from repro.storage.data import LiteralData
+from repro.util.units import MB, gbps
+from repro.xio.drivers import Protection
+from tests.conftest import make_conventional_site
+
+
+@pytest.fixture
+def striped_env(world):
+    from repro.gridftp.striped import StripedGridFTPServer
+    from repro.gsi.authz import GridmapCallout
+    from repro.pki.dn import DistinguishedName as DN
+    from repro.storage.posix import PosixStorage
+
+    net = world.network
+    net.add_router("wan")
+    net.add_host("head", nic_bps=gbps(10))
+    for i in range(3):
+        net.add_host(f"dtp{i}", nic_bps=gbps(1))
+        net.add_link(f"dtp{i}", "wan", gbps(1), 0.01)
+    net.add_host("remote", nic_bps=gbps(10))
+    net.add_host("laptop", nic_bps=gbps(1))
+    net.add_link("head", "wan", gbps(10), 0.01)
+    net.add_link("remote", "wan", gbps(10), 0.02)
+    net.add_link("laptop", "wan", gbps(1), 0.02)
+
+    site = make_conventional_site(world, "Remote", "remote")
+    site.add_user(world, "alice")
+    fs = PosixStorage(world.clock)
+    striped = StripedGridFTPServer(
+        world, "head", [f"dtp{i}" for i in range(3)],
+        site.ca.issue_credential(DN.parse("/O=Remote/OU=hosts/CN=head")),
+        site.trust, GridmapCallout(site.gridmap), site.accounts, fs,
+    ).start()
+    fs.makedirs("/home/alice", 0)
+    fs.chown("/home/alice", site.accounts.get("alice").uid)
+    return world, site, striped, fs
+
+
+CONTENT = bytes(range(256)) * 4096  # 1 MiB of patterned data
+
+
+def test_striped_parallel_protected_literal_integrity(striped_env):
+    """Every byte survives 3 stripes x 4 streams x encryption."""
+    world, site, striped, fs = striped_env
+    uid = site.accounts.get("alice").uid
+    fs.write_file("/home/alice/pattern.bin", LiteralData(CONTENT), uid=uid)
+
+    client = site.client_for(world, "alice", "laptop")
+    src = client.connect(striped)
+    dst = client.connect(site.server)
+    res = third_party_transfer(
+        src, "/home/alice/pattern.bin", dst, "/home/alice/pattern.bin",
+        options=TransferOptions(parallelism=4, protection=Protection.PRIVATE,
+                                block_size=64 * 1024),
+    )
+    assert res.verified
+    assert res.stripes == 3
+    assert res.streams == 12
+    out = site.storage.open_read("/home/alice/pattern.bin", uid)
+    assert out.read_all() == CONTENT
+
+
+def test_striped_restart_preserves_integrity(striped_env):
+    """Interrupt a striped transfer, resume, and check every byte."""
+    world, site, striped, fs = striped_env
+    uid = site.accounts.get("alice").uid
+    big = LiteralData(CONTENT * 3)  # 3 MiB literal to keep it honest
+    fs.write_file("/home/alice/big.bin", big, uid=uid)
+
+    # make it slow enough to interrupt: single stream, small window
+    opts = TransferOptions(parallelism=1, block_size=64 * 1024)
+    # estimate nothing; just cut all dtp links briefly, 1s in
+    for link in list(world.network.links.values()):
+        if link.a.startswith("dtp") or link.b.startswith("dtp"):
+            world.faults.cut_link(link.link_id, at=world.now + 1.0, duration=5.0)
+
+    from repro.gridftp.third_party import third_party_with_restart
+
+    client = site.client_for(world, "alice", "laptop")
+    src = client.connect(striped)
+    dst = client.connect(site.server)
+    res, attempts = third_party_with_restart(
+        src, "/home/alice/big.bin", dst, "/home/alice/big-copy.bin", opts,
+    )
+    assert attempts >= 2
+    out = site.storage.open_read("/home/alice/big-copy.bin", uid)
+    assert out.read_all() == CONTENT * 3

@@ -1,0 +1,82 @@
+"""Live usage telemetry: servers -> event log -> collector (Figure 1 path)."""
+
+import pytest
+
+from repro.metrics.usage import UsageCollector
+from repro.storage.data import LiteralData
+from repro.util.units import DAY, gbps
+from tests.conftest import make_conventional_site
+
+
+@pytest.fixture
+def site_with_collector(world):
+    net = world.network
+    net.add_host("srv", nic_bps=gbps(10))
+    net.add_host("laptop", nic_bps=gbps(1))
+    net.add_link("srv", "laptop", gbps(1), 0.01)
+    site = make_conventional_site(world, "Lab", "srv")
+    site.add_user(world, "alice")
+    uid = site.accounts.get("alice").uid
+    site.storage.write_file("/home/alice/f.bin", LiteralData(b"u" * 10_000), uid=uid)
+    collector = UsageCollector()
+    collector.subscribe_to(world.log)
+    return world, site, collector
+
+
+def test_each_transfer_produces_one_record(site_with_collector):
+    world, site, collector = site_with_collector
+    client = site.client_for(world, "alice", "laptop")
+    session = client.connect(site.server)
+    session.get("/home/alice/f.bin", "/tmp/1.bin")
+    session.get("/home/alice/f.bin", "/tmp/2.bin")
+    client.local_storage.write_file("/tmp/up.bin", b"z" * 500)
+    session.put("/tmp/up.bin", "/home/alice/up.bin")
+    assert collector.total_records == 3
+    day = collector.day(0)
+    assert day.transfers == 3
+    assert day.bytes_moved == 10_000 + 10_000 + 500
+    assert day.server_count == 1
+
+
+def test_records_bucket_by_virtual_day(site_with_collector):
+    world, site, collector = site_with_collector
+    client = site.client_for(world, "alice", "laptop")
+    session = client.connect(site.server)
+    session.get("/home/alice/f.bin", "/tmp/1.bin")
+    world.advance(1 * DAY)
+    # a day later the old proxy has expired; a fresh login is required
+    session2 = site.client_for(world, "alice", "laptop").connect(site.server)
+    session2.get("/home/alice/f.bin", "/tmp/2.bin")
+    days = collector.days()
+    assert [d.day_index for d in days] == [0, 1]
+
+
+def test_reporting_disabled_produces_nothing(site_with_collector):
+    """'servers that choose to enable reporting' — the opt-out works."""
+    world, site, collector = site_with_collector
+    site.server.usage_reporting = False
+    client = site.client_for(world, "alice", "laptop")
+    session = client.connect(site.server)
+    session.get("/home/alice/f.bin", "/tmp/1.bin")
+    assert collector.total_records == 0
+
+
+def test_third_party_counts_at_both_servers(two_domain_world):
+    d = two_domain_world
+    collector = UsageCollector()
+    collector.subscribe_to(d.world.log)
+    uid = d.site_a.accounts.get("alice").uid
+    d.site_a.storage.write_file("/home/alice/f.bin", LiteralData(b"x" * 2048), uid=uid)
+    client_a = d.site_a.client_for(d.world, "alice", d.laptop)
+    client_b = d.site_b.client_for(d.world, "asmith", d.laptop)
+    sa = client_a.connect(d.site_a.server)
+    sb = client_b.connect(d.site_b.server)
+    from repro.gridftp.third_party import third_party_transfer
+
+    third_party_transfer(sa, "/home/alice/f.bin", sb, "/home/asmith/f.bin",
+                         use_dcsc=client_a.credential)
+    # one retrieve record at A, one store record at B
+    assert collector.total_records == 2
+    day = collector.day(0)
+    assert day.server_count == 2
+    assert day.bytes_moved == 2 * 2048

@@ -1,0 +1,36 @@
+"""Table and series rendering."""
+
+from repro.metrics.report import render_series, render_table
+
+
+def test_table_alignment_and_caption():
+    out = render_table(
+        "Throughput comparison",
+        ["tool", "rate"],
+        [["scp", "12.1 Mb/s"], ["gridftp", "9.4 Gb/s"]],
+    )
+    lines = out.splitlines()
+    assert lines[0] == "Throughput comparison"
+    assert "tool" in lines[2] and "rate" in lines[2]
+    assert "gridftp" in out and "scp" in out
+    # columns align: header and rows have same separator positions
+    assert lines[2].index("|") == lines[4].index("|")
+
+
+def test_table_formats_numbers():
+    out = render_table("c", ["n"], [[1234567], [0.000123], [3.14159]])
+    assert "1,234,567" in out
+    assert "0.000123" in out
+    assert "3.14" in out
+
+
+def test_series_downsamples():
+    xs = list(range(1000))
+    out = render_series("s", "day", xs, {"v": [x * 2 for x in xs]}, max_points=10)
+    lines = [l for l in out.splitlines() if l and l[0].isdigit()]
+    assert len(lines) <= 12
+    assert "999" in out  # last point always included
+
+
+def test_series_empty():
+    assert "empty" in render_series("s", "x", [], {"v": []})

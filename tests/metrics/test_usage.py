@@ -1,0 +1,66 @@
+"""Usage records and the collector."""
+
+from repro.metrics.usage import UsageCollector, UsageRecord
+from repro.util.logging import EventLog
+from repro.util.units import DAY
+
+
+def rec(t, server="s1", nbytes=100):
+    return UsageRecord(time=t, server=server, nbytes=nbytes, duration_s=1.0)
+
+
+def test_day_bucketing():
+    c = UsageCollector()
+    c.add(rec(0.0))
+    c.add(rec(DAY - 1))
+    c.add(rec(DAY))
+    days = c.days()
+    assert [d.day_index for d in days] == [0, 1]
+    assert days[0].transfers == 2
+    assert days[1].transfers == 1
+
+
+def test_bytes_and_servers_aggregate():
+    c = UsageCollector()
+    c.add(rec(0.0, server="a", nbytes=10))
+    c.add(rec(100.0, server="b", nbytes=20))
+    c.add(rec(200.0, server="a", nbytes=30))
+    day = c.day(0)
+    assert day.bytes_moved == 60
+    assert day.server_count == 2
+
+
+def test_add_aggregate_path():
+    c = UsageCollector()
+    c.add_aggregate(day_index=10, transfers=1_000_000, bytes_moved=5 * 10**13,
+                    servers=3000)
+    day = c.day(10)
+    assert day.transfers == 1_000_000
+    assert day.server_count == 3000
+    assert c.total_records == 1_000_000
+
+
+def test_totals_and_series():
+    c = UsageCollector()
+    c.add(rec(0.0, nbytes=5))
+    c.add(rec(DAY, nbytes=7))
+    assert c.totals() == (2, 12)
+    xs, transfers, nbytes = c.series()
+    assert xs == [0, 1]
+    assert transfers == [1, 1]
+    assert nbytes == [5, 7]
+
+
+def test_subscription_to_event_log():
+    log = EventLog()
+    c = UsageCollector()
+    c.subscribe_to(log)
+    log.emit(100.0, "usage.record", "r", server="dtn1", nbytes=42, duration=2.0)
+    log.emit(100.0, "gridftp.command", "not usage", server="dtn1")
+    assert c.total_records == 1
+    assert c.day(0).bytes_moved == 42
+
+
+def test_empty_day_lookup():
+    c = UsageCollector()
+    assert c.day(99).transfers == 0

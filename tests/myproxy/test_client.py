@@ -1,0 +1,73 @@
+"""myproxy-logon, the client side."""
+
+import pytest
+
+from repro.auth import Control, LdapDirectory, LdapPamModule, PamStack
+from repro.errors import AuthenticationError, ConnectionRefusedError_
+from repro.myproxy.client import myproxy_logon
+from repro.myproxy.server import MyProxyOnlineCA
+from repro.pki.validation import TrustStore
+from repro.util.units import gbps
+
+
+@pytest.fixture
+def env(world):
+    net = world.network
+    net.add_host("dtn", nic_bps=gbps(10))
+    net.add_host("laptop", nic_bps=gbps(1))
+    net.add_link("dtn", "laptop", gbps(1), 0.02)
+    ldap = LdapDirectory()
+    ldap.add_entry("alice", "pw")
+    pam = PamStack().add(Control.SUFFICIENT, LdapPamModule(ldap))
+    myproxy = MyProxyOnlineCA(world, "dtn", "alcf", pam).start()
+    return world, myproxy
+
+
+def test_logon_returns_credential(env):
+    world, myproxy = env
+    cred = myproxy_logon(world, "laptop", myproxy, "alice", "pw")
+    assert cred.subject.common_name == "alice"
+    assert cred.valid_at(world.now)
+
+
+def test_logon_bootstraps_trust(env):
+    """The -b flag: the site CA lands in the client's trust store."""
+    world, myproxy = env
+    trust = TrustStore()
+    myproxy_logon(world, "laptop", myproxy, "alice", "pw", trust=trust)
+    assert trust.find_anchor(myproxy.ca.certificate) is not None
+
+
+def test_logon_without_bootstrap(env):
+    world, myproxy = env
+    trust = TrustStore()
+    myproxy_logon(world, "laptop", myproxy, "alice", "pw", trust=trust,
+                  bootstrap_trust=False)
+    assert len(trust) == 0
+
+
+def test_bad_password_raises(env):
+    world, myproxy = env
+    with pytest.raises(AuthenticationError):
+        myproxy_logon(world, "laptop", myproxy, "alice", "nope")
+
+
+def test_logon_costs_network_time(env):
+    world, myproxy = env
+    t0 = world.now
+    myproxy_logon(world, "laptop", myproxy, "alice", "pw")
+    # handshake + request round trip + server processing
+    assert world.now - t0 > 0.04
+
+
+def test_logon_to_address_tuple(env):
+    world, myproxy = env
+    cred = myproxy_logon(world, "laptop", ("dtn", MyProxyOnlineCA.DEFAULT_PORT),
+                         "alice", "pw")
+    assert cred.subject.common_name == "alice"
+
+
+def test_no_server_listening(env):
+    world, myproxy = env
+    with pytest.raises(ConnectionRefusedError_):
+        myproxy_logon(world, "laptop", ("dtn", 9999), "alice", "pw")

@@ -1,0 +1,99 @@
+"""Control channels: RTT accounting and pipelining."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.net.channel import ControlChannel
+from repro.net.sockets import ServerSession, Service, listen
+from repro.sim.world import World
+from repro.util.units import gbps
+
+
+class CountingSession(ServerSession):
+    def __init__(self):
+        self.lines = []
+
+    def handle(self, line):
+        self.lines.append(line)
+        return [f"200 ok {len(self.lines)}"]
+
+
+class CountingService(Service):
+    def __init__(self):
+        self.session = CountingSession()
+
+    def open_session(self, client_host):
+        return self.session
+
+
+@pytest.fixture
+def setup():
+    w = World(seed=0)
+    w.network.add_host("srv")
+    w.network.add_host("cli")
+    w.network.add_link("srv", "cli", gbps(1), 0.05)  # rtt = 0.1
+    svc = CountingService()
+    listen(w.network, "srv", 2811, svc)
+    return w, svc
+
+
+def test_request_charges_one_rtt(setup):
+    w, svc = setup
+    ch = ControlChannel(w.network, "cli", ("srv", 2811))
+    t0 = w.now
+    reply = ch.request("NOOP")
+    assert reply == ["200 ok 1"]
+    assert w.now - t0 == pytest.approx(0.1 + ch.proc_time_s)
+
+
+def test_pipeline_charges_one_rtt_total(setup):
+    w, svc = setup
+    ch = ControlChannel(w.network, "cli", ("srv", 2811))
+    t0 = w.now
+    replies = ch.pipeline([f"CMD{i}" for i in range(50)])
+    elapsed = w.now - t0
+    assert len(replies) == 50
+    # one RTT + 50 processing times, NOT 50 RTTs
+    assert elapsed == pytest.approx(0.1 + 50 * ch.proc_time_s)
+    assert elapsed < 50 * 0.1
+
+
+def test_pipelining_advantage_grows_with_count(setup):
+    w, svc = setup
+    ch = ControlChannel(w.network, "cli", ("srv", 2811))
+    t0 = w.now
+    for i in range(20):
+        ch.request(f"CMD{i}")
+    serial = w.now - t0
+    t1 = w.now
+    ch.pipeline([f"CMD{i}" for i in range(20)])
+    pipelined = w.now - t1
+    assert serial / pipelined > 10
+
+
+def test_pipeline_empty(setup):
+    w, svc = setup
+    ch = ControlChannel(w.network, "cli", ("srv", 2811))
+    t0 = w.now
+    assert ch.pipeline([]) == []
+    assert w.now == t0
+
+
+def test_closed_channel_rejects_requests(setup):
+    w, svc = setup
+    ch = ControlChannel(w.network, "cli", ("srv", 2811))
+    ch.close()
+    with pytest.raises(NetworkError):
+        ch.request("NOOP")
+    ch.close()  # idempotent
+
+
+def test_request_fails_when_path_down(setup):
+    w, svc = setup
+    ch = ControlChannel(w.network, "cli", ("srv", 2811))
+    link = list(w.network.links)[0]
+    w.faults.cut_link(link, at=w.now, duration=60.0)
+    from repro.errors import LinkDownError
+
+    with pytest.raises(LinkDownError):
+        ch.request("NOOP")

@@ -1,0 +1,65 @@
+"""Bandwidth sharing among concurrent flows."""
+
+import pytest
+
+from repro.net.flows import (
+    aggregate_rate,
+    batch_transfer_time,
+    fair_share,
+    serial_batch_time,
+)
+from repro.util.units import MB, gbps, mbps
+
+
+def test_fair_share_bottleneck_bound():
+    assert fair_share(gbps(1), gbps(1), 4) == pytest.approx(gbps(1) / 4)
+
+
+def test_fair_share_flow_limit_bound():
+    # flows too weak to saturate the bottleneck keep their own limit
+    assert fair_share(gbps(10), mbps(50), 4) == mbps(50)
+
+
+def test_fair_share_requires_positive_k():
+    with pytest.raises(ValueError):
+        fair_share(gbps(1), gbps(1), 0)
+
+
+def test_aggregate_rate_caps_at_bottleneck():
+    agg = aggregate_rate(gbps(1), mbps(800), 4)
+    assert agg == pytest.approx(gbps(1))
+
+
+def test_batch_time_concurrency_helps_weak_flows():
+    sizes = [100 * MB] * 16
+    serial = batch_transfer_time(sizes, mbps(50), gbps(10), concurrency=1)
+    concurrent = batch_transfer_time(sizes, mbps(50), gbps(10), concurrency=8)
+    assert concurrent < serial / 4
+
+
+def test_batch_time_concurrency_no_gain_when_saturated():
+    sizes = [100 * MB] * 8
+    one = batch_transfer_time(sizes, gbps(10), gbps(1), concurrency=1)
+    many = batch_transfer_time(sizes, gbps(10), gbps(1), concurrency=8)
+    assert many == pytest.approx(one, rel=0.01)
+
+
+def test_batch_time_includes_per_item_overhead():
+    sizes = [1 * MB] * 10
+    cheap = batch_transfer_time(sizes, gbps(1), gbps(1), 1, per_item_overhead_s=0.0)
+    costly = batch_transfer_time(sizes, gbps(1), gbps(1), 1, per_item_overhead_s=0.5)
+    assert costly == pytest.approx(cheap + 5.0)
+
+
+def test_batch_time_empty():
+    assert batch_transfer_time([], gbps(1), gbps(1), 4) == 0.0
+
+
+def test_batch_time_invalid_concurrency():
+    with pytest.raises(ValueError):
+        batch_transfer_time([1], gbps(1), gbps(1), 0)
+
+
+def test_serial_batch_time():
+    t = serial_batch_time([MB, MB], mbps(8), per_item_overhead_s=1.0)
+    assert t == pytest.approx(2 * MB * 8 / mbps(8) + 2.0)

@@ -1,0 +1,87 @@
+"""Listeners and connection setup."""
+
+import pytest
+
+from repro.errors import ConnectionRefusedError_, PortInUseError
+from repro.net.sockets import ServerSession, Service, connect, listen, listen_ephemeral, close_listener
+from repro.sim.world import World
+from repro.util.units import gbps
+
+
+class EchoSession(ServerSession):
+    def __init__(self, client):
+        self.client = client
+
+    def handle(self, line):
+        return [f"echo:{line}"]
+
+
+class EchoService(Service):
+    def __init__(self):
+        self.accepted = []
+
+    def open_session(self, client_host):
+        self.accepted.append(client_host)
+        return EchoSession(client_host)
+
+
+@pytest.fixture
+def net_world():
+    w = World(seed=0)
+    w.network.add_host("srv")
+    w.network.add_host("cli")
+    w.network.add_link("srv", "cli", gbps(1), 0.01)
+    return w
+
+
+def test_listen_and_connect(net_world):
+    svc = EchoService()
+    listen(net_world.network, "srv", 2811, svc)
+    session, path = connect(net_world.network, "cli", ("srv", 2811))
+    assert svc.accepted == ["cli"]
+    assert session.handle("hi") == ["echo:hi"]
+    assert path.rtt_s == pytest.approx(0.02)
+
+
+def test_connect_charges_handshake_time(net_world):
+    listen(net_world.network, "srv", 2811, EchoService())
+    before = net_world.now
+    connect(net_world.network, "cli", ("srv", 2811))
+    assert net_world.now == pytest.approx(before + 1.5 * 0.02)
+
+
+def test_connect_refused_without_listener(net_world):
+    with pytest.raises(ConnectionRefusedError_):
+        connect(net_world.network, "cli", ("srv", 9999))
+
+
+def test_port_conflict(net_world):
+    listen(net_world.network, "srv", 2811, EchoService())
+    with pytest.raises(PortInUseError):
+        listen(net_world.network, "srv", 2811, EchoService())
+
+
+def test_close_listener_frees_port(net_world):
+    l = listen(net_world.network, "srv", 2811, EchoService())
+    close_listener(net_world.network, l)
+    with pytest.raises(ConnectionRefusedError_):
+        connect(net_world.network, "cli", ("srv", 2811))
+    listen(net_world.network, "srv", 2811, EchoService())  # rebindable
+
+
+def test_ephemeral_listener(net_world):
+    l1 = listen_ephemeral(net_world.network, "srv", EchoService())
+    l2 = listen_ephemeral(net_world.network, "srv", EchoService())
+    assert l1.port != l2.port
+    session, _ = connect(net_world.network, "cli", l1.address)
+    assert session.handle("x") == ["echo:x"]
+
+
+def test_connect_fails_when_link_down(net_world):
+    listen(net_world.network, "srv", 2811, EchoService())
+    link = list(net_world.network.links)[0]
+    net_world.faults.cut_link(link, at=0.0, duration=60.0)
+    from repro.errors import LinkDownError
+
+    with pytest.raises(LinkDownError):
+        connect(net_world.network, "cli", ("srv", 2811))

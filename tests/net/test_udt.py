@@ -1,0 +1,56 @@
+"""The UDT transport model."""
+
+import pytest
+
+from repro.net.tcp import TCPModel, tcp_stream_rate
+from repro.net.topology import PathStats
+from repro.net.udt import UDTModel
+from repro.util.units import GB, gbps
+
+
+def make_path(rtt=0.1, bw=gbps(10), loss=0.0):
+    return PathStats(
+        src="a", dst="b", rtt_s=rtt, bottleneck_bps=bw, loss=loss,
+        link_ids=("l1",), hosts=("a", "b"),
+    )
+
+
+def test_rate_is_efficiency_fraction_of_bottleneck():
+    m = UDTModel(efficiency=0.9)
+    assert m.stream_rate(make_path()) == pytest.approx(0.9 * gbps(10))
+
+
+def test_rate_insensitive_to_rtt():
+    m = UDTModel()
+    assert m.stream_rate(make_path(rtt=0.001)) == m.stream_rate(make_path(rtt=0.5))
+
+
+def test_rate_insensitive_to_small_loss():
+    m = UDTModel()
+    assert m.stream_rate(make_path(loss=0.005)) == m.stream_rate(make_path(loss=0.0))
+
+
+def test_rate_degrades_beyond_tolerance():
+    m = UDTModel(loss_tolerance=0.01)
+    clean = m.stream_rate(make_path(loss=0.0))
+    lossy = m.stream_rate(make_path(loss=0.05))
+    assert 0 < lossy < clean
+
+
+def test_udt_beats_single_tcp_on_lossy_lfn():
+    """The reason the XIO UDT driver exists (paper refs [8], [9])."""
+    path = make_path(rtt=0.2, bw=gbps(10), loss=1e-4)
+    udt = UDTModel().stream_rate(path)
+    tcp = tcp_stream_rate(path, TCPModel.tuned())
+    assert udt > 10 * tcp
+
+
+def test_transfer_time():
+    m = UDTModel(efficiency=1.0, handshake_rtts=0.0)
+    path = make_path(bw=gbps(8))
+    assert m.transfer_time(1 * GB, path) == pytest.approx(1 * GB * 8 / gbps(8))
+
+
+def test_transfer_time_rejects_negative():
+    with pytest.raises(ValueError):
+        UDTModel().transfer_time(-1, make_path())

@@ -1,0 +1,92 @@
+"""Credentials: chain + key bundles, PEM round trips."""
+
+import pytest
+
+from repro.errors import CertificateError
+from repro.pki.ca import CertificateAuthority
+from repro.pki.credential import Credential
+from repro.pki.dn import DistinguishedName as DN
+from repro.pki.proxy import create_proxy
+from repro.pki.rsa import generate_keypair
+from repro.sim.clock import Clock
+from repro.sim.random import RngFactory
+from repro.util.units import DAY
+
+
+@pytest.fixture
+def env():
+    clock = Clock()
+    rng = RngFactory(6).python("cred-tests")
+    ca = CertificateAuthority(DN.parse("/O=T/CN=CA"), clock, rng, key_bits=256)
+    cred = ca.issue_credential(DN.parse("/O=T/CN=alice"), lifetime=10 * DAY)
+    return clock, rng, ca, cred
+
+
+def test_key_must_match_leaf(env):
+    clock, rng, ca, cred = env
+    wrong = generate_keypair(256, rng)
+    with pytest.raises(CertificateError):
+        Credential(chain=cred.chain, key=wrong)
+
+
+def test_empty_chain_rejected(env):
+    clock, rng, ca, cred = env
+    with pytest.raises(CertificateError):
+        Credential(chain=(), key=cred.key)
+
+
+def test_identity_vs_subject(env):
+    clock, rng, ca, cred = env
+    proxy = create_proxy(cred, clock, rng)
+    assert proxy.subject != cred.subject
+    assert proxy.identity == cred.subject
+
+
+def test_valid_at_considers_whole_chain(env):
+    clock, rng, ca, cred = env
+    assert cred.valid_at(clock.now)
+    assert not cred.valid_at(clock.now + 11 * DAY)
+
+
+def test_expires_at_is_min_over_chain(env):
+    clock, rng, ca, cred = env
+    assert cred.expires_at() == cred.certificate.not_after
+
+
+def test_pem_round_trip_with_key(env):
+    clock, rng, ca, cred = env
+    back = Credential.from_pem(cred.to_pem(include_key=True))
+    assert back.chain == cred.chain
+    assert back.key == cred.key
+
+
+def test_pem_without_key_not_a_credential(env):
+    clock, rng, ca, cred = env
+    with pytest.raises(CertificateError, match="exactly one private key"):
+        Credential.from_pem(cred.to_pem(include_key=False))
+
+
+def test_pem_with_two_keys_rejected(env):
+    clock, rng, ca, cred = env
+    from repro.pki.certificate import keypair_to_pem
+
+    doubled = cred.to_pem() + keypair_to_pem(generate_keypair(256, rng))
+    with pytest.raises(CertificateError, match="exactly one private key"):
+        Credential.from_pem(doubled)
+
+
+def test_pem_without_certificate_rejected(env):
+    clock, rng, ca, cred = env
+    from repro.pki.certificate import keypair_to_pem
+
+    with pytest.raises(CertificateError, match="no certificate"):
+        Credential.from_pem(keypair_to_pem(cred.key))
+
+
+def test_pem_leaf_is_first_block(env):
+    """DCSC blob layout: leaf cert first, then key, then chain."""
+    clock, rng, ca, cred = env
+    proxy = create_proxy(cred, clock, rng)
+    back = Credential.from_pem(proxy.to_pem())
+    assert back.certificate == proxy.certificate
+    assert back.chain[-1] == ca.certificate

@@ -1,0 +1,87 @@
+"""Distinguished names."""
+
+import pytest
+
+from repro.errors import CertificateError
+from repro.pki.dn import DistinguishedName as DN
+
+
+def test_parse_and_format():
+    dn = DN.parse("/O=Grid/OU=people/CN=alice")
+    assert str(dn) == "/O=Grid/OU=people/CN=alice"
+    assert dn.rdns == (("O", "Grid"), ("OU", "people"), ("CN", "alice"))
+
+
+def test_make():
+    dn = DN.make(("O", "GCMU"), ("CN", "bob"))
+    assert str(dn) == "/O=GCMU/CN=bob"
+
+
+def test_must_start_with_slash():
+    with pytest.raises(CertificateError):
+        DN.parse("O=Grid/CN=x")
+
+
+def test_malformed_rdn():
+    with pytest.raises(CertificateError):
+        DN.parse("/O=Grid/justtext")
+
+
+def test_empty_dn_rejected():
+    with pytest.raises(CertificateError):
+        DN(rdns=())
+
+
+def test_empty_component_rejected():
+    with pytest.raises(CertificateError):
+        DN.make(("O", ""))
+
+
+def test_escaped_slash_in_value():
+    dn = DN.make(("CN", "host/server1"))
+    text = str(dn)
+    assert "\\/" in text
+    assert DN.parse(text) == dn
+
+
+def test_get_multiple_values():
+    dn = DN.parse("/O=Grid/CN=alice/CN=12345")
+    assert dn.get("CN") == ["alice", "12345"]
+    assert dn.common_name == "12345"
+
+
+def test_common_name_none_when_absent():
+    assert DN.parse("/O=Grid").common_name is None
+
+
+def test_with_cn_appends():
+    dn = DN.parse("/O=Grid/CN=alice")
+    proxy = dn.with_cn("98765")
+    assert str(proxy) == "/O=Grid/CN=alice/CN=98765"
+    assert dn.is_prefix_of(proxy)
+    assert not proxy.is_prefix_of(dn)
+
+
+def test_parent():
+    dn = DN.parse("/O=Grid/CN=alice/CN=1")
+    assert str(dn.parent()) == "/O=Grid/CN=alice"
+    with pytest.raises(CertificateError):
+        DN.parse("/O=Grid").parent()
+
+
+def test_prefix_of_self():
+    dn = DN.parse("/O=Grid/CN=x")
+    assert dn.is_prefix_of(dn)
+
+
+def test_dict_round_trip():
+    dn = DN.parse("/O=Grid/OU=x/CN=y")
+    assert DN.from_dict(dn.to_dict()) == dn
+
+
+def test_equality_and_hash():
+    a = DN.parse("/O=Grid/CN=x")
+    b = DN.make(("O", "Grid"), ("CN", "x"))
+    assert a == b
+    assert hash(a) == hash(b)
+    assert a != DN.parse("/O=Grid/CN=y")

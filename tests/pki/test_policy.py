@@ -1,0 +1,46 @@
+"""Signing policies."""
+
+import pytest
+
+from repro.errors import CertificateError
+from repro.pki.dn import DistinguishedName as DN
+from repro.pki.policy import SigningPolicy
+
+
+def test_namespace_permits_subtree():
+    ca = DN.parse("/O=GCMU/OU=alcf/CN=MyProxy CA")
+    pol = SigningPolicy.namespace(ca, DN.parse("/O=GCMU/OU=alcf"))
+    assert pol.permits(DN.parse("/O=GCMU/OU=alcf/CN=alice"))
+    assert pol.permits(DN.parse("/O=GCMU/OU=alcf"))
+    assert not pol.permits(DN.parse("/O=GCMU/OU=nersc/CN=bob"))
+    assert not pol.permits(DN.parse("/O=Other/CN=mallory"))
+
+
+def test_make_with_explicit_patterns():
+    pol = SigningPolicy.make(DN.parse("/CN=CA"), "/O=Grid/*", "/O=Edu/CN=special")
+    assert pol.permits(DN.parse("/O=Grid/CN=anyone"))
+    assert pol.permits(DN.parse("/O=Edu/CN=special"))
+    assert not pol.permits(DN.parse("/O=Edu/CN=other"))
+
+
+def test_format_and_parse_file_round_trip():
+    pol = SigningPolicy.namespace(
+        DN.parse("/O=GCMU/OU=site/CN=MyProxy CA"), DN.parse("/O=GCMU/OU=site")
+    )
+    text = pol.format_file()
+    assert "access_id_CA" in text
+    assert "cond_subjects" in text
+    back = SigningPolicy.parse_file(text)
+    assert back.ca_subject == pol.ca_subject
+    assert set(back.allowed_patterns) == set(pol.allowed_patterns)
+
+
+def test_parse_malformed_file():
+    with pytest.raises(CertificateError):
+        SigningPolicy.parse_file("not a policy")
+
+
+def test_namespace_does_not_permit_similar_prefix():
+    """/O=GCMU/OU=alcf must not cover /O=GCMU/OU=alcf-evil."""
+    pol = SigningPolicy.namespace(DN.parse("/CN=CA"), DN.parse("/O=GCMU/OU=alcf"))
+    assert not pol.permits(DN.parse("/O=GCMU/OU=alcf-evil/CN=x"))

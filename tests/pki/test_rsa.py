@@ -1,0 +1,75 @@
+"""The RSA implementation."""
+
+import random
+
+import pytest
+
+from repro.pki.rsa import KeyPair, PublicKey, generate_keypair, sign, verify
+
+
+@pytest.fixture(scope="module")
+def keypair():
+    return generate_keypair(256, random.Random(1))
+
+
+def test_keypair_structure(keypair):
+    assert keypair.e == 65537
+    assert keypair.n.bit_length() >= 250
+    assert keypair.public == PublicKey(n=keypair.n, e=keypair.e)
+
+
+def test_sign_verify_round_trip(keypair):
+    data = b"the quick brown fox"
+    sig = sign(keypair, data)
+    assert verify(keypair.public, data, sig)
+
+
+def test_tampered_data_fails(keypair):
+    sig = sign(keypair, b"original")
+    assert not verify(keypair.public, b"originaL", sig)
+
+
+def test_tampered_signature_fails(keypair):
+    data = b"payload"
+    sig = sign(keypair, data)
+    assert not verify(keypair.public, data, sig ^ 1)
+
+
+def test_wrong_key_fails(keypair):
+    other = generate_keypair(256, random.Random(2))
+    sig = sign(keypair, b"data")
+    assert not verify(other.public, b"data", sig)
+
+
+def test_signature_out_of_range_rejected(keypair):
+    assert not verify(keypair.public, b"x", 0)
+    assert not verify(keypair.public, b"x", keypair.n)
+    assert not verify(keypair.public, b"x", -5)
+
+
+def test_deterministic_keygen():
+    a = generate_keypair(256, random.Random(42))
+    b = generate_keypair(256, random.Random(42))
+    assert a == b
+
+
+def test_different_seeds_different_keys():
+    a = generate_keypair(256, random.Random(1))
+    b = generate_keypair(256, random.Random(2))
+    assert a.n != b.n
+
+
+def test_minimum_bits_enforced():
+    with pytest.raises(ValueError):
+        generate_keypair(32)
+
+
+def test_key_dict_round_trip(keypair):
+    assert KeyPair.from_dict(keypair.to_dict()) == keypair
+    assert PublicKey.from_dict(keypair.public.to_dict()) == keypair.public
+
+
+def test_public_fingerprint_stable(keypair):
+    assert keypair.public.fingerprint() == keypair.public.fingerprint()
+    other = generate_keypair(256, random.Random(9))
+    assert keypair.public.fingerprint() != other.public.fingerprint()

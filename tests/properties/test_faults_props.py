@@ -1,0 +1,65 @@
+"""Property tests for fault-plan query consistency."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.faults import FaultPlan
+
+_fault = st.tuples(
+    st.sampled_from(["l1", "l2", "l3"]),
+    st.floats(0, 1000, allow_nan=False),
+    st.floats(0.001, 500, allow_nan=False),
+)
+_faults = st.lists(_fault, max_size=10)
+
+
+def build(faults):
+    plan = FaultPlan()
+    for link, at, dur in faults:
+        plan.cut_link(link, at=at, duration=dur)
+    return plan
+
+
+@given(_faults, st.floats(0, 2000, allow_nan=False))
+@settings(max_examples=100)
+def test_link_down_matches_interval_membership(faults, t):
+    plan = build(faults)
+    for link in ("l1", "l2", "l3"):
+        expected = any(l == link and at <= t < at + dur for l, at, dur in faults)
+        assert plan.link_down(link, t) == expected
+
+
+@given(_faults, st.floats(0, 2000), st.floats(0, 2000))
+@settings(max_examples=100)
+def test_first_interruption_is_earliest_down_moment(faults, a, b):
+    start, end = min(a, b), max(a, b)
+    plan = build(faults)
+    links = ["l1", "l2", "l3"]
+    hit = plan.first_interruption(links, [], start, end)
+    if hit is None:
+        # spot-check: no sampled moment in the (non-empty) window is down
+        if end > start:
+            for i in range(20):
+                t = start + (end - start) * i / 20
+                assert not any(plan.link_down(l, t) for l in links)
+    else:
+        assert start <= hit < end or hit == start
+        # the plan really is down at the reported instant
+        assert any(plan.link_down(l, hit) for l in links)
+        # and was up just before (within the window)
+        eps = 1e-6
+        if hit - eps > start:
+            assert not any(plan.link_down(l, hit - eps) for l in links)
+
+
+@given(_faults, st.floats(0, 2000, allow_nan=False))
+@settings(max_examples=100)
+def test_next_clear_time_is_clear_and_minimal(faults, t):
+    plan = build(faults)
+    links = ["l1", "l2", "l3"]
+    clear = plan.next_clear_time(links, [], t)
+    assert clear >= t
+    assert not any(plan.link_down(l, clear) for l in links)
+    # if it moved, the starting instant was genuinely down
+    if clear > t:
+        assert any(plan.link_down(l, t) for l in links)

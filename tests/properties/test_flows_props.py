@@ -1,0 +1,58 @@
+"""Property tests for bandwidth-sharing arithmetic."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.flows import aggregate_rate, batch_transfer_time, fair_share
+
+_bw = st.floats(1e6, 1e11, allow_nan=False)
+_k = st.integers(1, 64)
+_sizes = st.lists(st.integers(1, 10**9), min_size=1, max_size=30)
+
+
+@given(_bw, _bw, _k)
+@settings(max_examples=100)
+def test_fair_share_bounded(bottleneck, flow_limit, k):
+    share = fair_share(bottleneck, flow_limit, k)
+    assert 0 < share <= flow_limit
+    assert share <= bottleneck / k + 1e-9
+
+
+@given(_bw, _bw, _k)
+@settings(max_examples=100)
+def test_aggregate_never_exceeds_bottleneck(bottleneck, flow_limit, k):
+    # relative tolerance: share*k can exceed the bottleneck by float ulps
+    assert aggregate_rate(bottleneck, flow_limit, k) <= bottleneck * (1 + 1e-9)
+
+
+@given(_sizes, _bw, _bw, _k)
+@settings(max_examples=100)
+def test_more_concurrency_never_slower_when_flow_limited(sizes, flow_limit,
+                                                         bottleneck, k):
+    """Monotonicity holds while the bottleneck is not the binding
+    constraint.  (When it is, fair-share division can make an uneven
+    last wave slower — a real effect, not a bug.)"""
+    if flow_limit * (k + 1) > bottleneck:
+        flow_limit = bottleneck / (k + 1)
+    t_k = batch_transfer_time(sizes, flow_limit, bottleneck, k)
+    t_k1 = batch_transfer_time(sizes, flow_limit, bottleneck, k + 1)
+    assert t_k1 <= t_k * 1.000001
+
+
+@given(_sizes, _bw, _bw, _k)
+@settings(max_examples=100)
+def test_batch_time_at_least_ideal(sizes, flow_limit, bottleneck, k):
+    """No schedule can beat total-bits / aggregate-rate."""
+    t = batch_transfer_time(sizes, flow_limit, bottleneck, k)
+    ideal = sum(sizes) * 8.0 / aggregate_rate(bottleneck, flow_limit,
+                                              min(k, len(sizes)))
+    assert t >= ideal * 0.999
+
+
+@given(_sizes, _bw, _bw, _k, st.floats(0, 10, allow_nan=False))
+@settings(max_examples=60)
+def test_overhead_only_adds_time(sizes, flow_limit, bottleneck, k, overhead):
+    free = batch_transfer_time(sizes, flow_limit, bottleneck, k)
+    taxed = batch_transfer_time(sizes, flow_limit, bottleneck, k,
+                                per_item_overhead_s=overhead)
+    assert taxed >= free

@@ -1,0 +1,41 @@
+"""Property tests for performance markers."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gridftp.perf import PerfMarker, progress_markers
+
+
+@given(
+    ts=st.floats(0, 1e9, allow_nan=False),
+    idx=st.integers(0, 63),
+    count=st.integers(1, 64),
+    nbytes=st.integers(0, 2**50),
+)
+def test_marker_format_parse_round_trip(ts, idx, count, nbytes):
+    m = PerfMarker(timestamp=round(ts, 1), stripe_index=idx,
+                   stripe_count=count, bytes_transferred=nbytes)
+    assert PerfMarker.parse(m.format()) == m
+
+
+@given(
+    duration=st.floats(0.1, 10_000, allow_nan=False),
+    total=st.integers(1, 2**40),
+    stripes=st.integers(1, 8),
+    interval=st.floats(0.5, 100, allow_nan=False),
+)
+@settings(max_examples=80)
+def test_progress_invariants(duration, total, stripes, interval):
+    markers = progress_markers(0.0, duration, total, stripes, interval)
+    # timestamps strictly inside the transfer window
+    assert all(0 < m.timestamp < duration for m in markers)
+    # per-timestamp stripe sums never exceed the total and are monotone
+    sums: dict[float, int] = {}
+    for m in markers:
+        sums[m.timestamp] = sums.get(m.timestamp, 0) + m.bytes_transferred
+        assert m.stripe_count == stripes
+        assert 0 <= m.stripe_index < stripes
+    times = sorted(sums)
+    values = [sums[t] for t in times]
+    assert all(v <= total for v in values)
+    assert values == sorted(values)

@@ -1,0 +1,86 @@
+"""Property tests for PKI invariants."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pki.certificate import Certificate
+from repro.pki.dn import DistinguishedName as DN
+from repro.pki.rsa import generate_keypair, sign, verify
+
+# key generation is expensive; share a pool across examples
+_KEYS = [generate_keypair(256, random.Random(i)) for i in range(3)]
+
+
+@given(data=st.binary(min_size=0, max_size=200), key_idx=st.integers(0, 2))
+@settings(max_examples=40)
+def test_sign_verify_total(data, key_idx):
+    key = _KEYS[key_idx]
+    assert verify(key.public, data, sign(key, data))
+
+
+@given(
+    data=st.binary(min_size=1, max_size=100),
+    flip=st.integers(0, 799),
+)
+@settings(max_examples=40)
+def test_any_bit_flip_breaks_signature(data, flip):
+    key = _KEYS[0]
+    sig = sign(key, data)
+    byte_idx = (flip // 8) % len(data)
+    bit = flip % 8
+    tampered = bytearray(data)
+    tampered[byte_idx] ^= 1 << bit
+    assert not verify(key.public, bytes(tampered), sig)
+
+
+_attr = st.sampled_from(["O", "OU", "CN", "C", "DC"])
+_value = st.text(
+    alphabet=st.characters(min_codepoint=32, max_codepoint=126),
+    min_size=1,
+    max_size=20,
+).filter(lambda s: s.strip() == s and s)
+
+_dn = st.lists(st.tuples(_attr, _value), min_size=1, max_size=5).map(
+    lambda pairs: DN(rdns=tuple(pairs))
+)
+
+
+@given(_dn)
+@settings(max_examples=80)
+def test_dn_parse_format_round_trip(dn):
+    assert DN.parse(str(dn)) == dn
+
+
+@given(_dn, _value)
+@settings(max_examples=50)
+def test_with_cn_parent_inverse(dn, value):
+    extended = dn.with_cn(value)
+    assert extended.parent() == dn
+    assert dn.is_prefix_of(extended)
+
+
+@given(
+    dn=_dn,
+    serial=st.integers(1, 2**40),
+    start=st.floats(0, 1e6, allow_nan=False),
+    lifetime=st.floats(1, 1e6, allow_nan=False),
+    key_idx=st.integers(0, 2),
+)
+@settings(max_examples=40)
+def test_certificate_dict_round_trip(dn, serial, start, lifetime, key_idx):
+    key = _KEYS[key_idx]
+    cert = Certificate(
+        subject=dn,
+        issuer=dn,
+        serial=serial,
+        not_before=start,
+        not_after=start + lifetime,
+        public_key=key.public,
+        extensions={"k": "v"},
+    ).signed_by(key)
+    back = Certificate.from_dict(cert.to_dict())
+    assert back == cert
+    assert back.verify_signature(key.public)
+    assert Certificate.from_pem(cert.to_pem()) == cert

@@ -1,0 +1,94 @@
+"""Property tests for the byte-range algebra (restart markers)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.ranges import ByteRangeSet
+
+ranges_strategy = st.lists(
+    st.tuples(st.integers(0, 10_000), st.integers(0, 10_000)).map(
+        lambda t: (min(t), max(t))
+    ),
+    max_size=30,
+)
+
+
+def to_point_set(brs: ByteRangeSet) -> set[int]:
+    out = set()
+    for s, e in brs:
+        out.update(range(s, e))
+    return out
+
+
+@given(ranges_strategy)
+def test_canonical_form(ranges):
+    """Stored ranges are sorted, non-overlapping, non-adjacent, non-empty."""
+    s = ByteRangeSet(ranges)
+    stored = s.ranges
+    for (a1, b1), (a2, b2) in zip(stored, stored[1:]):
+        assert b1 < a2  # strictly separated
+    assert all(a < b for a, b in stored)
+
+
+@given(ranges_strategy)
+def test_total_bytes_matches_point_count(ranges):
+    s = ByteRangeSet(ranges)
+    assert s.total_bytes() == len(to_point_set(s))
+
+
+@given(ranges_strategy, st.integers(0, 12_000))
+def test_complement_is_true_complement(ranges, size):
+    s = ByteRangeSet(ranges)
+    comp = s.complement(size)
+    points = to_point_set(s)
+    comp_points = to_point_set(comp)
+    universe = set(range(size))
+    assert comp_points == universe - points
+    # union covers [0, size)
+    assert (points | comp_points) >= universe
+
+
+@given(ranges_strategy, st.integers(0, 12_000))
+def test_complement_involution(ranges, size):
+    """complement(complement(s)) clipped to size == s clipped to size."""
+    s = ByteRangeSet(ranges)
+    double = s.complement(size).complement(size)
+    assert double == s.intersect(0, size)
+
+
+@given(ranges_strategy, ranges_strategy)
+def test_union_commutative_and_pointwise(r1, r2):
+    a, b = ByteRangeSet(r1), ByteRangeSet(r2)
+    assert a.union(b) == b.union(a)
+    assert to_point_set(a.union(b)) == to_point_set(a) | to_point_set(b)
+
+
+@given(ranges_strategy)
+def test_union_idempotent(ranges):
+    s = ByteRangeSet(ranges)
+    assert s.union(s) == s
+
+
+@given(ranges_strategy, st.integers(0, 10_000), st.integers(0, 10_000))
+def test_intersect_pointwise(ranges, a, b):
+    lo, hi = min(a, b), max(a, b)
+    s = ByteRangeSet(ranges)
+    assert to_point_set(s.intersect(lo, hi)) == to_point_set(s) & set(range(lo, hi))
+
+
+@given(ranges_strategy)
+@settings(max_examples=50)
+def test_insertion_order_irrelevant(ranges):
+    forward = ByteRangeSet(ranges)
+    backward = ByteRangeSet(list(reversed(ranges)))
+    assert forward == backward
+
+
+@given(ranges_strategy, st.integers(0, 12_000))
+def test_marker_wire_format_round_trip(ranges, size):
+    from repro.gridftp.restart import format_restart_marker, parse_restart_marker
+
+    s = ByteRangeSet(ranges)
+    if s.is_empty():
+        return
+    assert parse_restart_marker(format_restart_marker(s)) == s

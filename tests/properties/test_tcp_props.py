@@ -1,0 +1,74 @@
+"""Property tests: monotonicity of the network performance models."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.tcp import TCPModel, tcp_aggregate_rate, tcp_stream_rate
+from repro.net.topology import PathStats
+from repro.net.udt import UDTModel
+from repro.util.units import KB
+
+
+def make_path(rtt, bw, loss):
+    return PathStats(src="a", dst="b", rtt_s=rtt, bottleneck_bps=bw, loss=loss,
+                     link_ids=("l",), hosts=("a", "b"))
+
+
+_rtt = st.floats(1e-4, 1.0, allow_nan=False)
+_bw = st.floats(1e6, 1e11, allow_nan=False)
+_loss = st.floats(0.0, 0.05, allow_nan=False)
+_window = st.integers(8 * KB, 64 * 1024 * KB)
+_streams = st.integers(1, 64)
+
+
+@given(_rtt, _bw, _loss, _window, _streams)
+@settings(max_examples=100)
+def test_rate_positive_and_bounded(rtt, bw, loss, window, streams):
+    path = make_path(rtt, bw, loss)
+    rate = tcp_aggregate_rate(path, streams, TCPModel(window_bytes=window))
+    assert 0 < rate <= bw
+
+
+@given(_rtt, _bw, _loss, _window, _streams)
+@settings(max_examples=100)
+def test_more_streams_never_slower(rtt, bw, loss, window, streams):
+    path = make_path(rtt, bw, loss)
+    model = TCPModel(window_bytes=window)
+    assert tcp_aggregate_rate(path, streams + 1, model) >= tcp_aggregate_rate(
+        path, streams, model
+    )
+
+
+@given(_rtt, _bw, _loss, _window)
+@settings(max_examples=100)
+def test_bigger_window_never_slower(rtt, bw, loss, window):
+    path = make_path(rtt, bw, loss)
+    small = tcp_stream_rate(path, TCPModel(window_bytes=window))
+    big = tcp_stream_rate(path, TCPModel(window_bytes=window * 2))
+    assert big >= small
+
+
+@given(_rtt, _bw, _window, st.floats(0.0, 0.02), st.floats(0.0, 0.02))
+@settings(max_examples=100)
+def test_more_loss_never_faster(rtt, bw, window, loss1, loss2):
+    lo, hi = min(loss1, loss2), max(loss1, loss2)
+    model = TCPModel(window_bytes=window)
+    assert tcp_stream_rate(make_path(rtt, bw, hi), model) <= tcp_stream_rate(
+        make_path(rtt, bw, lo), model
+    )
+
+
+@given(_rtt, _bw, _window, st.floats(0.0, 0.02))
+@settings(max_examples=100)
+def test_longer_rtt_never_faster(rtt, bw, window, loss):
+    model = TCPModel(window_bytes=window)
+    assert tcp_stream_rate(make_path(rtt * 2, bw, loss), model) <= tcp_stream_rate(
+        make_path(rtt, bw, loss), model
+    )
+
+
+@given(_rtt, _bw, _loss)
+@settings(max_examples=100)
+def test_udt_rate_positive_and_bounded(rtt, bw, loss):
+    rate = UDTModel().stream_rate(make_path(rtt, bw, loss))
+    assert 0 < rate <= bw

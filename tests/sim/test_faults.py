@@ -1,0 +1,85 @@
+"""Fault plan queries."""
+
+import pytest
+
+from repro.sim.faults import FaultPlan, LinkFault
+
+
+def test_link_down_window_is_half_open():
+    plan = FaultPlan()
+    plan.cut_link("l1", at=10.0, duration=5.0)
+    assert not plan.link_down("l1", 9.999)
+    assert plan.link_down("l1", 10.0)
+    assert plan.link_down("l1", 14.999)
+    assert not plan.link_down("l1", 15.0)
+
+
+def test_host_down():
+    plan = FaultPlan()
+    plan.crash_host("dtn1", at=0.0, duration=1.0)
+    assert plan.host_down("dtn1", 0.5)
+    assert not plan.host_down("dtn2", 0.5)
+
+
+def test_zero_duration_rejected():
+    plan = FaultPlan()
+    with pytest.raises(ValueError):
+        plan.cut_link("l1", at=0.0, duration=0.0)
+    with pytest.raises(ValueError):
+        plan.crash_host("h", at=0.0, duration=-1.0)
+
+
+def test_first_interruption_finds_earliest():
+    plan = FaultPlan()
+    plan.cut_link("l1", at=50.0, duration=10.0)
+    plan.cut_link("l2", at=30.0, duration=10.0)
+    plan.crash_host("h1", at=40.0, duration=10.0)
+    t = plan.first_interruption(["l1", "l2"], ["h1"], start=0.0, end=100.0)
+    assert t == 30.0
+
+
+def test_first_interruption_ignores_unrelated_resources():
+    plan = FaultPlan()
+    plan.cut_link("other", at=10.0, duration=5.0)
+    assert plan.first_interruption(["l1"], ["h1"], 0.0, 100.0) is None
+
+
+def test_first_interruption_outside_window():
+    plan = FaultPlan()
+    plan.cut_link("l1", at=200.0, duration=5.0)
+    assert plan.first_interruption(["l1"], [], 0.0, 100.0) is None
+
+
+def test_fault_already_active_counts_at_window_start():
+    plan = FaultPlan()
+    plan.cut_link("l1", at=0.0, duration=100.0)
+    assert plan.first_interruption(["l1"], [], 50.0, 60.0) == 50.0
+
+
+def test_next_clear_time_skips_overlapping_outages():
+    plan = FaultPlan()
+    plan.cut_link("l1", at=10.0, duration=10.0)  # [10, 20)
+    plan.cut_link("l1", at=18.0, duration=10.0)  # [18, 28)
+    plan.crash_host("h1", at=27.0, duration=5.0)  # [27, 32)
+    assert plan.next_clear_time(["l1"], ["h1"], 12.0) == 32.0
+
+
+def test_next_clear_time_when_already_clear():
+    plan = FaultPlan()
+    plan.cut_link("l1", at=10.0, duration=5.0)
+    assert plan.next_clear_time(["l1"], [], 5.0) == 5.0
+
+
+def test_clear_removes_all():
+    plan = FaultPlan()
+    plan.cut_link("l1", at=1.0, duration=1.0)
+    plan.crash_host("h", at=1.0, duration=1.0)
+    plan.clear()
+    assert plan.link_faults == ()
+    assert plan.host_faults == ()
+
+
+def test_link_fault_accessors():
+    f = LinkFault(link_id="x", start=3.0, duration=2.0)
+    assert f.end == 5.0
+    assert f.active_at(3.0) and f.active_at(4.9) and not f.active_at(5.0)

@@ -1,0 +1,103 @@
+"""File content representations: literal, synthetic, partial."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.data import LiteralData, PartialData, SyntheticData
+from repro.util.units import GB
+
+
+def test_literal_basics():
+    d = LiteralData(b"hello world")
+    assert d.size == 11
+    assert d.read(0, 5) == b"hello"
+    assert d.read(6, 100) == b"world"  # clipped at EOF
+    assert d.read_all() == b"hello world"
+
+
+def test_literal_fingerprint_is_content_hash():
+    assert LiteralData(b"abc").fingerprint() == LiteralData(b"abc").fingerprint()
+    assert LiteralData(b"abc").fingerprint() != LiteralData(b"abd").fingerprint()
+
+
+def test_literal_invalid_window():
+    with pytest.raises(StorageError):
+        LiteralData(b"x").read(-1, 1)
+
+
+def test_synthetic_deterministic():
+    a = SyntheticData(seed=7, length=10000)
+    b = SyntheticData(seed=7, length=10000)
+    assert a.read(100, 50) == b.read(100, 50)
+    assert a.read(0, 10000) == b.read(0, 10000)
+
+
+def test_synthetic_windows_consistent():
+    d = SyntheticData(seed=3, length=4096)
+    whole = d.read(0, 4096)
+    assert d.read(1000, 200) == whole[1000:1200]
+    assert d.read(4090, 100) == whole[4090:]  # clipped
+
+
+def test_synthetic_different_seeds_differ():
+    assert SyntheticData(1, 100).read(0, 100) != SyntheticData(2, 100).read(0, 100)
+
+
+def test_synthetic_fingerprint_without_materializing():
+    huge = SyntheticData(seed=5, length=100 * GB)
+    assert huge.fingerprint() == f"synthetic:5:{100 * GB}"
+
+
+def test_synthetic_refuses_huge_reads():
+    huge = SyntheticData(seed=5, length=100 * GB)
+    with pytest.raises(StorageError, match="refusing to materialize"):
+        huge.read(0, 100 * GB)
+
+
+def test_partial_literal_assembly():
+    p = PartialData(expected_size=10)
+    p.write_fragment(5, b"fghij")
+    assert not p.is_complete()
+    p.write_fragment(0, b"abcde")
+    assert p.is_complete()
+    final = p.promote()
+    assert isinstance(final, LiteralData)
+    assert final.read_all() == b"abcdefghij"
+
+
+def test_partial_out_of_order_overlap():
+    p = PartialData(expected_size=6)
+    p.write_fragment(2, b"cdef")
+    p.write_fragment(0, b"abc")  # overlaps at byte 2
+    assert p.promote().read_all() == b"abcdef"
+
+
+def test_partial_promote_incomplete_raises():
+    p = PartialData(expected_size=10)
+    p.write_fragment(0, b"abc")
+    with pytest.raises(StorageError, match="missing"):
+        p.promote()
+
+
+def test_partial_synthetic_assembly():
+    src = SyntheticData(seed=9, length=1 * GB)
+    p = PartialData(expected_size=1 * GB, synthetic_source=src)
+    p.mark_received(0, GB // 2)
+    assert not p.is_complete()
+    p.mark_received(GB // 2, GB)
+    final = p.promote()
+    assert final.fingerprint() == src.fingerprint()
+
+
+def test_partial_read_received_only():
+    p = PartialData(expected_size=10)
+    p.write_fragment(0, b"abcde")
+    assert p.read(0, 5) == b"abcde"
+    with pytest.raises(StorageError):
+        p.read(3, 5)  # includes unreceived bytes
+
+
+def test_partial_fingerprint_shows_progress():
+    p = PartialData(expected_size=100)
+    p.write_fragment(0, b"x" * 40)
+    assert p.fingerprint() == "partial:40/100"

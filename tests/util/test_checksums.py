@@ -1,0 +1,51 @@
+"""Checksum helpers."""
+
+import pytest
+
+from repro.util.checksums import (
+    adler32_hex,
+    checksum,
+    crc32_hex,
+    sha256_hex,
+    sha256_hex_iter,
+    supported_algorithms,
+)
+
+
+def test_sha256_known_value():
+    assert sha256_hex(b"") == (
+        "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+    )
+
+
+def test_sha256_iter_matches_whole():
+    chunks = [b"abc", b"def", b"ghi"]
+    assert sha256_hex_iter(chunks) == sha256_hex(b"abcdefghi")
+
+
+def test_crc32_is_8_hex_digits():
+    out = crc32_hex(b"hello")
+    assert len(out) == 8
+    assert int(out, 16) >= 0
+
+
+def test_adler32_differs_from_crc32():
+    data = b"gridftp" * 100
+    assert adler32_hex(data) != crc32_hex(data)
+
+
+def test_checksum_dispatch_case_insensitive():
+    data = b"payload"
+    assert checksum("SHA256", data) == sha256_hex(data)
+    assert checksum("Crc32", data) == crc32_hex(data)
+
+
+def test_checksum_unknown_algorithm():
+    with pytest.raises(ValueError):
+        checksum("md5sum", b"x")
+
+
+def test_supported_algorithms_sorted():
+    algos = supported_algorithms()
+    assert algos == sorted(algos)
+    assert "sha256" in algos

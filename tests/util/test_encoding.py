@@ -1,0 +1,98 @@
+"""Base64 / PEM / canonical-JSON framing."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.util.encoding import (
+    b64decode_str,
+    b64encode_str,
+    canonical_json,
+    from_canonical_json,
+    is_printable_ascii,
+    pem_decode,
+    pem_decode_all,
+    pem_encode,
+)
+
+
+def test_b64_round_trip():
+    data = bytes(range(256))
+    assert b64decode_str(b64encode_str(data)) == data
+
+
+def test_b64_output_is_printable_ascii():
+    assert is_printable_ascii(b64encode_str(b"\x00\xff binary"))
+
+
+def test_b64_rejects_garbage():
+    with pytest.raises(ProtocolError) as exc:
+        b64decode_str("not-base64!!!")
+    assert exc.value.code == 501
+
+
+def test_pem_round_trip():
+    der = b"some der bytes" * 10
+    text = pem_encode("CERTIFICATE", der)
+    label, out = pem_decode(text)
+    assert label == "CERTIFICATE"
+    assert out == der
+
+
+def test_pem_wraps_lines_at_64():
+    text = pem_encode("CERTIFICATE", b"x" * 300)
+    body = [l for l in text.splitlines() if not l.startswith("-----")]
+    assert all(len(l) <= 64 for l in body)
+
+
+def test_pem_decode_expected_label_mismatch():
+    text = pem_encode("RSA PRIVATE KEY", b"key")
+    with pytest.raises(ProtocolError):
+        pem_decode(text, expected_label="CERTIFICATE")
+
+
+def test_pem_decode_all_preserves_order():
+    text = (
+        pem_encode("CERTIFICATE", b"one")
+        + pem_encode("RSA PRIVATE KEY", b"two")
+        + pem_encode("CERTIFICATE", b"three")
+    )
+    blocks = pem_decode_all(text)
+    assert [b[0] for b in blocks] == ["CERTIFICATE", "RSA PRIVATE KEY", "CERTIFICATE"]
+    assert [b[1] for b in blocks] == [b"one", b"two", b"three"]
+
+
+def test_pem_decode_all_empty_input():
+    assert pem_decode_all("no pem here") == []
+
+
+def test_pem_unterminated_block_raises():
+    text = "-----BEGIN CERTIFICATE-----\nYWJj\n"
+    with pytest.raises(ProtocolError):
+        pem_decode_all(text)
+
+
+def test_pem_corrupt_body_raises():
+    text = "-----BEGIN CERTIFICATE-----\n!!!!\n-----END CERTIFICATE-----\n"
+    with pytest.raises(ProtocolError):
+        pem_decode_all(text)
+
+
+def test_pem_decode_no_block_raises():
+    with pytest.raises(ProtocolError):
+        pem_decode("plain text")
+
+
+def test_canonical_json_is_deterministic():
+    a = canonical_json({"b": 1, "a": [2, 3], "c": {"y": 1, "x": 2}})
+    b = canonical_json({"c": {"x": 2, "y": 1}, "a": [2, 3], "b": 1})
+    assert a == b
+
+
+def test_canonical_json_round_trip():
+    obj = {"subject": [["O", "Grid"], ["CN", "alice"]], "serial": 42}
+    assert from_canonical_json(canonical_json(obj)) == obj
+
+
+def test_from_canonical_json_rejects_garbage():
+    with pytest.raises(ProtocolError):
+        from_canonical_json(b"\xff\xfe not json")

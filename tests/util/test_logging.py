@@ -1,0 +1,68 @@
+"""The structured event log."""
+
+from repro.util.logging import EventLog
+
+
+def test_emit_and_len():
+    log = EventLog()
+    log.emit(1.0, "a.b", "hello", x=1)
+    log.emit(2.0, "a.c", "world")
+    assert len(log) == 2
+
+
+def test_select_by_category_prefix():
+    log = EventLog()
+    log.emit(0.0, "gridftp.command", "m1")
+    log.emit(0.0, "gridftp.transfer.complete", "m2")
+    log.emit(0.0, "myproxy.issue", "m3")
+    assert len(log.select("gridftp")) == 2
+    assert len(log.select("gridftp.transfer")) == 1
+    assert len(log.select("myproxy.issue")) == 1
+    assert len(log.select()) == 3
+
+
+def test_select_by_field_values():
+    log = EventLog()
+    log.emit(0.0, "x", "a", server="s1", ok=True)
+    log.emit(0.0, "x", "b", server="s2", ok=True)
+    log.emit(0.0, "x", "c", server="s1", ok=False)
+    assert len(log.select("x", server="s1")) == 2
+    assert len(log.select("x", server="s1", ok=True)) == 1
+
+
+def test_count_and_last():
+    log = EventLog()
+    assert log.last("x") is None
+    log.emit(1.0, "x", "first")
+    log.emit(2.0, "x", "second")
+    assert log.count("x") == 2
+    assert log.last("x").message == "second"
+
+
+def test_subscribe_sees_future_events():
+    log = EventLog()
+    seen = []
+    log.subscribe(seen.append)
+    log.emit(0.0, "cat", "msg")
+    assert len(seen) == 1
+    assert seen[0].category == "cat"
+
+
+def test_clear_keeps_subscribers():
+    log = EventLog()
+    seen = []
+    log.subscribe(seen.append)
+    log.emit(0.0, "a", "1")
+    log.clear()
+    assert len(log) == 0
+    log.emit(0.0, "a", "2")
+    assert len(seen) == 2
+
+
+def test_events_are_immutable_records():
+    log = EventLog()
+    ev = log.emit(5.5, "cat", "msg", k="v")
+    assert ev.time == 5.5
+    assert ev.fields["k"] == "v"
+    import dataclasses
+    assert dataclasses.is_dataclass(ev)

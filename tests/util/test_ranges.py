@@ -1,0 +1,127 @@
+"""ByteRangeSet algebra (the restart-marker substrate)."""
+
+import pytest
+
+from repro.util.ranges import ByteRangeSet
+
+
+def test_empty_set():
+    s = ByteRangeSet()
+    assert s.is_empty()
+    assert s.total_bytes() == 0
+    assert s.ranges == []
+    assert s.covers(0)
+    assert not s.covers(1)
+
+
+def test_add_single_range():
+    s = ByteRangeSet()
+    s.add(10, 20)
+    assert s.ranges == [(10, 20)]
+    assert s.total_bytes() == 10
+
+
+def test_add_zero_length_is_noop():
+    s = ByteRangeSet()
+    s.add(5, 5)
+    assert s.is_empty()
+
+
+def test_add_invalid_range_raises():
+    s = ByteRangeSet()
+    with pytest.raises(ValueError):
+        s.add(-1, 5)
+    with pytest.raises(ValueError):
+        s.add(10, 5)
+
+
+def test_overlapping_ranges_merge():
+    s = ByteRangeSet([(0, 10), (5, 15)])
+    assert s.ranges == [(0, 15)]
+
+
+def test_adjacent_ranges_coalesce():
+    s = ByteRangeSet([(0, 10), (10, 20)])
+    assert s.ranges == [(0, 20)]
+
+
+def test_disjoint_ranges_stay_separate_and_sorted():
+    s = ByteRangeSet([(20, 30), (0, 10)])
+    assert s.ranges == [(0, 10), (20, 30)]
+
+
+def test_add_spanning_many():
+    s = ByteRangeSet([(0, 5), (10, 15), (20, 25), (40, 50)])
+    s.add(3, 22)
+    assert s.ranges == [(0, 25), (40, 50)]
+
+
+def test_contains():
+    s = ByteRangeSet([(0, 100), (200, 300)])
+    assert s.contains(0, 100)
+    assert s.contains(50, 60)
+    assert not s.contains(50, 150)
+    assert not s.contains(100, 200)
+    assert s.contains(250, 250)  # empty window always contained
+    assert s.contains_point(0)
+    assert not s.contains_point(100)  # half-open
+
+
+def test_complement_basic():
+    s = ByteRangeSet([(10, 20), (30, 40)])
+    comp = s.complement(50)
+    assert comp.ranges == [(0, 10), (20, 30), (40, 50)]
+
+
+def test_complement_of_full_coverage_is_empty():
+    s = ByteRangeSet([(0, 100)])
+    assert s.complement(100).is_empty()
+
+
+def test_complement_of_empty_is_everything():
+    assert ByteRangeSet().complement(42).ranges == [(0, 42)]
+
+
+def test_complement_clips_beyond_size():
+    s = ByteRangeSet([(0, 10), (90, 200)])
+    assert s.complement(100).ranges == [(10, 90)]
+
+
+def test_union_and_update():
+    a = ByteRangeSet([(0, 10)])
+    b = ByteRangeSet([(5, 20), (30, 40)])
+    u = a.union(b)
+    assert u.ranges == [(0, 20), (30, 40)]
+    # originals untouched
+    assert a.ranges == [(0, 10)]
+    a.update(b)
+    assert a.ranges == u.ranges
+
+
+def test_intersect():
+    s = ByteRangeSet([(0, 10), (20, 30), (40, 50)])
+    clipped = s.intersect(5, 45)
+    assert clipped.ranges == [(5, 10), (20, 30), (40, 45)]
+
+
+def test_equality_is_content_based():
+    a = ByteRangeSet([(0, 10), (10, 20)])
+    b = ByteRangeSet([(0, 20)])
+    assert a == b
+    assert a != ByteRangeSet([(0, 21)])
+    assert (a == "not a set") is False or (a == "not a set") is NotImplemented or True
+
+
+def test_copy_is_independent():
+    a = ByteRangeSet([(0, 10)])
+    b = a.copy()
+    b.add(20, 30)
+    assert a.ranges == [(0, 10)]
+    assert b.ranges == [(0, 10), (20, 30)]
+
+
+def test_covers():
+    s = ByteRangeSet([(0, 10), (10, 100)])
+    assert s.covers(100)
+    assert s.covers(50)
+    assert not s.covers(101)

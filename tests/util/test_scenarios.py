@@ -1,0 +1,64 @@
+"""The public scenarios helpers (used by examples and benchmarks)."""
+
+import pytest
+
+from repro.scenarios import conventional_site, gcmu_site
+from repro.util.units import gbps
+
+
+@pytest.fixture
+def topo(world):
+    net = world.network
+    net.add_host("srv", nic_bps=gbps(10))
+    net.add_host("laptop", nic_bps=gbps(1))
+    net.add_link("srv", "laptop", gbps(1), 0.01)
+    return world
+
+
+def test_conventional_site_round_trip(topo):
+    world = topo
+    site = conventional_site(world, "Lab", "srv")
+    site.add_user(world, "alice")
+    site.storage.write_file("/home/alice/f", b"data",
+                            uid=site.accounts.get("alice").uid)
+    client = site.client_for(world, "alice", "laptop")
+    session = client.connect(site.server)
+    assert session.logged_in_as == "alice"
+    res = session.get("/home/alice/f", "/tmp/f")
+    assert res.verified
+
+
+def test_conventional_site_gridmap_populated(topo):
+    world = topo
+    site = conventional_site(world, "Lab", "srv")
+    cred = site.add_user(world, "bob")
+    assert site.gridmap.lookup(cred.subject) == "bob"
+
+
+def test_gcmu_site_users(topo):
+    world = topo
+    ep = gcmu_site(world, "srv", "lab", {"alice": "a", "bob": "b"})
+    assert ep.accounts.exists("alice") and ep.accounts.exists("bob")
+    assert ep.storage.exists("/home/alice")
+    from repro.myproxy.client import myproxy_logon
+
+    cred = myproxy_logon(world, "laptop", ep.myproxy, "bob", "b")
+    assert cred.subject.common_name == "bob"
+
+
+def test_gcmu_site_charges_time_optionally(topo):
+    world = topo
+    world.network.add_host("srv2", nic_bps=gbps(10))
+    t0 = world.now
+    gcmu_site(world, "srv2", "timed", {}, charge_install_time=True)
+    assert world.now > t0
+
+
+def test_proxy_for_gives_fresh_proxies(topo):
+    world = topo
+    site = conventional_site(world, "Lab", "srv")
+    site.add_user(world, "alice")
+    p1 = site.proxy_for(world, "alice")
+    p2 = site.proxy_for(world, "alice")
+    assert p1.subject != p2.subject  # distinct serials
+    assert p1.identity == p2.identity

@@ -1,0 +1,89 @@
+"""Units and formatting."""
+
+import pytest
+
+from repro.util.units import (
+    DAY,
+    GB,
+    HOUR,
+    KB,
+    MB,
+    MINUTE,
+    PB,
+    TB,
+    bits,
+    bytes_per_second,
+    fmt_bytes,
+    fmt_duration,
+    fmt_rate,
+    gbps,
+    kbps,
+    mbps,
+)
+
+
+def test_size_constants_are_binary_powers():
+    assert KB == 1024
+    assert MB == KB * 1024
+    assert GB == MB * 1024
+    assert TB == GB * 1024
+    assert PB == TB * 1024
+
+
+def test_time_constants():
+    assert MINUTE == 60
+    assert HOUR == 3600
+    assert DAY == 86400
+
+
+def test_rate_conversions_are_decimal():
+    assert kbps(1) == 1e3
+    assert mbps(1) == 1e6
+    assert gbps(1) == 1e9
+    assert gbps(10) == 10e9
+
+
+def test_bits_and_bytes_per_second():
+    assert bits(1) == 8.0
+    assert bytes_per_second(8e6) == 1e6
+
+
+@pytest.mark.parametrize(
+    "value,expected",
+    [
+        (512, "512 B"),
+        (2048, "2.00 KiB"),
+        (GB + GB // 2, "1.50 GiB"),
+        (3 * TB, "3.00 TiB"),
+        (2 * PB, "2.00 PiB"),
+    ],
+)
+def test_fmt_bytes(value, expected):
+    assert fmt_bytes(value) == expected
+
+
+@pytest.mark.parametrize(
+    "value,expected",
+    [
+        (500.0, "500.0 b/s"),
+        (2e3, "2.00 kb/s"),
+        (5e6, "5.00 Mb/s"),
+        (9.41e9, "9.41 Gb/s"),
+        (1.2e12, "1.20 Tb/s"),
+    ],
+)
+def test_fmt_rate(value, expected):
+    assert fmt_rate(value) == expected
+
+
+def test_fmt_duration_scales():
+    assert fmt_duration(5e-7).endswith("us")
+    assert fmt_duration(0.005).endswith("ms")
+    assert fmt_duration(4.21) == "4.21 s"
+    assert fmt_duration(125) == "2m 5s"
+    assert fmt_duration(2 * HOUR + 13 * MINUTE) == "2h 13m"
+    assert fmt_duration(3 * DAY + 5 * HOUR) == "3d 5h"
+
+
+def test_fmt_duration_negative():
+    assert fmt_duration(-4.0) == "-4.00 s"

@@ -1,0 +1,79 @@
+"""Workload dataset generators."""
+
+from repro.sim.clock import Clock
+from repro.storage.data import LiteralData, SyntheticData
+from repro.storage.posix import PosixStorage
+from repro.workloads.datasets import (
+    LITERAL_THRESHOLD,
+    climate_mix,
+    hep_mix,
+    lots_of_small_files,
+    materialize,
+    single_huge_file,
+    total_bytes,
+)
+from repro.util.units import GB, KB, MB
+
+
+def test_single_huge_file():
+    specs = single_huge_file(size=100 * GB)
+    assert len(specs) == 1
+    assert specs[0].size == 100 * GB
+    assert isinstance(specs[0].make_data(), SyntheticData)
+
+
+def test_lots_of_small_files():
+    specs = lots_of_small_files(count=100, size=100 * KB)
+    assert len(specs) == 100
+    assert all(s.size == 100 * KB for s in specs)
+    assert len({s.path for s in specs}) == 100
+    assert isinstance(specs[0].make_data(), LiteralData)
+
+
+def test_small_files_have_distinct_content():
+    specs = lots_of_small_files(count=3, size=1 * KB)
+    contents = {s.make_data().read_all() for s in specs}
+    assert len(contents) == 3
+
+
+def test_literal_threshold():
+    small = lots_of_small_files(count=1, size=LITERAL_THRESHOLD)[0]
+    big = single_huge_file(size=LITERAL_THRESHOLD + 1)[0]
+    assert isinstance(small.make_data(), LiteralData)
+    assert isinstance(big.make_data(), SyntheticData)
+
+
+def test_climate_mix_shape():
+    specs = climate_mix(count=200)
+    sizes = [s.size for s in specs]
+    assert len(specs) == 200
+    assert min(sizes) >= 1 * MB
+    assert max(sizes) <= 8 * GB
+    mean = sum(sizes) / len(sizes)
+    assert 50 * MB < mean < 2 * GB
+
+
+def test_hep_mix_shape():
+    specs = hep_mix(count=100)
+    sizes = [s.size for s in specs]
+    mean = sum(sizes) / len(sizes)
+    assert 1 * GB < mean < 3 * GB
+
+
+def test_generators_deterministic():
+    assert climate_mix(count=10, seed=5) == climate_mix(count=10, seed=5)
+    assert climate_mix(count=10, seed=5) != climate_mix(count=10, seed=6)
+
+
+def test_total_bytes():
+    specs = lots_of_small_files(count=10, size=KB)
+    assert total_bytes(specs) == 10 * KB
+
+
+def test_materialize():
+    clock = Clock()
+    fs = PosixStorage(clock)
+    specs = lots_of_small_files(count=5, size=KB, directory="/data/small")
+    materialize(specs, fs)
+    for spec in specs:
+        assert fs.open_read(spec.path, 0).size == KB

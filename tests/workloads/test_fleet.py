@@ -1,0 +1,60 @@
+"""The fleet model behind Figure 1."""
+
+import pytest
+
+from repro.util.units import PB
+from repro.workloads.fleet import FleetModel
+
+
+def test_final_day_matches_paper_figures():
+    """Section II.A: ~5000 servers, >10M transfers/day, ~0.5 PB/day."""
+    model = FleetModel(seed=1)
+    last = model.day(model.days - 1)
+    assert last.servers_total == pytest.approx(5000, rel=0.02)
+    assert last.transfers == pytest.approx(10e6, rel=0.5)
+    assert last.bytes_moved == pytest.approx(0.5 * PB, rel=0.5)
+
+
+def test_growth_is_roughly_monotonic():
+    model = FleetModel(seed=1)
+    series = model.series(step_days=30)
+    servers = [d.servers_total for d in series]
+    assert servers == sorted(servers)
+    assert series[0].transfers < series[-1].transfers / 5
+
+
+def test_reporting_subset():
+    """'presumably a subset of all servers' — reporting < total."""
+    model = FleetModel(seed=1, reporting_fraction=0.6)
+    day = model.day(model.days - 1)
+    assert day.servers_reporting < day.servers_total
+    assert day.servers_reporting == pytest.approx(0.6 * day.servers_total, rel=0.05)
+
+
+def test_deterministic_by_seed():
+    a = FleetModel(seed=3).day(500)
+    b = FleetModel(seed=3).day(500)
+    assert a == b
+
+
+def test_day_bounds():
+    model = FleetModel(days=100)
+    with pytest.raises(ValueError):
+        model.day(100)
+    with pytest.raises(ValueError):
+        model.day(-1)
+
+
+def test_weekend_dip():
+    model = FleetModel(seed=1)
+    # average weekday vs weekend transfers near the end of the window
+    weekday = [model.day(d).transfers for d in range(1200, 1300) if d % 7 < 5]
+    weekend = [model.day(d).transfers for d in range(1200, 1300) if d % 7 >= 5]
+    assert sum(weekend) / len(weekend) < sum(weekday) / len(weekday)
+
+
+def test_series_includes_sampling():
+    model = FleetModel(seed=1, days=365)
+    series = model.series(step_days=7)
+    assert len(series) == 53
+    assert series[0].day_index == 0

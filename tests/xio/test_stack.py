@@ -1,0 +1,60 @@
+"""XIO stack composition."""
+
+import pytest
+
+from repro.net.tcp import TCPModel
+from repro.net.topology import PathStats
+from repro.xio.drivers import GsiProtectDriver, Protection, TcpDriver, UdtDriver
+from repro.xio.stack import XIOStack
+from repro.util.units import MB, gbps
+
+
+def path(rtt=0.05, bw=gbps(10), loss=0.0):
+    return PathStats(src="a", dst="b", rtt_s=rtt, bottleneck_bps=bw, loss=loss,
+                     link_ids=("l",), hosts=("a", "b"))
+
+
+def test_default_stack_is_plain_tcp():
+    stack = XIOStack()
+    assert stack.describe() == "tcp"
+
+
+def test_push_returns_new_stack():
+    base = XIOStack()
+    secured = base.push(GsiProtectDriver(protection=Protection.PRIVATE))
+    assert base.describe() == "tcp"
+    assert secured.describe() == "gsi/tcp"
+
+
+def test_transform_caps_throughput():
+    tuned = XIOStack(transport=TcpDriver(model=TCPModel.tuned(64 * MB)))
+    clear = tuned.throughput(path(), 16)
+    private = tuned.push(GsiProtectDriver(protection=Protection.PRIVATE)).throughput(path(), 16)
+    assert private < clear
+
+
+def test_transport_cannot_be_transform():
+    with pytest.raises(ValueError):
+        XIOStack(transforms=(UdtDriver(),))
+
+
+def test_setup_time_accumulates_driver_rtts():
+    stack = XIOStack().push(GsiProtectDriver(protection=Protection.PRIVATE))
+    p = path(rtt=0.1)
+    base = XIOStack().setup_time_s(p)
+    assert stack.setup_time_s(p) == pytest.approx(base + 2.0 * 0.1)
+
+
+def test_udt_stack():
+    stack = XIOStack(transport=UdtDriver())
+    assert stack.describe() == "udt"
+    assert stack.ramp_penalty_s(path(), 4) == 0.0
+    assert stack.throughput(path(loss=0.005), 1) == pytest.approx(0.9 * gbps(10))
+
+
+def test_gsi_over_udt_composes():
+    stack = XIOStack(transport=UdtDriver()).push(
+        GsiProtectDriver(protection=Protection.PRIVATE)
+    )
+    assert stack.describe() == "gsi/udt"
+    assert stack.throughput(path(), 1) == GsiProtectDriver().privacy_cap_bps
