@@ -9,7 +9,6 @@ and reports what each step produced, plus the failure paths (bad
 password, locked account).
 """
 
-import pytest
 
 from benchmarks._harness import report, run_once
 from repro.errors import AuthenticationError

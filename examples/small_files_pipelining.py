@@ -13,7 +13,6 @@ from repro import World
 from repro.gridftp.transfer import TransferOptions
 from repro.gridftp.tuning import DatasetShape, autotune
 from repro.metrics.report import render_table
-from repro.storage.data import LiteralData
 from repro.util.units import KB, MB, fmt_duration, gbps
 from repro.workloads.datasets import lots_of_small_files, materialize
 from repro.scenarios import conventional_site as make_conventional_site

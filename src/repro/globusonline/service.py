@@ -157,32 +157,42 @@ class GlobusOnline:
             raise AuthenticationError(
                 f"endpoint {endpoint_name!r} has no MyProxy CA for activation"
             )
-        self.world.emit(
-            "credential.exposure", "password observed",
-            party="globusonline", username=username, channel="web-activation",
-        )
-        self.world.emit(
-            "credential.exposure", "password observed",
-            party=f"site:{record.info.site}", username=username, channel="myproxy-logon",
-        )
-        credential = myproxy_logon(
-            self.world,
-            self.host,
-            record.info.myproxy_address,
-            username,
-            password,
-            lifetime_s=lifetime_s,
-            trust=record.trust,
-        )
-        activation = Activation(
-            endpoint_name=endpoint_name,
-            credential=credential,
-            activated_at=self.world.now,
-        )
-        user.activations[endpoint_name] = activation
-        self.world.emit("globusonline.activate", "endpoint activated",
-                        user=user.name, endpoint=endpoint_name, method="password")
-        return activation
+        with self.world.tracer.span(
+            "globusonline.activate", endpoint=endpoint_name, method="password"
+        ):
+            self.world.emit(
+                "credential.exposure", "password observed",
+                party="globusonline", username=username, channel="web-activation",
+            )
+            self.world.emit(
+                "credential.exposure", "password observed",
+                party=f"site:{record.info.site}", username=username, channel="myproxy-logon",
+            )
+            credential = myproxy_logon(
+                self.world,
+                self.host,
+                record.info.myproxy_address,
+                username,
+                password,
+                lifetime_s=lifetime_s,
+                trust=record.trust,
+            )
+            activation = Activation(
+                endpoint_name=endpoint_name,
+                credential=credential,
+                activated_at=self.world.now,
+            )
+            user.activations[endpoint_name] = activation
+            self._count_activation("password")
+            self.world.emit("globusonline.activate", "endpoint activated",
+                            user=user.name, endpoint=endpoint_name, method="password")
+            return activation
+
+    def _count_activation(self, method: str) -> None:
+        self.world.metrics.counter(
+            "globusonline_activations_total", "Endpoint activations by method",
+            labelnames=("method",),
+        ).inc(method=method)
 
     def activate_oauth(
         self,
@@ -201,21 +211,25 @@ class GlobusOnline:
             raise AuthenticationError(
                 f"endpoint {endpoint_name!r} has no OAuth server configured"
             )
-        # the user's browser talks to the site directly: the exposure
-        # event for the site is emitted by OAuthServer.authorize itself.
-        code = record.oauth.authorize(username, password, lifetime_s)
-        credential = record.oauth.exchange(code)
-        if record.gcmu is not None:
-            record.trust.add_anchor(record.gcmu.myproxy.ca.certificate)
-        activation = Activation(
-            endpoint_name=endpoint_name,
-            credential=credential,
-            activated_at=self.world.now,
-        )
-        user.activations[endpoint_name] = activation
-        self.world.emit("globusonline.activate", "endpoint activated",
-                        user=user.name, endpoint=endpoint_name, method="oauth")
-        return activation
+        with self.world.tracer.span(
+            "globusonline.activate", endpoint=endpoint_name, method="oauth"
+        ):
+            # the user's browser talks to the site directly: the exposure
+            # event for the site is emitted by OAuthServer.authorize itself.
+            code = record.oauth.authorize(username, password, lifetime_s)
+            credential = record.oauth.exchange(code)
+            if record.gcmu is not None:
+                record.trust.add_anchor(record.gcmu.myproxy.ca.certificate)
+            activation = Activation(
+                endpoint_name=endpoint_name,
+                credential=credential,
+                activated_at=self.world.now,
+            )
+            user.activations[endpoint_name] = activation
+            self._count_activation("oauth")
+            self.world.emit("globusonline.activate", "endpoint activated",
+                            user=user.name, endpoint=endpoint_name, method="oauth")
+            return activation
 
     # -- transfers (Figure 6) -----------------------------------------------------
 

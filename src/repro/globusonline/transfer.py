@@ -139,13 +139,34 @@ def run_job(
     job: TransferJob,
     options: TransferOptions | None = None,
 ) -> TransferJob:
-    """Drive a job to SUCCEEDED or FAILED (advancing virtual time)."""
+    """Drive a job to SUCCEEDED or FAILED (advancing virtual time).
+
+    The whole job runs under a ``globusonline.job`` tracer span; each
+    attempt's transfer gets a child ``attempt`` span and re-attempts
+    count into ``retries_total{component="globusonline"}``.
+    """
+    with go.world.tracer.span("globusonline.job", job=job.job_id, user=job.user):
+        return _run_job(go, user, job, options)
+
+
+def _run_job(
+    go: "GlobusOnline",
+    user: "GOUser",
+    job: TransferJob,
+    options: TransferOptions | None = None,
+) -> TransferJob:
     world = go.world
+    retries = world.metrics.counter(
+        "retries_total", "Transfer attempts retried after a failure",
+        labelnames=("component",),
+    )
     job.status = JobStatus.ACTIVE
     restart: ByteRangeSet | None = None
 
     while job.attempts < job.max_attempts:
         job.attempts += 1
+        if job.attempts > 1:
+            retries.inc(component="globusonline")
         try:
             src_rec, dst_rec, src_act, _, src_session, dst_session = _connect_sessions(
                 go, user, job
@@ -174,15 +195,16 @@ def run_job(
             # endpoint pairs get a DCSC context built from the source
             # activation credential (the Figure 5 strategy).
             dcsc_credential = src_act.credential if _cross_domain(src_rec, dst_rec) else None
-            result = third_party_transfer(
-                src_session,
-                job.src_path,
-                dst_session,
-                job.dst_path,
-                opts,
-                use_dcsc=dcsc_credential,
-                restart=restart,
-            )
+            with world.tracer.span("attempt", attempt=job.attempts, job=job.job_id):
+                result = third_party_transfer(
+                    src_session,
+                    job.src_path,
+                    dst_session,
+                    job.dst_path,
+                    opts,
+                    use_dcsc=dcsc_credential,
+                    restart=restart,
+                )
             # post-transfer integrity: CKSM on both endpoints must agree
             # (the hosted service's end-to-end check).
             src_sum = src_session.checksum(job.src_path)
@@ -257,6 +279,18 @@ def run_batch_job(
     resumes cheaply because completed files simply re-verify) — the
     single-file path owns checkpoint restart.
     """
+    with go.world.tracer.span(
+        "globusonline.batch", job=job.job_id, files=len(job.pairs)
+    ):
+        return _run_batch_job(go, user, job, options)
+
+
+def _run_batch_job(
+    go: "GlobusOnline",
+    user: "GOUser",
+    job: BatchTransferJob,
+    options: TransferOptions | None = None,
+) -> BatchTransferJob:
     from repro.errors import LinkDownError
     from repro.gridftp.transfer import SinkSpec, SourceSpec
 
@@ -329,8 +363,12 @@ def run_batch_job(
             lane_time[lane] += result.duration_s
             job.files_done += 1
             job.bytes_done += result.nbytes
-            src_session.server.record_transfer(result, "retrieve", sp)
-            dst_session.server.record_transfer(result, "store", dp)
+            src_session.server.record_transfer(
+                result, "retrieve", sp, mode=src_session.server_session.mode
+            )
+            dst_session.server.record_transfer(
+                result, "store", dp, mode=dst_session.server_session.mode
+            )
         world.advance(max(lane_time) if lane_time else 0.0)
         job.status = JobStatus.SUCCEEDED
         job.completed_at = world.now

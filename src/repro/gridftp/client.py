@@ -343,7 +343,8 @@ class ClientSession:
             security=client.data_channel_security(options.dcau),
         )
         result = client.engine.execute(source, sink_spec, options)
-        self.server.record_transfer(result, "retrieve", intent.path)
+        self.server.record_transfer(result, "retrieve", intent.path,
+                                    mode=self.server_session.mode)
         return result
 
     def put(
@@ -380,7 +381,8 @@ class ClientSession:
             security=self.server_session.data_channel_security(),
         )
         result = client.engine.execute(source, sink_spec, options)
-        self.server.record_transfer(result, "store", intent.path)
+        self.server.record_transfer(result, "store", intent.path,
+                                    mode=self.server_session.mode)
         return result
 
     def get_partial(
@@ -425,7 +427,8 @@ class ClientSession:
         ).covers(size)
         result = client.engine.execute(source, sink_spec, options,
                                        finalize=complete)
-        self.server.record_transfer(result, "retrieve-partial", intent.path)
+        self.server.record_transfer(result, "retrieve-partial", intent.path,
+                                    mode=self.server_session.mode)
         return result
 
     def get_many(
@@ -488,7 +491,8 @@ class ClientSession:
             lane = min(range(k), key=lane_time.__getitem__)
             lane_time[lane] += result.duration_s
             results.append(result)
-            self.server.record_transfer(result, "retrieve", intent.path)
+            self.server.record_transfer(result, "retrieve", intent.path,
+                                        mode=self.server_session.mode)
         self.world.advance(max(lane_time) if lane_time else 0.0)
         return results
 

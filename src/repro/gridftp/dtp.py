@@ -19,6 +19,7 @@ from typing import TYPE_CHECKING
 from repro.gridftp.restart import ByteRangeSet
 from repro.storage.data import FileData
 from repro.storage.dsi import DataStorageInterface, WriteSink
+from repro.telemetry.profiling import timed
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.world import World
@@ -33,11 +34,13 @@ class DataTransferProcess:
         self.host = host
         self.dsi = dsi
 
+    @timed("storage.open_source")
     def open_source(self, path: str, uid: int, needed: ByteRangeSet | None = None) -> FileData:
         """Open a file for sending (permission-checked as ``uid``)."""
         del needed  # range selection happens in the engine's block plan
         return self.dsi.open_read(path, uid)
 
+    @timed("storage.open_sink")
     def open_sink(
         self, path: str, uid: int, expected_size: int, resume: bool = False
     ) -> WriteSink:

@@ -136,12 +136,21 @@ class GridFTPServer(Service):
 
     # -- usage telemetry (Figure 1 pipeline) -----------------------------------
 
-    def record_transfer(self, result: TransferResult, direction: str, path: str) -> None:
+    def record_transfer(
+        self, result: TransferResult, direction: str, path: str, mode: str = "E"
+    ) -> None:
         """Emit a usage record, if this deployment enabled reporting.
 
         Figure 1's caveat applies: "these numbers are based on reporting
-        from GridFTP servers that choose to enable reporting".
+        from GridFTP servers that choose to enable reporting".  The
+        ``bytes_transferred_total`` counter is always fed — it is this
+        deployment's own telemetry, not the opt-in usage pipeline.
         """
+        self.world.metrics.counter(
+            "bytes_transferred_total",
+            "Payload bytes in server-reported transfers",
+            labelnames=("direction", "mode"),
+        ).inc(result.nbytes, direction=direction, mode=mode)
         if not self.usage_reporting:
             return
         self.world.emit(
@@ -201,21 +210,28 @@ class GridFTPSession(ServerSession):
         except ProtocolError:
             return [str(R.UNRECOGNIZED)]
         spec = lookup(cmd.verb)
-        self.world.emit("gridftp.command", "command", server=self.server.name,
-                        verb=cmd.verb, client=self.client_host)
-        if spec is None:
-            return [str(R.UNRECOGNIZED)]
-        if spec.requires_auth and self.account is None:
-            return [str(R.NOT_LOGGED_IN)]
-        handler = getattr(self, f"_cmd_{cmd.verb.lower()}", None)
-        if handler is None:
-            return [str(R.UNRECOGNIZED)]
-        try:
-            return handler(cmd.arg)
-        except ProtocolError as exc:
-            return [f"{exc.code} {exc}"]
-        except StorageError as exc:
-            return [str(R.file_unavailable(cmd.arg or self.cwd, str(exc)))]
+        with self.world.tracer.span(
+            "gridftp.command", verb=cmd.verb, server=self.server.name
+        ):
+            self.world.emit("gridftp.command", "command", server=self.server.name,
+                            verb=cmd.verb, client=self.client_host)
+            self.world.metrics.counter(
+                "gridftp_commands_total", "Control-channel commands dispatched",
+                labelnames=("verb",),
+            ).inc(verb=cmd.verb)
+            if spec is None:
+                return [str(R.UNRECOGNIZED)]
+            if spec.requires_auth and self.account is None:
+                return [str(R.NOT_LOGGED_IN)]
+            handler = getattr(self, f"_cmd_{cmd.verb.lower()}", None)
+            if handler is None:
+                return [str(R.UNRECOGNIZED)]
+            try:
+                return handler(cmd.arg)
+            except ProtocolError as exc:
+                return [f"{exc.code} {exc}"]
+            except StorageError as exc:
+                return [str(R.file_unavailable(cmd.arg or self.cwd, str(exc)))]
 
     def close(self) -> None:
         """Tear down per-connection state."""

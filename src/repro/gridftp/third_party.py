@@ -68,56 +68,73 @@ def third_party_transfer(
     faults (restartable via ``restart``).
     """
     options = options or TransferOptions()
-    source_session.apply_options(options)
-    dest_session.apply_options(options)
+    world = source_session.world
+    with world.tracer.span(
+        "third_party",
+        source=source_session.server.name,
+        dest=dest_session.server.name,
+    ):
+        with world.tracer.span("control_channel", stage="options"):
+            source_session.apply_options(options)
+            dest_session.apply_options(options)
 
-    if use_dcsc is not None:
-        accepted = install_dcsc_contexts(source_session, dest_session, use_dcsc, both=dcsc_both)
-        if not accepted:
-            source_session.world.emit(
-                "gridftp.dcsc", "no endpoint accepted the DCSC context",
-                source=source_session.server.name, dest=dest_session.server.name,
-            )
+        if use_dcsc is not None:
+            with world.tracer.span("dcsc", both=dcsc_both):
+                accepted = install_dcsc_contexts(
+                    source_session, dest_session, use_dcsc, both=dcsc_both
+                )
+                if not accepted:
+                    world.emit(
+                        "gridftp.dcsc", "no endpoint accepted the DCSC context",
+                        source=source_session.server.name, dest=dest_session.server.name,
+                    )
 
-    # receiver listens (PASV / SPAS for striped receivers)
-    if len(dest_session.server.dtp_hosts) > 1:
-        addrs = dest_session.striped_passive()
-        source_session.striped_port(addrs)
-    else:
-        addr = dest_session.passive()
-        source_session.port(addr)
+        with world.tracer.span("control_channel", stage="data_port"):
+            # receiver listens (PASV / SPAS for striped receivers)
+            if len(dest_session.server.dtp_hosts) > 1:
+                addrs = dest_session.striped_passive()
+                source_session.striped_port(addrs)
+            else:
+                addr = dest_session.passive()
+                source_session.port(addr)
 
-    # restart marker: the sender learns which ranges the receiver already
-    # holds (it sends the complement); the receiver reopens its partial
-    # file instead of truncating.
-    if restart is not None:
-        source_session.rest(restart)
-        dest_session.rest(restart)
+            # restart marker: the sender learns which ranges the receiver
+            # already holds (it sends the complement); the receiver reopens
+            # its partial file instead of truncating.
+            if restart is not None:
+                source_session.rest(restart)
+                dest_session.rest(restart)
 
-    dest_session.command(f"STOR {dest_path}")
-    source_session.command(f"RETR {source_path}")
+            dest_session.command(f"STOR {dest_path}")
+            source_session.command(f"RETR {source_path}")
 
-    recv_intent = dest_session.server_session.take_intent()
-    send_intent = source_session.server_session.take_intent()
-    assert send_intent.data is not None
+        recv_intent = dest_session.server_session.take_intent()
+        send_intent = source_session.server_session.take_intent()
+        assert send_intent.data is not None
 
-    sink = dest_session.server_session.make_sink(recv_intent, send_intent.data.size)
-    source = SourceSpec(
-        hosts=source_session.server.dtp_hosts,
-        data=send_intent.data,
-        security=source_session.server_session.data_channel_security(),
-        needed=send_intent.needed,
-    )
-    sink_spec = SinkSpec(
-        hosts=dest_session.server.dtp_hosts,
-        sink=sink,
-        security=dest_session.server_session.data_channel_security(),
-    )
-    engine = source_session.client.engine
-    result = engine.execute(source, sink_spec, options)
-    source_session.server.record_transfer(result, "retrieve", send_intent.path)
-    dest_session.server.record_transfer(result, "store", recv_intent.path)
-    return result
+        sink = dest_session.server_session.make_sink(recv_intent, send_intent.data.size)
+        source = SourceSpec(
+            hosts=source_session.server.dtp_hosts,
+            data=send_intent.data,
+            security=source_session.server_session.data_channel_security(),
+            needed=send_intent.needed,
+        )
+        sink_spec = SinkSpec(
+            hosts=dest_session.server.dtp_hosts,
+            sink=sink,
+            security=dest_session.server_session.data_channel_security(),
+        )
+        engine = source_session.client.engine
+        result = engine.execute(source, sink_spec, options)
+        source_session.server.record_transfer(
+            result, "retrieve", send_intent.path,
+            mode=source_session.server_session.mode,
+        )
+        dest_session.server.record_transfer(
+            result, "store", recv_intent.path,
+            mode=dest_session.server_session.mode,
+        )
+        return result
 
 
 def third_party_with_restart(
@@ -138,30 +155,40 @@ def third_party_with_restart(
     (result, attempts_used).
     """
     world = source_session.world
-    received: ByteRangeSet | None = None
-    for attempt in range(1, max_attempts + 1):
-        _wait_paths_clear(world, source_session, dest_session)
-        try:
-            result = third_party_transfer(
-                source_session,
-                source_path,
-                dest_session,
-                dest_path,
-                options,
-                use_dcsc=use_dcsc,
-                restart=received,
-            )
-            return result, attempt
-        except TransferFaultError as fault:
-            marker = fault.received if fault.received is not None else ByteRangeSet()
-            received = received.union(marker) if received is not None else marker
-            world.advance(retry_backoff_s)
-        except LinkDownError:
-            # an endpoint became unreachable even for control traffic
-            world.advance(retry_backoff_s)
-    raise TransferFaultError(
-        f"transfer failed after {max_attempts} attempts", received=received
+    retries = world.metrics.counter(
+        "retries_total", "Transfer attempts retried after a failure",
+        labelnames=("component",),
     )
+    received: ByteRangeSet | None = None
+    with world.tracer.span(
+        "retry_loop", component="client", max_attempts=max_attempts
+    ):
+        for attempt in range(1, max_attempts + 1):
+            _wait_paths_clear(world, source_session, dest_session)
+            if attempt > 1:
+                retries.inc(component="client")
+            try:
+                with world.tracer.span("attempt", attempt=attempt):
+                    result = third_party_transfer(
+                        source_session,
+                        source_path,
+                        dest_session,
+                        dest_path,
+                        options,
+                        use_dcsc=use_dcsc,
+                        restart=received,
+                    )
+                return result, attempt
+            except TransferFaultError as fault:
+                marker = fault.received if fault.received is not None else ByteRangeSet()
+                received = received.union(marker) if received is not None else marker
+                world.advance(retry_backoff_s)
+            except LinkDownError:
+                # an endpoint became unreachable even for control traffic
+                world.advance(retry_backoff_s)
+        raise TransferFaultError(
+            f"transfer failed after {max_attempts} attempts", received=received
+        )
 
 
 #: longest a retry loop will sleep waiting for one outage to end

@@ -33,6 +33,12 @@ from repro.xio.drivers import GsiProtectDriver, Protection, TcpDriver, UdtDriver
 from repro.xio.stack import XIOStack
 
 
+#: histogram bucket edges for ``transfer_duration_seconds`` (virtual seconds)
+TRANSFER_DURATION_BUCKETS: tuple[float, ...] = (
+    0.5, 1.0, 2.0, 5.0, 10.0, 30.0, 60.0, 120.0, 300.0, 600.0, 1800.0, 3600.0,
+)
+
+
 @dataclass(frozen=True)
 class TransferOptions:
     """Tunable knobs for one transfer (the OPTS/SBUF/PROT command state)."""
@@ -188,8 +194,48 @@ class TransferEngine:
         clock — used by batch orchestration (concurrency lanes), whose
         caller advances the clock by the lane makespan itself.  Fault
         interruption is only modelled when the clock advances.
+
+        Every run opens a ``data_channel`` tracer span and maintains the
+        ``active_data_channels`` gauge; bytes and outcomes land in the
+        ``data_channel_bytes_total`` / ``transfers_total`` counters.
         """
         world = self.world
+        active = world.metrics.gauge(
+            "active_data_channels", "Data channels currently moving bytes"
+        )
+        with world.tracer.span(
+            "data_channel",
+            transport=options.transport,
+            parallelism=options.parallelism,
+        ) as span:
+            active.inc()
+            try:
+                return self._execute(
+                    source, sink, options, charge_setup, advance_clock, finalize, span
+                )
+            finally:
+                active.dec()
+
+    def _execute(
+        self,
+        source: SourceSpec,
+        sink: SinkSpec,
+        options: TransferOptions,
+        charge_setup: bool,
+        advance_clock: bool,
+        finalize: bool,
+        span,
+    ) -> TransferResult:
+        world = self.world
+        metrics = world.metrics
+        bytes_moved = metrics.counter(
+            "data_channel_bytes_total",
+            "Payload bytes moved on data channels",
+            labelnames=("outcome", "transport"),
+        )
+        transfers = metrics.counter(
+            "transfers_total", "Data-channel transfer attempts", labelnames=("outcome",)
+        )
         flows = self._flows(source, sink)
         for f in flows:
             world.network.check_path_up(f.path)
@@ -249,6 +295,14 @@ class TransferEngine:
                 bytes_done=received.total_bytes(),
                 bytes_total=total,
             )
+            bytes_moved.inc(received.total_bytes(), outcome="fault",
+                            transport=options.transport)
+            transfers.inc(outcome="fault")
+            metrics.counter(
+                "faults_injected_total", "Fault-plan interruptions observed",
+                labelnames=("kind",),
+            ).inc(kind="data_channel")
+            span.fields.update(nbytes=received.total_bytes(), bytes_total=total)
             raise TransferFaultError(
                 f"transfer interrupted at t={fault_at:.3f} after "
                 f"{received.total_bytes()}/{total} bytes",
@@ -295,6 +349,15 @@ class TransferEngine:
             stack=stack.describe(),
             verified=verified,
         )
+        bytes_moved.inc(total, outcome="complete", transport=options.transport)
+        transfers.inc(outcome="complete")
+        metrics.histogram(
+            "transfer_duration_seconds",
+            "End-to-end duration of completed transfers (virtual seconds)",
+            buckets=TRANSFER_DURATION_BUCKETS,
+        ).observe(result.duration_s)
+        span.fields.update(nbytes=total, rate_bps=result.rate_bps,
+                           streams=result.streams, stripes=result.stripes)
         return result
 
     @staticmethod

@@ -105,26 +105,34 @@ class MyProxyOnlineCA(Service):
         Raises :class:`~repro.errors.PamError` on authentication failure
         (with a deliberately generic message).
         """
-        self.pam.authenticate(username, passphrase)  # raises on failure
-        lifetime = min(lifetime_s or self.DEFAULT_LIFETIME, self.max_lifetime_s)
-        credential = self.ca.issue_credential(
-            self.user_subject(username),
-            lifetime=lifetime,
-            extensions={
-                "issued_by_service": f"myproxy:{self.site_name}",
-                "local_username": username,
-            },
-        )
-        self.issued_count += 1
-        self.world.emit(
-            "myproxy.issue",
-            "short-lived credential issued",
-            site=self.site_name,
-            username=username,
-            subject=str(credential.subject),
-            lifetime_s=lifetime,
-        )
-        return credential
+        with self.world.tracer.span(
+            "myproxy.logon", site=self.site_name, username=username
+        ):
+            self.pam.authenticate(username, passphrase)  # raises on failure
+            lifetime = min(lifetime_s or self.DEFAULT_LIFETIME, self.max_lifetime_s)
+            credential = self.ca.issue_credential(
+                self.user_subject(username),
+                lifetime=lifetime,
+                extensions={
+                    "issued_by_service": f"myproxy:{self.site_name}",
+                    "local_username": username,
+                },
+            )
+            self.issued_count += 1
+            self.world.metrics.counter(
+                "myproxy_certs_issued_total",
+                "Short-lived certificates issued by online CAs",
+                labelnames=("site",),
+            ).inc(site=self.site_name)
+            self.world.emit(
+                "myproxy.issue",
+                "short-lived credential issued",
+                site=self.site_name,
+                username=username,
+                subject=str(credential.subject),
+                lifetime_s=lifetime,
+            )
+            return credential
 
 
 class MyProxySession(ServerSession):

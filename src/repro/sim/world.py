@@ -19,18 +19,34 @@ from repro.sim.clock import Clock
 from repro.sim.events import Scheduler
 from repro.sim.faults import FaultPlan
 from repro.sim.random import RngFactory
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.profiling import SlowOpLog
+from repro.telemetry.trace import Tracer
 from repro.util.logging import EventLog
 
 
 class World:
-    """Container for one reproducible simulation run."""
+    """Container for one reproducible simulation run.
 
-    def __init__(self, seed: int = 0, start_time: float = 0.0) -> None:
+    ``event_capacity`` bounds the event log (ring-buffer eviction) for
+    fleet-scale runs; the default keeps everything.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        start_time: float = 0.0,
+        event_capacity: int | None = None,
+        slow_op_threshold_s: float = 1.0,
+    ) -> None:
         self.clock = Clock(start_time)
         self.scheduler = Scheduler(self.clock)
         self.faults = FaultPlan()
         self.rng = RngFactory(seed)
-        self.log = EventLog()
+        self.log = EventLog(capacity=event_capacity)
+        self.metrics = MetricsRegistry()
+        self.slow_ops = SlowOpLog(threshold_s=slow_op_threshold_s)
+        self.tracer = Tracer(self)
         # Imported here to avoid a circular import: repro.net needs World
         # type hints only, but World owns the concrete Network.
         from repro.net.topology import Network
@@ -56,11 +72,27 @@ class World:
         self.scheduler.fire_due()
         return now
 
-    # -- logging -----------------------------------------------------------
+    # -- telemetry -----------------------------------------------------------
 
     def emit(self, category: str, message: str, **fields: Any):
-        """Append a structured event stamped with the current virtual time."""
-        return self.log.emit(self.clock.now, category, message, **fields)
+        """Append a structured event stamped with the current virtual time.
+
+        Events emitted inside an active tracer span carry its trace and
+        span ids, tying the flat log to the causal tree.
+        """
+        ctx = self.tracer.current
+        return self.log.emit(
+            self.clock.now,
+            category,
+            message,
+            trace_id=ctx.trace_id if ctx is not None else None,
+            span_id=ctx.span_id if ctx is not None else None,
+            **fields,
+        )
+
+    def span(self, name: str, **fields: Any):
+        """Open a tracer span (convenience for ``world.tracer.span``)."""
+        return self.tracer.span(name, **fields)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -1,0 +1,42 @@
+"""Telemetry: tracing, metrics, and profiling for a world.
+
+Three pillars (see DESIGN.md "Observability"):
+
+* :mod:`repro.telemetry.trace` — trace/span propagation over the
+  virtual clock, with causal-tree reconstruction per transfer;
+* :mod:`repro.telemetry.metrics` — counters, gauges, and fixed-bucket
+  histograms with Prometheus-style text exposition;
+* :mod:`repro.telemetry.profiling` — the ``@timed`` decorator and the
+  per-world slow-operation log.
+
+Every :class:`~repro.sim.world.World` owns one of each as
+``world.tracer``, ``world.metrics``, and ``world.slow_ops``.
+"""
+
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricsRegistry,
+    Sample,
+)
+from repro.telemetry.profiling import SlowOp, SlowOpLog, timed
+from repro.telemetry.trace import Span, Trace, TraceContext, Tracer, TimelineNode
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricError",
+    "MetricsRegistry",
+    "Sample",
+    "SlowOp",
+    "SlowOpLog",
+    "Span",
+    "TimelineNode",
+    "Trace",
+    "TraceContext",
+    "Tracer",
+    "timed",
+]

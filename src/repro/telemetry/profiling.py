@@ -1,0 +1,117 @@
+"""Profiling hooks: where does virtual time go?
+
+Benchmarks that claim "the hot path got faster" need attribution, not
+just end-to-end totals.  Two lightweight tools:
+
+* :func:`timed` — a decorator for methods of world-owning objects
+  (anything with a ``.world``).  Each call is recorded into the
+  ``op_virtual_seconds`` histogram labelled by category, and into the
+  world's :class:`SlowOpLog` when it exceeds the slow threshold.
+* :class:`SlowOpLog` — a bounded per-world record of operations (and
+  tracer spans) whose virtual duration crossed a threshold, so a test
+  can assert e.g. "no single control-channel exchange took more than a
+  second of virtual time".
+"""
+
+from __future__ import annotations
+
+import functools
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, TypeVar
+
+F = TypeVar("F", bound=Callable[..., Any])
+
+#: histogram fed by :func:`timed`
+OP_HISTOGRAM = "op_virtual_seconds"
+
+
+@dataclass(frozen=True)
+class SlowOp:
+    """One operation that exceeded the slow threshold."""
+
+    name: str
+    start_time: float
+    duration_s: float
+    span_id: str | None = None
+
+
+class SlowOpLog:
+    """Bounded record of slow operations for one world."""
+
+    def __init__(self, threshold_s: float = 1.0, capacity: int = 1024) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.threshold_s = threshold_s
+        self._entries: deque[SlowOp] = deque(maxlen=capacity)
+        self.total_recorded = 0
+
+    def record(
+        self, name: str, start_time: float, duration_s: float, span_id: str | None = None
+    ) -> bool:
+        """Record the op if it crossed the threshold; True if recorded."""
+        if duration_s < self.threshold_s:
+            return False
+        self._entries.append(
+            SlowOp(name=name, start_time=start_time, duration_s=duration_s, span_id=span_id)
+        )
+        self.total_recorded += 1
+        return True
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[SlowOp]:
+        return iter(self._entries)
+
+    def entries(self, name: str | None = None) -> list[SlowOp]:
+        """Recorded ops, optionally filtered by name prefix."""
+        if name is None:
+            return list(self._entries)
+        return [op for op in self._entries if op.name.startswith(name)]
+
+    def slowest(self, n: int = 10) -> list[SlowOp]:
+        """The ``n`` slowest recorded ops, slowest first."""
+        return sorted(self._entries, key=lambda op: -op.duration_s)[:n]
+
+    def clear(self) -> None:
+        """Drop recorded entries (threshold and capacity stay)."""
+        self._entries.clear()
+
+
+def timed(category: str) -> Callable[[F], F]:
+    """Record a method's virtual duration under ``category``.
+
+    The wrapped function's first argument must carry a ``.world`` (or
+    *be* a world); calls made before telemetry exists, or on objects
+    without a world, run unrecorded rather than failing.
+    """
+
+    def decorate(fn: F) -> F:
+        @functools.wraps(fn)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            world = None
+            if args:
+                world = getattr(args[0], "world", None)
+                if world is None and hasattr(args[0], "metrics") and hasattr(args[0], "now"):
+                    world = args[0]
+            metrics = getattr(world, "metrics", None)
+            if metrics is None:
+                return fn(*args, **kwargs)
+            start = world.now
+            try:
+                return fn(*args, **kwargs)
+            finally:
+                duration = world.now - start
+                metrics.histogram(
+                    OP_HISTOGRAM,
+                    "Virtual seconds spent per instrumented operation",
+                    labelnames=("category",),
+                ).observe(duration, category=category)
+                slow = getattr(world, "slow_ops", None)
+                if slow is not None:
+                    slow.record(f"{category}:{fn.__qualname__}", start, duration)
+
+        return wrapper  # type: ignore[return-value]
+
+    return decorate

@@ -5,12 +5,22 @@ transfers, faults, credential issuance) appends an :class:`Event` to the
 world's :class:`EventLog`.  Benchmarks and tests query the log to assert
 *how* something happened, not only that it happened — e.g. the OAuth bench
 counts which parties ever observed a password.
+
+Events optionally carry the active trace context (``trace_id`` /
+``span_id`` — see :mod:`repro.telemetry.trace`), so the flat log and the
+span tree cross-reference each other, and the whole log exports as JSON
+lines for offline analysis.
 """
 
 from __future__ import annotations
 
+import json
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator
+
+#: category of the synthetic event recorded when a subscriber raises
+SUBSCRIBER_ERROR_CATEGORY = "telemetry.subscriber_error"
 
 
 @dataclass(frozen=True)
@@ -19,32 +29,131 @@ class Event:
 
     ``time`` is virtual seconds, ``category`` a dotted topic such as
     ``"gridftp.command"`` or ``"myproxy.issue"``, and ``fields`` arbitrary
-    key/value detail.
+    key/value detail.  ``trace_id``/``span_id`` tie the event into the
+    tracer's causal tree when it was emitted inside a span.
     """
 
     time: float
     category: str
     message: str
     fields: dict[str, Any] = field(default_factory=dict)
+    trace_id: str | None = None
+    span_id: str | None = None
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         kv = " ".join(f"{k}={v}" for k, v in self.fields.items())
         return f"[{self.time:12.3f}] {self.category:<24} {self.message} {kv}".rstrip()
 
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-ready dict (trace keys only when set)."""
+        out: dict[str, Any] = {
+            "time": self.time,
+            "category": self.category,
+            "message": self.message,
+            "fields": dict(self.fields),
+        }
+        if self.trace_id is not None:
+            out["trace_id"] = self.trace_id
+        if self.span_id is not None:
+            out["span_id"] = self.span_id
+        return out
+
+    @staticmethod
+    def from_dict(data: dict[str, Any]) -> "Event":
+        """Rebuild an event from :meth:`to_dict` output."""
+        return Event(
+            time=float(data["time"]),
+            category=str(data["category"]),
+            message=str(data["message"]),
+            fields=dict(data.get("fields", {})),
+            trace_id=data.get("trace_id"),
+            span_id=data.get("span_id"),
+        )
+
 
 class EventLog:
-    """Append-only in-memory event log with simple query helpers."""
+    """Append-only in-memory event log with simple query helpers.
 
-    def __init__(self) -> None:
-        self._events: list[Event] = []
+    ``capacity`` bounds memory for fleet-scale runs: when set, the log
+    keeps only the newest ``capacity`` events (ring-buffer eviction) and
+    counts what it dropped in :attr:`dropped_events`.  The default is
+    unbounded, as before.
+    """
+
+    def __init__(self, capacity: int | None = None) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError("capacity must be >= 1 (or None for unbounded)")
+        self._events: deque[Event] = deque()
+        self._capacity = capacity
         self._subscribers: list[Callable[[Event], None]] = []
+        self.dropped_events = 0
+        self.subscriber_errors = 0
 
-    def emit(self, time: float, category: str, message: str, **fields: Any) -> Event:
-        """Record and return a new event."""
-        ev = Event(time=time, category=category, message=message, fields=dict(fields))
-        self._events.append(ev)
-        for sub in self._subscribers:
-            sub(ev)
+    # -- capacity -----------------------------------------------------------
+
+    @property
+    def capacity(self) -> int | None:
+        """Maximum retained events (None = unbounded)."""
+        return self._capacity
+
+    def set_capacity(self, capacity: int | None) -> None:
+        """Change the retention bound, evicting oldest events if needed."""
+        if capacity is not None and capacity < 1:
+            raise ValueError("capacity must be >= 1 (or None for unbounded)")
+        self._capacity = capacity
+        self._evict()
+
+    def _evict(self) -> None:
+        if self._capacity is None:
+            return
+        while len(self._events) > self._capacity:
+            self._events.popleft()
+            self.dropped_events += 1
+
+    def _append(self, event: Event) -> None:
+        self._events.append(event)
+        self._evict()
+
+    # -- recording ----------------------------------------------------------
+
+    def emit(
+        self,
+        time: float,
+        category: str,
+        message: str,
+        trace_id: str | None = None,
+        span_id: str | None = None,
+        **fields: Any,
+    ) -> Event:
+        """Record and return a new event, publishing it to subscribers.
+
+        A subscriber that raises does not abort delivery: the error is
+        recorded as a ``telemetry.subscriber_error`` event (appended to
+        the log but not re-published, to avoid recursion) and the
+        remaining subscribers still receive the original event.
+        """
+        ev = Event(time=time, category=category, message=message,
+                   fields=dict(fields), trace_id=trace_id, span_id=span_id)
+        self._append(ev)
+        for sub in list(self._subscribers):
+            try:
+                sub(ev)
+            except Exception as exc:
+                self.subscriber_errors += 1
+                self._append(
+                    Event(
+                        time=time,
+                        category=SUBSCRIBER_ERROR_CATEGORY,
+                        message="subscriber raised during publish",
+                        fields={
+                            "subscriber": getattr(sub, "__qualname__", repr(sub)),
+                            "error": f"{type(exc).__name__}: {exc}",
+                            "event_category": category,
+                        },
+                        trace_id=trace_id,
+                        span_id=span_id,
+                    )
+                )
         return ev
 
     def subscribe(self, callback: Callable[[Event], None]) -> None:
@@ -80,3 +189,25 @@ class EventLog:
     def clear(self) -> None:
         """Drop all recorded events (subscribers stay registered)."""
         self._events.clear()
+
+    # -- export --------------------------------------------------------------
+
+    def to_jsonl(self, category: str | None = None) -> str:
+        """The (optionally filtered) log as JSON lines, one event per line.
+
+        Non-JSON field values are stringified rather than erroring, so a
+        log holding rich objects still exports.
+        """
+        events = self.select(category) if category is not None else list(self._events)
+        return "\n".join(
+            json.dumps(ev.to_dict(), sort_keys=True, default=str) for ev in events
+        )
+
+    @staticmethod
+    def from_jsonl(text: str) -> list[Event]:
+        """Parse :meth:`to_jsonl` output back into events."""
+        return [
+            Event.from_dict(json.loads(line))
+            for line in text.splitlines()
+            if line.strip()
+        ]

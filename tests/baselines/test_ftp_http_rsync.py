@@ -6,7 +6,7 @@ from repro.baselines.ftp_plain import PlainFtpTool
 from repro.baselines.http import HttpTool
 from repro.baselines.rsync import RsyncTool
 from repro.errors import TransferError
-from repro.util.units import MB, gbps, mbps
+from repro.util.units import MB, gbps
 
 
 @pytest.fixture

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.appliance import ApplianceImage
-from repro.errors import AuthenticationError, ReproError
+from repro.errors import ReproError
 from repro.myproxy.client import myproxy_logon
 from repro.util.units import gbps
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import AuthenticationError, AuthorizationError
+from repro.errors import AuthenticationError
 from repro.gridftp.client import GridFTPClient
 from repro.pki.validation import TrustStore
 from repro.util.units import gbps

@@ -5,7 +5,6 @@ import pytest
 from repro.globusonline.service import GlobusOnline
 from repro.scenarios import gcmu_site
 from repro.util.units import gbps
-from tests.conftest import make_gcmu_site
 
 
 @pytest.fixture

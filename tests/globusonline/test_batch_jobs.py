@@ -4,7 +4,6 @@ import pytest
 
 from repro.globusonline.service import GlobusOnline
 from repro.globusonline.transfer import JobStatus
-from repro.gridftp.transfer import TransferOptions
 from repro.storage.data import LiteralData
 from repro.util.units import KB, gbps
 from tests.conftest import make_gcmu_site

@@ -8,7 +8,6 @@ from repro.gridftp.restart import ByteRangeSet
 from repro.gridftp.transfer import TransferOptions
 from repro.pki.validation import TrustStore
 from repro.storage.data import LiteralData
-from repro.storage.posix import PosixStorage
 from repro.util.units import MB
 
 

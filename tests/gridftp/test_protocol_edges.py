@@ -5,7 +5,7 @@ import pytest
 from repro.errors import ProtocolError
 from repro.gridftp.dcau import DCAUMode
 from repro.gridftp.restart import ByteRangeSet
-from repro.gridftp.transfer import SinkSpec, SourceSpec, TransferOptions
+from repro.gridftp.transfer import TransferOptions
 from repro.storage.data import LiteralData
 from repro.util.units import MB, HOUR
 

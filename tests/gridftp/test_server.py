@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.gridftp.client import GridFTPClient
 from repro.gridftp.replies import Reply
 from repro.storage.data import LiteralData
 from tests.conftest import make_conventional_site

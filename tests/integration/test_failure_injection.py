@@ -9,7 +9,6 @@ from repro.errors import (
     LinkDownError,
     TransferFaultError,
 )
-from repro.gridftp.restart import ByteRangeSet
 from repro.gridftp.transfer import TransferOptions
 from repro.myproxy.client import myproxy_logon
 from repro.storage.data import LiteralData

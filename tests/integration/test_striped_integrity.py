@@ -5,7 +5,7 @@ import pytest
 from repro.gridftp.third_party import third_party_transfer
 from repro.gridftp.transfer import TransferOptions
 from repro.storage.data import LiteralData
-from repro.util.units import MB, gbps
+from repro.util.units import gbps
 from repro.xio.drivers import Protection
 from tests.conftest import make_conventional_site
 

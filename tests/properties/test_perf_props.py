@@ -19,6 +19,19 @@ def test_marker_format_parse_round_trip(ts, idx, count, nbytes):
 
 
 @given(
+    ts=st.floats(0, 1e9, allow_nan=False),
+    idx=st.integers(0, 63),
+    count=st.integers(1, 64),
+    nbytes=st.integers(0, 2**50),
+)
+def test_marker_parse_format_is_idempotent(ts, idx, count, nbytes):
+    """format ∘ parse is the identity on canonical wire text."""
+    wire = PerfMarker(timestamp=round(ts, 1), stripe_index=idx,
+                      stripe_count=count, bytes_transferred=nbytes).format()
+    assert PerfMarker.parse(wire).format() == wire
+
+
+@given(
     duration=st.floats(0.1, 10_000, allow_nan=False),
     total=st.integers(1, 2**40),
     stripes=st.integers(1, 8),

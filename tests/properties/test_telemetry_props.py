@@ -1,0 +1,66 @@
+"""Property tests for telemetry serialization invariants."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.telemetry.metrics import MetricsRegistry
+from repro.util.logging import Event, EventLog
+
+# JSON-safe field values: what simulation code actually puts on events
+field_values = st.one_of(
+    st.integers(-(2**50), 2**50),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.booleans(),
+    st.text(max_size=40),
+    st.none(),
+)
+
+events = st.builds(
+    Event,
+    time=st.floats(0, 1e9, allow_nan=False),
+    category=st.text(
+        alphabet=st.characters(whitelist_categories=("Ll",), whitelist_characters="."),
+        min_size=1, max_size=30,
+    ),
+    message=st.text(max_size=60),
+    fields=st.dictionaries(
+        st.text(min_size=1, max_size=20), field_values, max_size=5
+    ),
+    trace_id=st.one_of(st.none(), st.from_regex(r"trace-[0-9]{4}", fullmatch=True)),
+    span_id=st.one_of(st.none(), st.from_regex(r"span-[0-9]{5}", fullmatch=True)),
+)
+
+
+@given(ev=events)
+def test_event_dict_round_trip(ev):
+    assert Event.from_dict(ev.to_dict()) == ev
+
+
+@given(evs=st.lists(events, max_size=20))
+def test_event_log_jsonl_round_trip(evs):
+    log = EventLog()
+    for ev in evs:
+        log.emit(ev.time, ev.category, ev.message,
+                 trace_id=ev.trace_id, span_id=ev.span_id, **ev.fields)
+    assert EventLog.from_jsonl(log.to_jsonl()) == list(log)
+
+
+@given(
+    values=st.lists(st.floats(0, 1e6, allow_nan=False), max_size=50),
+    buckets=st.lists(
+        st.floats(0.001, 1e5, allow_nan=False), min_size=1, max_size=8, unique=True
+    ),
+)
+def test_histogram_buckets_are_cumulative_and_complete(values, buckets):
+    registry = MetricsRegistry()
+    h = registry.histogram("x_seconds", buckets=tuple(buckets))
+    for v in values:
+        h.observe(v)
+    counts = h.bucket_counts()
+    # cumulative: counts never decrease as `le` grows, and +Inf sees all
+    ordered = [counts[b] for b in sorted(buckets)] + [counts[float("inf")]]
+    assert ordered == sorted(ordered)
+    assert counts[float("inf")] == len(values)
+    # every observation lands in the first bucket whose bound covers it
+    for b in sorted(buckets):
+        assert counts[b] == sum(1 for v in values if v <= b)

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.sim.clock import Clock
-from repro.storage.data import LiteralData
 from repro.storage.hpss import HpssStorage
 from repro.util.units import MB
 

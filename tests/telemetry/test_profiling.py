@@ -1,0 +1,98 @@
+"""The @timed decorator and the slow-operation log."""
+
+import pytest
+
+from repro.sim.world import World
+from repro.telemetry.profiling import OP_HISTOGRAM, SlowOpLog, timed
+
+
+class _Component:
+    """A world-owning object with instrumented operations."""
+
+    def __init__(self, world: World) -> None:
+        self.world = world
+
+    @timed("demo.cheap")
+    def cheap(self) -> str:
+        return "ok"
+
+    @timed("demo.costly")
+    def costly(self, seconds: float) -> None:
+        self.world.advance(seconds)
+
+    @timed("demo.failing")
+    def failing(self) -> None:
+        self.world.advance(5.0)
+        raise RuntimeError("op failed")
+
+
+def test_timed_records_histogram_by_category():
+    w = World(seed=1)
+    comp = _Component(w)
+    assert comp.cheap() == "ok"
+    comp.costly(3.0)
+    h = w.metrics.get(OP_HISTOGRAM)
+    assert h.count(category="demo.cheap") == 1
+    assert h.sum(category="demo.cheap") == 0.0
+    assert h.count(category="demo.costly") == 1
+    assert h.sum(category="demo.costly") == pytest.approx(3.0)
+
+
+def test_timed_records_even_when_op_raises():
+    w = World(seed=1)
+    comp = _Component(w)
+    with pytest.raises(RuntimeError):
+        comp.failing()
+    h = w.metrics.get(OP_HISTOGRAM)
+    assert h.count(category="demo.failing") == 1
+    assert h.sum(category="demo.failing") == pytest.approx(5.0)
+
+
+def test_timed_feeds_slow_op_log_above_threshold():
+    w = World(seed=1, slow_op_threshold_s=1.0)
+    comp = _Component(w)
+    comp.costly(0.25)  # below threshold: not logged
+    comp.costly(4.0)
+    entries = w.slow_ops.entries("demo.costly")
+    assert len(entries) == 1
+    assert entries[0].duration_s == pytest.approx(4.0)
+
+
+def test_timed_without_world_is_a_no_op():
+    class Bare:
+        @timed("demo.bare")
+        def op(self) -> int:
+            return 42
+
+    assert Bare().op() == 42
+
+
+def test_slow_op_log_capacity_and_queries():
+    log = SlowOpLog(threshold_s=1.0, capacity=3)
+    assert not log.record("quick", 0.0, 0.5)
+    for i in range(5):
+        assert log.record(f"op-{i}", float(i), 1.0 + i)
+    assert len(log) == 3  # ring buffer keeps newest
+    assert log.total_recorded == 5
+    assert [op.name for op in log] == ["op-2", "op-3", "op-4"]
+    assert log.slowest(1)[0].name == "op-4"
+    log.clear()
+    assert len(log) == 0
+
+
+def test_dtp_storage_ops_are_instrumented():
+    from repro.gridftp.dtp import DataTransferProcess
+    from repro.storage.posix import PosixStorage
+    from repro.storage.data import LiteralData
+
+    w = World(seed=3)
+    w.network.add_host("dtn")
+    fs = PosixStorage(w.clock)
+    fs.makedirs("/data", 0)
+    fs.write_file("/data/f.bin", LiteralData(b"x" * 100), uid=0)
+    dtp = DataTransferProcess(w, "dtn", fs)
+    dtp.open_source("/data/f.bin", 0)
+    dtp.open_sink("/data/g.bin", 0, expected_size=100)
+    h = w.metrics.get(OP_HISTOGRAM)
+    assert h.count(category="storage.open_source") == 1
+    assert h.count(category="storage.open_sink") == 1

@@ -1,6 +1,8 @@
 """The structured event log."""
 
-from repro.util.logging import EventLog
+import pytest
+
+from repro.util.logging import SUBSCRIBER_ERROR_CATEGORY, Event, EventLog
 
 
 def test_emit_and_len():
@@ -66,3 +68,117 @@ def test_events_are_immutable_records():
     assert ev.fields["k"] == "v"
     import dataclasses
     assert dataclasses.is_dataclass(ev)
+
+
+# -- subscriber safety --------------------------------------------------------
+
+
+def test_raising_subscriber_does_not_break_delivery():
+    log = EventLog()
+    seen_before, seen_after = [], []
+
+    def bad(ev):
+        raise RuntimeError("collector crashed")
+
+    log.subscribe(seen_before.append)
+    log.subscribe(bad)
+    log.subscribe(seen_after.append)
+    ev = log.emit(1.0, "work", "payload")
+    # subscribers before AND after the broken one still got the event
+    assert seen_before == [ev]
+    assert seen_after == [ev]
+    assert log.subscriber_errors == 1
+    err = log.last(SUBSCRIBER_ERROR_CATEGORY)
+    assert err is not None
+    assert "RuntimeError" in err.fields["error"]
+    assert err.fields["event_category"] == "work"
+
+
+def test_subscriber_error_events_are_not_republished():
+    log = EventLog()
+    calls = []
+
+    def always_raises(ev):
+        calls.append(ev.category)
+        raise ValueError("again")
+
+    log.subscribe(always_raises)
+    log.emit(0.0, "x", "m")
+    # the synthetic error event must not recurse into the subscriber
+    assert calls == ["x"]
+    assert log.count(SUBSCRIBER_ERROR_CATEGORY) == 1
+
+
+# -- bounded capacity ---------------------------------------------------------
+
+
+def test_capacity_evicts_oldest_and_counts_drops():
+    log = EventLog(capacity=3)
+    for i in range(5):
+        log.emit(float(i), "tick", f"n{i}")
+    assert len(log) == 3
+    assert [ev.message for ev in log] == ["n2", "n3", "n4"]
+    assert log.dropped_events == 2
+
+
+def test_default_capacity_is_unbounded():
+    log = EventLog()
+    for i in range(100):
+        log.emit(float(i), "tick", "m")
+    assert len(log) == 100
+    assert log.dropped_events == 0
+    assert log.capacity is None
+
+
+def test_set_capacity_shrinks_in_place():
+    log = EventLog()
+    for i in range(10):
+        log.emit(float(i), "tick", f"n{i}")
+    log.set_capacity(4)
+    assert len(log) == 4
+    assert log.dropped_events == 6
+    assert [ev.message for ev in log] == ["n6", "n7", "n8", "n9"]
+    log.set_capacity(None)  # back to unbounded
+    log.emit(99.0, "tick", "more")
+    assert len(log) == 5
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ValueError):
+        EventLog(capacity=0)
+    with pytest.raises(ValueError):
+        EventLog().set_capacity(-1)
+
+
+# -- JSON-lines export --------------------------------------------------------
+
+
+def test_jsonl_round_trip_preserves_events():
+    log = EventLog()
+    log.emit(1.5, "a.b", "first", n=3, host="dtn-a")
+    log.emit(2.5, "a.c", "second", trace_id="trace-0001", span_id="span-00002")
+    text = log.to_jsonl()
+    assert len(text.splitlines()) == 2
+    back = EventLog.from_jsonl(text)
+    assert back == list(log)
+
+
+def test_jsonl_filters_by_category_and_stringifies_rich_fields():
+    log = EventLog()
+    log.emit(0.0, "keep.this", "m", blob=object())
+    log.emit(0.0, "drop.this", "m")
+    text = log.to_jsonl("keep")
+    assert len(text.splitlines()) == 1
+    (ev,) = EventLog.from_jsonl(text)
+    assert ev.category == "keep.this"
+    assert isinstance(ev.fields["blob"], str)  # default=str fallback
+
+
+def test_event_to_dict_omits_unset_trace_keys():
+    bare = Event(time=0.0, category="c", message="m")
+    assert "trace_id" not in bare.to_dict()
+    traced = Event(time=0.0, category="c", message="m",
+                   trace_id="trace-0001", span_id="span-00001")
+    d = traced.to_dict()
+    assert d["trace_id"] == "trace-0001"
+    assert Event.from_dict(d) == traced
