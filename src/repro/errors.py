@@ -43,6 +43,28 @@ class LinkDownError(NetworkError):
         self.link = link
 
 
+class ControlChannelDownError(LinkDownError):
+    """The control plane of an endpoint is unreachable (chaos injection).
+
+    Subclasses :class:`LinkDownError` so every existing recovery path
+    that waits out an outage treats a control disconnect the same way.
+    """
+
+
+class CircuitOpenError(ReproError):
+    """A circuit breaker is refusing calls to a repeatedly failing endpoint.
+
+    ``retry_after_s`` is how long (virtual seconds) until the breaker
+    moves to half-open and will admit a trial call.
+    """
+
+    def __init__(self, message: str, endpoint: str | None = None,
+                 retry_after_s: float = 0.0) -> None:
+        super().__init__(message)
+        self.endpoint = endpoint
+        self.retry_after_s = retry_after_s
+
+
 # ---------------------------------------------------------------------------
 # PKI / GSI security
 # ---------------------------------------------------------------------------

@@ -34,6 +34,7 @@ from repro.gridftp.transfer import TransferOptions
 from repro.myproxy.client import myproxy_logon
 from repro.pki.credential import Credential
 from repro.pki.validation import TrustStore
+from repro.recovery import CircuitBreaker, RetryPolicy
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.world import World
@@ -100,6 +101,16 @@ class GlobusOnline:
         self.users: dict[str, GOUser] = {}
         self.jobs: dict[str, TransferJob] = {}
         self._job_ids = itertools.count(1)
+        # recovery posture for all jobs: exponential backoff with seeded
+        # jitter, and a breaker per endpoint pair so a dead site stops
+        # consuming attempts across jobs.
+        self.retry_policy = RetryPolicy(
+            max_attempts=5, initial_backoff_s=15.0, multiplier=2.0,
+            max_backoff_s=240.0, jitter=0.1,
+        )
+        self.breaker = CircuitBreaker(
+            world.clock, failure_threshold=5, reset_timeout_s=600.0
+        )
 
     # -- registry -----------------------------------------------------------
 

@@ -17,12 +17,13 @@ import enum
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
-from repro.errors import LinkDownError, ReproError, TransferFaultError
+from repro.errors import LinkDownError, ReproError, TransferError, TransferFaultError
 from repro.gridftp.client import GridFTPClient
 from repro.gridftp.restart import ByteRangeSet
 from repro.gridftp.third_party import third_party_transfer
 from repro.gridftp.transfer import TransferOptions, TransferResult
 from repro.gridftp.tuning import DatasetShape, autotune
+from repro.recovery import RecoveryEngine
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.globusonline.service import GlobusOnline, GOUser
@@ -107,8 +108,12 @@ def _connect_sessions(go: "GlobusOnline", user: "GOUser", job: TransferJob):
     return src_rec, dst_rec, src_act, dst_act, src_session, dst_session
 
 
-def _wait_for_outage(go: "GlobusOnline", job: TransferJob, backoff_s: float = 15.0) -> None:
-    """Advance the clock until every path the job needs is up again."""
+def _wait_for_outage(go: "GlobusOnline", job: TransferJob) -> None:
+    """Advance the clock until every path the job needs is up again.
+
+    Backoff between attempts is the recovery engine's business; this only
+    waits out *known* outages (a no-op when the paths are clear).
+    """
     world = go.world
     src_host = go.endpoint(job.src_endpoint).gridftp_address[0]
     dst_host = go.endpoint(job.dst_endpoint).gridftp_address[0]
@@ -122,8 +127,8 @@ def _wait_for_outage(go: "GlobusOnline", job: TransferJob, backoff_s: float = 15
         links.update(path.link_ids)
         hosts.update(path.hosts)
     clear = world.faults.next_clear_time(links, hosts, world.now)
-    world.advance_to(clear)
-    world.advance(backoff_s)
+    if clear > world.now:
+        world.advance_to(clear)
 
 
 def _cross_domain(src_rec, dst_rec) -> bool:
@@ -156,33 +161,23 @@ def _run_job(
     options: TransferOptions | None = None,
 ) -> TransferJob:
     world = go.world
-    retries = world.metrics.counter(
-        "retries_total", "Transfer attempts retried after a failure",
-        labelnames=("component",),
-    )
     job.status = JobStatus.ACTIVE
-    restart: ByteRangeSet | None = None
+    engine = RecoveryEngine(
+        world,
+        policy=go.retry_policy.with_(max_attempts=job.max_attempts),
+        breaker=go.breaker,
+        component="globusonline",
+        loop_span_name="globusonline.retry",
+        attempt_span_name="attempt",
+    )
 
-    while job.attempts < job.max_attempts:
-        job.attempts += 1
-        if job.attempts > 1:
-            retries.inc(component="globusonline")
-        try:
-            src_rec, dst_rec, src_act, _, src_session, dst_session = _connect_sessions(
-                go, user, job
-            )
-        except LinkDownError as exc:
-            # endpoint or path still down: wait out the outage, retry
-            job.error = str(exc)
-            _wait_for_outage(go, job)
-            continue
-        except ReproError as exc:
-            job.error = str(exc)
-            job.status = JobStatus.FAILED
-            world.emit("globusonline.job.failed", "job failed", job=job.job_id,
-                       reason=job.error)
-            return job
-
+    def operation(att) -> TransferResult:
+        job.attempts = att.number
+        # re-authentication with the stored short-term certificate is
+        # exactly the Figure 6 story: each attempt opens fresh channels.
+        src_rec, dst_rec, src_act, _, src_session, dst_session = _connect_sessions(
+            go, user, job
+        )
         try:
             opts = options
             if opts is None:
@@ -195,73 +190,69 @@ def _run_job(
             # endpoint pairs get a DCSC context built from the source
             # activation credential (the Figure 5 strategy).
             dcsc_credential = src_act.credential if _cross_domain(src_rec, dst_rec) else None
-            with world.tracer.span("attempt", attempt=job.attempts, job=job.job_id):
-                result = third_party_transfer(
-                    src_session,
-                    job.src_path,
-                    dst_session,
-                    job.dst_path,
-                    opts,
-                    use_dcsc=dcsc_credential,
-                    restart=restart,
-                )
+            result = third_party_transfer(
+                src_session,
+                job.src_path,
+                dst_session,
+                job.dst_path,
+                opts,
+                use_dcsc=dcsc_credential,
+                restart=att.checkpoint,
+            )
             # post-transfer integrity: CKSM on both endpoints must agree
-            # (the hosted service's end-to-end check).
+            # (the hosted service's end-to-end check).  A mismatch is not
+            # restartable — the bytes landed but are wrong.
             src_sum = src_session.checksum(job.src_path)
             dst_sum = dst_session.checksum(job.dst_path)
             if src_sum != dst_sum:
-                job.error = (
+                raise TransferError(
                     f"checksum mismatch after transfer: {src_sum} != {dst_sum}"
                 )
-                job.status = JobStatus.FAILED
-                world.emit("globusonline.job.failed", "checksum mismatch",
-                           job=job.job_id)
-                return job
             job.checksum_verified = True
-            job.status = JobStatus.SUCCEEDED
-            job.result = result
-            job.completed_at = world.now
-            world.emit(
-                "globusonline.job.succeeded", "job complete",
-                job=job.job_id, attempts=job.attempts, nbytes=result.nbytes,
-                faults_survived=job.faults_survived,
-            )
-            return job
-        except TransferFaultError as fault:
-            job.faults_survived += 1
-            marker = fault.received if fault.received is not None else ByteRangeSet()
-            restart = restart.union(marker) if restart is not None else marker
-            job.checkpoint = restart.copy()
-            world.emit(
-                "globusonline.job.fault", "transfer interrupted; will restart",
-                job=job.job_id, checkpoint_bytes=job.bytes_at_checkpoint,
-                attempt=job.attempts,
-            )
-            # wait out the outage before the next attempt; re-auth happens
-            # on reconnect with the stored short-term certificate.
-            _wait_for_outage(go, job)
-            continue
-        except LinkDownError as exc:
-            job.error = str(exc)
-            _wait_for_outage(go, job)
-            continue
-        except ReproError as exc:
-            job.error = str(exc)
-            job.status = JobStatus.FAILED
-            world.emit("globusonline.job.failed", "job failed", job=job.job_id,
-                       reason=job.error)
-            return job
+            return result
         finally:
-            for session in (locals().get("src_session"), locals().get("dst_session")):
+            for session in (src_session, dst_session):
                 try:
-                    if session is not None:
-                        session.channel.close()
+                    session.channel.close()
                 except Exception:
                     pass
 
-    job.status = JobStatus.FAILED
-    job.error = f"exhausted {job.max_attempts} attempts"
-    world.emit("globusonline.job.failed", "job failed", job=job.job_id, reason=job.error)
+    def on_failure(exc: BaseException, attempt: int, checkpoint) -> None:
+        job.error = str(exc)
+        if isinstance(exc, TransferFaultError):
+            job.faults_survived += 1
+            job.checkpoint = checkpoint.copy() if checkpoint is not None else ByteRangeSet()
+            world.emit(
+                "globusonline.job.fault", "transfer interrupted; will restart",
+                job=job.job_id, checkpoint_bytes=job.bytes_at_checkpoint,
+                attempt=attempt,
+            )
+
+    try:
+        outcome = engine.run(
+            operation,
+            endpoint=f"{job.src_endpoint}->{job.dst_endpoint}",
+            wait_clear=lambda _n: _wait_for_outage(go, job),
+            retry_on=(TransferFaultError, LinkDownError),
+            on_failure=on_failure,
+            describe=f"job {job.job_id}",
+            span_fields={"job": job.job_id},
+        )
+    except ReproError as exc:
+        job.error = str(exc)
+        job.status = JobStatus.FAILED
+        world.emit("globusonline.job.failed", "job failed", job=job.job_id,
+                   reason=job.error)
+        return job
+
+    job.status = JobStatus.SUCCEEDED
+    job.result = outcome.result
+    job.completed_at = world.now
+    world.emit(
+        "globusonline.job.succeeded", "job complete",
+        job=job.job_id, attempts=job.attempts, nbytes=outcome.result.nbytes,
+        faults_survived=job.faults_survived,
+    )
     return job
 
 

@@ -42,9 +42,9 @@ def parse_restart_marker(text: str) -> ByteRangeSet:
     if "-" not in text:
         try:
             offset = int(text)
+            out.add(0, offset)
         except ValueError:
             raise ProtocolError(f"malformed restart marker {text!r}", code=501) from None
-        out.add(0, offset)
         return out
     for part in text.split(","):
         part = part.strip()
@@ -57,7 +57,12 @@ def parse_restart_marker(text: str) -> ByteRangeSet:
             raise ProtocolError(f"malformed range {part!r}", code=501) from None
         if end < start:
             raise ProtocolError(f"inverted range {part!r}", code=501)
-        out.add(start, end)
+        try:
+            out.add(start, end)
+        except ValueError:
+            # negative offsets and other algebra rejections are protocol
+            # errors too, not internal faults
+            raise ProtocolError(f"malformed range {part!r}", code=501) from None
     return out
 
 

@@ -23,6 +23,7 @@ from repro.gridftp.dcsc import encode_dcsc_blob
 from repro.gridftp.restart import ByteRangeSet
 from repro.gridftp.transfer import SinkSpec, SourceSpec, TransferOptions, TransferResult
 from repro.pki.credential import Credential
+from repro.recovery import CircuitBreaker, RecoveryEngine, RetryPolicy
 
 
 def install_dcsc_contexts(
@@ -146,49 +147,79 @@ def third_party_with_restart(
     use_dcsc: Credential | None = None,
     max_attempts: int = 5,
     retry_backoff_s: float = 10.0,
+    policy: RetryPolicy | None = None,
+    breaker: CircuitBreaker | None = None,
 ) -> tuple[TransferResult, int]:
     """Retry a third-party transfer across faults using restart markers.
 
     This is the client-side recovery loop a tool like globus-url-copy
     runs; Globus Online's hosted equivalent (which also re-activates
-    credentials) lives in :mod:`repro.globusonline.transfer`.  Returns
-    (result, attempts_used).
+    credentials) lives in :mod:`repro.globusonline.transfer`.  The loop
+    itself is a :class:`~repro.recovery.RecoveryEngine`: exponential
+    backoff with seeded jitter, restart markers accumulated into a
+    checkpoint (round-tripped through the wire format, so chaos-corrupted
+    markers are detected and discarded), and an optional circuit breaker
+    keyed on the endpoint pair.  Returns (result, attempts_used).
     """
     world = source_session.world
-    retries = world.metrics.counter(
-        "retries_total", "Transfer attempts retried after a failure",
-        labelnames=("component",),
-    )
-    received: ByteRangeSet | None = None
-    with world.tracer.span(
-        "retry_loop", component="client", max_attempts=max_attempts
-    ):
-        for attempt in range(1, max_attempts + 1):
-            _wait_paths_clear(world, source_session, dest_session)
-            if attempt > 1:
-                retries.inc(component="client")
-            try:
-                with world.tracer.span("attempt", attempt=attempt):
-                    result = third_party_transfer(
-                        source_session,
-                        source_path,
-                        dest_session,
-                        dest_path,
-                        options,
-                        use_dcsc=use_dcsc,
-                        restart=received,
-                    )
-                return result, attempt
-            except TransferFaultError as fault:
-                marker = fault.received if fault.received is not None else ByteRangeSet()
-                received = received.union(marker) if received is not None else marker
-                world.advance(retry_backoff_s)
-            except LinkDownError:
-                # an endpoint became unreachable even for control traffic
-                world.advance(retry_backoff_s)
-        raise TransferFaultError(
-            f"transfer failed after {max_attempts} attempts", received=received
+    if policy is None:
+        policy = RetryPolicy(
+            max_attempts=max_attempts,
+            initial_backoff_s=retry_backoff_s,
+            multiplier=2.0,
+            max_backoff_s=max(retry_backoff_s, 300.0),
+            jitter=0.1,
         )
+    engine = RecoveryEngine(
+        world,
+        policy=policy,
+        breaker=breaker,
+        component="client",
+        loop_span_name="retry_loop",
+        attempt_span_name="attempt",
+    )
+    endpoint = f"{source_session.server.name}->{dest_session.server.name}"
+
+    def operation(att):
+        _reset_control_state(source_session, dest_session)
+        return third_party_transfer(
+            source_session,
+            source_path,
+            dest_session,
+            dest_path,
+            options,
+            use_dcsc=use_dcsc,
+            restart=att.checkpoint,
+        )
+
+    outcome = engine.run(
+        operation,
+        endpoint=endpoint if breaker is not None else None,
+        wait_clear=lambda _n: _wait_paths_clear(world, source_session, dest_session),
+        retry_on=(TransferFaultError, LinkDownError),
+        describe="transfer",
+        span_fields={"source": source_session.server.name,
+                     "dest": dest_session.server.name},
+        wrap_exhausted=True,
+    )
+    return outcome.result, outcome.attempts
+
+
+def _reset_control_state(
+    source_session: ClientSession, dest_session: ClientSession
+) -> None:
+    """ABOR away half-negotiated transfer state before a fresh attempt.
+
+    A fault that lands mid-control-sequence (e.g. a control-channel drop
+    between REST and STOR) can leave queued intents or a pending restart
+    marker on a server session; the next attempt would consume them and
+    desynchronize.  A clean attempt leaves nothing behind, so this is a
+    no-op on the happy path (keeping traced span trees unchanged).
+    """
+    for session in (source_session, dest_session):
+        ss = session.server_session
+        if ss.pending or ss.restart is not None:
+            session.command("ABOR")
 
 
 #: longest a retry loop will sleep waiting for one outage to end

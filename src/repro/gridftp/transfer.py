@@ -262,6 +262,20 @@ class TransferEngine:
             rate_bps += per_flow
         if rate_bps <= 0:
             raise TransferError("zero achievable rate on every flow")
+        # chaos degradation episodes slow the transfer without cutting it
+        links, hosts = self._all_resources(flows)
+        degrade = world.faults.bandwidth_factor(links, window_start)
+        if degrade < 1.0:
+            rate_bps *= degrade
+            world.emit(
+                "gridftp.transfer.degraded",
+                "transfer running on degraded links",
+                factor=degrade,
+            )
+            metrics.counter(
+                "transfers_degraded_total",
+                "Transfers that ran through a bandwidth-degradation episode",
+            ).inc()
         if charge_setup:
             extra_time += max(stack.setup_time_s(f.path) for f in flows)
             extra_time += max(stack.ramp_penalty_s(f.path, options.parallelism) for f in flows)
@@ -276,7 +290,6 @@ class TransferEngine:
         end = start + payload_s
 
         # 4. fault check over the whole window (setup included)
-        links, hosts = self._all_resources(flows)
         fault_at = None
         if advance_clock:
             fault_at = world.faults.first_interruption(links, hosts, window_start, end)

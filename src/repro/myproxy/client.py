@@ -15,12 +15,19 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from repro.errors import AuthenticationError, ProtocolError
+from repro.errors import (
+    AuthenticationError,
+    ConnectionRefusedError_,
+    LinkDownError,
+    ProtocolError,
+)
 from repro.myproxy.protocol import LogonRequest, LogonResponse
 from repro.myproxy.server import MyProxyOnlineCA
 from repro.net.channel import ControlChannel
 from repro.pki.credential import Credential
 from repro.pki.validation import TrustStore
+from repro.recovery import RetryPolicy
+from repro.recovery.engine import RecoveryEngine
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.world import World
@@ -35,6 +42,7 @@ def myproxy_logon(
     lifetime_s: float | None = None,
     trust: TrustStore | None = None,
     bootstrap_trust: bool = True,
+    retry: RetryPolicy | None = None,
 ) -> Credential:
     """Obtain a short-lived credential from a site's MyProxy Online CA.
 
@@ -43,26 +51,44 @@ def myproxy_logon(
     (myproxy-logon's ``-b`` flag), so the caller can immediately validate
     GridFTP servers at that site.
 
+    Pass a ``retry`` policy to survive transient connectivity failures
+    (link flaps, server restarts); by default one failure is fatal.
+
     Raises :class:`AuthenticationError` when the site rejects the
     username/passphrase.
     """
     address = server.address if isinstance(server, MyProxyOnlineCA) else server
-    channel = ControlChannel(world.network, client_host, address)
-    try:
-        request = LogonRequest(
-            username=username,
-            passphrase=passphrase,
-            lifetime_s=lifetime_s if lifetime_s is not None else MyProxyOnlineCA.DEFAULT_LIFETIME,
+
+    def logon_once() -> Credential:
+        channel = ControlChannel(world.network, client_host, address)
+        try:
+            request = LogonRequest(
+                username=username,
+                passphrase=passphrase,
+                lifetime_s=lifetime_s if lifetime_s is not None else MyProxyOnlineCA.DEFAULT_LIFETIME,
+            )
+            lines = channel.request(request.encode())
+            if not lines:
+                raise ProtocolError("empty myproxy response")
+            response = LogonResponse.decode(lines[0])
+            if not response.ok:
+                raise AuthenticationError(f"myproxy-logon failed: {response.error}")
+            return Credential.from_pem(response.credential_pem)
+        finally:
+            channel.close()
+
+    if retry is None:
+        credential = logon_once()
+    else:
+        engine = RecoveryEngine(
+            world, policy=retry, component="myproxy",
+            loop_span_name="myproxy.retry", attempt_span_name="attempt",
         )
-        lines = channel.request(request.encode())
-        if not lines:
-            raise ProtocolError("empty myproxy response")
-        response = LogonResponse.decode(lines[0])
-        if not response.ok:
-            raise AuthenticationError(f"myproxy-logon failed: {response.error}")
-        credential = Credential.from_pem(response.credential_pem)
-    finally:
-        channel.close()
+        credential = engine.run(
+            lambda _att: logon_once(),
+            retry_on=(LinkDownError, ConnectionRefusedError_),
+            describe="myproxy-logon",
+        ).result
     if trust is not None and bootstrap_trust:
         # the chain's root is the site CA; trust it (-b bootstrap)
         trust.add_anchor(credential.chain[-1])

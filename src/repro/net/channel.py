@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from repro.errors import NetworkError
+from repro.errors import ControlChannelDownError, NetworkError
 from repro.net.sockets import ServerSession, connect
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -72,6 +72,15 @@ class ControlChannel:
         if self.closed or self._session is None:
             raise NetworkError("channel is closed")
         self.network.check_path_up(self.path)
+        # control-plane chaos: the path is up but the endpoint's control
+        # listener is unreachable (disconnect / listener restart).
+        faults = self.network.world.faults
+        now = self.network.world.now
+        for host in (self.address[0], self.client_host):
+            if faults.control_down(host, now):
+                raise ControlChannelDownError(
+                    f"control channel to {host} is down at t={now:.3f}"
+                )
 
     def request(self, line: str) -> list[str]:
         """Send one command, wait for its replies.  Costs one RTT."""

@@ -1,0 +1,33 @@
+"""Recovery policies: retry/backoff, circuit breaking, checkpoint restart.
+
+The paper's reliability story (Sections I and VI) is restart markers
+plus "restart the transfer from the last checkpoint".  This package is
+the production shape of that story:
+
+* :class:`~repro.recovery.policy.RetryPolicy` — exponential backoff with
+  deterministic jitter, per-attempt deadlines, and a max-elapsed budget;
+* :class:`~repro.recovery.breaker.CircuitBreaker` — stop hammering an
+  endpoint that keeps failing, admit a trial once it may have healed;
+* :class:`~repro.recovery.engine.RecoveryEngine` — the loop that drives
+  an operation under a policy, accumulates receiver restart markers into
+  a checkpoint (surviving corrupted/truncated markers), and emits
+  ``recovery_*`` counters and retry spans through the telemetry plane.
+
+``third_party_with_restart``, the Globus Online job executor, and
+MyProxy logon retries are all built on this engine; the chaos suite
+under ``tests/integration/test_chaos_recovery.py`` exercises it against
+the seeded :class:`~repro.sim.faults.FaultInjector`.
+"""
+
+from repro.recovery.breaker import CircuitBreaker, CircuitState
+from repro.recovery.engine import Attempt, RecoveryEngine, RecoveryOutcome
+from repro.recovery.policy import RetryPolicy
+
+__all__ = [
+    "Attempt",
+    "CircuitBreaker",
+    "CircuitState",
+    "RecoveryEngine",
+    "RecoveryOutcome",
+    "RetryPolicy",
+]

@@ -1,0 +1,148 @@
+"""Circuit breaking for repeatedly failing endpoints.
+
+A transfer fabric that keeps re-dialing a dead endpoint wastes retry
+budget and hammers whatever is left of the site.  The breaker is the
+standard three-state machine, keyed by an arbitrary endpoint string and
+clocked by the world's virtual clock:
+
+* **closed** — calls flow; consecutive failures are counted;
+* **open** — after ``failure_threshold`` consecutive failures, calls are
+  refused (:class:`~repro.errors.CircuitOpenError`) until
+  ``reset_timeout_s`` has elapsed;
+* **half-open** — one trial call is admitted; success closes the
+  circuit, failure re-opens it for another full timeout.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Protocol
+
+from repro.errors import CircuitOpenError
+
+
+class _ClockLike(Protocol):  # pragma: no cover - typing helper
+    @property
+    def now(self) -> float: ...
+
+
+class CircuitState(enum.Enum):
+    """Where one endpoint's circuit currently stands."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+@dataclass
+class _Entry:
+    failures: int = 0
+    opened_at: float | None = None
+    half_open_trial: bool = False
+    stats: dict[str, int] = field(default_factory=lambda: {"opened": 0, "refused": 0})
+
+
+class CircuitBreaker:
+    """Per-endpoint failure accounting against a (virtual) clock."""
+
+    def __init__(
+        self,
+        clock: _ClockLike,
+        failure_threshold: int = 5,
+        reset_timeout_s: float = 600.0,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if reset_timeout_s <= 0:
+            raise ValueError("reset_timeout_s must be positive")
+        self.clock = clock
+        self.failure_threshold = failure_threshold
+        self.reset_timeout_s = reset_timeout_s
+        self._entries: dict[str, _Entry] = {}
+
+    def _entry(self, key: str) -> _Entry:
+        return self._entries.setdefault(key, _Entry())
+
+    # -- queries ---------------------------------------------------------------
+
+    def state(self, key: str) -> CircuitState:
+        """The endpoint's current state (OPEN decays to HALF_OPEN on timeout)."""
+        e = self._entries.get(key)
+        if e is None or e.opened_at is None:
+            return CircuitState.CLOSED
+        if self.clock.now - e.opened_at >= self.reset_timeout_s:
+            return CircuitState.HALF_OPEN
+        return CircuitState.OPEN
+
+    def retry_after_s(self, key: str) -> float:
+        """Virtual seconds until an open circuit admits a trial (0 if not open)."""
+        e = self._entries.get(key)
+        if e is None or e.opened_at is None:
+            return 0.0
+        return max(0.0, e.opened_at + self.reset_timeout_s - self.clock.now)
+
+    def failures(self, key: str) -> int:
+        """Consecutive failures recorded for the endpoint."""
+        e = self._entries.get(key)
+        return e.failures if e else 0
+
+    def times_opened(self, key: str) -> int:
+        """How many times the endpoint's circuit has opened."""
+        e = self._entries.get(key)
+        return e.stats["opened"] if e else 0
+
+    # -- the gate -----------------------------------------------------------------
+
+    def check(self, key: str) -> None:
+        """Raise :class:`CircuitOpenError` unless a call may proceed.
+
+        In the half-open state exactly one trial is admitted per timeout
+        window; concurrent callers beyond the trial are refused.
+        """
+        state = self.state(key)
+        if state is CircuitState.CLOSED:
+            return
+        e = self._entry(key)
+        if state is CircuitState.HALF_OPEN and not e.half_open_trial:
+            e.half_open_trial = True
+            return
+        e.stats["refused"] += 1
+        raise CircuitOpenError(
+            f"circuit for {key!r} is open after {e.failures} consecutive failures; "
+            f"retry in {self.retry_after_s(key):.1f}s",
+            endpoint=key,
+            retry_after_s=self.retry_after_s(key),
+        )
+
+    # -- outcome reporting ---------------------------------------------------------
+
+    def record_success(self, key: str) -> None:
+        """A call succeeded: close the circuit and forget the failures."""
+        e = self._entry(key)
+        e.failures = 0
+        e.opened_at = None
+        e.half_open_trial = False
+
+    def record_failure(self, key: str) -> CircuitState:
+        """A call failed: count it; open the circuit at the threshold.
+
+        A failure during the half-open trial re-opens immediately.
+        Returns the resulting state.
+        """
+        e = self._entry(key)
+        e.failures += 1
+        was_half_open = e.opened_at is not None and e.half_open_trial
+        if e.failures >= self.failure_threshold or was_half_open:
+            e.opened_at = self.clock.now
+            e.half_open_trial = False
+            e.stats["opened"] += 1
+            return CircuitState.OPEN
+        return CircuitState.CLOSED
+
+    def reset(self, key: str | None = None) -> None:
+        """Forget one endpoint's history (or everything)."""
+        if key is None:
+            self._entries.clear()
+        else:
+            self._entries.pop(key, None)

@@ -1,0 +1,90 @@
+"""Retry policies: exponential backoff with deterministic jitter.
+
+A :class:`RetryPolicy` is a frozen value object; it holds no RNG.  The
+caller (normally :class:`~repro.recovery.engine.RecoveryEngine`) passes
+a seeded ``random.Random`` — derived from the world seed via
+:class:`repro.sim.random.RngFactory` — so every backoff schedule is
+replayable from the seed.
+
+Two invariants the property suite pins down:
+
+* the *base* backoff sequence is monotone non-decreasing and saturates
+  at ``max_backoff_s``;
+* jitter only ever *adds* to the base (full additive jitter in
+  ``[0, jitter * base]``), so with ``multiplier >= 1 + jitter`` the
+  jittered sequence stays monotone until the cap.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Backoff/budget knobs for one recovery loop.
+
+    ``attempt_timeout_s`` is a per-attempt deadline: an attempt whose
+    virtual-time cost exceeds it is counted (and, when it failed, not
+    granted further backoff headroom).  ``max_elapsed_s`` bounds the
+    whole loop: no retry is scheduled that would start beyond the
+    budget.
+    """
+
+    max_attempts: int = 5
+    initial_backoff_s: float = 1.0
+    multiplier: float = 2.0
+    max_backoff_s: float = 120.0
+    jitter: float = 0.1
+    attempt_timeout_s: float | None = None
+    max_elapsed_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.initial_backoff_s < 0:
+            raise ValueError("initial_backoff_s cannot be negative")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1 (backoff may not shrink)")
+        if self.max_backoff_s < self.initial_backoff_s:
+            raise ValueError("max_backoff_s must be >= initial_backoff_s")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+        if self.attempt_timeout_s is not None and self.attempt_timeout_s <= 0:
+            raise ValueError("attempt_timeout_s must be positive")
+        if self.max_elapsed_s is not None and self.max_elapsed_s <= 0:
+            raise ValueError("max_elapsed_s must be positive")
+
+    def with_(self, **kwargs) -> "RetryPolicy":
+        """A modified copy (convenience for per-call overrides)."""
+        return replace(self, **kwargs)
+
+    # -- the schedule ----------------------------------------------------------
+
+    def base_backoff_s(self, attempt: int) -> float:
+        """Jitter-free delay after failed attempt ``attempt`` (1-based).
+
+        Monotone non-decreasing in ``attempt`` and capped at
+        ``max_backoff_s``.
+        """
+        if attempt < 1:
+            raise ValueError("attempt numbers are 1-based")
+        return min(self.max_backoff_s,
+                   self.initial_backoff_s * self.multiplier ** (attempt - 1))
+
+    def backoff_s(self, attempt: int, rng: random.Random | None = None) -> float:
+        """Delay after failed attempt ``attempt``, with deterministic jitter.
+
+        Jitter is additive in ``[0, jitter * base]``, drawn from ``rng``
+        in call order — the same seeded stream replays the same
+        schedule.
+        """
+        base = self.base_backoff_s(attempt)
+        if rng is None or self.jitter <= 0.0 or base <= 0.0:
+            return base
+        return base * (1.0 + self.jitter * rng.random())
+
+    def schedule(self, rng: random.Random | None = None) -> list[float]:
+        """The full delay sequence: one entry per possible retry."""
+        return [self.backoff_s(n, rng) for n in range(1, self.max_attempts)]

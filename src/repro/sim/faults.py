@@ -1,17 +1,32 @@
-"""Fault injection.
+"""Fault injection: scheduled outages and seeded chaos.
 
 The reliability claims in the paper — restart markers, Globus Online
 "restart the transfer from the last checkpoint" — only mean anything if
-things actually fail.  A :class:`FaultPlan` holds scheduled outages of
-links and hosts; the transfer engine consults it to decide whether a
-transfer window [start, end) is interrupted, and baselines consult it the
-same way so comparisons are apples-to-apples.
+things actually fail.  Two layers live here:
+
+* :class:`FaultPlan` holds *scheduled* faults: link outages, host
+  crash-restarts, bandwidth-degradation episodes, and control-channel
+  disconnects.  The transfer engine consults it to decide whether a
+  transfer window [start, end) is interrupted, and baselines consult it
+  the same way so comparisons are apples-to-apples.
+
+* :class:`FaultInjector` (owned by every :class:`~repro.sim.world.World`
+  as ``world.chaos``) generates *adversarial* fault schedules from the
+  world seed: Poisson link flaps, degradation episodes, host
+  crash-restarts with configurable downtime, control-channel drops, and
+  corrupted/truncated restart markers.  Every stream is derived from
+  :class:`repro.sim.random.RngFactory`, so a chaos run is replayable
+  bit-for-bit from its seed — ``arm()`` twice with the same seed and
+  config produces the identical schedule.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable
+from typing import TYPE_CHECKING, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.world import World
 
 
 @dataclass(frozen=True)
@@ -50,12 +65,60 @@ class HostFault:
         return self.start <= t < self.end
 
 
+@dataclass(frozen=True)
+class DegradationFault:
+    """A link runs at ``factor`` of its bandwidth during [start, start+duration).
+
+    Degradation does not interrupt transfers; it slows them.  ``factor``
+    is in (0, 1]: 0.25 means the link delivers a quarter of its rate.
+    """
+
+    link_id: str
+    start: float
+    duration: float
+    factor: float
+
+    @property
+    def end(self) -> float:
+        """End of the episode (exclusive)."""
+        return self.start + self.duration
+
+    def active_at(self, t: float) -> bool:
+        """True if the episode is in effect at time ``t``."""
+        return self.start <= t < self.end
+
+
+@dataclass(frozen=True)
+class ControlChannelFault:
+    """A host's control plane is unreachable during [start, start+duration).
+
+    Models a control-TCP disconnect / listener restart: commands to (or
+    from) the host fail while data channels already in flight keep
+    moving.
+    """
+
+    host: str
+    start: float
+    duration: float
+
+    @property
+    def end(self) -> float:
+        """End of the disconnect window (exclusive)."""
+        return self.start + self.duration
+
+    def active_at(self, t: float) -> bool:
+        """True if the fault is in effect at time ``t``."""
+        return self.start <= t < self.end
+
+
 class FaultPlan:
     """The set of scheduled faults for a simulation run."""
 
     def __init__(self) -> None:
         self._link_faults: list[LinkFault] = []
         self._host_faults: list[HostFault] = []
+        self._degradations: list[DegradationFault] = []
+        self._control_faults: list[ControlChannelFault] = []
 
     # -- construction --------------------------------------------------------
 
@@ -75,6 +138,26 @@ class FaultPlan:
         self._host_faults.append(fault)
         return fault
 
+    def degrade_link(
+        self, link_id: str, at: float, duration: float, factor: float
+    ) -> DegradationFault:
+        """Schedule ``link_id`` to run at ``factor`` bandwidth during the window."""
+        if duration <= 0:
+            raise ValueError("fault duration must be positive")
+        if not 0.0 < factor <= 1.0:
+            raise ValueError("degradation factor must be in (0, 1]")
+        fault = DegradationFault(link_id=link_id, start=at, duration=duration, factor=factor)
+        self._degradations.append(fault)
+        return fault
+
+    def drop_control(self, host: str, at: float, duration: float) -> ControlChannelFault:
+        """Schedule ``host``'s control plane to be unreachable during the window."""
+        if duration <= 0:
+            raise ValueError("fault duration must be positive")
+        fault = ControlChannelFault(host=host, start=at, duration=duration)
+        self._control_faults.append(fault)
+        return fault
+
     # -- queries --------------------------------------------------------------
 
     def link_down(self, link_id: str, t: float) -> bool:
@@ -84,6 +167,19 @@ class FaultPlan:
     def host_down(self, host: str, t: float) -> bool:
         """Is ``host`` down at time ``t``?"""
         return any(f.host == host and f.active_at(t) for f in self._host_faults)
+
+    def control_down(self, host: str, t: float) -> bool:
+        """Is ``host``'s control plane unreachable at time ``t``?"""
+        return any(f.host == host and f.active_at(t) for f in self._control_faults)
+
+    def bandwidth_factor(self, link_ids: Iterable[str], t: float) -> float:
+        """Worst active degradation factor over the listed links (1.0 = clean)."""
+        link_ids = set(link_ids)
+        factor = 1.0
+        for f in self._degradations:
+            if f.link_id in link_ids and f.active_at(t):
+                factor = min(factor, f.factor)
+        return factor
 
     def first_interruption(
         self,
@@ -96,7 +192,8 @@ class FaultPlan:
 
         A fault already active at ``start`` counts as an interruption at
         ``start``.  Returns the interruption time, or None when the window
-        is clean.
+        is clean.  Degradation episodes and control-channel drops do not
+        interrupt data flows and are not considered here.
         """
         link_ids = set(link_ids)
         hosts = set(hosts)
@@ -114,14 +211,18 @@ class FaultPlan:
     ) -> float:
         """Earliest time >= ``t`` at which every listed resource is up.
 
-        Iterates because outages may overlap or abut; bounded by the number
-        of scheduled faults.
+        Control-channel drops on the listed hosts count as "not up":
+        recovery loops wait them out along with link and host outages.
+        Iterates because outages may overlap or abut; bounded by the
+        number of scheduled faults.
         """
         link_ids = set(link_ids)
         hosts = set(hosts)
-        faults_end: list[tuple[float, float]] = [
-            (f.start, f.end) for f in self._link_faults if f.link_id in link_ids
-        ] + [(f.start, f.end) for f in self._host_faults if f.host in hosts]
+        faults_end: list[tuple[float, float]] = (
+            [(f.start, f.end) for f in self._link_faults if f.link_id in link_ids]
+            + [(f.start, f.end) for f in self._host_faults if f.host in hosts]
+            + [(f.start, f.end) for f in self._control_faults if f.host in hosts]
+        )
         changed = True
         while changed:
             changed = False
@@ -141,7 +242,241 @@ class FaultPlan:
         """All scheduled host outages."""
         return tuple(self._host_faults)
 
+    @property
+    def degradation_faults(self) -> tuple[DegradationFault, ...]:
+        """All scheduled bandwidth-degradation episodes."""
+        return tuple(self._degradations)
+
+    @property
+    def control_faults(self) -> tuple[ControlChannelFault, ...]:
+        """All scheduled control-channel disconnects."""
+        return tuple(self._control_faults)
+
     def clear(self) -> None:
         """Remove all scheduled faults."""
         self._link_faults.clear()
         self._host_faults.clear()
+        self._degradations.clear()
+        self._control_faults.clear()
+
+
+# ---------------------------------------------------------------------------
+# Seeded chaos
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Knobs for one chaos campaign.
+
+    Each ``*_every_s`` is the mean Poisson inter-arrival per target (None
+    disables that fault class); the matching ``*_duration_s`` pair is a
+    uniform (lo, hi) range.  ``marker_corruption_prob`` is the chance a
+    restart marker is truncated or garbled in flight when recovery logic
+    routes markers through :meth:`FaultInjector.filter_marker`.
+    """
+
+    link_flap_every_s: float | None = None
+    link_flap_duration_s: tuple[float, float] = (2.0, 15.0)
+    degrade_every_s: float | None = None
+    degrade_duration_s: tuple[float, float] = (5.0, 30.0)
+    degrade_factor: tuple[float, float] = (0.2, 0.7)
+    host_crash_every_s: float | None = None
+    host_downtime_s: tuple[float, float] = (10.0, 45.0)
+    control_drop_every_s: float | None = None
+    control_drop_duration_s: tuple[float, float] = (1.0, 8.0)
+    marker_corruption_prob: float = 0.0
+    horizon_s: float = 600.0
+
+    def __post_init__(self) -> None:
+        for name in ("link_flap_every_s", "degrade_every_s",
+                     "host_crash_every_s", "control_drop_every_s"):
+            value = getattr(self, name)
+            if value is not None and value <= 0:
+                raise ValueError(f"{name} must be positive")
+        if not 0.0 <= self.marker_corruption_prob <= 1.0:
+            raise ValueError("marker_corruption_prob must be in [0, 1]")
+        if self.horizon_s <= 0:
+            raise ValueError("horizon_s must be positive")
+        lo, hi = self.degrade_factor
+        if not 0.0 < lo <= hi <= 1.0:
+            raise ValueError("degrade_factor range must satisfy 0 < lo <= hi <= 1")
+
+
+@dataclass(frozen=True)
+class InjectedFault:
+    """One fault the injector placed into the plan (the replayable record)."""
+
+    kind: str  # "link_flap" | "degradation" | "host_crash" | "control_drop"
+    target: str
+    start: float
+    duration: float
+    param: float = 0.0  # degradation factor, otherwise 0
+
+
+class FaultInjector:
+    """Seeded, replayable chaos: turns a :class:`ChaosConfig` into faults.
+
+    Each (fault class, target) pair draws from its own named RNG stream,
+    so the schedule is independent of target enumeration order and two
+    runs from the same world seed inject the identical campaign.
+    """
+
+    def __init__(self, world: "World", config: ChaosConfig | None = None) -> None:
+        self.world = world
+        self.config = config or ChaosConfig()
+        self._schedule: list[InjectedFault] = []
+        self._marker_rng = world.rng.python("chaos:marker")
+
+    def configure(self, config: ChaosConfig) -> "FaultInjector":
+        """Replace the config (call before :meth:`arm`)."""
+        self.config = config
+        return self
+
+    @property
+    def schedule(self) -> tuple[InjectedFault, ...]:
+        """Every fault injected so far, in onset order."""
+        return tuple(self._schedule)
+
+    @property
+    def fault_count(self) -> int:
+        """Number of faults injected so far."""
+        return len(self._schedule)
+
+    def counts_by_kind(self) -> dict[str, int]:
+        """Injected fault totals per kind."""
+        out: dict[str, int] = {}
+        for f in self._schedule:
+            out[f.kind] = out.get(f.kind, 0) + 1
+        return out
+
+    # -- the campaign ---------------------------------------------------------
+
+    def arm(
+        self,
+        links: Iterable[str] | None = None,
+        hosts: Iterable[str] | None = None,
+        start: float | None = None,
+        horizon_s: float | None = None,
+    ) -> tuple[InjectedFault, ...]:
+        """Generate the campaign and install it into ``world.faults``.
+
+        ``links``/``hosts`` default to every link and every non-transit
+        host in the topology.  Returns the newly injected faults in onset
+        order; they are also appended to :attr:`schedule`.
+        """
+        cfg = self.config
+        t0 = self.world.now if start is None else start
+        horizon = cfg.horizon_s if horizon_s is None else horizon_s
+        link_ids = sorted(links) if links is not None else sorted(self.world.network.links)
+        host_names = (
+            sorted(hosts)
+            if hosts is not None
+            else sorted(
+                name for name, h in self.world.network.hosts.items() if not h.transit
+            )
+        )
+        plan = self.world.faults
+        new: list[InjectedFault] = []
+
+        if cfg.link_flap_every_s is not None:
+            for link_id in link_ids:
+                for at, dur in self._arrivals(
+                    f"flap:{link_id}", cfg.link_flap_every_s,
+                    cfg.link_flap_duration_s, t0, horizon,
+                ):
+                    plan.cut_link(link_id, at=at, duration=dur)
+                    new.append(InjectedFault("link_flap", link_id, at, dur))
+
+        if cfg.degrade_every_s is not None:
+            for link_id in link_ids:
+                rng = self.world.rng.python(f"chaos:degrade:{link_id}")
+                t = t0
+                while True:
+                    t += rng.expovariate(1.0 / cfg.degrade_every_s)
+                    if t >= t0 + horizon:
+                        break
+                    dur = rng.uniform(*cfg.degrade_duration_s)
+                    factor = rng.uniform(*cfg.degrade_factor)
+                    plan.degrade_link(link_id, at=t, duration=dur, factor=factor)
+                    new.append(InjectedFault("degradation", link_id, t, dur, factor))
+
+        if cfg.host_crash_every_s is not None:
+            for host in host_names:
+                for at, dur in self._arrivals(
+                    f"crash:{host}", cfg.host_crash_every_s,
+                    cfg.host_downtime_s, t0, horizon,
+                ):
+                    plan.crash_host(host, at=at, duration=dur)
+                    new.append(InjectedFault("host_crash", host, at, dur))
+
+        if cfg.control_drop_every_s is not None:
+            for host in host_names:
+                for at, dur in self._arrivals(
+                    f"ctrl:{host}", cfg.control_drop_every_s,
+                    cfg.control_drop_duration_s, t0, horizon,
+                ):
+                    plan.drop_control(host, at=at, duration=dur)
+                    new.append(InjectedFault("control_drop", host, at, dur))
+
+        new.sort(key=lambda f: (f.start, f.kind, f.target))
+        self._schedule.extend(new)
+        injected = self.world.metrics.counter(
+            "chaos_faults_injected_total",
+            "Faults placed into the plan by the chaos injector",
+            labelnames=("kind",),
+        )
+        for f in new:
+            injected.inc(kind=f.kind)
+        self.world.emit(
+            "chaos.armed", "chaos campaign installed",
+            faults=len(new), horizon_s=horizon,
+            kinds=dict(sorted(self.counts_by_kind().items())),
+        )
+        return tuple(new)
+
+    def _arrivals(
+        self,
+        stream: str,
+        every_s: float,
+        duration_range: tuple[float, float],
+        t0: float,
+        horizon: float,
+    ) -> list[tuple[float, float]]:
+        """Poisson (onset, duration) pairs for one (class, target) stream."""
+        rng = self.world.rng.python(f"chaos:{stream}")
+        out: list[tuple[float, float]] = []
+        t = t0
+        while True:
+            t += rng.expovariate(1.0 / every_s)
+            if t >= t0 + horizon:
+                break
+            out.append((t, rng.uniform(*duration_range)))
+        return out
+
+    # -- restart-marker corruption --------------------------------------------
+
+    def filter_marker(self, text: str) -> str:
+        """Pass a restart-marker wire string through the chaos channel.
+
+        With probability ``marker_corruption_prob`` the marker comes back
+        *truncated* (trailing ranges dropped — still well-formed, claims
+        less than was received, which is safe) or *garbled* (unparseable,
+        which recovery must detect and discard).  Deterministic: draws
+        come from the ``chaos:marker`` stream in call order.
+        """
+        prob = self.config.marker_corruption_prob
+        if prob <= 0.0 or not text:
+            return text
+        if self._marker_rng.random() >= prob:
+            return text
+        corruptions = self.world.metrics.counter(
+            "chaos_marker_corruptions_total",
+            "Restart markers corrupted in flight by the chaos injector",
+            labelnames=("mode",),
+        )
+        if "," in text and self._marker_rng.random() < 0.5:
+            corruptions.inc(mode="truncated")
+            return text.rsplit(",", 1)[0]
+        corruptions.inc(mode="garbled")
+        return text[: max(1, len(text) // 2)] + "-?!"

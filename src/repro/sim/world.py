@@ -17,7 +17,7 @@ from typing import Any
 
 from repro.sim.clock import Clock
 from repro.sim.events import Scheduler
-from repro.sim.faults import FaultPlan
+from repro.sim.faults import FaultInjector, FaultPlan
 from repro.sim.random import RngFactory
 from repro.telemetry.metrics import MetricsRegistry
 from repro.telemetry.profiling import SlowOpLog
@@ -52,6 +52,9 @@ class World:
         from repro.net.topology import Network
 
         self.network = Network(self)
+        # Seeded chaos: disabled until configured and armed, but always
+        # present so recovery code can route restart markers through it.
+        self.chaos = FaultInjector(self)
 
     # -- time ------------------------------------------------------------
 

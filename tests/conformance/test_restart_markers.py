@@ -1,0 +1,131 @@
+"""Restart-marker wire-format conformance matrix.
+
+Every case the REST argument grammar admits (or must reject), pinned in
+one table: round-trips, the stream-mode single-offset form, coalescing
+on parse, and the malformed space — including the inverted-range case —
+all answered with ProtocolError 501, matching RFC 959's "syntax error in
+parameters" reply for a bad REST argument.
+"""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.gridftp.restart import (
+    ByteRangeSet,
+    format_restart_marker,
+    marker_reply_line,
+    parse_restart_marker,
+)
+
+# -- well-formed: (wire text, canonical ranges) ------------------------------
+
+VALID = [
+    ("", []),
+    ("   ", []),
+    ("0-100", [(0, 100)]),
+    ("0-100,200-300", [(0, 100), (200, 300)]),
+    # whitespace tolerated around parts
+    (" 0-100 , 200-300 ", [(0, 100), (200, 300)]),
+    # unsorted input parses to the sorted canonical form
+    ("200-300,0-100", [(0, 100), (200, 300)]),
+    # overlapping and adjacent ranges coalesce
+    ("0-100,50-150", [(0, 150)]),
+    ("0-100,100-200", [(0, 200)]),
+    ("0-100,100-200,200-300", [(0, 300)]),
+    # empty ranges vanish
+    ("5-5", []),
+    ("0-100,42-42", [(0, 100)]),
+    # duplicates collapse
+    ("0-10,0-10", [(0, 10)]),
+    # stream-mode single offset: "resume from 12345" == [0, 12345) held
+    ("12345", [(0, 12345)]),
+    ("0", []),
+    # large offsets survive exactly (no float rounding)
+    ("0-1099511627776", [(0, 1 << 40)]),
+]
+
+
+@pytest.mark.parametrize("text,expected", VALID, ids=[t or "<empty>" for t, _ in VALID])
+def test_parse_valid(text, expected):
+    assert parse_restart_marker(text).ranges == expected
+
+
+# -- malformed: every rejection is a ProtocolError with code 501 --------------
+
+MALFORMED = [
+    "garbage",
+    "10-",
+    "-10",
+    "-",
+    "1-2-3",
+    "0x10-0x20",
+    "10.5-20",
+    "1e3-2e3",
+    "0-100,",
+    ",0-100",
+    "0-100,,200-300",
+    "0-100;200-300",
+    "100-50",          # inverted range
+    "0-100,300-200",   # inverted range after a valid one
+    "-5-10",           # negative start parses as inverted/invalid
+    "12345x",          # stream-mode offset with trailing junk
+]
+
+
+@pytest.mark.parametrize("text", MALFORMED)
+def test_parse_malformed_is_protocol_error_501(text):
+    with pytest.raises(ProtocolError) as exc:
+        parse_restart_marker(text)
+    assert exc.value.code == 501
+
+
+def test_inverted_range_names_the_offender():
+    with pytest.raises(ProtocolError, match="100-50"):
+        parse_restart_marker("0-10,100-50")
+
+
+# -- round trips --------------------------------------------------------------
+
+ROUND_TRIP = [
+    [],
+    [(0, 100)],
+    [(0, 100), (200, 300)],
+    [(0, 1), (2, 3), (4, 5), (6, 7)],
+    [(1 << 30, 1 << 31)],
+]
+
+
+@pytest.mark.parametrize("ranges", ROUND_TRIP, ids=str)
+def test_format_parse_round_trip(ranges):
+    marker = ByteRangeSet(ranges)
+    assert parse_restart_marker(format_restart_marker(marker)) == marker
+
+
+def test_parse_format_canonicalizes():
+    """parse->format is a normal form: stable under a second pass."""
+    text = "200-300,0-100,100-150"
+    once = format_restart_marker(parse_restart_marker(text))
+    assert once == "0-150,200-300"
+    assert format_restart_marker(parse_restart_marker(once)) == once
+
+
+def test_marker_reply_line():
+    assert marker_reply_line(ByteRangeSet([(0, 100)])) == "111 Range Marker 0-100"
+
+
+# -- the server-side REST command answers the same way ------------------------
+
+def test_rest_command_rejects_inverted_range_on_the_wire(simple_pair):
+    world, site, laptop = simple_pair
+    client = site.client_for(world, "alice", laptop)
+    session = client.connect(site.server)
+    reply = session.channel.request("REST 100-50")
+    assert reply[-1].startswith("501")
+
+
+def test_rest_command_accepts_and_stores_ranges(simple_pair):
+    world, site, laptop = simple_pair
+    client = site.client_for(world, "alice", laptop)
+    session = client.connect(site.server)
+    session.channel.request("REST 0-100,200-300")
+    assert session.server_session.restart.ranges == [(0, 100), (200, 300)]

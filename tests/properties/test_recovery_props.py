@@ -1,0 +1,123 @@
+"""Property tests for the recovery layer.
+
+Three families:
+
+* the backoff schedule is monotone non-decreasing and saturates at the
+  cap, for every legal policy;
+* jittered schedules are a pure function of the rng seed;
+* chaos integrity — a transfer driven through faults by the recovery
+  engine delivers bytes identical to the fault-free run, for arbitrary
+  fault schedules and marker-corruption rates.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.recovery import RetryPolicy
+from repro.sim.faults import ChaosConfig
+from repro.storage.data import SyntheticData
+from repro.util.units import GB, gbps, mbps
+
+_policies = st.builds(
+    RetryPolicy,
+    max_attempts=st.integers(1, 12),
+    initial_backoff_s=st.floats(0.0, 30.0, allow_nan=False),
+    multiplier=st.floats(1.0, 5.0, allow_nan=False),
+    jitter=st.floats(0.0, 0.99, exclude_max=True),
+).map(lambda p: p.with_(max_backoff_s=max(p.max_backoff_s, p.initial_backoff_s)))
+
+
+@given(_policies)
+def test_base_backoff_monotone_to_cap(policy):
+    seq = [policy.base_backoff_s(n) for n in range(1, policy.max_attempts + 1)]
+    assert all(a <= b for a, b in zip(seq, seq[1:]))
+    assert all(s <= policy.max_backoff_s for s in seq)
+    # once the cap is reached it stays reached
+    capped = [s == policy.max_backoff_s for s in seq]
+    if any(capped):
+        first = capped.index(True)
+        assert all(capped[first:])
+
+
+@given(_policies, st.integers(0, 2**32 - 1))
+def test_jittered_schedule_deterministic_per_seed(policy, seed):
+    a = policy.schedule(random.Random(seed))
+    b = policy.schedule(random.Random(seed))
+    assert a == b
+    # and jitter only ever adds, bounded by the jitter fraction
+    for n, delay in enumerate(a, start=1):
+        base = policy.base_backoff_s(n)
+        assert base <= delay <= base * (1.0 + policy.jitter) + 1e-9
+
+
+@given(_policies.filter(lambda p: p.multiplier >= 1.0 + p.jitter),
+       st.integers(0, 2**32 - 1))
+def test_jittered_schedule_monotone_when_growth_dominates(policy, seed):
+    """With multiplier >= 1+jitter the jittered sequence cannot shrink
+    below the cap region (additive jitter never outruns the growth)."""
+    seq = policy.schedule(random.Random(seed))
+    for a, b, n in zip(seq, seq[1:], range(1, len(seq))):
+        if policy.base_backoff_s(n + 1) < policy.max_backoff_s:
+            assert b >= a - 1e-9
+
+
+def _fresh_duo(seed):
+    """A minimal two-site topology for transfer properties."""
+    from repro.sim.world import World
+    from tests.conftest import make_conventional_site
+
+    world = World(seed=seed)
+    net = world.network
+    net.add_host("dtn-a", nic_bps=gbps(10))
+    net.add_host("dtn-b", nic_bps=gbps(10))
+    net.add_host("laptop", nic_bps=gbps(1))
+    inter = net.add_link("dtn-a", "dtn-b", gbps(10), 0.04)
+    net.add_link("laptop", "dtn-a", mbps(50), 0.02)
+    net.add_link("laptop", "dtn-b", mbps(50), 0.02)
+    site_a = make_conventional_site(world, "SiteA", "dtn-a")
+    site_b = make_conventional_site(world, "SiteB", "dtn-b")
+    site_a.add_user(world, "alice")
+    site_b.add_user(world, "asmith")
+    return world, site_a, site_b, inter.link_id
+
+
+@settings(max_examples=6, deadline=None)
+@given(
+    st.integers(0, 2**16),
+    st.lists(
+        st.tuples(st.floats(1.0, 40.0, allow_nan=False),
+                  st.floats(0.5, 20.0, allow_nan=False)),
+        max_size=4,
+    ),
+    st.floats(0.0, 0.6, allow_nan=False),
+)
+def test_chaos_integrity_recovered_bytes_identical(seed, faults, corruption):
+    """Whatever the fault schedule, recovery delivers the exact file."""
+    from repro.gridftp.third_party import third_party_with_restart
+    from repro.gridftp.transfer import TransferOptions
+
+    world, site_a, site_b, link = _fresh_duo(seed)
+    world.chaos.configure(ChaosConfig(marker_corruption_prob=corruption))
+    data = SyntheticData(seed=seed + 1, length=2 * GB)
+    uid = site_a.accounts.get("alice").uid
+    site_a.storage.write_file("/home/alice/f.bin", data, uid=uid)
+    for at, duration in faults:
+        world.faults.cut_link(link, at=at, duration=duration)
+
+    client_a = site_a.client_for(world, "alice", "laptop")
+    client_b = site_b.client_for(world, "asmith", "laptop")
+    sa = client_a.connect(site_a.server)
+    sb = client_b.connect(site_b.server)
+    res, attempts = third_party_with_restart(
+        sa, "/home/alice/f.bin", sb, "/home/asmith/f.bin",
+        options=TransferOptions(parallelism=4),
+        use_dcsc=client_a.credential,
+        max_attempts=8, retry_backoff_s=2.0,
+    )
+    assert res.verified
+    assert attempts <= len(faults) + 1
+    uid_b = site_b.accounts.get("asmith").uid
+    stored = site_b.storage.open_read("/home/asmith/f.bin", uid_b)
+    assert stored.fingerprint() == data.fingerprint()

@@ -1,0 +1,99 @@
+"""CircuitBreaker: the three-state machine against a virtual clock."""
+
+import pytest
+
+from repro.errors import CircuitOpenError
+from repro.recovery import CircuitBreaker, CircuitState
+from repro.sim.clock import Clock
+
+
+@pytest.fixture
+def clock():
+    return Clock()
+
+
+@pytest.fixture
+def breaker(clock):
+    return CircuitBreaker(clock, failure_threshold=3, reset_timeout_s=60.0)
+
+
+def test_starts_closed_and_admits(breaker):
+    assert breaker.state("ep") is CircuitState.CLOSED
+    breaker.check("ep")  # no raise
+
+
+def test_opens_at_threshold(breaker):
+    for _ in range(2):
+        assert breaker.record_failure("ep") is CircuitState.CLOSED
+    assert breaker.record_failure("ep") is CircuitState.OPEN
+    assert breaker.state("ep") is CircuitState.OPEN
+    with pytest.raises(CircuitOpenError) as exc:
+        breaker.check("ep")
+    assert exc.value.endpoint == "ep"
+    assert exc.value.retry_after_s == pytest.approx(60.0)
+
+
+def test_success_resets_failure_count(breaker):
+    breaker.record_failure("ep")
+    breaker.record_failure("ep")
+    breaker.record_success("ep")
+    assert breaker.failures("ep") == 0
+    breaker.record_failure("ep")
+    assert breaker.state("ep") is CircuitState.CLOSED
+
+
+def test_half_open_admits_one_trial(clock, breaker):
+    for _ in range(3):
+        breaker.record_failure("ep")
+    clock.advance(60.0)
+    assert breaker.state("ep") is CircuitState.HALF_OPEN
+    breaker.check("ep")  # the trial goes through
+    with pytest.raises(CircuitOpenError):
+        breaker.check("ep")  # second concurrent caller refused
+
+
+def test_half_open_success_closes(clock, breaker):
+    for _ in range(3):
+        breaker.record_failure("ep")
+    clock.advance(61.0)
+    breaker.check("ep")
+    breaker.record_success("ep")
+    assert breaker.state("ep") is CircuitState.CLOSED
+    breaker.check("ep")
+
+
+def test_half_open_failure_reopens_full_timeout(clock, breaker):
+    for _ in range(3):
+        breaker.record_failure("ep")
+    clock.advance(60.0)
+    breaker.check("ep")
+    assert breaker.record_failure("ep") is CircuitState.OPEN
+    assert breaker.retry_after_s("ep") == pytest.approx(60.0)
+    assert breaker.times_opened("ep") == 2
+
+
+def test_keys_are_independent(breaker):
+    for _ in range(3):
+        breaker.record_failure("a")
+    assert breaker.state("a") is CircuitState.OPEN
+    assert breaker.state("b") is CircuitState.CLOSED
+    breaker.check("b")
+
+
+def test_reset(breaker):
+    for _ in range(3):
+        breaker.record_failure("a")
+    breaker.reset("a")
+    assert breaker.state("a") is CircuitState.CLOSED
+    for _ in range(3):
+        breaker.record_failure("b")
+    breaker.reset()
+    assert breaker.state("b") is CircuitState.CLOSED
+
+
+def test_validation():
+    clock = Clock()
+    with pytest.raises(ValueError):
+        CircuitBreaker(clock, failure_threshold=0)
+    with pytest.raises(ValueError):
+        CircuitBreaker(clock, reset_timeout_s=0.0)

@@ -1,0 +1,69 @@
+"""RetryPolicy: backoff shape, jitter determinism, validation."""
+
+import random
+
+import pytest
+
+from repro.recovery import RetryPolicy
+
+
+def test_base_backoff_doubles_until_cap():
+    p = RetryPolicy(initial_backoff_s=1.0, multiplier=2.0, max_backoff_s=8.0,
+                    max_attempts=10, jitter=0.0)
+    assert [p.base_backoff_s(n) for n in range(1, 7)] == [1, 2, 4, 8, 8, 8]
+
+
+def test_backoff_is_monotone_and_capped():
+    p = RetryPolicy(initial_backoff_s=0.5, multiplier=3.0, max_backoff_s=20.0,
+                    max_attempts=12, jitter=0.0)
+    seq = [p.base_backoff_s(n) for n in range(1, 12)]
+    assert all(a <= b for a, b in zip(seq, seq[1:]))
+    assert max(seq) == 20.0
+
+
+def test_jitter_only_adds():
+    p = RetryPolicy(initial_backoff_s=10.0, jitter=0.25)
+    rng = random.Random(7)
+    for n in range(1, 6):
+        base = p.base_backoff_s(n)
+        jittered = p.backoff_s(n, rng)
+        assert base <= jittered <= base * 1.25
+
+
+def test_schedule_is_deterministic_per_seed():
+    p = RetryPolicy(max_attempts=6, jitter=0.3)
+    assert p.schedule(random.Random(99)) == p.schedule(random.Random(99))
+    assert p.schedule(random.Random(99)) != p.schedule(random.Random(100))
+
+
+def test_no_rng_means_no_jitter():
+    p = RetryPolicy(initial_backoff_s=4.0, jitter=0.5)
+    assert p.backoff_s(1) == 4.0
+    assert p.backoff_s(1, None) == 4.0
+
+
+def test_with_override():
+    p = RetryPolicy(max_attempts=5)
+    q = p.with_(max_attempts=2, initial_backoff_s=0.1)
+    assert q.max_attempts == 2 and q.initial_backoff_s == 0.1
+    assert p.max_attempts == 5  # original untouched
+
+
+def test_attempt_numbers_are_one_based():
+    with pytest.raises(ValueError):
+        RetryPolicy().base_backoff_s(0)
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"max_attempts": 0},
+    {"multiplier": 0.5},
+    {"jitter": 1.0},
+    {"jitter": -0.1},
+    {"initial_backoff_s": -1.0},
+    {"max_backoff_s": 0.5, "initial_backoff_s": 1.0},
+    {"attempt_timeout_s": 0.0},
+    {"max_elapsed_s": -5.0},
+])
+def test_validation_rejects_bad_knobs(kwargs):
+    with pytest.raises(ValueError):
+        RetryPolicy(**kwargs)
