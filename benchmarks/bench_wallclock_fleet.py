@@ -1,0 +1,166 @@
+"""Wall-clock fleet benchmark: how fast does the *simulator* run?
+
+Every other bench in this directory measures virtual-time outcomes (the
+paper's tables).  This one measures real seconds: it drives
+:class:`repro.workloads.fleet.FleetTransferScenario` — ≥10k small-file
+transfers between one endpoint pair plus a multi-GiB striped transfer,
+under a ~2k-entry scheduled-fault plan — and reports transfers/sec,
+blocks-planned/sec, and p50/p95 per-``execute()`` wall time.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_wallclock_fleet.py            # full run
+    PYTHONPATH=src python benchmarks/bench_wallclock_fleet.py --quick    # CI smoke
+    PYTHONPATH=src python benchmarks/bench_wallclock_fleet.py --quick \
+        --check BENCH_wallclock.json                                     # regression gate
+
+The JSON it writes (``BENCH_wallclock.json`` at the repo root by
+default) is the committed baseline of the benchmark trajectory; see
+DESIGN.md "Performance model & wall-clock benchmarks" for the schema.
+``--check`` compares the fresh run's small-file transfers/sec against a
+baseline file and exits non-zero on a >30% regression (tolerance
+overridable via ``BENCH_TOLERANCE``, a fraction).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import platform
+import statistics
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.workloads.fleet import FleetTransferScenario, FleetWorkloadConfig  # noqa: E402
+
+SCHEMA = "bench_wallclock_fleet/v1"
+DEFAULT_TOLERANCE = 0.30
+
+
+def _percentile(samples: list[float], q: float) -> float:
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    idx = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return ordered[idx]
+
+
+def run_bench(config: FleetWorkloadConfig, quick: bool) -> dict:
+    """One full scenario run, timed phase by phase."""
+    scenario = FleetTransferScenario(config)
+    execute_wall: list[float] = []
+
+    def timed(_i: int, fn):
+        t0 = time.perf_counter()
+        result = fn()
+        execute_wall.append(time.perf_counter() - t0)
+        return result
+
+    t0 = time.perf_counter()
+    small = scenario.run_small_files(on_each=timed)
+    small_wall = time.perf_counter() - t0
+
+    t1 = time.perf_counter()
+    striped = scenario.run_striped()
+    striped_wall = time.perf_counter() - t1
+
+    total_blocks = small.blocks_planned + striped.blocks_planned
+    total_wall = small_wall + striped_wall
+    return {
+        "schema": SCHEMA,
+        "quick": quick,
+        "scenario": {
+            "seed": config.seed,
+            "small_files": config.small_files,
+            "small_file_bytes": config.small_file_bytes,
+            "striped_bytes": config.striped_bytes,
+            "stripes": config.stripes,
+            "scheduled_faults": config.scheduled_faults,
+            "block_size": config.block_size,
+        },
+        "results": {
+            "small_files": {
+                "wall_s": round(small_wall, 4),
+                "transfers_per_s": round(small.transfers / small_wall, 2),
+                "p50_execute_s": round(_percentile(execute_wall, 0.50), 6),
+                "p95_execute_s": round(_percentile(execute_wall, 0.95), 6),
+                "bytes_moved": small.bytes_moved,
+            },
+            "striped": {
+                "wall_s": round(striped_wall, 4),
+                "bytes_moved": striped.bytes_moved,
+                "blocks_planned": striped.blocks_planned,
+            },
+            "total_wall_s": round(total_wall, 4),
+            "blocks_planned_per_s": round(total_blocks / total_wall, 2),
+        },
+        "env": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+    }
+
+
+def check_regression(current: dict, baseline_path: pathlib.Path) -> int:
+    """Exit code 1 if transfers/sec regressed beyond tolerance."""
+    baseline = json.loads(baseline_path.read_text())
+    tol = float(os.environ.get("BENCH_TOLERANCE", DEFAULT_TOLERANCE))
+    base_rate = baseline["results"]["small_files"]["transfers_per_s"]
+    cur_rate = current["results"]["small_files"]["transfers_per_s"]
+    floor = base_rate * (1.0 - tol)
+    verdict = "OK" if cur_rate >= floor else "REGRESSION"
+    print(
+        f"[check] transfers/sec: current={cur_rate:.1f} baseline={base_rate:.1f} "
+        f"floor={floor:.1f} (tolerance {tol:.0%}) -> {verdict}"
+    )
+    return 0 if cur_rate >= floor else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="CI-smoke size (1k files, 512 MiB striped)")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--files", type=int, default=None,
+                        help="override the small-file count")
+    parser.add_argument("--out", type=pathlib.Path,
+                        default=REPO_ROOT / "BENCH_wallclock.json")
+    parser.add_argument("--check", type=pathlib.Path, default=None,
+                        help="baseline JSON to gate against (>30%% regression fails)")
+    args = parser.parse_args(argv)
+
+    config = FleetWorkloadConfig(seed=args.seed)
+    if args.quick:
+        config = config.quick()
+    if args.files is not None:
+        from dataclasses import replace
+
+        config = replace(config, small_files=args.files)
+
+    report = run_bench(config, quick=args.quick)
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    r = report["results"]
+    print(
+        f"small files: {config.small_files} in {r['small_files']['wall_s']}s "
+        f"({r['small_files']['transfers_per_s']}/s, "
+        f"p50 {r['small_files']['p50_execute_s'] * 1e3:.2f}ms, "
+        f"p95 {r['small_files']['p95_execute_s'] * 1e3:.2f}ms)"
+    )
+    print(
+        f"striped: {r['striped']['bytes_moved']} bytes, "
+        f"{r['striped']['blocks_planned']} blocks in {r['striped']['wall_s']}s"
+    )
+    print(f"blocks planned/sec: {r['blocks_planned_per_s']}  [saved to {args.out}]")
+
+    if args.check is not None:
+        return check_regression(report, args.check)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

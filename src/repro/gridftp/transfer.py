@@ -21,12 +21,12 @@ from dataclasses import dataclass, replace
 
 from repro.errors import TransferError, TransferFaultError
 from repro.gridftp.dcau import DataChannelSecurity, DCAUMode, authenticate_data_channel
-from repro.gridftp.mode_e import DEFAULT_BLOCK_SIZE, iter_blocks
+from repro.gridftp.mode_e import DEFAULT_BLOCK_SIZE, ModeEPlan
 from repro.gridftp.perf import PerfMarker, progress_markers
 from repro.net.tcp import TCPModel
 from repro.net.topology import PathStats
 from repro.sim.world import World
-from repro.storage.data import FileData
+from repro.storage.data import FileData, SyntheticData
 from repro.storage.dsi import WriteSink
 from repro.util.ranges import ByteRangeSet
 from repro.xio.drivers import GsiProtectDriver, Protection, TcpDriver, UdtDriver
@@ -144,10 +144,57 @@ class _Flow:
 
 
 class TransferEngine:
-    """Executes transfers against one world."""
+    """Executes transfers against one world.
+
+    Every metric instrument is resolved once here — steady-state
+    transfers touch the registry zero times — and every labelled series
+    a transfer can produce is pre-registered at zero, so exposition
+    shows the full set before the first fault or degradation.
+    """
 
     def __init__(self, world: World) -> None:
         self.world = world
+        metrics = world.metrics
+        self._active = metrics.gauge(
+            "active_data_channels", "Data channels currently moving bytes"
+        ).labels()
+        self._bytes_moved = metrics.counter(
+            "data_channel_bytes_total",
+            "Payload bytes moved on data channels",
+            labelnames=("outcome", "transport"),
+        )
+        # bound per-(outcome, transport) children, created on first use
+        self._bytes_children: dict[tuple[str, str], object] = {}
+        transfers = metrics.counter(
+            "transfers_total", "Data-channel transfer attempts", labelnames=("outcome",)
+        )
+        self._transfers_complete = transfers.labels(outcome="complete")
+        self._transfers_fault = transfers.labels(outcome="fault")
+        self._degraded = metrics.counter(
+            "transfers_degraded_total",
+            "Transfers that ran through a bandwidth-degradation episode",
+        ).labels()
+        self._faults_data_channel = metrics.counter(
+            "faults_injected_total", "Fault-plan interruptions observed",
+            labelnames=("kind",),
+        ).labels(kind="data_channel")
+        self._duration_obs = metrics.histogram(
+            "transfer_duration_seconds",
+            "End-to-end duration of completed transfers (virtual seconds)",
+            buckets=TRANSFER_DURATION_BUCKETS,
+        ).labels()
+        self._transfers_complete.inc(0.0)
+        self._transfers_fault.inc(0.0)
+        self._degraded.inc(0.0)
+        self._faults_data_channel.inc(0.0)
+
+    def _bytes_child(self, outcome: str, transport: str):
+        key = (outcome, transport)
+        child = self._bytes_children.get(key)
+        if child is None:
+            child = self._bytes_moved.labels(outcome=outcome, transport=transport)
+            self._bytes_children[key] = child
+        return child
 
     # -- internals -----------------------------------------------------------
 
@@ -200,9 +247,7 @@ class TransferEngine:
         ``data_channel_bytes_total`` / ``transfers_total`` counters.
         """
         world = self.world
-        active = world.metrics.gauge(
-            "active_data_channels", "Data channels currently moving bytes"
-        )
+        active = self._active
         with world.tracer.span(
             "data_channel",
             transport=options.transport,
@@ -227,15 +272,6 @@ class TransferEngine:
         span,
     ) -> TransferResult:
         world = self.world
-        metrics = world.metrics
-        bytes_moved = metrics.counter(
-            "data_channel_bytes_total",
-            "Payload bytes moved on data channels",
-            labelnames=("outcome", "transport"),
-        )
-        transfers = metrics.counter(
-            "transfers_total", "Data-channel transfer attempts", labelnames=("outcome",)
-        )
         flows = self._flows(source, sink)
         for f in flows:
             world.network.check_path_up(f.path)
@@ -272,19 +308,16 @@ class TransferEngine:
                 "transfer running on degraded links",
                 factor=degrade,
             )
-            metrics.counter(
-                "transfers_degraded_total",
-                "Transfers that ran through a bandwidth-degradation episode",
-            ).inc()
+            self._degraded.inc()
         if charge_setup:
             extra_time += max(stack.setup_time_s(f.path) for f in flows)
             extra_time += max(stack.ramp_penalty_s(f.path, options.parallelism) for f in flows)
         if advance_clock:
             world.advance(extra_time)
 
-        # 3. the block schedule
-        blocks = list(iter_blocks(source.data, options.block_size, source.needed))
-        total = sum(b.size for b in blocks)
+        # 3. the block schedule (range arithmetic — no Block objects)
+        plan = ModeEPlan.plan(source.data.size, options.block_size, source.needed)
+        total = plan.total_bytes
         start = world.now if advance_clock else world.now + extra_time
         payload_s = total * 8.0 / rate_bps
         end = start + payload_s
@@ -298,7 +331,7 @@ class TransferEngine:
             delivered = 0
             if fault_at > start:
                 delivered = int(rate_bps / 8.0 * (fault_at - start))
-            self._write_blocks(sink.sink, blocks, limit=delivered)
+            self._write_ranges(sink.sink, source.data, plan, limit=delivered)
             received = sink.sink.received
             sink.sink.close(complete=False)
             world.advance_to(max(fault_at, world.now))
@@ -308,13 +341,9 @@ class TransferEngine:
                 bytes_done=received.total_bytes(),
                 bytes_total=total,
             )
-            bytes_moved.inc(received.total_bytes(), outcome="fault",
-                            transport=options.transport)
-            transfers.inc(outcome="fault")
-            metrics.counter(
-                "faults_injected_total", "Fault-plan interruptions observed",
-                labelnames=("kind",),
-            ).inc(kind="data_channel")
+            self._bytes_child("fault", options.transport).inc(received.total_bytes())
+            self._transfers_fault.inc()
+            self._faults_data_channel.inc()
             span.fields.update(nbytes=received.total_bytes(), bytes_total=total)
             raise TransferFaultError(
                 f"transfer interrupted at t={fault_at:.3f} after "
@@ -326,7 +355,7 @@ class TransferEngine:
         # 5. clean completion: move every block, advance, verify.
         # finalize=False leaves the destination as a persisted partial
         # (ERET window retrievals): nothing to fingerprint yet.
-        self._write_blocks(sink.sink, blocks, limit=None)
+        self._write_ranges(sink.sink, source.data, plan, limit=None)
         if advance_clock:
             world.advance(payload_s)
         if finalize:
@@ -362,34 +391,37 @@ class TransferEngine:
             stack=stack.describe(),
             verified=verified,
         )
-        bytes_moved.inc(total, outcome="complete", transport=options.transport)
-        transfers.inc(outcome="complete")
-        metrics.histogram(
-            "transfer_duration_seconds",
-            "End-to-end duration of completed transfers (virtual seconds)",
-            buckets=TRANSFER_DURATION_BUCKETS,
-        ).observe(result.duration_s)
+        self._bytes_child("complete", options.transport).inc(total)
+        self._transfers_complete.inc()
+        self._duration_obs.observe(result.duration_s)
         span.fields.update(nbytes=total, rate_bps=result.rate_bps,
                            streams=result.streams, stripes=result.stripes)
         return result
 
     @staticmethod
-    def _write_blocks(sink: WriteSink, blocks, limit: int | None) -> None:
-        """Write blocks into the sink; stop once ``limit`` bytes are spent.
+    def _write_ranges(
+        sink: WriteSink, data: FileData, plan: ModeEPlan, limit: int | None
+    ) -> None:
+        """Deliver the plan's whole-block prefix under ``limit`` to the sink.
 
         Only *whole* blocks count as received (a cut mid-block delivers
         nothing for that block), matching mode E semantics where a block
-        is acknowledged only when fully stored.
+        is acknowledged only when fully stored —
+        :meth:`ModeEPlan.delivered_prefix` computes that prefix without
+        framing blocks, and each contiguous span lands as one bulk write.
+        An empty plan (zero-byte file) still sends its bare EOF block, so
+        a synthetic zero-byte transfer records its content definition.
         """
-        spent = 0
-        for block in blocks:
-            if limit is not None and spent + block.size > limit:
-                return
-            if block.synthetic is not None:
-                sink.write_synthetic_block(block.offset, block.size, block.synthetic)
+        synthetic = data if isinstance(data, SyntheticData) else None
+        if not plan.ranges:
+            if synthetic is not None:
+                sink.write_synthetic_range(0, 0, synthetic)
+            return
+        for start, end in plan.delivered_prefix(limit):
+            if synthetic is not None:
+                sink.write_synthetic_range(start, end - start, synthetic)
             else:
-                sink.write_block(block.offset, block.payload or b"")
-            spent += block.size
+                sink.write_range(start, data.read(start, end - start))
 
 
 def estimate_rate_bps(

@@ -121,6 +121,29 @@ class Network:
         # sockets.Listeners keyed by (host, port); managed via sockets module
         self.listeners: dict[tuple[str, int], object] = {}
         self._ephemeral = itertools.count(50000)
+        # route memoization: fleets hammer the same (src, dst) pairs, so
+        # re-walking the graph per transfer is pure waste.  Both caches are
+        # dropped on any topology mutation (add_host/add_link).
+        self._path_cache: dict[tuple[str, str], PathStats] = {}
+        self._path_links_cache: dict[tuple[str, str], tuple[Link, ...]] = {}
+        self._route_cache_hits = 0
+        self._route_cache_misses = 0
+
+    # -- route cache ---------------------------------------------------------
+
+    def invalidate_routes(self) -> None:
+        """Drop every memoized route (called on any topology mutation)."""
+        self._path_cache.clear()
+        self._path_links_cache.clear()
+
+    def route_cache_info(self) -> dict[str, int]:
+        """Hit/miss/size counters for tests and the profiling tool."""
+        return {
+            "hits": self._route_cache_hits,
+            "misses": self._route_cache_misses,
+            "cached_paths": len(self._path_cache),
+            "cached_link_walks": len(self._path_links_cache),
+        }
 
     # -- construction ------------------------------------------------------
 
@@ -131,6 +154,7 @@ class Network:
         host = Host(name=name, nic_bps=nic_bps, transit=transit, tags=dict(tags))
         self._hosts[name] = host
         self._graph.add_node(name)
+        self.invalidate_routes()
         return host
 
     def add_router(self, name: str, nic_bps: float = gbps(100), **tags) -> Host:
@@ -168,6 +192,7 @@ class Network:
         )
         self._links[link_id] = link
         self._graph.add_edge(a_name, b_name, link=link, weight=latency_s)
+        self.invalidate_routes()
         return link
 
     # -- lookup --------------------------------------------------------------
@@ -202,10 +227,16 @@ class Network:
         """The links along the minimum-latency route from src to dst.
 
         Routes only transit through hosts marked ``transit=True``; end
-        hosts never forward other hosts' traffic.
+        hosts never forward other hosts' traffic.  Results are memoized
+        per (src, dst) until the topology next mutates.
         """
         if src == dst:
             return []
+        cached = self._path_links_cache.get((src, dst))
+        if cached is not None:
+            self._route_cache_hits += 1
+            return list(cached)
+        self._route_cache_misses += 1
         if src not in self._hosts or dst not in self._hosts:
             raise NetworkError(f"unknown host in route {src!r} -> {dst!r}")
         allowed = {
@@ -217,21 +248,29 @@ class Network:
             nodes = nx.shortest_path(view, src, dst, weight="weight")
         except (nx.NetworkXNoPath, nx.NodeNotFound):
             raise NoRouteError(f"no route from {src!r} to {dst!r}") from None
-        return [self._graph.edges[u, v]["link"] for u, v in zip(nodes, nodes[1:])]
+        links = [self._graph.edges[u, v]["link"] for u, v in zip(nodes, nodes[1:])]
+        self._path_links_cache[(src, dst)] = tuple(links)
+        return links
 
     def path(self, src: str | Host, dst: str | Host) -> PathStats:
         """Routing summary used by the transport models.
 
         A host talking to itself gets nominal loopback characteristics so
         local transfers (``file:///`` to a local server) still have finite,
-        fast timing.
+        fast timing.  :class:`PathStats` is frozen, so the memoized object
+        is shared safely across callers until the topology next mutates.
         """
         src_name = src.name if isinstance(src, Host) else src
         dst_name = dst.name if isinstance(dst, Host) else dst
+        cached = self._path_cache.get((src_name, dst_name))
+        if cached is not None:
+            self._route_cache_hits += 1
+            return cached
+        self._route_cache_misses += 1
         src_host = self.host(src_name)
         dst_host = self.host(dst_name)
         if src_name == dst_name:
-            return PathStats(
+            stats = PathStats(
                 src=src_name,
                 dst=dst_name,
                 rtt_s=self.LOOPBACK_RTT,
@@ -240,6 +279,8 @@ class Network:
                 link_ids=(),
                 hosts=(src_name,),
             )
+            self._path_cache[(src_name, dst_name)] = stats
+            return stats
         links = self.path_links(src_name, dst_name)
         one_way = sum(l.latency_s for l in links)
         bottleneck = min(
@@ -248,7 +289,7 @@ class Network:
         ok_prob = 1.0
         for l in links:
             ok_prob *= 1.0 - l.loss
-        return PathStats(
+        stats = PathStats(
             src=src_name,
             dst=dst_name,
             rtt_s=2.0 * one_way,
@@ -257,6 +298,8 @@ class Network:
             link_ids=tuple(l.link_id for l in links),
             hosts=(src_name, *(l.other_end(h) for h, l in self._walk(src_name, links))),
         )
+        self._path_cache[(src_name, dst_name)] = stats
+        return stats
 
     def _walk(self, start: str, links: Iterable[Link]):
         """Yield (current_host, link) pairs walking the path from start."""

@@ -76,6 +76,27 @@ class RecoveryEngine:
         self.loop_span_name = loop_span_name
         self.attempt_span_name = attempt_span_name
         self._rng = world.rng.python(f"recovery:{component}")
+        # resolve every instrument once: the loop body runs per attempt on
+        # the fleet hot path, and registry lookups there are pure overhead
+        self._attempts_c = self._counter(
+            "recovery_attempts_total", "Operation attempts made under recovery loops")
+        self._retries_new = self._counter(
+            "recovery_retries_total", "Attempts that were retries of a failed attempt")
+        self._retries_legacy = self._counter(
+            "retries_total", "Transfer attempts retried after a failure")
+        self._faults_c = self._counter(
+            "recovery_faults_total", "Retryable failures absorbed by recovery loops")
+        self._backoff_c = self._counter(
+            "recovery_backoff_seconds_total", "Virtual seconds spent backing off")
+        self._recovered_c = self._counter(
+            "recovery_recovered_total", "Loops that succeeded after at least one failure")
+        self._exhausted_c = self._counter(
+            "recovery_exhausted_total", "Loops that gave up after exhausting their policy")
+        self._deadline_c = self._counter(
+            "recovery_deadline_exceeded_total", "Attempts that overran the per-attempt deadline")
+        self._marker_corruptions_c = self._counter(
+            "recovery_marker_corruptions_total",
+            "Restart markers discarded or truncated by recovery loops")
 
     # -- counters ---------------------------------------------------------------
 
@@ -108,22 +129,14 @@ class RecoveryEngine:
         world = self.world
         policy = self.policy
         component = self.component
-        attempts_c = self._counter(
-            "recovery_attempts_total", "Operation attempts made under recovery loops")
-        retries_new = self._counter(
-            "recovery_retries_total", "Attempts that were retries of a failed attempt")
-        retries_legacy = self._counter(
-            "retries_total", "Transfer attempts retried after a failure")
-        faults_c = self._counter(
-            "recovery_faults_total", "Retryable failures absorbed by recovery loops")
-        backoff_c = self._counter(
-            "recovery_backoff_seconds_total", "Virtual seconds spent backing off")
-        recovered_c = self._counter(
-            "recovery_recovered_total", "Loops that succeeded after at least one failure")
-        exhausted_c = self._counter(
-            "recovery_exhausted_total", "Loops that gave up after exhausting their policy")
-        deadline_c = self._counter(
-            "recovery_deadline_exceeded_total", "Attempts that overran the per-attempt deadline")
+        attempts_c = self._attempts_c
+        retries_new = self._retries_new
+        retries_legacy = self._retries_legacy
+        faults_c = self._faults_c
+        backoff_c = self._backoff_c
+        recovered_c = self._recovered_c
+        exhausted_c = self._exhausted_c
+        deadline_c = self._deadline_c
 
         started = world.now
         checkpoint: ByteRangeSet | None = None
@@ -246,10 +259,7 @@ class RecoveryEngine:
         """
         text = format_restart_marker(received)
         filtered = self.world.chaos.filter_marker(text)
-        corruptions = self._counter(
-            "recovery_marker_corruptions_total",
-            "Restart markers discarded or truncated by recovery loops",
-        )
+        corruptions = self._marker_corruptions_c
         try:
             marker = parse_restart_marker(filtered)
         except ProtocolError as exc:

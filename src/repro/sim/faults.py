@@ -22,11 +22,102 @@ things actually fail.  Two layers live here:
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Iterable
+from typing import TYPE_CHECKING, Iterable, Iterator
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.world import World
+
+
+class _IntervalIndex:
+    """Per-target interval lookup over scheduled faults.
+
+    Chaos campaigns install thousands of faults, and a fleet-scale run
+    asks "is this link down at t?" per transfer — a linear scan over
+    every scheduled fault makes the *simulator* O(faults × transfers).
+    This index keeps, per target, the faults sorted by onset plus a
+    running maximum of their ends, so point queries are one bisect:
+    some interval with ``start <= t`` covers ``t`` iff the prefix's max
+    end exceeds ``t``.  Arrays are rebuilt lazily per target after a
+    mutation (schedules are build-then-query, so rebuilds are rare).
+    """
+
+    def __init__(self) -> None:
+        self._raw: dict[str, list] = {}
+        self._built: dict[str, tuple[list, list[float], list[float]]] = {}
+
+    def add(self, target: str, fault) -> None:
+        self._raw.setdefault(target, []).append(fault)
+        self._built.pop(target, None)
+
+    def clear(self) -> None:
+        self._raw.clear()
+        self._built.clear()
+
+    def _entry(self, target: str) -> tuple[list, list[float], list[float]] | None:
+        entry = self._built.get(target)
+        if entry is None:
+            raw = self._raw.get(target)
+            if not raw:
+                return None
+            faults = sorted(raw, key=lambda f: f.start)
+            starts = [f.start for f in faults]
+            prefix_end: list[float] = []
+            running = float("-inf")
+            for f in faults:
+                running = max(running, f.end)
+                prefix_end.append(running)
+            entry = (faults, starts, prefix_end)
+            self._built[target] = entry
+        return entry
+
+    def covers(self, target: str, t: float) -> bool:
+        """Is any of the target's intervals active at ``t``?"""
+        entry = self._entry(target)
+        if entry is None:
+            return False
+        _, starts, prefix_end = entry
+        i = bisect_right(starts, t)
+        return i > 0 and prefix_end[i - 1] > t
+
+    def active(self, target: str, t: float) -> Iterator:
+        """The target's intervals covering ``t`` (for min-factor scans).
+
+        Walks backwards from the bisect point and stops as soon as the
+        prefix max-end shows nothing earlier can still cover ``t``.
+        """
+        entry = self._entry(target)
+        if entry is None:
+            return
+        faults, starts, prefix_end = entry
+        i = bisect_right(starts, t) - 1
+        while i >= 0 and prefix_end[i] > t:
+            if faults[i].end > t:
+                yield faults[i]
+            i -= 1
+
+    def first_overlap(self, target: str, start: float, end: float) -> float | None:
+        """Earliest onset in [start, end): ``start`` if an interval is
+        already active there, else the first onset inside the window."""
+        entry = self._entry(target)
+        if entry is None:
+            return None
+        _, starts, prefix_end = entry
+        i = bisect_right(starts, start)
+        if i > 0 and prefix_end[i - 1] > start:
+            return start
+        if i < len(starts) and starts[i] < end:
+            return starts[i]
+        return None
+
+    def windows(self, target: str) -> list[tuple[float, float]]:
+        """The target's (start, end) windows, sorted by onset."""
+        entry = self._entry(target)
+        if entry is None:
+            return []
+        faults, _, _ = entry
+        return [(f.start, f.end) for f in faults]
 
 
 @dataclass(frozen=True)
@@ -119,6 +210,12 @@ class FaultPlan:
         self._host_faults: list[HostFault] = []
         self._degradations: list[DegradationFault] = []
         self._control_faults: list[ControlChannelFault] = []
+        # per-target interval indexes: every query below is per-resource,
+        # so none of them should pay for faults on unrelated targets.
+        self._link_idx = _IntervalIndex()
+        self._host_idx = _IntervalIndex()
+        self._degrade_idx = _IntervalIndex()
+        self._control_idx = _IntervalIndex()
 
     # -- construction --------------------------------------------------------
 
@@ -128,6 +225,7 @@ class FaultPlan:
             raise ValueError("fault duration must be positive")
         fault = LinkFault(link_id=link_id, start=at, duration=duration)
         self._link_faults.append(fault)
+        self._link_idx.add(link_id, fault)
         return fault
 
     def crash_host(self, host: str, at: float, duration: float) -> HostFault:
@@ -136,6 +234,7 @@ class FaultPlan:
             raise ValueError("fault duration must be positive")
         fault = HostFault(host=host, start=at, duration=duration)
         self._host_faults.append(fault)
+        self._host_idx.add(host, fault)
         return fault
 
     def degrade_link(
@@ -148,6 +247,7 @@ class FaultPlan:
             raise ValueError("degradation factor must be in (0, 1]")
         fault = DegradationFault(link_id=link_id, start=at, duration=duration, factor=factor)
         self._degradations.append(fault)
+        self._degrade_idx.add(link_id, fault)
         return fault
 
     def drop_control(self, host: str, at: float, duration: float) -> ControlChannelFault:
@@ -156,28 +256,28 @@ class FaultPlan:
             raise ValueError("fault duration must be positive")
         fault = ControlChannelFault(host=host, start=at, duration=duration)
         self._control_faults.append(fault)
+        self._control_idx.add(host, fault)
         return fault
 
     # -- queries --------------------------------------------------------------
 
     def link_down(self, link_id: str, t: float) -> bool:
         """Is ``link_id`` down at time ``t``?"""
-        return any(f.link_id == link_id and f.active_at(t) for f in self._link_faults)
+        return self._link_idx.covers(link_id, t)
 
     def host_down(self, host: str, t: float) -> bool:
         """Is ``host`` down at time ``t``?"""
-        return any(f.host == host and f.active_at(t) for f in self._host_faults)
+        return self._host_idx.covers(host, t)
 
     def control_down(self, host: str, t: float) -> bool:
         """Is ``host``'s control plane unreachable at time ``t``?"""
-        return any(f.host == host and f.active_at(t) for f in self._control_faults)
+        return self._control_idx.covers(host, t)
 
     def bandwidth_factor(self, link_ids: Iterable[str], t: float) -> float:
         """Worst active degradation factor over the listed links (1.0 = clean)."""
-        link_ids = set(link_ids)
         factor = 1.0
-        for f in self._degradations:
-            if f.link_id in link_ids and f.active_at(t):
+        for link_id in link_ids:
+            for f in self._degrade_idx.active(link_id, t):
                 factor = min(factor, f.factor)
         return factor
 
@@ -195,16 +295,16 @@ class FaultPlan:
         is clean.  Degradation episodes and control-channel drops do not
         interrupt data flows and are not considered here.
         """
-        link_ids = set(link_ids)
-        hosts = set(hosts)
-        candidates: list[float] = []
-        for f in self._link_faults:
-            if f.link_id in link_ids and f.start < end and f.end > start:
-                candidates.append(max(f.start, start))
-        for hf in self._host_faults:
-            if hf.host in hosts and hf.start < end and hf.end > start:
-                candidates.append(max(hf.start, start))
-        return min(candidates) if candidates else None
+        best: float | None = None
+        for link_id in link_ids:
+            hit = self._link_idx.first_overlap(link_id, start, end)
+            if hit is not None and (best is None or hit < best):
+                best = hit
+        for host in hosts:
+            hit = self._host_idx.first_overlap(host, start, end)
+            if hit is not None and (best is None or hit < best):
+                best = hit
+        return best
 
     def next_clear_time(
         self, link_ids: Iterable[str], hosts: Iterable[str], t: float
@@ -214,19 +314,18 @@ class FaultPlan:
         Control-channel drops on the listed hosts count as "not up":
         recovery loops wait them out along with link and host outages.
         Iterates because outages may overlap or abut; bounded by the
-        number of scheduled faults.
+        number of faults scheduled on the listed resources.
         """
-        link_ids = set(link_ids)
-        hosts = set(hosts)
-        faults_end: list[tuple[float, float]] = (
-            [(f.start, f.end) for f in self._link_faults if f.link_id in link_ids]
-            + [(f.start, f.end) for f in self._host_faults if f.host in hosts]
-            + [(f.start, f.end) for f in self._control_faults if f.host in hosts]
-        )
+        windows: list[tuple[float, float]] = []
+        for link_id in link_ids:
+            windows.extend(self._link_idx.windows(link_id))
+        for host in hosts:
+            windows.extend(self._host_idx.windows(host))
+            windows.extend(self._control_idx.windows(host))
         changed = True
         while changed:
             changed = False
-            for start, end in faults_end:
+            for start, end in windows:
                 if start <= t < end:
                     t = end
                     changed = True
@@ -258,6 +357,10 @@ class FaultPlan:
         self._host_faults.clear()
         self._degradations.clear()
         self._control_faults.clear()
+        self._link_idx.clear()
+        self._host_idx.clear()
+        self._degrade_idx.clear()
+        self._control_idx.clear()
 
 
 # ---------------------------------------------------------------------------

@@ -28,8 +28,9 @@ from repro.util.logging import EventLog
 class World:
     """Container for one reproducible simulation run.
 
-    ``event_capacity`` bounds the event log (ring-buffer eviction) for
-    fleet-scale runs; the default keeps everything.
+    ``event_capacity`` bounds the event log and ``span_capacity`` the
+    tracer's retained spans (ring-buffer eviction) for fleet-scale runs;
+    the defaults keep everything.
     """
 
     def __init__(
@@ -37,6 +38,7 @@ class World:
         seed: int = 0,
         start_time: float = 0.0,
         event_capacity: int | None = None,
+        span_capacity: int | None = None,
         slow_op_threshold_s: float = 1.0,
     ) -> None:
         self.clock = Clock(start_time)
@@ -46,7 +48,7 @@ class World:
         self.log = EventLog(capacity=event_capacity)
         self.metrics = MetricsRegistry()
         self.slow_ops = SlowOpLog(threshold_s=slow_op_threshold_s)
-        self.tracer = Tracer(self)
+        self.tracer = Tracer(self, span_capacity=span_capacity)
         # Imported here to avoid a circular import: repro.net needs World
         # type hints only, but World owns the concrete Network.
         from repro.net.topology import Network

@@ -15,9 +15,17 @@ from __future__ import annotations
 import hashlib
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
+from functools import lru_cache
 
 from repro.errors import StorageError
 from repro.util.ranges import ByteRangeSet
+
+
+@lru_cache(maxsize=1024)
+def _sha256_hex(content: bytes) -> str:
+    """Memoized digest: fleets move the same payload thousands of times,
+    and bytes objects cache their own hash, so repeat lookups are cheap."""
+    return hashlib.sha256(content).hexdigest()
 
 _CHUNK = 32  # one sha256 digest's worth of synthetic bytes per counter block
 #: refuse to materialize more than this many synthetic bytes in one read
@@ -63,8 +71,12 @@ class LiteralData(FileData):
         return self.content[offset : offset + length]
 
     def fingerprint(self) -> str:
-        """Digest both transfer ends compute independently."""
-        return "sha256:" + hashlib.sha256(self.content).hexdigest()
+        """Digest both transfer ends compute independently.
+
+        Memoized: content is immutable and verification hashes the same
+        payload several times per transfer (source, sink, audit).
+        """
+        return "sha256:" + _sha256_hex(self.content)
 
 
 @dataclass(frozen=True)
@@ -153,6 +165,14 @@ class PartialData(FileData):
             )
         if self.synthetic_source is not None:
             return SyntheticData(self.synthetic_source.seed, self.expected_size)
+        if (
+            len(self.fragments) == 1
+            and self.fragments[0][0] == 0
+            and len(self.fragments[0][1]) == self.expected_size
+        ):
+            # one fragment covering everything (the bulk write_range
+            # path): promote without assembling a copy
+            return LiteralData(self.fragments[0][1])
         buf = bytearray(self.expected_size)
         for offset, data in self.fragments:
             buf[offset : offset + len(data)] = data

@@ -77,6 +77,20 @@ class WriteSink:
 
     def write_synthetic_block(self, offset: int, length: int, source: SyntheticData) -> None:
         """Record a block of synthetic content without materializing it."""
+        self.write_synthetic_range(offset, length, source)
+
+    def write_range(self, offset: int, data: bytes) -> None:
+        """Store one contiguous literal range (bulk fast path).
+
+        Identical sink state to writing the same span block by block:
+        one coalesced entry in :attr:`received`, the same promoted
+        bytes — just one fragment instead of dozens.
+        """
+        self._check_open()
+        self._partial.write_fragment(offset, data)
+
+    def write_synthetic_range(self, offset: int, length: int, source: SyntheticData) -> None:
+        """Record a contiguous synthetic range without materializing it."""
         self._check_open()
         if self._partial.synthetic_source is None:
             self._partial.synthetic_source = source

@@ -99,6 +99,53 @@ class _Metric:
         raise NotImplementedError
 
 
+class CounterChild:
+    """A counter bound to one labelset: ``inc`` with no label freezing.
+
+    Hot paths (the transfer engine runs thousands of metric updates per
+    wall-clock second) resolve labels once via :meth:`Counter.labels`
+    and keep the child; each ``inc`` is then a single dict update.
+    """
+
+    __slots__ = ("_values", "_key", "_name")
+
+    def __init__(self, counter: "Counter", key: tuple[str, ...]) -> None:
+        self._values = counter._values
+        self._key = key
+        self._name = counter.name
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0) to the bound series."""
+        if amount < 0:
+            raise MetricError(f"counter {self._name} cannot decrease")
+        self._values[self._key] = self._values.get(self._key, 0.0) + amount
+
+
+class HistogramChild:
+    """A histogram bound to one labelset: ``observe`` with no freezing."""
+
+    __slots__ = ("_histogram", "_key", "_counts")
+
+    def __init__(self, histogram: "Histogram", key: tuple[str, ...]) -> None:
+        self._histogram = histogram
+        self._key = key
+        self._counts = histogram._counts.setdefault(
+            key, [0] * (len(histogram.buckets) + 1)
+        )
+
+    def observe(self, value: float) -> None:
+        """Record one observation on the bound series."""
+        h, key = self._histogram, self._key
+        for i, bound in enumerate(h.buckets):
+            if value <= bound:
+                self._counts[i] += 1
+                break
+        else:
+            self._counts[-1] += 1
+        h._sums[key] = h._sums.get(key, 0.0) + value
+        h._totals[key] = h._totals.get(key, 0) + 1
+
+
 class Counter(_Metric):
     """A monotonically increasing total."""
 
@@ -107,6 +154,10 @@ class Counter(_Metric):
     def __init__(self, name: str, help: str, labelnames: Sequence[str] = ()) -> None:
         super().__init__(name, help, labelnames)
         self._values: dict[tuple[str, ...], float] = {}
+
+    def labels(self, **labels: Any) -> CounterChild:
+        """A bound child for one labelset (O(1) ``inc`` afterwards)."""
+        return CounterChild(self, self._key(labels))
 
     def inc(self, amount: float = 1.0, **labels: Any) -> None:
         """Add ``amount`` (must be >= 0) to one labelled series."""
@@ -136,6 +187,32 @@ class Counter(_Metric):
         ]
 
 
+class GaugeChild:
+    """A gauge bound to one labelset: ``set``/``inc``/``dec`` without
+    label freezing (same high-water bookkeeping as the parent)."""
+
+    __slots__ = ("_values", "_high_water", "_key")
+
+    def __init__(self, gauge: "Gauge", key: tuple[str, ...]) -> None:
+        self._values = gauge._values
+        self._high_water = gauge._high_water
+        self._key = key
+
+    def set(self, value: float) -> None:
+        """Set the bound series to ``value``."""
+        value = float(value)
+        self._values[self._key] = value
+        self._high_water[self._key] = max(self._high_water.get(self._key, value), value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` to the bound series."""
+        self.set(self._values.get(self._key, 0.0) + amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        """Subtract ``amount`` from the bound series."""
+        self.inc(-amount)
+
+
 class Gauge(_Metric):
     """A level that can go up and down; remembers its high-water mark."""
 
@@ -145,6 +222,10 @@ class Gauge(_Metric):
         super().__init__(name, help, labelnames)
         self._values: dict[tuple[str, ...], float] = {}
         self._high_water: dict[tuple[str, ...], float] = {}
+
+    def labels(self, **labels: Any) -> GaugeChild:
+        """A bound child for one labelset (O(1) updates afterwards)."""
+        return GaugeChild(self, self._key(labels))
 
     def set(self, value: float, **labels: Any) -> None:
         """Set one labelled series to ``value``."""
@@ -208,6 +289,10 @@ class Histogram(_Metric):
         self._counts: dict[tuple[str, ...], list[int]] = {}
         self._sums: dict[tuple[str, ...], float] = {}
         self._totals: dict[tuple[str, ...], int] = {}
+
+    def labels(self, **labels: Any) -> HistogramChild:
+        """A bound child for one labelset (O(1) ``observe`` afterwards)."""
+        return HistogramChild(self, self._key(labels))
 
     def observe(self, value: float, **labels: Any) -> None:
         """Record one observation."""

@@ -152,14 +152,39 @@ class Trace:
 
 
 class Tracer:
-    """Per-world span factory and store."""
+    """Per-world span factory and store.
 
-    def __init__(self, world: "World") -> None:
+    ``span_capacity`` bounds how many *completed* spans are retained
+    (oldest evicted first), mirroring the event log's ring buffer: a
+    fleet-scale run opens tens of thousands of spans, and an unbounded
+    store makes every GC pass — and therefore every transfer — pay for
+    all of history.  The default (None) keeps everything.
+    """
+
+    def __init__(self, world: "World", span_capacity: int | None = None) -> None:
+        if span_capacity is not None and span_capacity < 1:
+            raise ValueError("span_capacity must be >= 1")
         self._world = world
         self._stack: list[Span] = []
         self._spans: list[Span] = []
+        self._capacity = span_capacity
         self._trace_seq = 0
         self._span_seq = 0
+
+    def _evict(self) -> None:
+        # amortized: let the store grow to 2x capacity, then trim the
+        # oldest completed spans in one pass (open spans stay visible)
+        cap = self._capacity
+        if cap is None or len(self._spans) <= 2 * cap:
+            return
+        completed_over = len(self._spans) - cap
+        kept: list[Span] = []
+        for s in self._spans:
+            if completed_over > 0 and s.end_time is not None:
+                completed_over -= 1
+                continue
+            kept.append(s)
+        self._spans = kept
 
     # -- recording -----------------------------------------------------------
 
@@ -200,6 +225,7 @@ class Tracer:
         finally:
             span.end_time = self._world.now
             self._stack.pop()
+            self._evict()
             slow = getattr(self._world, "slow_ops", None)
             if slow is not None:
                 slow.record(span.name, span.start_time, span.duration_s,

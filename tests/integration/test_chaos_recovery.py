@@ -138,19 +138,20 @@ def test_chaos_transfer_completes_byte_identical(seed):
 def test_no_byte_range_written_twice(seed, monkeypatch):
     """Restart must resend exactly the complement — never re-store bytes."""
     writes: list[tuple[str, int, int]] = []
-    orig_block = WriteSink.write_block
-    orig_synth = WriteSink.write_synthetic_block
+    orig_range = WriteSink.write_range
+    orig_synth = WriteSink.write_synthetic_range
 
-    def record_block(self, offset, data):
+    def record_range(self, offset, data):
         writes.append((self.path, offset, offset + len(data)))
-        return orig_block(self, offset, data)
+        return orig_range(self, offset, data)
 
     def record_synth(self, offset, length, source):
-        writes.append((self.path, offset, offset + length))
+        if length:  # zero-length EOF markers deliver no bytes
+            writes.append((self.path, offset, offset + length))
         return orig_synth(self, offset, length, source)
 
-    monkeypatch.setattr(WriteSink, "write_block", record_block)
-    monkeypatch.setattr(WriteSink, "write_synthetic_block", record_synth)
+    monkeypatch.setattr(WriteSink, "write_range", record_range)
+    monkeypatch.setattr(WriteSink, "write_synthetic_range", record_synth)
 
     run = _run_campaign(seed)
     assert run["fingerprint"] == run["source_fingerprint"]

@@ -1,0 +1,76 @@
+"""Route memoization: hot (src, dst) pairs stop re-walking the graph."""
+
+import pytest
+
+from repro.sim.world import World
+from repro.util.units import gbps
+
+
+@pytest.fixture
+def world():
+    return World(seed=0)
+
+
+def _triangle(net):
+    net.add_host("a")
+    net.add_host("b")
+    net.add_router("r")
+    net.add_link("a", "r", gbps(10), 0.010)
+    net.add_link("r", "b", gbps(10), 0.010)
+
+
+def test_path_is_memoized(world):
+    net = world.network
+    _triangle(net)
+    first = net.path("a", "b")
+    info = net.route_cache_info()
+    second = net.path("a", "b")
+    assert second is first  # PathStats is frozen, sharing is safe
+    assert net.route_cache_info()["hits"] == info["hits"] + 1
+
+
+def test_loopback_path_is_memoized(world):
+    net = world.network
+    net.add_host("a")
+    assert net.path("a", "a") is net.path("a", "a")
+
+
+def test_path_links_returns_fresh_lists(world):
+    net = world.network
+    _triangle(net)
+    links = net.path_links("a", "b")
+    links.append("garbage")
+    assert net.path_links("a", "b") != links  # cache is not corrupted
+
+
+def test_topology_mutation_invalidates_routes(world):
+    net = world.network
+    _triangle(net)
+    before = net.path("a", "b")
+    assert before.hop_count == 2
+    # a faster direct route appears: the cache must not keep serving the
+    # stale two-hop path
+    net.add_link("a", "b", gbps(10), 0.001)
+    after = net.path("a", "b")
+    assert after is not before
+    assert after.hop_count == 1
+
+
+def test_add_host_invalidates_routes(world):
+    net = world.network
+    _triangle(net)
+    net.path("a", "b")
+    net.add_host("c")
+    assert net.route_cache_info()["cached_paths"] == 0
+
+
+def test_cache_counters_shape(world):
+    net = world.network
+    _triangle(net)
+    net.path("a", "b")
+    net.path("a", "b")
+    info = net.route_cache_info()
+    assert set(info) == {"hits", "misses", "cached_paths", "cached_link_walks"}
+    assert info["hits"] >= 1
+    assert info["misses"] >= 1
+    assert info["cached_paths"] == 1

@@ -1,0 +1,110 @@
+"""The indexed fault lookup answers exactly like a linear scan would."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.faults import FaultPlan
+
+_TARGETS = ["link-1", "link-2", "link-3", "host-a", "host-b"]
+
+
+@st.composite
+def _plan_and_queries(draw):
+    plan = FaultPlan()
+    n = draw(st.integers(0, 25))
+    for _ in range(n):
+        kind = draw(st.sampled_from(["cut", "crash", "degrade", "control"]))
+        target = draw(st.sampled_from(_TARGETS))
+        at = draw(st.floats(0.0, 100.0, allow_nan=False))
+        dur = draw(st.floats(0.1, 40.0, allow_nan=False))
+        if kind == "cut":
+            plan.cut_link(target, at=at, duration=dur)
+        elif kind == "crash":
+            plan.crash_host(target, at=at, duration=dur)
+        elif kind == "degrade":
+            plan.degrade_link(target, at=at, duration=dur,
+                              factor=draw(st.floats(0.1, 1.0)))
+        else:
+            plan.drop_control(target, at=at, duration=dur)
+    times = draw(st.lists(st.floats(0.0, 160.0, allow_nan=False),
+                          min_size=1, max_size=8))
+    return plan, times
+
+
+@given(pq=_plan_and_queries())
+@settings(max_examples=150)
+def test_point_queries_match_linear_scan(pq):
+    plan, times = pq
+    for t in times:
+        for target in _TARGETS:
+            assert plan.link_down(target, t) == any(
+                f.link_id == target and f.active_at(t) for f in plan.link_faults
+            )
+            assert plan.host_down(target, t) == any(
+                f.host == target and f.active_at(t) for f in plan.host_faults
+            )
+            assert plan.control_down(target, t) == any(
+                f.host == target and f.active_at(t) for f in plan.control_faults
+            )
+
+
+@given(pq=_plan_and_queries())
+@settings(max_examples=150)
+def test_bandwidth_factor_matches_linear_scan(pq):
+    plan, times = pq
+    links = [t for t in _TARGETS if t.startswith("link")]
+    for t in times:
+        expected = 1.0
+        for f in plan.degradation_faults:
+            if f.link_id in links and f.active_at(t):
+                expected = min(expected, f.factor)
+        assert plan.bandwidth_factor(links, t) == expected
+
+
+@given(pq=_plan_and_queries(), span=st.floats(0.1, 60.0))
+@settings(max_examples=150)
+def test_first_interruption_matches_linear_scan(pq, span):
+    plan, times = pq
+    links = [t for t in _TARGETS if t.startswith("link")]
+    hosts = [t for t in _TARGETS if t.startswith("host")]
+    for start in times:
+        end = start + span
+        candidates = [
+            max(f.start, start)
+            for f in plan.link_faults
+            if f.link_id in links and f.start < end and f.end > start
+        ] + [
+            max(f.start, start)
+            for f in plan.host_faults
+            if f.host in hosts and f.start < end and f.end > start
+        ]
+        expected = min(candidates) if candidates else None
+        assert plan.first_interruption(links, hosts, start, end) == expected
+
+
+@given(pq=_plan_and_queries())
+@settings(max_examples=100)
+def test_next_clear_time_is_actually_clear(pq):
+    plan, times = pq
+    links = [t for t in _TARGETS if t.startswith("link")]
+    hosts = [t for t in _TARGETS if t.startswith("host")]
+    for t in times:
+        clear = plan.next_clear_time(links, hosts, t)
+        assert clear >= t
+        assert not any(plan.link_down(l, clear) for l in links)
+        assert not any(plan.host_down(h, clear) for h in hosts)
+        assert not any(plan.control_down(h, clear) for h in hosts)
+
+
+def test_index_tracks_interleaved_mutation():
+    """Queries between mutations must see the fresh schedule (lazy rebuild)."""
+    plan = FaultPlan()
+    plan.cut_link("wan", at=10.0, duration=5.0)
+    assert plan.link_down("wan", 12.0)
+    assert not plan.link_down("wan", 20.0)
+    plan.cut_link("wan", at=18.0, duration=4.0)  # index for "wan" is dirty now
+    assert plan.link_down("wan", 20.0)
+    assert plan.first_interruption(["wan"], [], 0.0, 30.0) == 10.0
+    plan.clear()
+    assert not plan.link_down("wan", 12.0)
+    assert plan.first_interruption(["wan"], [], 0.0, 30.0) is None

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""cProfile the fleet transfer hot path and print the top offenders.
+
+Runs the same scenario as ``benchmarks/bench_wallclock_fleet.py``
+(quick-sized by default) under cProfile and prints the top functions by
+cumulative time — the tool that found the route-walk, fault-scan, and
+fingerprint hot spots this codebase's caches now cover.
+
+    python tools/profile_hotpath.py            # 1k files, top 20
+    python tools/profile_hotpath.py --full     # the full 10k-file phase
+    python tools/profile_hotpath.py --top 40   # more rows
+    python tools/profile_hotpath.py --striped  # profile the striped phase
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import io
+import pstats
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.workloads.fleet import (  # noqa: E402
+    FleetTransferScenario,
+    FleetWorkloadConfig,
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--full", action="store_true",
+                        help="profile the full 10k-file phase (default: quick 1k)")
+    parser.add_argument("--striped", action="store_true",
+                        help="profile the multi-GiB striped phase instead")
+    parser.add_argument("--top", type=int, default=20,
+                        help="rows to print (default 20)")
+    parser.add_argument("--sort", default="cumulative",
+                        choices=["cumulative", "tottime", "ncalls"],
+                        help="pstats sort key (default cumulative)")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="override the scenario seed")
+    args = parser.parse_args(argv)
+
+    cfg = FleetWorkloadConfig()
+    if not args.full:
+        cfg = cfg.quick()
+    if args.seed is not None:
+        from dataclasses import replace
+
+        cfg = replace(cfg, seed=args.seed)
+
+    scenario = FleetTransferScenario(cfg)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    if args.striped:
+        stats = scenario.run_striped()
+    else:
+        stats = scenario.run_small_files()
+    profiler.disable()
+
+    out = io.StringIO()
+    pstats.Stats(profiler, stream=out).sort_stats(args.sort).print_stats(args.top)
+    print(out.getvalue())
+    print(
+        f"profiled: {stats.transfers} transfers, {stats.bytes_moved} bytes, "
+        f"{stats.blocks_planned} blocks planned"
+    )
+    info = scenario.world.network.route_cache_info()
+    print(f"route cache: {info['hits']} hits / {info['misses']} misses")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
