@@ -1,0 +1,243 @@
+"""Fleet scheduler benchmark: a multi-user job storm through Globus Online.
+
+Drives >= 5k transfer jobs from >= 50 contending users through the fleet
+scheduler — fair-share queue, lease-based workers, admission control,
+small-file coalescing — over the chaos fault backdrop (host crashes on
+the worker fleet), and reports:
+
+* wall-clock throughput (jobs/sec of simulator progress);
+* virtual-time queue waits (p50/p99 seconds between submit and claim);
+* Jain's fairness index over per-user delivered bytes;
+* crash/requeue/batch counts as campaign evidence.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_scheduler_fleet.py           # full run
+    PYTHONPATH=src python benchmarks/bench_scheduler_fleet.py --quick   # CI smoke
+    PYTHONPATH=src python benchmarks/bench_scheduler_fleet.py --quick \
+        --check BENCH_scheduler.json                                    # regression gate
+
+``BENCH_scheduler.json`` at the repo root is the committed baseline;
+``--check`` fails on a >30% jobs/sec regression (``BENCH_TOLERANCE``
+overrides, a fraction).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import platform
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.auth import (  # noqa: E402
+    AccountDatabase,
+    Control,
+    LdapDirectory,
+    LdapPamModule,
+    PamStack,
+)
+from repro.core.gcmu import install_gcmu  # noqa: E402
+from repro.globusonline.service import GlobusOnline  # noqa: E402
+from repro.globusonline.transfer import JobStatus  # noqa: E402
+from repro.scheduler import SchedulerConfig, jain_index  # noqa: E402
+from repro.sim.faults import ChaosConfig  # noqa: E402
+from repro.sim.world import World  # noqa: E402
+from repro.storage.data import SyntheticData  # noqa: E402
+from repro.util.units import KB, MB, gbps  # noqa: E402
+
+SCHEMA = "bench_scheduler_fleet/v1"
+DEFAULT_TOLERANCE = 0.30
+WORKER_HOSTS = tuple(f"go-worker-{i}" for i in range(8))
+
+
+def _percentile(samples: list[float], q: float) -> float:
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    idx = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return ordered[idx]
+
+
+def make_site(world, host, site_name, users, register_with, endpoint_name):
+    """GCMU install with LDAP-backed users (mirrors tests/conftest.py)."""
+    accounts = AccountDatabase()
+    ldap = LdapDirectory(base_dn=f"dc={site_name}")
+    for username, password in users.items():
+        accounts.add_user(username)
+        ldap.add_entry(username, password)
+    pam = PamStack(f"myproxy-{site_name}").add(
+        Control.SUFFICIENT, LdapPamModule(ldap))
+    endpoint = install_gcmu(
+        world, host, site_name, accounts, pam,
+        register_with=register_with, endpoint_name=endpoint_name,
+        charge_install_time=False)
+    for username in users:
+        endpoint.make_home(username)
+    return endpoint
+
+
+def build_fleet(seed: int, users: int):
+    """The soak topology at benchmark scale, chaos armed on the workers."""
+    world = World(seed=seed, event_capacity=50_000, span_capacity=50_000)
+    net = world.network
+    for h in ("dtn-a", "dtn-b", "saas"):
+        net.add_host(h, nic_bps=gbps(10))
+    net.add_link("dtn-a", "dtn-b", gbps(10), 0.04, loss=1e-5)
+    net.add_link("saas", "dtn-a", gbps(1), 0.02)
+    net.add_link("saas", "dtn-b", gbps(1), 0.02)
+    go = GlobusOnline(world, "saas", scheduler_config=SchedulerConfig(
+        workers=len(WORKER_HOSTS),
+        worker_hosts=WORKER_HOSTS,
+        lease_s=120.0,
+        heartbeat_s=20.0,
+        max_task_attempts=50,
+    ))
+    ep_a = make_site(
+        world, "dtn-a", "alcf",
+        {f"user{i}": f"pw{i}" for i in range(users)},
+        register_with=go, endpoint_name="alcf#dtn")
+    ep_b = make_site(world, "dtn-b", "nersc", {"sink": "pwS"},
+                     register_with=go, endpoint_name="nersc#dtn")
+    world.chaos.configure(ChaosConfig(
+        host_crash_every_s=120.0,
+        host_downtime_s=(10.0, 40.0),
+        horizon_s=6 * 3600.0,
+    ))
+    world.chaos.arm(hosts=list(WORKER_HOSTS))
+    return world, go, ep_a, ep_b
+
+
+def run_bench(seed: int, users: int, jobs: int, quick: bool) -> dict:
+    world, go, ep_a, ep_b = build_fleet(seed, users)
+    accounts = []
+    for u in range(users):
+        account = go.register_user(f"user{u}@globusid")
+        go.activate(account, "alcf#dtn", f"user{u}", f"pw{u}")
+        go.activate(account, "nersc#dtn", "sink", "pwS")
+        accounts.append(account)
+
+    t0 = time.perf_counter()
+    submitted = []
+    for n in range(jobs):
+        u = n % users
+        username = f"user{u}"
+        uid = ep_a.accounts.get(username).uid
+        # 3 of 4 jobs are sub-threshold small files (they coalesce into
+        # pipelined batches); the rest stream alone.  The mix is keyed to
+        # the per-user job index so every user submits the same byte
+        # profile and the Jain index measures scheduling, not workload.
+        small = (n // users) % 4 != 3
+        size = 256 * KB if small else 8 * MB
+        path = f"/home/{username}/j{n}.dat"
+        ep_a.storage.write_file(path, SyntheticData(seed=n, length=size), uid=uid)
+        submitted.append(go.submit_transfer(
+            accounts[u], "alcf#dtn", path,
+            "nersc#dtn", f"/home/sink/{username}-j{n}.dat", defer=True))
+    submit_wall = time.perf_counter() - t0
+
+    t1 = time.perf_counter()
+    go.process_queue()
+    drain_wall = time.perf_counter() - t1
+
+    ok = sum(1 for j in submitted if j.status is JobStatus.SUCCEEDED)
+    failed = len(submitted) - ok
+    waits = [t.claimed_at - t.submitted_at
+             for t in go.scheduler.completed_tasks]
+    delivered = go.scheduler.queue.delivered_bytes()
+    metrics = world.metrics
+    total_wall = submit_wall + drain_wall
+    return {
+        "schema": SCHEMA,
+        "quick": quick,
+        "scenario": {
+            "seed": seed,
+            "users": users,
+            "jobs": jobs,
+            "workers": len(WORKER_HOSTS),
+        },
+        "results": {
+            "wall_s": round(total_wall, 4),
+            "submit_wall_s": round(submit_wall, 4),
+            "drain_wall_s": round(drain_wall, 4),
+            "jobs_per_s": round(jobs / total_wall, 2),
+            "succeeded": ok,
+            "failed": failed,
+            "virtual_duration_s": round(world.now, 2),
+            "queue_wait_p50_s": round(_percentile(waits, 0.50), 3),
+            "queue_wait_p99_s": round(_percentile(waits, 0.99), 3),
+            "jain_fairness": round(jain_index(delivered.values()), 4),
+            "bytes_delivered": sum(delivered.values()),
+            "worker_crashes": int(
+                metrics.counter("scheduler_worker_crashes_total").value()),
+            "requeues": int(metrics.counter("scheduler_requeued_total").value()),
+            "batches_coalesced": int(
+                metrics.counter("scheduler_batches_coalesced_total").value()),
+            "batched_files": int(
+                metrics.counter("scheduler_batched_files_total").value()),
+        },
+        "env": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+    }
+
+
+def check_regression(current: dict, baseline_path: pathlib.Path) -> int:
+    """Exit code 1 if jobs/sec regressed beyond tolerance."""
+    baseline = json.loads(baseline_path.read_text())
+    tol = float(os.environ.get("BENCH_TOLERANCE", DEFAULT_TOLERANCE))
+    base_rate = baseline["results"]["jobs_per_s"]
+    cur_rate = current["results"]["jobs_per_s"]
+    floor = base_rate * (1.0 - tol)
+    verdict = "OK" if cur_rate >= floor else "REGRESSION"
+    print(
+        f"[check] jobs/sec: current={cur_rate:.1f} baseline={base_rate:.1f} "
+        f"floor={floor:.1f} (tolerance {tol:.0%}) -> {verdict}"
+    )
+    return 0 if cur_rate >= floor else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="CI-smoke size (500 jobs, 50 users)")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--jobs", type=int, default=None)
+    parser.add_argument("--users", type=int, default=None)
+    parser.add_argument("--out", type=pathlib.Path,
+                        default=REPO_ROOT / "BENCH_scheduler.json")
+    parser.add_argument("--check", type=pathlib.Path, default=None,
+                        help="baseline JSON to gate against (>30%% regression fails)")
+    args = parser.parse_args(argv)
+
+    users = args.users if args.users is not None else 50
+    jobs = args.jobs if args.jobs is not None else (500 if args.quick else 5000)
+
+    report = run_bench(args.seed, users, jobs, quick=args.quick)
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    r = report["results"]
+    print(
+        f"{jobs} jobs / {users} users in {r['wall_s']}s "
+        f"({r['jobs_per_s']} jobs/s wall, {r['virtual_duration_s']}s virtual)"
+    )
+    print(
+        f"queue wait p50 {r['queue_wait_p50_s']}s p99 {r['queue_wait_p99_s']}s; "
+        f"jain {r['jain_fairness']}; "
+        f"{r['worker_crashes']} crashes, {r['requeues']} requeues, "
+        f"{r['batches_coalesced']} batches ({r['batched_files']} files folded)"
+    )
+    print(f"succeeded {r['succeeded']} / failed {r['failed']}  [saved to {args.out}]")
+
+    if args.check is not None:
+        return check_regression(report, args.check)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -13,20 +13,23 @@ from repro import World
 from repro.auth import AccountDatabase, Control, LdapDirectory, LdapPamModule, PamStack
 from repro.core.gcmu import install_gcmu
 from repro.globusonline import GlobusOnline, OAuthServer, TransferAPI, format_job_cli
+from repro.scheduler import SchedulerConfig, jain_index
 from repro.storage.data import SyntheticData
 from repro.util.units import GB, fmt_bytes, gbps
 
 
-def build_site(world, go, host, site_name, username, password, endpoint_name):
+def build_site(world, go, host, site_name, users, endpoint_name):
     accounts = AccountDatabase()
-    accounts.add_user(username)
     ldap = LdapDirectory(base_dn=f"dc={site_name}")
-    ldap.add_entry(username, password)
+    for username, password in users.items():
+        accounts.add_user(username)
+        ldap.add_entry(username, password)
     pam = PamStack().add(Control.SUFFICIENT, LdapPamModule(ldap))
     ep = install_gcmu(world, host, site_name, accounts, pam,
                       register_with=go, endpoint_name=endpoint_name,
                       charge_install_time=False)
-    ep.make_home(username)
+    for username in users:
+        ep.make_home(username)
     return ep
 
 
@@ -39,9 +42,13 @@ def main() -> None:
     net.add_link("globusonline.org", "dtn-a", gbps(1), 0.02)
     net.add_link("globusonline.org", "dtn-b", gbps(1), 0.02)
 
-    go = GlobusOnline(world, "globusonline.org")
-    ep_a = build_site(world, go, "dtn-a", "alcf", "alice", "pwA", "alcf#dtn")
-    ep_b = build_site(world, go, "dtn-b", "nersc", "asmith", "pwB", "nersc#dtn")
+    # one claim worker: dispatch order below is pure fair-share, no
+    # wave-of-four interleaving to squint through.
+    go = GlobusOnline(world, "globusonline.org",
+                      scheduler_config=SchedulerConfig(workers=1))
+    ep_a = build_site(world, go, "dtn-a", "alcf",
+                      {"alice": "pwA", "bob": "pwC"}, "alcf#dtn")
+    ep_b = build_site(world, go, "dtn-b", "nersc", {"asmith": "pwB"}, "nersc#dtn")
 
     uid = ep_a.accounts.get("alice").uid
     ep_a.storage.write_file("/home/alice/campaign.dat",
@@ -84,6 +91,51 @@ def main() -> None:
     parties = {e.fields["party"] for e in world.log.select("credential.exposure")}
     print(f"OAuth-activation exposure: {sorted(parties)} "
           "(the password never touched globusonline.org)")
+
+    # -- Multi-user contention: fair-share in action ----------------------------
+    # Alice (weight 3) and Bob (weight 1) each queue four 2 GB transfers
+    # against the same single-worker fleet.  The scheduler interleaves
+    # claims so delivered bytes track the 3:1 weights while the backlog
+    # drains — not submission order.
+    print("\n== Fleet scheduler: two users contending 3:1 ==")
+    bob = go.register_user("bob@globusid")
+    go.activate(bob, "alcf#dtn", "bob", "pwC")
+    go.activate(bob, "nersc#dtn", "asmith", "pwB")
+    go.set_fair_share(user, 3.0)
+    go.set_fair_share(bob, 1.0)
+
+    uid_bob = ep_a.accounts.get("bob").uid
+    before = dict(go.scheduler.queue.delivered_bytes())
+    tasks_before = len(go.scheduler.completed_tasks)
+    for i in range(4):
+        ep_a.storage.write_file(f"/home/alice/part{i}.dat",
+                                SyntheticData(seed=100 + i, length=2 * GB), uid=uid)
+        ep_a.storage.write_file(f"/home/bob/part{i}.dat",
+                                SyntheticData(seed=200 + i, length=2 * GB),
+                                uid=uid_bob)
+    jobs = []
+    for i in range(4):
+        jobs.append(go.submit_transfer(
+            user, "alcf#dtn", f"/home/alice/part{i}.dat",
+            "nersc#dtn", f"/home/asmith/a-part{i}.dat", defer=True))
+        jobs.append(go.submit_transfer(
+            bob, "alcf#dtn", f"/home/bob/part{i}.dat",
+            "nersc#dtn", f"/home/asmith/b-part{i}.dat", defer=True))
+    print(f"queued {len(jobs)} deferred jobs "
+          f"(queue depth {len(go.scheduler.queue)}); draining...")
+    go.process_queue()
+
+    order = [t.user.split("@")[0]
+             for t in go.scheduler.completed_tasks[tasks_before:]]
+    print(f"completion order: {' '.join(order)}")
+    delivered = {
+        name: nbytes - before.get(name, 0)
+        for name, nbytes in go.scheduler.queue.delivered_bytes().items()
+    }
+    for name, nbytes in sorted(delivered.items()):
+        print(f"   {name:<16} delivered {fmt_bytes(nbytes)}")
+    print(f"all succeeded: {all(j.status.value == 'succeeded' for j in jobs)}; "
+          f"Jain fairness index {jain_index(delivered.values()):.3f}")
 
 
 if __name__ == "__main__":

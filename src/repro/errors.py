@@ -115,6 +115,63 @@ class DelegationError(SecurityError):
     """Credential delegation failed or is unsupported (e.g. SSH auth)."""
 
 
+class ActivationExpiredError(AuthenticationError):
+    """An endpoint activation expired between submission and execution.
+
+    Raised at *execution* time (post-queue) so a job that sat in the
+    scheduler long enough for its short-term credential to lapse surfaces
+    as "re-activate this endpoint", never as a transfer attempt with a
+    stale credential.  ``expired_at`` is when the credential lapsed.
+    """
+
+    def __init__(self, message: str, endpoint: str | None = None,
+                 expired_at: float | None = None) -> None:
+        super().__init__(message)
+        self.endpoint = endpoint
+        self.expired_at = expired_at
+
+
+# ---------------------------------------------------------------------------
+# Fleet scheduler
+# ---------------------------------------------------------------------------
+
+
+class SchedulerError(ReproError):
+    """Base class for fleet-scheduler failures."""
+
+
+class AdmissionError(SchedulerError):
+    """A task was refused at the queue door (backpressure).
+
+    ``retry_after_s`` is the scheduler's estimate of when resubmission
+    has a fair chance of being admitted (virtual seconds from now).
+    """
+
+    def __init__(self, message: str, retry_after_s: float = 0.0) -> None:
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
+class QueueFullError(AdmissionError):
+    """The bounded task queue is at capacity; resubmit after the hint."""
+
+
+class QuotaExceededError(AdmissionError):
+    """A per-user queued-task quota is exhausted.
+
+    ``user`` names the account whose quota tripped.
+    """
+
+    def __init__(self, message: str, user: str | None = None,
+                 retry_after_s: float = 0.0) -> None:
+        super().__init__(message, retry_after_s=retry_after_s)
+        self.user = user
+
+
+class LeaseLostError(SchedulerError):
+    """A worker tried to act on a claim whose lease already lapsed."""
+
+
 # ---------------------------------------------------------------------------
 # PAM / local accounts
 # ---------------------------------------------------------------------------

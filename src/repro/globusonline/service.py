@@ -21,7 +21,7 @@ from typing import TYPE_CHECKING
 
 from repro.core.endpoint import EndpointInfo
 from repro.core.gcmu import GCMUEndpoint
-from repro.errors import AuthenticationError, ReproError
+from repro.errors import ActivationExpiredError, AuthenticationError, ReproError
 from repro.globusonline.oauth import OAuthServer
 from repro.globusonline.transfer import (
     BatchTransferJob,
@@ -35,6 +35,13 @@ from repro.myproxy.client import myproxy_logon
 from repro.pki.credential import Credential
 from repro.pki.validation import TrustStore
 from repro.recovery import CircuitBreaker, RetryPolicy
+from repro.scheduler import (
+    CoalescedBatch,
+    FleetScheduler,
+    ScheduledTask,
+    SchedulerConfig,
+    TaskState,
+)
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.world import World
@@ -68,8 +75,10 @@ class GOUser:
                 f"user {self.name!r} has not activated endpoint {endpoint_name!r}"
             )
         if not act.valid_at(now):
-            raise AuthenticationError(
-                f"activation for {endpoint_name!r} has expired; re-activate"
+            raise ActivationExpiredError(
+                f"activation for {endpoint_name!r} has expired; re-activate",
+                endpoint=endpoint_name,
+                expired_at=act.credential.expires_at(),
             )
         return act
 
@@ -93,13 +102,18 @@ class EndpointRecord:
 class GlobusOnline:
     """The SaaS itself, running on its own host."""
 
-    def __init__(self, world: "World", host: str) -> None:
+    def __init__(
+        self,
+        world: "World",
+        host: str,
+        scheduler_config: SchedulerConfig | None = None,
+    ) -> None:
         world.network.host(host)  # must exist in the topology
         self.world = world
         self.host = host
         self.endpoints: dict[str, EndpointRecord] = {}
         self.users: dict[str, GOUser] = {}
-        self.jobs: dict[str, TransferJob] = {}
+        self.jobs: dict[str, TransferJob | BatchTransferJob] = {}
         self._job_ids = itertools.count(1)
         # recovery posture for all jobs: exponential backoff with seeded
         # jitter, and a breaker per endpoint pair so a dead site stops
@@ -110,6 +124,13 @@ class GlobusOnline:
         )
         self.breaker = CircuitBreaker(
             world.clock, failure_threshold=5, reset_timeout_s=600.0
+        )
+        # every submission flows through the fleet scheduler: fair-share
+        # queuing across accounts, lease-based workers, admission control,
+        # and small-file coalescing into pipelined batch jobs.
+        self.scheduler = FleetScheduler(
+            world, scheduler_config or SchedulerConfig(),
+            fold_batch=self._fold_batch,
         )
 
     # -- registry -----------------------------------------------------------
@@ -242,7 +263,45 @@ class GlobusOnline:
                             user=user.name, endpoint=endpoint_name, method="oauth")
             return activation
 
-    # -- transfers (Figure 6) -----------------------------------------------------
+    # -- transfers (Figure 6), through the fleet scheduler ---------------------
+
+    def set_fair_share(self, user: GOUser | str, weight: float) -> None:
+        """Assign a user's fair-share weight (byte shares track weights)."""
+        name = user if isinstance(user, str) else user.name
+        self.scheduler.set_weight(name, weight)
+
+    def _size_hint(self, endpoint_name: str, path: str) -> int:
+        """Best-effort size estimate for admission budgets and batching.
+
+        Registered GCMU endpoints expose their storage; a superuser stat
+        there mirrors the hosted service's metadata sweep.  Unknown sizes
+        assume "large" so the file never coalesces and budgets stay safe.
+        """
+        from repro.scheduler import DEFAULT_BATCH_THRESHOLD_BYTES
+
+        record = self.endpoints.get(endpoint_name)
+        if record is not None and record.gcmu is not None:
+            try:
+                return record.gcmu.storage.stat(path, 0).size
+            except ReproError:
+                pass
+        return DEFAULT_BATCH_THRESHOLD_BYTES
+
+    def _bind_job(self, task: ScheduledTask, job) -> None:
+        """Reflect scheduler task state onto the owning job."""
+
+        def on_claim(t: ScheduledTask) -> None:
+            job.status = JobStatus.CLAIMED
+
+        def on_requeue(t: ScheduledTask) -> None:
+            if t.state is TaskState.FAILED:
+                job.status = JobStatus.FAILED
+                job.error = t.error
+            else:
+                job.status = JobStatus.QUEUED
+
+        task.on_claim = on_claim
+        task.on_requeue = on_requeue
 
     def submit_transfer(
         self,
@@ -253,13 +312,20 @@ class GlobusOnline:
         dst_path: str,
         options: TransferOptions | None = None,
         max_attempts: int = 5,
+        priority: int = 0,
+        defer: bool = False,
     ) -> TransferJob:
-        """Submit and (synchronously, in virtual time) run a transfer job.
+        """Submit a transfer job through the fleet scheduler.
 
         With ``options=None`` the service auto-tunes (Section VI.A).
         The job survives injected faults by re-authenticating with the
         stored short-term credentials and restarting from the last
-        checkpoint.
+        checkpoint.  By default the call drains the queue before
+        returning (synchronous in virtual time, as before); with
+        ``defer=True`` the job stays QUEUED until :meth:`process_queue`
+        runs — that is how fleet campaigns batch up contention.  A full
+        queue or exhausted quota raises a typed admission error with a
+        retry-after hint.
         """
         job = TransferJob(
             job_id=f"go-{next(self._job_ids):06d}",
@@ -271,8 +337,22 @@ class GlobusOnline:
             submitted_at=self.world.now,
             max_attempts=max_attempts,
         )
+        task = ScheduledTask(
+            task_id="",
+            user=user.name,
+            src_endpoint=src_endpoint,
+            dst_endpoint=dst_endpoint,
+            size_hint=self._size_hint(src_endpoint, src_path),
+            execute=lambda: run_job(self, user, job, options),
+            measure=lambda j: j.result.nbytes if j.result is not None else 0,
+            priority=priority,
+            job_id=job.job_id,
+        )
+        self._bind_job(task, job)
+        self.scheduler.submit(task)  # may raise QueueFullError / QuotaExceededError
         self.jobs[job.job_id] = job
-        run_job(self, user, job, options)
+        if not defer:
+            self.process_queue()
         return job
 
     def submit_batch_transfer(
@@ -282,13 +362,16 @@ class GlobusOnline:
         dst_endpoint: str,
         pairs: list[tuple[str, str]],
         options: TransferOptions | None = None,
+        priority: int = 0,
+        defer: bool = False,
     ) -> BatchTransferJob:
         """Submit a multi-file (directory-style) transfer.
 
         The batch path pipelines the control traffic, reuses mode E data
         channels, and moves several files concurrently — the reason a
         folder of small files through Globus Online does not cost one
-        round trip per file.
+        round trip per file.  Batch jobs never re-coalesce; they are
+        already the coalesced form.
         """
         job = BatchTransferJob(
             job_id=f"go-batch-{next(self._job_ids):06d}",
@@ -298,9 +381,69 @@ class GlobusOnline:
             pairs=tuple(pairs),
             submitted_at=self.world.now,
         )
+        task = ScheduledTask(
+            task_id="",
+            user=user.name,
+            src_endpoint=src_endpoint,
+            dst_endpoint=dst_endpoint,
+            size_hint=sum(self._size_hint(src_endpoint, sp) for sp, _ in pairs),
+            execute=lambda: run_batch_job(self, user, job, options),
+            measure=lambda j: j.bytes_done,
+            priority=priority,
+            job_id=job.job_id,
+            coalesce=False,
+        )
+        self._bind_job(task, job)
+        self.scheduler.submit(task)
         self.jobs[job.job_id] = job
-        run_batch_job(self, user, job, options)
+        if not defer:
+            self.process_queue()
         return job
+
+    def _fold_batch(self, bucket: "CoalescedBatch") -> ScheduledTask:
+        """Coalesce queued sub-threshold single-file tasks into one batch.
+
+        The member jobs stay visible under their own ids; their statuses
+        track the folded batch job's fate.
+        """
+        members = [self.jobs[t.job_id] for t in bucket.tasks]
+        batch = BatchTransferJob(
+            job_id=f"go-batch-{next(self._job_ids):06d}",
+            user=bucket.user,
+            src_endpoint=bucket.src_endpoint,
+            dst_endpoint=bucket.dst_endpoint,
+            pairs=tuple((m.src_path, m.dst_path) for m in members),
+            submitted_at=self.world.now,
+        )
+        self.jobs[batch.job_id] = batch
+        user = self.users[bucket.user]
+
+        def execute() -> BatchTransferJob:
+            run_batch_job(self, user, batch, None)
+            for member in members:
+                member.status = batch.status
+                member.error = batch.error
+                member.needs_reactivation = batch.needs_reactivation
+                member.completed_at = batch.completed_at
+            return batch
+
+        task = ScheduledTask(
+            task_id="",
+            user=bucket.user,
+            src_endpoint=bucket.src_endpoint,
+            dst_endpoint=bucket.dst_endpoint,
+            size_hint=bucket.total_bytes,
+            execute=execute,
+            measure=lambda b: b.bytes_done,
+            job_id=batch.job_id,
+            coalesce=False,
+        )
+        self._bind_job(task, batch)
+        return task
+
+    def process_queue(self) -> int:
+        """Drain the scheduler (advancing virtual time); tasks serviced."""
+        return self.scheduler.run_until_idle()
 
     def job_status(self, job_id: str) -> JobStatus:
         """Status of a submitted job by id."""

@@ -17,7 +17,13 @@ import enum
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
-from repro.errors import LinkDownError, ReproError, TransferError, TransferFaultError
+from repro.errors import (
+    ActivationExpiredError,
+    LinkDownError,
+    ReproError,
+    TransferError,
+    TransferFaultError,
+)
 from repro.gridftp.client import GridFTPClient
 from repro.gridftp.restart import ByteRangeSet
 from repro.gridftp.third_party import third_party_transfer
@@ -30,9 +36,16 @@ if TYPE_CHECKING:  # pragma: no cover
 
 
 class JobStatus(enum.Enum):
-    """Lifecycle of a transfer job."""
+    """Lifecycle of a transfer job.
 
-    PENDING = "pending"
+    Jobs now flow through the fleet scheduler: QUEUED on submission,
+    CLAIMED when a worker leases the task, ACTIVE while bytes move, and
+    finally SUCCEEDED or FAILED.  A lapsed lease sends a CLAIMED job
+    back to QUEUED.
+    """
+
+    QUEUED = "queued"
+    CLAIMED = "claimed"
     ACTIVE = "active"
     SUCCEEDED = "succeeded"
     FAILED = "failed"
@@ -53,11 +66,13 @@ class BatchTransferJob:
     dst_endpoint: str
     pairs: tuple[tuple[str, str], ...]
     submitted_at: float
-    status: JobStatus = JobStatus.PENDING
+    status: JobStatus = JobStatus.QUEUED
     files_done: int = 0
     bytes_done: int = 0
     error: str = ""
     completed_at: float | None = None
+    #: the activation lapsed while the job sat in the queue; re-activate
+    needs_reactivation: bool = False
 
 
 @dataclass
@@ -72,8 +87,10 @@ class TransferJob:
     dst_path: str
     submitted_at: float
     max_attempts: int = 5
-    status: JobStatus = JobStatus.PENDING
+    status: JobStatus = JobStatus.QUEUED
     attempts: int = 0
+    #: the activation lapsed while the job sat in the queue; re-activate
+    needs_reactivation: bool = False
     faults_survived: int = 0
     result: TransferResult | None = None
     error: str = ""
@@ -241,6 +258,16 @@ def _run_job(
     except ReproError as exc:
         job.error = str(exc)
         job.status = JobStatus.FAILED
+        if isinstance(exc, ActivationExpiredError):
+            # the execution-time pre-flight caught a credential that
+            # lapsed while the job sat in the queue: the job must not be
+            # retried with the stale activation — the user re-activates.
+            job.needs_reactivation = True
+            world.emit(
+                "globusonline.job.reactivation_required",
+                "activation expired while queued; re-activate the endpoint",
+                job=job.job_id, endpoint=exc.endpoint, expired_at=exc.expired_at,
+            )
         world.emit("globusonline.job.failed", "job failed", job=job.job_id,
                    reason=job.error)
         return job
@@ -282,7 +309,6 @@ def _run_batch_job(
     job: BatchTransferJob,
     options: TransferOptions | None = None,
 ) -> BatchTransferJob:
-    from repro.errors import LinkDownError
     from repro.gridftp.transfer import SinkSpec, SourceSpec
 
     world = go.world
@@ -294,6 +320,13 @@ def _run_batch_job(
     except ReproError as exc:
         job.error = str(exc)
         job.status = JobStatus.FAILED
+        if isinstance(exc, ActivationExpiredError):
+            job.needs_reactivation = True
+            world.emit(
+                "globusonline.job.reactivation_required",
+                "activation expired while queued; re-activate the endpoint",
+                job=job.job_id, endpoint=exc.endpoint, expired_at=exc.expired_at,
+            )
         return job
     try:
         # pipelined SIZE sweep for auto-tuning (and early missing-file errors)
@@ -366,7 +399,7 @@ def _run_batch_job(
         world.emit("globusonline.batch.succeeded", "batch complete",
                    job=job.job_id, files=job.files_done, nbytes=job.bytes_done)
         return job
-    except (ReproError, LinkDownError) as exc:
+    except ReproError as exc:
         job.error = str(exc)
         job.status = JobStatus.FAILED
         world.emit("globusonline.batch.failed", "batch failed",

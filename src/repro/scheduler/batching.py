@@ -1,0 +1,101 @@
+"""Small-file coalescing: many tiny jobs → one pipelined batch.
+
+The paper's pipelining result (Section V: many small files cost one
+round trip each unless the control channel is pipelined) already lives
+in ``run_batch_job``; what a *fleet* needs is for the scheduler to
+exploit it automatically.  The coalescer buckets sub-threshold
+single-file tasks by ``(user, src_endpoint, dst_endpoint)`` and folds
+each bucket into one batch task whose execution moves every file over
+one pipelined, data-channel-cached session pair.
+
+A singleton bucket is flushed back as the original task — batching a
+single file would only change its execution path for no win.  Bucket
+and flush order are sorted, so coalescing is enumeration-order stable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.scheduler.queue import ScheduledTask
+
+#: files at or above this many bytes never coalesce (they stream alone)
+DEFAULT_BATCH_THRESHOLD_BYTES = 4 * 1024 * 1024
+#: ceiling on files folded into one batch task
+DEFAULT_BATCH_MAX_FILES = 64
+
+
+@dataclass
+class CoalescedBatch:
+    """A bucket of small tasks ready to fold into one batch job."""
+
+    user: str
+    src_endpoint: str
+    dst_endpoint: str
+    tasks: list[ScheduledTask] = field(default_factory=list)
+
+    @property
+    def total_bytes(self) -> int:
+        """Sum of the folded tasks' size hints."""
+        return sum(t.size_hint for t in self.tasks)
+
+
+class BatchCoalescer:
+    """Accumulates small tasks and emits fold decisions at flush time.
+
+    ``add`` either passes a task straight through (too big, or batching
+    disabled) or absorbs it; ``flush`` drains every bucket, handing
+    multi-task buckets to ``fold`` (which builds the batch task) and
+    returning singletons unchanged.
+    """
+
+    def __init__(
+        self,
+        threshold_bytes: int = DEFAULT_BATCH_THRESHOLD_BYTES,
+        max_files: int = DEFAULT_BATCH_MAX_FILES,
+    ) -> None:
+        if max_files < 2:
+            raise ValueError(f"max_files must be at least 2 (got {max_files})")
+        self.threshold_bytes = threshold_bytes
+        self.max_files = max_files
+        self._buckets: dict[tuple[str, str, str], CoalescedBatch] = {}
+
+    def __len__(self) -> int:
+        return sum(len(b.tasks) for b in self._buckets.values())
+
+    def add(self, task: ScheduledTask) -> ScheduledTask | None:
+        """Absorb a coalescible task (returns None) or pass it through."""
+        if (not task.coalesce or self.threshold_bytes <= 0
+                or task.size_hint >= self.threshold_bytes):
+            return task
+        key = (task.user, task.src_endpoint, task.dst_endpoint)
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            bucket = self._buckets[key] = CoalescedBatch(*key)
+        bucket.tasks.append(task)
+        return None
+
+    def flush(
+        self, fold: Callable[[CoalescedBatch], ScheduledTask]
+    ) -> list[ScheduledTask]:
+        """Drain every bucket into dispatchable tasks, in sorted key order.
+
+        Buckets larger than ``max_files`` fold into several batch tasks;
+        singletons come back as the original single-file task.
+        """
+        out: list[ScheduledTask] = []
+        for key in sorted(self._buckets):
+            bucket = self._buckets[key]
+            tasks = bucket.tasks
+            for i in range(0, len(tasks), self.max_files):
+                chunk = tasks[i:i + self.max_files]
+                if len(chunk) == 1:
+                    out.append(chunk[0])
+                else:
+                    out.append(fold(CoalescedBatch(
+                        bucket.user, bucket.src_endpoint, bucket.dst_endpoint,
+                        tasks=chunk,
+                    )))
+        self._buckets.clear()
+        return out

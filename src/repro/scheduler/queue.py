@@ -1,0 +1,254 @@
+"""The fleet task queue: weighted fair-share over *bytes*, FIFO ties.
+
+The hosted service of paper Section VI mediates transfers for many
+users at once; what keeps one user's million-file campaign from
+starving everyone else is this queue.  It implements start-time fair
+queuing (a stride/virtual-time discipline) over **delivered bytes**,
+not job counts: every user carries a virtual time, dispatch always
+picks the lowest-virtual-time user with a runnable task, and finishing
+a task advances that user's virtual time by ``bytes / weight``.  Heavy
+users therefore fall behind in virtual time and light users catch up —
+byte shares converge to the weight vector regardless of task sizes.
+
+Determinism: selection is ``min()`` over ``(band, vtime, head_seq)``
+where ``seq`` is the global submission counter, so ordering is
+seed-stable and independent of dict enumeration order.  Priority bands
+dispatch strictly before lower bands; fair-share applies within a band.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+
+class TaskState(enum.Enum):
+    """Lifecycle of a queued task."""
+
+    QUEUED = "queued"
+    CLAIMED = "claimed"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+
+@dataclass
+class ScheduledTask:
+    """One unit of work the fleet scheduler dispatches.
+
+    ``execute`` runs the work inline in virtual time and returns an
+    arbitrary result; the queue itself never calls it — workers do.
+    ``size_hint`` feeds admission budgets and the fair-share charge
+    until the actual delivered byte count is known.
+    """
+
+    task_id: str
+    user: str
+    src_endpoint: str
+    dst_endpoint: str
+    size_hint: int
+    execute: Callable[[], Any]
+    priority: int = 0
+    submitted_at: float = 0.0
+    claimed_at: float = 0.0
+    seq: int = 0
+    attempts: int = 0
+    state: TaskState = TaskState.QUEUED
+    job_id: str = ""
+    delivered_bytes: int = 0
+    error: str = ""
+    #: sub-threshold tasks may fold into a batch unless this is False
+    coalesce: bool = True
+    #: callbacks the owning service uses to reflect state onto its jobs
+    on_claim: Callable[["ScheduledTask"], None] | None = None
+    on_requeue: Callable[["ScheduledTask"], None] | None = None
+    #: extracts actual delivered bytes from ``execute``'s result; the
+    #: fair-share charge falls back to ``size_hint`` without one
+    measure: Callable[[Any], int] | None = None
+
+    @property
+    def endpoints(self) -> tuple[str, str]:
+        """The (source, destination) endpoint pair the task occupies."""
+        return (self.src_endpoint, self.dst_endpoint)
+
+
+@dataclass
+class _UserLane:
+    """Per-user FIFO plus fair-share accounting."""
+
+    weight: float = 1.0
+    vtime: float = 0.0
+    fifo: deque = field(default_factory=deque)
+    delivered_bytes: int = 0
+
+
+class FairShareQueue:
+    """Byte-weighted fair queuing across users with FIFO tie-breaks."""
+
+    def __init__(self) -> None:
+        self._lanes: dict[str, _UserLane] = {}
+        self._seq = itertools.count(1)
+        self._global_vtime = 0.0
+        self._depth = 0
+
+    # -- weights ----------------------------------------------------------
+
+    def set_weight(self, user: str, weight: float) -> None:
+        """Assign a fair-share weight (default 1.0; must be positive)."""
+        if weight <= 0:
+            raise ValueError(f"fair-share weight must be positive (got {weight})")
+        self._lane(user).weight = float(weight)
+
+    def weight(self, user: str) -> float:
+        """The user's fair-share weight."""
+        lane = self._lanes.get(user)
+        return lane.weight if lane is not None else 1.0
+
+    def _lane(self, user: str) -> _UserLane:
+        lane = self._lanes.get(user)
+        if lane is None:
+            lane = self._lanes[user] = _UserLane()
+        return lane
+
+    # -- queue operations -------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._depth
+
+    def depth_for(self, user: str) -> int:
+        """Queued tasks currently held for one user."""
+        lane = self._lanes.get(user)
+        return len(lane.fifo) if lane is not None else 0
+
+    def push(self, task: ScheduledTask) -> ScheduledTask:
+        """Enqueue a task (stamps its FIFO sequence number).
+
+        A user idle at push time re-enters at the current global virtual
+        time — an idle period earns no retroactive credit, which is what
+        keeps a returning user from locking out everyone who kept
+        working (the standard start-time fair queuing rule).
+        """
+        lane = self._lane(task.user)
+        if not lane.fifo:
+            lane.vtime = max(lane.vtime, self._global_vtime)
+        task.seq = next(self._seq)
+        task.state = TaskState.QUEUED
+        lane.fifo.append(task)
+        self._depth += 1
+        return task
+
+    def requeue(self, task: ScheduledTask) -> ScheduledTask:
+        """Return a lapsed claim to the queue with its attempt count kept.
+
+        The task goes to the *front* of its user's FIFO: it already won a
+        dispatch slot once, so a crashed worker must not cost the user
+        their place behind later submissions.
+        """
+        lane = self._lane(task.user)
+        if not lane.fifo:
+            lane.vtime = max(lane.vtime, self._global_vtime)
+        task.state = TaskState.QUEUED
+        lane.fifo.appendleft(task)
+        self._depth += 1
+        return task
+
+    def pop_next(
+        self, admissible: Callable[[ScheduledTask], bool] | None = None
+    ) -> ScheduledTask | None:
+        """Dispatch the next task, honouring bands, fairness, and FIFO.
+
+        ``admissible`` is the backpressure hook: a lane whose head fails
+        the check is skipped this round (the task stays queued and keeps
+        its position).  Returns None when nothing is runnable.
+        """
+        best: tuple[int, float, int] | None = None
+        best_user: str | None = None
+        for user in sorted(self._lanes):
+            lane = self._lanes[user]
+            if not lane.fifo:
+                continue
+            head = lane.fifo[0]
+            if admissible is not None and not admissible(head):
+                continue
+            key = (-head.priority, lane.vtime, head.seq)
+            if best is None or key < best:
+                best = key
+                best_user = user
+        if best_user is None:
+            return None
+        lane = self._lanes[best_user]
+        task = lane.fifo.popleft()
+        self._depth -= 1
+        task.state = TaskState.CLAIMED
+        self._global_vtime = max(self._global_vtime, lane.vtime)
+        return task
+
+    def charge(self, user: str, nbytes: int) -> None:
+        """Advance a user's virtual time by ``nbytes / weight``.
+
+        Called on task completion with the *actual* delivered bytes, so
+        fair-share converges on real byte shares even when size hints
+        were wrong.
+        """
+        lane = self._lane(user)
+        lane.vtime += nbytes / lane.weight
+        lane.delivered_bytes += nbytes
+        if self._depth == 0:
+            # end of a busy period: global virtual time catches up to the
+            # largest finish tag served (the SFQ idle-transition rule), so
+            # a user who worked alone carries no debt into the next burst.
+            self._global_vtime = max(self._global_vtime, lane.vtime)
+
+    # -- introspection ----------------------------------------------------
+
+    def tasks(self) -> Iterator[ScheduledTask]:
+        """Every queued task, in deterministic (user, FIFO) order."""
+        for user in sorted(self._lanes):
+            yield from self._lanes[user].fifo
+
+    def delivered_bytes(self) -> dict[str, int]:
+        """Bytes charged per user so far (the fairness evidence)."""
+        return {
+            user: lane.delivered_bytes
+            for user, lane in sorted(self._lanes.items())
+            if lane.delivered_bytes
+        }
+
+    def fair_share_error(self) -> float:
+        """Max absolute deviation between byte shares and weight shares.
+
+        0.0 is perfect weighted fairness; only users that have received
+        bytes (or hold queued work) participate.
+        """
+        delivered = {
+            user: lane.delivered_bytes for user, lane in self._lanes.items()
+            if lane.delivered_bytes or lane.fifo
+        }
+        total = sum(delivered.values())
+        if total <= 0:
+            return 0.0
+        weights = {user: self._lanes[user].weight for user in delivered}
+        wsum = sum(weights.values())
+        return max(
+            abs(delivered[user] / total - weights[user] / wsum)
+            for user in delivered
+        )
+
+
+def jain_index(values: Iterator[float] | list[float]) -> float:
+    """Jain's fairness index over per-user allocations (1.0 = perfectly fair).
+
+    ``(Σx)² / (n·Σx²)`` — the standard fleet-fairness summary the
+    scheduler benchmark reports over delivered bytes per user.
+    """
+    xs = [float(v) for v in values]
+    if not xs:
+        return 1.0
+    square_of_sum = sum(xs) ** 2
+    sum_of_squares = sum(x * x for x in xs)
+    if sum_of_squares == 0:
+        return 1.0
+    return square_of_sum / (len(xs) * sum_of_squares)

@@ -1,0 +1,540 @@
+"""Claim-based workers with leases, heartbeats, and expiry-requeue.
+
+The fleet scheduler's execution model in one paragraph: workers *claim*
+tasks from the fair-share queue under a **lease**.  A live worker
+renews its lease by heartbeat (a repeating virtual-time event) while it
+drives the claim to completion; a worker whose host crashes never
+heartbeats, its lease lapses, and the task **requeues** with its
+attempt count bumped — at the front of its user's FIFO, since a crashed
+worker must not cost the user their dispatch slot.  A claim abandoned
+to a crash has *no side effects* (the worker dies before moving bytes),
+which is what makes "zero lost, zero duplicated tasks" provable: every
+task is executed by exactly one worker, exactly once, or marked FAILED
+after ``max_task_attempts`` lapses.
+
+Virtual-time semantics (documented contract, see DESIGN.md §11): within
+one pool *tick* every free, live worker claims a task at the same
+virtual instant — so per-endpoint concurrency caps and bytes-in-flight
+budgets bind over the claimed set — and the claims then execute
+serially in virtual time, each through the existing
+:class:`~repro.recovery.engine.RecoveryEngine` machinery inside its
+payload, so chaos campaigns exercise the queue end to end.  When no
+worker can make progress (all crashed, or all capacity held by lapsed
+claims), the pool advances the clock to the next lease expiry or host
+recovery instead of spinning.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.errors import LeaseLostError, ReproError, SchedulerError
+from repro.scheduler.batching import (
+    DEFAULT_BATCH_MAX_FILES,
+    DEFAULT_BATCH_THRESHOLD_BYTES,
+    BatchCoalescer,
+    CoalescedBatch,
+)
+from repro.scheduler.limits import AdmissionController, SchedulerLimits
+from repro.scheduler.queue import FairShareQueue, ScheduledTask, TaskState
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.world import World
+
+#: queue-wait / service-time buckets (virtual seconds, fleet scale)
+_WAIT_BUCKETS = (0.1, 1.0, 5.0, 15.0, 60.0, 300.0, 1800.0, 3600.0, 6 * 3600.0)
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """Knobs for one :class:`FleetScheduler`.
+
+    ``worker_hosts`` maps workers onto topology hosts for crash
+    modelling (chaos host faults on those hosts kill the worker's
+    claims); workers beyond the list run "virtual" and never crash.
+    """
+
+    workers: int = 4
+    worker_hosts: tuple[str, ...] = ()
+    lease_s: float = 120.0
+    heartbeat_s: float = 20.0
+    max_task_attempts: int = 8
+    batch_threshold_bytes: int = DEFAULT_BATCH_THRESHOLD_BYTES
+    batch_max_files: int = DEFAULT_BATCH_MAX_FILES
+    limits: SchedulerLimits = field(default_factory=SchedulerLimits)
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError("need at least one worker")
+        if self.lease_s <= 0 or self.heartbeat_s <= 0:
+            raise ValueError("lease_s and heartbeat_s must be positive")
+        if self.heartbeat_s >= self.lease_s:
+            raise ValueError("heartbeat_s must be shorter than lease_s "
+                             "(a live worker must renew before expiry)")
+        if self.max_task_attempts < 1:
+            raise ValueError("max_task_attempts must be at least 1")
+
+
+@dataclass
+class Lease:
+    """One worker's time-bounded claim on one task."""
+
+    lease_id: int
+    task: ScheduledTask
+    worker_id: str
+    granted_at: float
+    expires_at: float
+    attempt: int
+    #: the claiming worker crashed before executing; lease will lapse
+    abandoned: bool = False
+    released: bool = False
+
+    def expired(self, now: float) -> bool:
+        """Has the lease lapsed without being released?"""
+        return not self.released and now >= self.expires_at
+
+
+class LeaseTable:
+    """Outstanding leases, with the one-live-lease-per-task invariant."""
+
+    def __init__(self) -> None:
+        self._by_task: dict[str, Lease] = {}
+        self._ids = itertools.count(1)
+
+    def __len__(self) -> int:
+        return len(self._by_task)
+
+    def outstanding(self) -> list[Lease]:
+        """Live leases in grant order."""
+        return sorted(self._by_task.values(), key=lambda lease: lease.lease_id)
+
+    def grant(self, task: ScheduledTask, worker_id: str, now: float,
+              lease_s: float) -> Lease:
+        """Lease a task to a worker; a second live lease is a bug."""
+        if task.task_id in self._by_task:
+            raise LeaseLostError(
+                f"task {task.task_id} is already leased to "
+                f"{self._by_task[task.task_id].worker_id}"
+            )
+        lease = Lease(
+            lease_id=next(self._ids),
+            task=task,
+            worker_id=worker_id,
+            granted_at=now,
+            expires_at=now + lease_s,
+            attempt=task.attempts,
+        )
+        self._by_task[task.task_id] = lease
+        return lease
+
+    def renew(self, lease: Lease, now: float, lease_s: float) -> bool:
+        """Heartbeat: extend a still-live lease.  False if it lapsed."""
+        if lease.released or lease.expired(now):
+            return False
+        lease.expires_at = now + lease_s
+        return True
+
+    def release(self, lease: Lease) -> None:
+        """Drop a lease (completion or lapse-requeue)."""
+        lease.released = True
+        self._by_task.pop(lease.task.task_id, None)
+
+    def expired(self, now: float) -> list[Lease]:
+        """Every outstanding lease that has lapsed by ``now``."""
+        return [lease for lease in self.outstanding() if lease.expired(now)]
+
+
+@dataclass
+class Worker:
+    """One claim-slot: an id, an optional host, and a current lease."""
+
+    worker_id: str
+    host: str | None = None
+    lease: Lease | None = None
+    crashes: int = 0
+
+
+class FleetScheduler:
+    """Queue + admission + coalescer + worker pool, behind one facade.
+
+    ``fold_batch`` is the domain hook: given a
+    :class:`~repro.scheduler.batching.CoalescedBatch` of small tasks it
+    builds the single batch task to dispatch instead (the Globus Online
+    service folds them into one pipelined ``BatchTransferJob``).  With
+    no hook, batching is off and every task dispatches as submitted.
+    """
+
+    def __init__(
+        self,
+        world: "World",
+        config: SchedulerConfig | None = None,
+        fold_batch: Callable[[CoalescedBatch], ScheduledTask] | None = None,
+    ) -> None:
+        self.world = world
+        self.config = config or SchedulerConfig()
+        self.queue = FairShareQueue()
+        self.admission = AdmissionController(
+            world, self.config.limits, workers=self.config.workers)
+        self.fold_batch = fold_batch
+        self.coalescer = BatchCoalescer(
+            threshold_bytes=self.config.batch_threshold_bytes
+            if fold_batch is not None else 0,
+            max_files=self.config.batch_max_files,
+        )
+        self.leases = LeaseTable()
+        self.workers = [
+            Worker(
+                worker_id=f"w{i}",
+                host=self.config.worker_hosts[i]
+                if i < len(self.config.worker_hosts) else None,
+            )
+            for i in range(self.config.workers)
+        ]
+        self._task_ids = itertools.count(1)
+        self._completed: list[ScheduledTask] = []
+
+        # pre-register every scheduler_* instrument so the series are
+        # visible in Prometheus exposition from init, before any traffic
+        metrics = world.metrics
+        self._submitted_c = metrics.counter(
+            "scheduler_submitted_total", "Tasks accepted into the fleet queue")
+        self._completed_c = metrics.counter(
+            "scheduler_completed_total", "Tasks serviced to completion")
+        self._failed_c = metrics.counter(
+            "scheduler_task_failures_total",
+            "Tasks abandoned after exhausting their claim attempts or raising")
+        self._requeued_c = metrics.counter(
+            "scheduler_requeued_total", "Tasks returned to the queue by lease lapses")
+        self._expired_c = metrics.counter(
+            "scheduler_lease_expirations_total", "Leases that lapsed without release")
+        self._crashes_c = metrics.counter(
+            "scheduler_worker_crashes_total", "Claims lost to worker host crashes")
+        self._batches_c = metrics.counter(
+            "scheduler_batches_coalesced_total",
+            "Batch tasks built by small-file coalescing")
+        self._batched_files_c = metrics.counter(
+            "scheduler_batched_files_total", "Single-file tasks folded into batches")
+        self._bytes_c = metrics.counter(
+            "scheduler_bytes_delivered_total", "Bytes delivered, by user",
+            labelnames=("user",))
+        for counter in (self._submitted_c, self._completed_c, self._failed_c,
+                        self._requeued_c, self._expired_c, self._crashes_c,
+                        self._batches_c, self._batched_files_c):
+            counter.inc(0)
+        self._depth_g = metrics.gauge(
+            "scheduler_queue_depth", "Tasks waiting for dispatch")
+        self._fair_error_g = metrics.gauge(
+            "scheduler_fair_share_error",
+            "Max |byte share - weight share| across active users")
+        self._workers_alive_g = metrics.gauge(
+            "scheduler_workers_alive", "Workers whose hosts are currently up")
+        self._depth_g.set(0)
+        self._fair_error_g.set(0)
+        self._workers_alive_g.set(self.config.workers)
+        self._wait_h = metrics.histogram(
+            "scheduler_queue_wait_seconds",
+            "Virtual seconds between submit and first claim",
+            buckets=_WAIT_BUCKETS)
+        self._service_h = metrics.histogram(
+            "scheduler_service_seconds",
+            "Virtual seconds a claim spent executing",
+            buckets=_WAIT_BUCKETS)
+        # limits gauges are registered by the AdmissionController
+
+    # -- submission --------------------------------------------------------
+
+    def next_task_id(self) -> str:
+        """A fresh scheduler-scoped task id."""
+        return f"task-{next(self._task_ids):06d}"
+
+    def submit(self, task: ScheduledTask) -> ScheduledTask:
+        """Admit a task (or raise typed backpressure) and enqueue it.
+
+        Small tasks may be absorbed by the coalescer; they re-emerge as
+        one pipelined batch task at the next dispatch round.
+        """
+        self.admission.admit(
+            task,
+            queue_depth=len(self.queue) + len(self.coalescer),
+            user_depth=self.queue.depth_for(task.user) + self._coalescer_depth_for(task.user),
+        )
+        if not task.task_id:
+            task.task_id = self.next_task_id()
+        task.submitted_at = self.world.now
+        self._submitted_c.inc()
+        with self.world.tracer.span(
+            "scheduler.submit", task=task.task_id, user=task.user
+        ):
+            self.world.emit(
+                "scheduler.submitted", "task queued",
+                task=task.task_id, user=task.user, job=task.job_id,
+                bytes=task.size_hint,
+            )
+            absorbed = self.coalescer.add(task)
+            if absorbed is not None:
+                self.queue.push(absorbed)
+        self._depth_g.set(len(self.queue) + len(self.coalescer))
+        return task
+
+    def _coalescer_depth_for(self, user: str) -> int:
+        return sum(
+            len(bucket.tasks)
+            for key, bucket in self.coalescer._buckets.items()
+            if key[0] == user
+        )
+
+    def set_weight(self, user: str, weight: float) -> None:
+        """Assign a user's fair-share weight."""
+        self.queue.set_weight(user, weight)
+
+    # -- the drain loop ----------------------------------------------------
+
+    def run_until_idle(self, max_ticks: int | None = None) -> int:
+        """Dispatch until queue and leases are empty; returns tasks serviced.
+
+        This *is* the fleet scheduler's event loop, on virtual time: a
+        tick claims for every free live worker, executes the claims, and
+        between ticks the clock jumps to the next lease expiry or worker
+        recovery when nothing can run.
+        """
+        serviced = 0
+        ticks = 0
+        while True:
+            self._flush_batches()
+            self._requeue_lapsed()
+            if not len(self.queue) and not len(self.leases):
+                break
+            ticks += 1
+            if max_ticks is not None and ticks > max_ticks:
+                raise SchedulerError(
+                    f"drain did not converge within {max_ticks} ticks")
+            serviced += self._tick()
+            self._depth_g.set(len(self.queue) + len(self.coalescer))
+        return serviced
+
+    def _flush_batches(self) -> None:
+        if not len(self.coalescer):
+            return
+        for task in self.coalescer.flush(self._fold):
+            self.queue.push(task)
+
+    def _fold(self, bucket: CoalescedBatch) -> ScheduledTask:
+        assert self.fold_batch is not None
+        task = self.fold_batch(bucket)
+        if not task.task_id:
+            task.task_id = self.next_task_id()
+        self._batches_c.inc()
+        self._batched_files_c.inc(len(bucket.tasks))
+        self.world.emit(
+            "scheduler.coalesced", "small files folded into one batch task",
+            task=task.task_id, user=bucket.user, files=len(bucket.tasks),
+            bytes=bucket.total_bytes,
+        )
+        return task
+
+    def _alive(self, worker: Worker, now: float) -> bool:
+        return worker.host is None or not self.world.faults.host_down(worker.host, now)
+
+    def _tick(self) -> int:
+        """One claim round: simultaneous claims, serial execution."""
+        world = self.world
+        now = world.now
+        claims: list[tuple[Worker, Lease]] = []
+        alive = 0
+        for worker in self.workers:
+            if worker.lease is not None:
+                continue  # still holding an abandoned claim
+            if not self._alive(worker, now):
+                continue
+            alive += 1
+            task = self.queue.pop_next(admissible=self.admission.can_start)
+            if task is None:
+                continue
+            task.attempts += 1
+            self.admission.on_start(task)
+            lease = self.leases.grant(task, worker.worker_id, now, self.config.lease_s)
+            task.claimed_at = now
+            self._wait_h.observe(now - task.submitted_at)
+            if task.on_claim is not None:
+                task.on_claim(task)
+            world.emit(
+                "scheduler.claimed", "task leased to worker",
+                task=task.task_id, worker=worker.worker_id,
+                attempt=task.attempts, lease_expires_at=lease.expires_at,
+            )
+            # Crash model: a host fault beginning inside the lease window
+            # kills this claim before any byte moves — the lease simply
+            # lapses and the task requeues.  No partial side effects.
+            crash_at = None
+            if worker.host is not None:
+                crash_at = world.faults.first_interruption(
+                    (), (worker.host,), now, now + self.config.lease_s)
+            if crash_at is not None:
+                lease.abandoned = True
+                worker.lease = lease
+                worker.crashes += 1
+                self._crashes_c.inc()
+                world.emit(
+                    "scheduler.worker_crashed", "worker lost mid-claim; lease will lapse",
+                    task=task.task_id, worker=worker.worker_id, crash_at=crash_at,
+                )
+                continue
+            claims.append((worker, lease))
+        self._workers_alive_g.set(alive)
+
+        executed = 0
+        for worker, lease in claims:
+            self._execute(worker, lease)
+            executed += 1
+        if executed == 0 and not claims:
+            self._wait_for_next_event()
+        return executed
+
+    def _execute(self, worker: Worker, lease: Lease) -> None:
+        world = self.world
+        task = lease.task
+        started = world.now
+        heartbeat = world.scheduler.every(
+            self.config.heartbeat_s,
+            lambda: self._heartbeat(worker, lease),
+            label=f"heartbeat:{task.task_id}",
+        )
+        try:
+            with world.tracer.span(
+                "scheduler.claim",
+                task=task.task_id, worker=worker.worker_id,
+                user=task.user, attempt=task.attempts,
+            ):
+                try:
+                    result = task.execute()
+                except ReproError as exc:
+                    task.state = TaskState.FAILED
+                    task.error = str(exc)
+                    self._failed_c.inc()
+                    world.emit(
+                        "scheduler.task_failed", "task raised during execution",
+                        task=task.task_id, error=str(exc),
+                    )
+                else:
+                    task.state = TaskState.DONE
+                    delivered = task.size_hint
+                    if task.measure is not None:
+                        delivered = task.measure(result)
+                    task.delivered_bytes = delivered
+                    self.queue.charge(task.user, delivered)
+                    self._bytes_c.inc(delivered, user=task.user)
+                    self._completed_c.inc()
+                    self._completed.append(task)
+                    world.emit(
+                        "scheduler.task_done", "task serviced",
+                        task=task.task_id, user=task.user, bytes=delivered,
+                        attempts=task.attempts,
+                    )
+        finally:
+            heartbeat.cancel()
+            service_s = world.now - started
+            self._service_h.observe(service_s)
+            self.leases.release(lease)
+            self.admission.on_finish(task, service_s)
+            self._fair_error_g.set(self.queue.fair_share_error())
+
+    def _heartbeat(self, worker: Worker, lease: Lease) -> None:
+        """Renew a live worker's lease; a downed host never renews."""
+        now = self.world.now
+        if worker.host is not None and self.world.faults.host_down(worker.host, now):
+            return
+        self.leases.renew(lease, now, self.config.lease_s)
+
+    def _requeue_lapsed(self) -> None:
+        world = self.world
+        for lease in self.leases.expired(world.now):
+            task = lease.task
+            self.leases.release(lease)
+            self.admission.on_finish(task)
+            self._expired_c.inc()
+            for worker in self.workers:
+                if worker.lease is lease:
+                    worker.lease = None
+            world.emit(
+                "scheduler.lease_expired", "lease lapsed; reclaiming task",
+                task=task.task_id, worker=lease.worker_id,
+                attempt=lease.attempt,
+            )
+            if task.attempts >= self.config.max_task_attempts:
+                task.state = TaskState.FAILED
+                task.error = (
+                    f"abandoned after {task.attempts} lapsed claims "
+                    f"(max_task_attempts={self.config.max_task_attempts})"
+                )
+                self._failed_c.inc()
+                if task.on_requeue is not None:
+                    task.on_requeue(task)
+                world.emit(
+                    "scheduler.task_failed", "task exhausted its claim attempts",
+                    task=task.task_id, attempts=task.attempts,
+                )
+                continue
+            self.queue.requeue(task)
+            self._requeued_c.inc()
+            if task.on_requeue is not None:
+                task.on_requeue(task)
+
+    def _wait_for_next_event(self) -> None:
+        """Nothing can run now: jump to the next expiry or host recovery."""
+        world = self.world
+        now = world.now
+        candidates: list[float] = [
+            lease.expires_at for lease in self.leases.outstanding()
+        ]
+        for worker in self.workers:
+            if worker.host is not None and not self._alive(worker, now):
+                up = world.faults.next_clear_time((), (worker.host,), now)
+                if up > now:
+                    candidates.append(up)
+        future = [t for t in candidates if t > now and math.isfinite(t)]
+        if not future:
+            raise SchedulerError(
+                "scheduler stalled: tasks queued but no worker can ever run them"
+            )
+        world.advance_to(min(future))
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def completed_tasks(self) -> tuple[ScheduledTask, ...]:
+        """Tasks serviced to completion, in completion order."""
+        return tuple(self._completed)
+
+    def snapshot(self) -> dict[str, Any]:
+        """Queue/lease/worker state for dumps and tests."""
+        return {
+            "now": self.world.now,
+            "queued": [
+                {
+                    "task": t.task_id, "user": t.user, "state": t.state.value,
+                    "priority": t.priority, "attempts": t.attempts,
+                    "bytes": t.size_hint, "waiting_s": self.world.now - t.submitted_at,
+                    "route": f"{t.src_endpoint}->{t.dst_endpoint}",
+                }
+                for t in self.queue.tasks()
+            ],
+            "leases": [
+                {
+                    "task": lease.task.task_id, "worker": lease.worker_id,
+                    "granted_at": lease.granted_at, "expires_at": lease.expires_at,
+                    "attempt": lease.attempt, "abandoned": lease.abandoned,
+                }
+                for lease in self.leases.outstanding()
+            ],
+            "workers": [
+                {
+                    "worker": w.worker_id, "host": w.host or "-",
+                    "alive": self._alive(w, self.world.now),
+                    "crashes": w.crashes,
+                }
+                for w in self.workers
+            ],
+        }

@@ -34,6 +34,40 @@ class ScheduledEvent:
         self.cancelled = True
 
 
+class RepeatingEvent:
+    """A callback re-armed every ``interval`` seconds until cancelled.
+
+    The worker pool's lease heartbeats use this: each firing re-schedules
+    the next one, so renewals keep pace with however far a foreground
+    transfer advances the clock.  ``cancel`` stops the chain.
+    """
+
+    def __init__(self, scheduler: "Scheduler", interval: float,
+                 callback: Callable[[], Any], label: str = "") -> None:
+        if interval <= 0:
+            raise ValueError(f"repeat interval must be positive (got {interval})")
+        self._scheduler = scheduler
+        self.interval = interval
+        self.callback = callback
+        self.label = label
+        self.cancelled = False
+        self.fired = 0
+        self._current = scheduler.after(interval, self._fire, label)
+
+    def _fire(self) -> None:
+        if self.cancelled:
+            return
+        self.fired += 1
+        self.callback()
+        if not self.cancelled:
+            self._current = self._scheduler.after(self.interval, self._fire, self.label)
+
+    def cancel(self) -> None:
+        """Stop the chain; the pending occurrence never fires."""
+        self.cancelled = True
+        self._current.cancel()
+
+
 class Scheduler:
     """Priority queue of :class:`ScheduledEvent`, driven by a :class:`Clock`."""
 
@@ -55,6 +89,11 @@ class Scheduler:
     def after(self, delay: float, callback: Callable[[], Any], label: str = "") -> ScheduledEvent:
         """Schedule ``callback`` to run ``delay`` seconds from now."""
         return self.at(self._clock.now + delay, callback, label)
+
+    def every(self, interval: float, callback: Callable[[], Any],
+              label: str = "") -> RepeatingEvent:
+        """Schedule ``callback`` every ``interval`` seconds until cancelled."""
+        return RepeatingEvent(self, interval, callback, label)
 
     @property
     def next_due(self) -> float | None:

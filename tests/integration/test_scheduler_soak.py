@@ -1,0 +1,179 @@
+"""Scheduler soak: a crashing worker fleet cannot lose, duplicate, or
+corrupt queued transfers.
+
+The campaign: a multi-user job backlog submitted through Globus Online's
+fleet scheduler while a chaos campaign repeatedly crashes the worker
+hosts.  Acceptance:
+
+* every job completes (zero lost), and completes exactly once (zero
+  duplicated — claim counts balance);
+* >= 20 worker crashes were actually injected and survived;
+* delivered bytes are identical to an unqueued, crash-free run of the
+  same submissions under the same seed;
+* Jain's fairness index over per-user delivered bytes >= 0.95;
+* the scheduler_* metric series are present in the exposition from
+  service init, before any traffic.
+
+``CHAOS_SEED`` narrows the seed matrix (one seed per CI matrix entry).
+"""
+
+import os
+
+import pytest
+
+from repro.globusonline.service import GlobusOnline
+from repro.globusonline.transfer import JobStatus
+from repro.scheduler import SchedulerConfig, jain_index
+from repro.sim.faults import ChaosConfig
+from repro.sim.world import World
+from repro.storage.data import SyntheticData
+from repro.util.units import MB, gbps
+from tests.conftest import make_gcmu_site
+
+SEEDS = [7, 11, 23]
+if os.environ.get("CHAOS_SEED"):
+    SEEDS = [int(os.environ["CHAOS_SEED"])]
+
+N_USERS = 10
+JOBS_PER_USER = 6
+FILE_SIZE = 8 * MB  # above the coalescing threshold: one claim per job
+WORKER_HOSTS = ("go-worker-0", "go-worker-1", "go-worker-2", "go-worker-3")
+
+# dense host-crash campaign against the worker fleet only — the data
+# paths stay clean so every retry is purely scheduler-induced.
+CAMPAIGN = ChaosConfig(
+    host_crash_every_s=18.0,
+    host_downtime_s=(5.0, 15.0),
+    horizon_s=2 * 3600.0,
+)
+
+
+def _build(seed, crashes=True):
+    world = World(seed=seed)
+    net = world.network
+    for h in ("dtn-a", "dtn-b", "saas"):
+        net.add_host(h, nic_bps=gbps(10))
+    net.add_link("dtn-a", "dtn-b", gbps(10), 0.04, loss=1e-5)
+    net.add_link("saas", "dtn-a", gbps(1), 0.02)
+    net.add_link("saas", "dtn-b", gbps(1), 0.02)
+    config = SchedulerConfig(
+        workers=len(WORKER_HOSTS),
+        worker_hosts=WORKER_HOSTS if crashes else (),
+        lease_s=40.0,
+        heartbeat_s=8.0,
+        max_task_attempts=50,
+    )
+    go = GlobusOnline(world, "saas", scheduler_config=config)
+    metrics_at_init = world.metrics.render_prometheus()
+    ep_a = make_gcmu_site(
+        world, "dtn-a", "alcf",
+        {f"user{i}": f"pw{i}" for i in range(N_USERS)},
+        register_with=go, endpoint_name="alcf#dtn")
+    ep_b = make_gcmu_site(world, "dtn-b", "nersc", {"sink": "pwS"},
+                          register_with=go, endpoint_name="nersc#dtn")
+    if crashes:
+        world.chaos.configure(CAMPAIGN)
+        world.chaos.arm(hosts=list(WORKER_HOSTS))
+    return world, go, ep_a, ep_b, metrics_at_init
+
+
+def _run_campaign(seed, crashes=True):
+    world, go, ep_a, ep_b, metrics_at_init = _build(seed, crashes=crashes)
+    jobs = []
+    for u in range(N_USERS):
+        username = f"user{u}"
+        uid = ep_a.accounts.get(username).uid
+        account = go.register_user(f"{username}@globusid")
+        go.activate(account, "alcf#dtn", username, f"pw{u}")
+        go.activate(account, "nersc#dtn", "sink", "pwS")
+        for j in range(JOBS_PER_USER):
+            path = f"/home/{username}/f{j}.dat"
+            ep_a.storage.write_file(
+                path, SyntheticData(seed=1000 * u + j, length=FILE_SIZE), uid=uid)
+            jobs.append(go.submit_transfer(
+                account, "alcf#dtn", path,
+                "nersc#dtn", f"/home/sink/{username}-f{j}.dat", defer=True))
+    go.process_queue()
+    uid_sink = ep_b.accounts.get("sink").uid
+    fingerprints = {
+        f"{j.user}:{j.dst_path}": ep_b.storage.open_read(j.dst_path, uid_sink).fingerprint()
+        for j in jobs
+    }
+    return {
+        "world": world,
+        "go": go,
+        "jobs": jobs,
+        "fingerprints": fingerprints,
+        "metrics_at_init": metrics_at_init,
+    }
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_soak_zero_lost_zero_duplicated(seed):
+    run = _run_campaign(seed)
+    world, go, jobs = run["world"], run["go"], run["jobs"]
+    njobs = N_USERS * JOBS_PER_USER
+    assert len(jobs) == njobs
+    # zero lost: every job reached SUCCEEDED
+    assert all(j.status is JobStatus.SUCCEEDED for j in jobs)
+    # zero duplicated: completions balance submissions exactly
+    metrics = world.metrics
+    assert metrics.counter("scheduler_submitted_total").value() == njobs
+    assert metrics.counter("scheduler_completed_total").value() == njobs
+    assert metrics.counter("scheduler_task_failures_total").value() == 0
+    # the lease books are empty and nothing is left queued
+    assert len(go.scheduler.leases) == 0
+    assert len(go.scheduler.queue) == 0
+    # the campaign actually bit: >= 20 claims died to worker crashes,
+    # and each crash produced exactly one requeue
+    crashes = metrics.counter("scheduler_worker_crashes_total").value()
+    requeues = metrics.counter("scheduler_requeued_total").value()
+    assert crashes >= 20, crashes
+    assert requeues == metrics.counter("scheduler_lease_expirations_total").value()
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_soak_bytes_identical_to_unqueued_run(seed):
+    chaotic = _run_campaign(seed, crashes=True)
+    baseline = _run_campaign(seed, crashes=False)
+    assert chaotic["fingerprints"] == baseline["fingerprints"]
+    # and the chaotic run really was chaotic while the baseline was not
+    assert chaotic["world"].metrics.counter(
+        "scheduler_worker_crashes_total").value() >= 20
+    assert baseline["world"].metrics.counter(
+        "scheduler_worker_crashes_total").value() == 0
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_soak_fairness(seed):
+    run = _run_campaign(seed)
+    delivered = run["go"].scheduler.queue.delivered_bytes()
+    assert len(delivered) == N_USERS
+    assert jain_index(delivered.values()) >= 0.95
+
+
+def test_scheduler_metrics_present_from_init():
+    _, _, _, _, metrics_at_init = _build(SEEDS[0], crashes=False)
+    for name in (
+        "scheduler_submitted_total",
+        "scheduler_completed_total",
+        "scheduler_requeued_total",
+        "scheduler_worker_crashes_total",
+        "scheduler_queue_depth",
+        "scheduler_queue_wait_seconds",
+        "scheduler_inflight_bytes",
+        "scheduler_rejected_total",
+    ):
+        assert f"# TYPE {name}" in metrics_at_init, name
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_soak_replays_bit_for_bit(seed):
+    a = _run_campaign(seed)
+    b = _run_campaign(seed)
+    assert a["fingerprints"] == b["fingerprints"]
+    for counter in ("scheduler_worker_crashes_total", "scheduler_requeued_total",
+                    "scheduler_completed_total"):
+        assert (a["world"].metrics.counter(counter).value()
+                == b["world"].metrics.counter(counter).value())
+    assert a["world"].now == b["world"].now

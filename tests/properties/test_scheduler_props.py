@@ -1,0 +1,187 @@
+"""Property tests for the fleet scheduler.
+
+Three families, matching the subsystem's core claims:
+
+* fair-share convergence — under continuous backlog, per-user byte
+  shares track any positive weight vector;
+* lease exclusivity — across arbitrary crash campaigns, no task is ever
+  live on two workers, and every submitted task executes at most once;
+* requeue transparency — a queued run through crashing workers delivers
+  results byte-for-byte identical to an unqueued run of the same
+  payloads under the same seed.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.scheduler import (
+    FairShareQueue,
+    FleetScheduler,
+    ScheduledTask,
+    SchedulerConfig,
+)
+from repro.sim.faults import ChaosConfig
+from repro.sim.world import World
+
+
+def _task(user, size, task_id, execute=lambda: None, measure=None):
+    return ScheduledTask(
+        task_id=task_id, user=user, src_endpoint="ep-a", dst_endpoint="ep-b",
+        size_hint=size, execute=execute, measure=measure,
+    )
+
+
+# -- fair-share convergence ------------------------------------------------
+
+_weight_vectors = st.lists(
+    st.floats(0.1, 16.0, allow_nan=False, allow_infinity=False),
+    min_size=2, max_size=6,
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(_weight_vectors, st.integers(200, 2000), st.integers(5, 40))
+def test_byte_shares_converge_to_any_weight_vector(weights, size, dispatches_per_user):
+    """Under saturation, delivered-byte shares approach weight shares."""
+    q = FairShareQueue()
+    users = [f"u{i}" for i in range(len(weights))]
+    for user, w in zip(users, weights):
+        q.set_weight(user, w)
+    # continuous backlog: everyone always has equal-sized work queued
+    backlog = dispatches_per_user * len(users) * 4
+    for n in range(backlog):
+        for user in users:
+            q.push(_task(user, size, f"{user}-{n}"))
+    total_dispatches = dispatches_per_user * len(users) * 2
+    for _ in range(total_dispatches):
+        task = q.pop_next()
+        assert task is not None
+        q.charge(task.user, task.size_hint)
+    delivered = q.delivered_bytes()
+    total = sum(delivered.values())
+    wsum = sum(weights)
+    # start-time fair queuing's service lag is bounded by one task
+    # quantum per flow, so shares deviate by at most n_users quanta —
+    # a bound that tightens as the dispatch horizon grows.
+    bound = len(users) * size / total
+    for user, w in zip(users, weights):
+        share = delivered.get(user, 0) / total
+        assert abs(share - w / wsum) <= bound * (1 + 1e-9) + 1e-9
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 2**32 - 1), st.integers(2, 40))
+def test_dispatch_order_is_deterministic(seed, n):
+    """Same submissions -> same dispatch order, independent of anything
+    but the queue's own inputs (the rng seed is a red herring)."""
+    orders = []
+    for _ in range(2):
+        q = FairShareQueue()
+        for i in range(n):
+            q.push(_task(f"u{i % 3}", 100 + (i * seed) % 977, f"t{i}"))
+        order = []
+        while True:
+            task = q.pop_next()
+            if task is None:
+                break
+            q.charge(task.user, task.size_hint)
+            order.append(task.task_id)
+        orders.append(order)
+    assert orders[0] == orders[1]
+    assert sorted(orders[0]) == sorted(f"t{i}" for i in range(n))
+
+
+# -- lease exclusivity under chaos ----------------------------------------
+
+@settings(max_examples=12, deadline=None)
+@given(
+    st.integers(0, 2**32 - 1),
+    st.floats(20.0, 200.0),
+    st.integers(6, 24),
+)
+def test_no_task_ever_runs_twice_or_on_two_workers(seed, crash_every, njobs):
+    """Arbitrary crash campaigns never duplicate or lose a task."""
+    world = World(seed=seed)
+    world.chaos.configure(ChaosConfig(
+        host_crash_every_s=crash_every,
+        host_downtime_s=(10.0, 40.0),
+        horizon_s=7 * 24 * 3600.0,
+    ))
+    world.chaos.arm(hosts=["wh-0", "wh-1"])
+    sched = FleetScheduler(world, SchedulerConfig(
+        workers=2, worker_hosts=("wh-0", "wh-1"),
+        lease_s=30.0, heartbeat_s=6.0, max_task_attempts=100,
+    ))
+    executions: list[str] = []
+    live = set()
+
+    def payload(task_id):
+        def run():
+            # lease exclusivity: nothing else is mid-execution right now
+            assert not live, f"{task_id} overlaps {live}"
+            live.add(task_id)
+            executions.append(task_id)
+            world.advance(15.0)
+            live.discard(task_id)
+            return 1000
+
+        return run
+
+    for i in range(njobs):
+        sched.submit(_task(f"u{i % 4}", 1000, f"t{i}", execute=payload(f"t{i}"),
+                           measure=lambda r: r))
+    serviced = sched.run_until_idle(max_ticks=100_000)
+    assert serviced == njobs
+    # exactly-once: every task executed once, none twice, none lost
+    assert sorted(executions) == sorted(f"t{i}" for i in range(njobs))
+
+
+# -- requeue transparency ---------------------------------------------------
+
+@settings(max_examples=8, deadline=None)
+@given(st.integers(0, 2**32 - 1), st.integers(4, 12))
+def test_queued_run_matches_unqueued_results_bytewise(seed, njobs):
+    """Crashing workers change *when* payloads run, never *what* they
+    compute: results equal a plain unqueued execution of the same
+    deterministic payloads."""
+
+    def payloads(world, results):
+        # each payload derives its output from its own named rng stream,
+        # so the value depends only on the world seed — never on *when*
+        # the scheduler happens to run it or how often it was requeued.
+        out = []
+        for i in range(njobs):
+            def run(i=i):
+                rng = world.rng.python(f"payload-{i}")
+                world.advance(5.0)
+                results[f"t{i}"] = rng.randrange(2**63)
+                return 1000
+
+            out.append(run)
+        return out
+
+    # unqueued baseline: call the payloads directly, in order
+    world_a = World(seed=seed)
+    baseline: dict[str, int] = {}
+    for run in payloads(world_a, baseline):
+        run()
+
+    # queued run with a crashy single-worker fleet
+    world_b = World(seed=seed)
+    world_b.chaos.configure(ChaosConfig(
+        host_crash_every_s=40.0, host_downtime_s=(5.0, 20.0),
+        horizon_s=30 * 24 * 3600.0,
+    ))
+    world_b.chaos.arm(hosts=["wh-0"])
+    sched = FleetScheduler(world_b, SchedulerConfig(
+        workers=1, worker_hosts=("wh-0",),
+        lease_s=25.0, heartbeat_s=5.0, max_task_attempts=1000,
+    ))
+    queued: dict[str, int] = {}
+    tasks = [
+        sched.submit(_task("solo", 100, f"t{i}", execute=run))
+        for i, run in enumerate(payloads(world_b, queued))
+    ]
+    assert sched.run_until_idle(max_ticks=1_000_000) == njobs
+    assert all(t.state.value == "done" for t in tasks)
+    assert queued == baseline

@@ -1,0 +1,84 @@
+"""Unit tests for small-file coalescing."""
+
+import pytest
+
+from repro.scheduler import BatchCoalescer, CoalescedBatch, ScheduledTask
+
+
+def mk(user="alice", size=1000, src="ep-a", dst="ep-b", task_id="", coalesce=True):
+    return ScheduledTask(
+        task_id=task_id or f"{user}-{size}",
+        user=user,
+        src_endpoint=src,
+        dst_endpoint=dst,
+        size_hint=size,
+        execute=lambda: None,
+        coalesce=coalesce,
+    )
+
+
+def fold_marker(bucket: CoalescedBatch) -> ScheduledTask:
+    task = mk(bucket.user, bucket.total_bytes, bucket.src_endpoint,
+              bucket.dst_endpoint, task_id=f"batch-{len(bucket.tasks)}")
+    task.coalesce = False
+    return task
+
+
+def test_large_tasks_pass_through():
+    c = BatchCoalescer(threshold_bytes=1000)
+    task = mk(size=1000)
+    assert c.add(task) is task
+    assert len(c) == 0
+
+
+def test_small_tasks_absorb_and_fold():
+    c = BatchCoalescer(threshold_bytes=1000)
+    for i in range(3):
+        assert c.add(mk(size=100, task_id=f"t{i}")) is None
+    assert len(c) == 3
+    out = c.flush(fold_marker)
+    assert [t.task_id for t in out] == ["batch-3"]
+    assert len(c) == 0
+
+
+def test_singleton_flushes_back_unchanged():
+    c = BatchCoalescer(threshold_bytes=1000)
+    task = mk(size=100)
+    c.add(task)
+    assert c.flush(fold_marker) == [task]
+
+
+def test_buckets_keyed_by_user_and_route():
+    c = BatchCoalescer(threshold_bytes=1000)
+    c.add(mk(user="alice", size=10, task_id="a1"))
+    c.add(mk(user="alice", size=10, task_id="a2"))
+    c.add(mk(user="bob", size=10, task_id="b1"))
+    c.add(mk(user="alice", size=10, dst="ep-c", task_id="a3"))
+    out = c.flush(fold_marker)
+    # alice's ep-b pair folds; bob's single and alice's ep-c single return
+    assert sorted(t.task_id for t in out) == ["a3", "b1", "batch-2"]
+
+
+def test_max_files_chunks_buckets():
+    c = BatchCoalescer(threshold_bytes=1000, max_files=4)
+    for i in range(9):
+        c.add(mk(size=10, task_id=f"t{i}"))
+    out = c.flush(fold_marker)
+    assert [t.task_id for t in out] == ["batch-4", "batch-4", "t8"]
+
+
+def test_coalesce_false_opts_out():
+    c = BatchCoalescer(threshold_bytes=1000)
+    task = mk(size=10, coalesce=False)
+    assert c.add(task) is task
+
+
+def test_zero_threshold_disables():
+    c = BatchCoalescer(threshold_bytes=0)
+    task = mk(size=1)
+    assert c.add(task) is task
+
+
+def test_max_files_validation():
+    with pytest.raises(ValueError):
+        BatchCoalescer(max_files=1)

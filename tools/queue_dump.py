@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Dump a fleet scheduler's queue, lease, and worker state as tables.
+
+``dump(scheduler)`` renders ``FleetScheduler.snapshot()`` through the
+repo's plain-text table renderer — the operator's `qstat` for the
+simulated fleet.  Import it next to a live scheduler, or run this file
+directly for a self-contained demo that freezes a mid-drain scheduler
+(one lease in flight, a backlog queued, one worker host down) and
+prints the dump.
+
+    PYTHONPATH=src python tools/queue_dump.py
+    PYTHONPATH=src python tools/queue_dump.py --seed 11
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.metrics.report import render_table  # noqa: E402
+from repro.scheduler import FleetScheduler  # noqa: E402
+
+
+def dump(scheduler: FleetScheduler) -> str:
+    """All three snapshot tables as one printable block."""
+    snap = scheduler.snapshot()
+    sections = [f"scheduler state @ t={snap['now']:.2f}s"]
+    sections.append(render_table(
+        f"queued tasks ({len(snap['queued'])})",
+        ["task", "user", "state", "prio", "attempts", "bytes", "waiting_s", "route"],
+        [
+            [q["task"], q["user"], q["state"], q["priority"], q["attempts"],
+             q["bytes"], f"{q['waiting_s']:.2f}", q["route"]]
+            for q in snap["queued"]
+        ],
+    ))
+    sections.append(render_table(
+        f"outstanding leases ({len(snap['leases'])})",
+        ["task", "worker", "granted_at", "expires_at", "attempt", "abandoned"],
+        [
+            [le["task"], le["worker"], f"{le['granted_at']:.2f}",
+             f"{le['expires_at']:.2f}", le["attempt"], le["abandoned"]]
+            for le in snap["leases"]
+        ],
+    ))
+    sections.append(render_table(
+        f"workers ({len(snap['workers'])})",
+        ["worker", "host", "alive", "crashes"],
+        [
+            [w["worker"], w["host"], w["alive"], w["crashes"]]
+            for w in snap["workers"]
+        ],
+    ))
+    return "\n\n".join(sections)
+
+
+def _demo(seed: int) -> str:
+    """A scheduler frozen mid-drain: queued backlog, one live lease,
+    one downed worker host."""
+    from repro.scheduler import ScheduledTask, SchedulerConfig
+    from repro.sim.world import World
+
+    world = World(seed=seed)
+    world.faults.crash_host("wh-1", 0.0, 900.0)
+    sched = FleetScheduler(world, SchedulerConfig(
+        workers=2, worker_hosts=("wh-0", "wh-1"), batch_threshold_bytes=0))
+    for i in range(5):
+        sched.submit(ScheduledTask(
+            task_id=f"task-{i:06d}", user=f"user{i % 3}",
+            src_endpoint="alcf#dtn", dst_endpoint="nersc#dtn",
+            size_hint=(i + 1) * 1_000_000, execute=lambda: None,
+        ))
+    world.advance(12.5)
+    # claim the head task by hand so the lease table has a live entry
+    task = sched.queue.pop_next()
+    task.attempts += 1
+    sched.leases.grant(task, "w0", world.now, sched.config.lease_s)
+    return dump(sched)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args(argv)
+    print(_demo(args.seed))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
