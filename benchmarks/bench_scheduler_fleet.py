@@ -17,9 +17,13 @@ Usage::
     PYTHONPATH=src python benchmarks/bench_scheduler_fleet.py --quick \
         --check BENCH_scheduler.json                                    # regression gate
 
-``BENCH_scheduler.json`` at the repo root is the committed baseline;
-``--check`` fails on a >30% jobs/sec regression (``BENCH_TOLERANCE``
-overrides, a fraction).
+``BENCH_scheduler.json`` at the repo root is the committed full-run
+baseline and ``BENCH_scheduler_quick.json`` the quick-mode one (CI
+checks quick against quick so scenarios match).  ``--check`` fails on a
+>30% jobs/sec regression, and — when the baseline scenario matches —
+on a >30% ``queue_wait_p99_s`` increase; that metric is deterministic
+virtual time, so any drift is a behaviour change (``BENCH_TOLERANCE``
+overrides the tolerance, a fraction).
 """
 
 from __future__ import annotations
@@ -50,18 +54,11 @@ from repro.sim.faults import ChaosConfig  # noqa: E402
 from repro.sim.world import World  # noqa: E402
 from repro.storage.data import SyntheticData  # noqa: E402
 from repro.util.units import KB, MB, gbps  # noqa: E402
+from repro.util.stats import percentile  # noqa: E402
 
 SCHEMA = "bench_scheduler_fleet/v1"
 DEFAULT_TOLERANCE = 0.30
 WORKER_HOSTS = tuple(f"go-worker-{i}" for i in range(8))
-
-
-def _percentile(samples: list[float], q: float) -> float:
-    if not samples:
-        return 0.0
-    ordered = sorted(samples)
-    idx = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
-    return ordered[idx]
 
 
 def make_site(world, host, site_name, users, register_with, endpoint_name):
@@ -169,8 +166,8 @@ def run_bench(seed: int, users: int, jobs: int, quick: bool) -> dict:
             "succeeded": ok,
             "failed": failed,
             "virtual_duration_s": round(world.now, 2),
-            "queue_wait_p50_s": round(_percentile(waits, 0.50), 3),
-            "queue_wait_p99_s": round(_percentile(waits, 0.99), 3),
+            "queue_wait_p50_s": round(percentile(waits, 0.50), 3),
+            "queue_wait_p99_s": round(percentile(waits, 0.99), 3),
             "jain_fairness": round(jain_index(delivered.values()), 4),
             "bytes_delivered": sum(delivered.values()),
             "worker_crashes": int(
@@ -189,18 +186,42 @@ def run_bench(seed: int, users: int, jobs: int, quick: bool) -> dict:
 
 
 def check_regression(current: dict, baseline_path: pathlib.Path) -> int:
-    """Exit code 1 if jobs/sec regressed beyond tolerance."""
+    """Exit code 1 if jobs/sec or queue-wait p99 regressed beyond tolerance.
+
+    jobs/sec is wall-clock (noisy across machines; the loose tolerance
+    catches an O(n) scan returning, not CI jitter).  ``queue_wait_p99_s``
+    is *virtual* time — deterministic per (seed, jobs, users) — so it is
+    only compared when the scenarios match, and any drift there means
+    scheduling behaviour changed, not that the machine was slow.
+    """
     baseline = json.loads(baseline_path.read_text())
     tol = float(os.environ.get("BENCH_TOLERANCE", DEFAULT_TOLERANCE))
+    failed = False
+
     base_rate = baseline["results"]["jobs_per_s"]
     cur_rate = current["results"]["jobs_per_s"]
     floor = base_rate * (1.0 - tol)
     verdict = "OK" if cur_rate >= floor else "REGRESSION"
+    failed = failed or cur_rate < floor
     print(
         f"[check] jobs/sec: current={cur_rate:.1f} baseline={base_rate:.1f} "
         f"floor={floor:.1f} (tolerance {tol:.0%}) -> {verdict}"
     )
-    return 0 if cur_rate >= floor else 1
+
+    base_p99 = baseline["results"].get("queue_wait_p99_s")
+    if base_p99 is None or baseline.get("scenario") != current.get("scenario"):
+        print("[check] queue wait p99: skipped (baseline scenario differs)")
+    else:
+        cur_p99 = current["results"]["queue_wait_p99_s"]
+        ceiling = base_p99 * (1.0 + tol)
+        verdict = "OK" if cur_p99 <= ceiling else "REGRESSION"
+        failed = failed or cur_p99 > ceiling
+        print(
+            f"[check] queue wait p99 (virtual s): current={cur_p99:.3f} "
+            f"baseline={base_p99:.3f} ceiling={ceiling:.3f} -> {verdict}"
+        )
+
+    return 1 if failed else 0
 
 
 def main(argv: list[str] | None = None) -> int:

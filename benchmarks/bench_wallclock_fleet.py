@@ -29,7 +29,6 @@ import json
 import os
 import pathlib
 import platform
-import statistics
 import sys
 import time
 
@@ -37,17 +36,10 @@ REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.workloads.fleet import FleetTransferScenario, FleetWorkloadConfig  # noqa: E402
+from repro.util.stats import percentile  # noqa: E402
 
 SCHEMA = "bench_wallclock_fleet/v1"
 DEFAULT_TOLERANCE = 0.30
-
-
-def _percentile(samples: list[float], q: float) -> float:
-    if not samples:
-        return 0.0
-    ordered = sorted(samples)
-    idx = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
-    return ordered[idx]
 
 
 def run_bench(config: FleetWorkloadConfig, quick: bool) -> dict:
@@ -87,8 +79,8 @@ def run_bench(config: FleetWorkloadConfig, quick: bool) -> dict:
             "small_files": {
                 "wall_s": round(small_wall, 4),
                 "transfers_per_s": round(small.transfers / small_wall, 2),
-                "p50_execute_s": round(_percentile(execute_wall, 0.50), 6),
-                "p95_execute_s": round(_percentile(execute_wall, 0.95), 6),
+                "p50_execute_s": round(percentile(execute_wall, 0.50), 6),
+                "p95_execute_s": round(percentile(execute_wall, 0.95), 6),
                 "bytes_moved": small.bytes_moved,
             },
             "striped": {

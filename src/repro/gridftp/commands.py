@@ -86,17 +86,33 @@ _register("ESTO", True, feature="ESTO", help="Extended store (partial file)")
 _register("DCSC", True, feature="DCSC", help="Data channel security context")
 
 
+#: parsed-line memo — control channels repeat a small vocabulary of
+#: lines ("PASV", "TYPE I", "MODE E", ...) thousands of times per drain;
+#: Command is frozen, so sharing instances is observationally identical
+_PARSE_MEMO: dict[str, Command] = {}
+_PARSE_MEMO_MAX = 4096
+
+
 def parse_command(line: str) -> Command:
     """Split a raw line into verb + argument (verb upper-cased)."""
+    cmd = _PARSE_MEMO.get(line)
+    if cmd is not None:
+        return cmd
     stripped = line.strip()
     if not stripped:
         raise ProtocolError("empty command line", code=500)
     verb, _, arg = stripped.partition(" ")
-    return Command(verb=verb.upper(), arg=arg.strip())
+    cmd = Command(verb=verb.upper(), arg=arg.strip())
+    if len(_PARSE_MEMO) < _PARSE_MEMO_MAX:
+        _PARSE_MEMO[line] = cmd
+    return cmd
 
 
 def lookup(verb: str) -> CommandSpec | None:
     """Registry entry for ``verb`` (upper-case), or None if unknown."""
+    spec = _REGISTRY.get(verb)
+    if spec is not None:
+        return spec
     return _REGISTRY.get(verb.upper())
 
 

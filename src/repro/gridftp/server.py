@@ -16,7 +16,7 @@ through the transfer engine.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Any
 
 from repro.errors import (
     AuthorizationError,
@@ -26,7 +26,7 @@ from repro.errors import (
     StorageError,
 )
 from repro.gridftp import replies as R
-from repro.gridftp.commands import feature_labels, lookup, parse_command
+from repro.gridftp.commands import feature_labels, known_verbs, lookup, parse_command
 from repro.gridftp.dcau import DataChannelSecurity, DCAUMode
 from repro.gridftp.dcsc import DcscContext, decode_dcsc_blob
 from repro.gridftp.restart import ByteRangeSet, parse_restart_marker
@@ -107,6 +107,10 @@ class GridFTPServer(Service):
         self._listener: Listener | None = None
         #: stripe data-mover hosts; plain servers move data themselves
         self.dtp_hosts: tuple[str, ...] = (host,)
+        # bound metric children, resolved once per labelset: every
+        # control-channel command and usage record goes through these
+        self._cmd_counters: dict[str, Any] = {}
+        self._bytes_counters: dict[tuple[str, str], Any] = {}
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -146,11 +150,14 @@ class GridFTPServer(Service):
         ``bytes_transferred_total`` counter is always fed — it is this
         deployment's own telemetry, not the opt-in usage pipeline.
         """
-        self.world.metrics.counter(
-            "bytes_transferred_total",
-            "Payload bytes in server-reported transfers",
-            labelnames=("direction", "mode"),
-        ).inc(result.nbytes, direction=direction, mode=mode)
+        child = self._bytes_counters.get((direction, mode))
+        if child is None:
+            child = self._bytes_counters[(direction, mode)] = self.world.metrics.counter(
+                "bytes_transferred_total",
+                "Payload bytes in server-reported transfers",
+                labelnames=("direction", "mode"),
+            ).labels(direction=direction, mode=mode)
+        child.inc(result.nbytes)
         if not self.usage_reporting:
             return
         self.world.emit(
@@ -215,19 +222,22 @@ class GridFTPSession(ServerSession):
         ):
             self.world.emit("gridftp.command", "command", server=self.server.name,
                             verb=cmd.verb, client=self.client_host)
-            self.world.metrics.counter(
-                "gridftp_commands_total", "Control-channel commands dispatched",
-                labelnames=("verb",),
-            ).inc(verb=cmd.verb)
+            counter = self.server._cmd_counters.get(cmd.verb)
+            if counter is None:
+                counter = self.server._cmd_counters[cmd.verb] = self.world.metrics.counter(
+                    "gridftp_commands_total", "Control-channel commands dispatched",
+                    labelnames=("verb",),
+                ).labels(verb=cmd.verb)
+            counter.inc()
             if spec is None:
                 return [str(R.UNRECOGNIZED)]
             if spec.requires_auth and self.account is None:
                 return [str(R.NOT_LOGGED_IN)]
-            handler = getattr(self, f"_cmd_{cmd.verb.lower()}", None)
+            handler = _HANDLERS.get(cmd.verb)
             if handler is None:
                 return [str(R.UNRECOGNIZED)]
             try:
-                return handler(cmd.arg)
+                return handler(self, cmd.arg)
             except ProtocolError as exc:
                 return [f"{exc.code} {exc}"]
             except StorageError as exc:
@@ -245,15 +255,29 @@ class GridFTPSession(ServerSession):
             return ["504 Unknown security mechanism."]
         self.auth_pending = True
         # present the server's certificate chain (never the key) so the
-        # client can authenticate *us* — the mutual half of GSI.
-        chain_pem = "".join(c.to_pem() for c in self.server.credential.chain)
-        return [f"334 ADAT={b64encode_str(chain_pem.encode('ascii'))}"]
+        # client can authenticate *us* — the mutual half of GSI.  The
+        # banner is a pure function of the credential, so it is built
+        # once and replayed until the server is re-credentialed.
+        server = self.server
+        memo = server.__dict__.get("_auth_banner")
+        if memo is None or memo[0] is not server.credential:
+            chain_pem = "".join(c.to_pem() for c in server.credential.chain)
+            memo = (server.credential,
+                    f"334 ADAT={b64encode_str(chain_pem.encode('ascii'))}")
+            server._auth_banner = memo
+        return [memo[1]]
 
     def _cmd_adat(self, arg: str) -> list[str]:
         if not self.auth_pending:
             return ["503 Bad sequence of commands: send AUTH first."]
         try:
-            pem = b64decode_str(arg).decode("ascii", errors="replace")
+            # decode memo: clients replaying a cached delegation present
+            # the identical blob on every login (pure decode, bounded)
+            pem = _ADAT_DECODE.get(arg)
+            if pem is None:
+                pem = b64decode_str(arg).decode("ascii", errors="replace")
+                if len(_ADAT_DECODE) < 512:
+                    _ADAT_DECODE[arg] = pem
             credential = Credential.from_pem(pem)
             self.peer = validate_chain(credential.chain, self.server.trust, self.world.now)
         except (ProtocolError, CertificateError) as exc:
@@ -622,3 +646,15 @@ class GridFTPSession(ServerSession):
             expected_subject_override=override,
             endpoint_name=self.server.name,
         )
+
+
+#: verb -> unbound handler, resolved once at import time (the
+#: per-command f-string + getattr was measurable at fleet drain rates)
+_HANDLERS = {
+    verb: getattr(GridFTPSession, "_cmd_" + verb.lower())
+    for verb in known_verbs()
+    if hasattr(GridFTPSession, "_cmd_" + verb.lower())
+}
+
+#: ADAT blob -> decoded PEM text (see GridFTPSession._cmd_adat)
+_ADAT_DECODE: dict[str, str] = {}

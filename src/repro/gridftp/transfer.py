@@ -188,6 +188,20 @@ class TransferEngine:
         self._degraded.inc(0.0)
         self._faults_data_channel.inc(0.0)
 
+    @classmethod
+    def for_world(cls, world: World) -> "TransferEngine":
+        """The shared engine for ``world`` (created on first use).
+
+        The engine holds no per-transfer state — only the world handle
+        and metric children bound to the world's registry — so every
+        client sharing one instance is indistinguishable from each
+        owning its own, minus the per-construction registry work.
+        """
+        engine = world.__dict__.get("_transfer_engine")
+        if engine is None:
+            engine = world._transfer_engine = cls(world)
+        return engine
+
     def _bytes_child(self, outcome: str, transport: str):
         key = (outcome, transport)
         child = self._bytes_children.get(key)

@@ -20,6 +20,13 @@ from repro.util.encoding import canonical_json, from_canonical_json, pem_decode,
 PEM_CERT_LABEL = "CERTIFICATE"
 PEM_KEY_LABEL = "RSA PRIVATE KEY"
 
+#: DER bytes -> parsed certificate.  Certificates are immutable, so the
+#: same wire bytes always denote the same object; GSI presents the same
+#: server chain on every AUTH, and re-parsing it per session dominated
+#: fleet login cost before this memo.
+_DER_MEMO: dict[bytes, "Certificate"] = {}
+_DER_MEMO_MAX = 2048
+
 
 @dataclass(frozen=True)
 class Certificate:
@@ -87,8 +94,18 @@ class Certificate:
         }
 
     def tbs_bytes(self) -> bytes:
-        """Canonical signed bytes."""
-        return canonical_json(self.tbs_dict())
+        """Canonical signed bytes.
+
+        Memoized per instance: certificates are immutable once built
+        (``extensions`` is never mutated after construction), and fleet
+        runs re-serialize the same certificates on every login, so the
+        canonical-JSON encoding is computed once.
+        """
+        cached = self.__dict__.get("_tbs_memo")
+        if cached is None:
+            cached = canonical_json(self.tbs_dict())
+            object.__setattr__(self, "_tbs_memo", cached)
+        return cached
 
     def signed_by(self, issuer_key: KeyPair) -> "Certificate":
         """A copy of this certificate carrying a signature by ``issuer_key``."""
@@ -97,13 +114,29 @@ class Certificate:
         return replace(self, signature=sign(issuer_key, self.tbs_bytes()))
 
     def verify_signature(self, issuer_public: PublicKey) -> bool:
-        """True iff the signature verifies under ``issuer_public``."""
-        return verify(issuer_public, self.tbs_bytes(), self.signature)
+        """True iff the signature verifies under ``issuer_public``.
+
+        Memoized per (n, e): chain walks re-verify the same signatures
+        on every connect, and both inputs are immutable.
+        """
+        memo = self.__dict__.get("_verify_memo")
+        if memo is None:
+            memo = {}
+            object.__setattr__(self, "_verify_memo", memo)
+        key = (issuer_public.n, issuer_public.e)
+        hit = memo.get(key)
+        if hit is None:
+            hit = memo[key] = verify(issuer_public, self.tbs_bytes(), self.signature)
+        return hit
 
     def fingerprint(self) -> str:
         """Stable identifier over TBS + signature."""
-        h = hashlib.sha256(self.tbs_bytes() + f":{self.signature:x}".encode())
-        return h.hexdigest()[:24]
+        cached = self.__dict__.get("_fp_memo")
+        if cached is None:
+            h = hashlib.sha256(self.tbs_bytes() + f":{self.signature:x}".encode())
+            cached = h.hexdigest()[:24]
+            object.__setattr__(self, "_fp_memo", cached)
+        return cached
 
     # -- serialization ------------------------------------------------------------
 
@@ -133,7 +166,11 @@ class Certificate:
 
     def to_pem(self) -> str:
         """PEM-framed certificate (canonical JSON inside the base64 body)."""
-        return pem_encode(PEM_CERT_LABEL, canonical_json(self.to_dict()))
+        cached = self.__dict__.get("_pem_memo")
+        if cached is None:
+            cached = pem_encode(PEM_CERT_LABEL, canonical_json(self.to_dict()))
+            object.__setattr__(self, "_pem_memo", cached)
+        return cached
 
     @staticmethod
     def from_pem(text: str) -> "Certificate":
@@ -143,8 +180,17 @@ class Certificate:
 
     @staticmethod
     def from_der(der: bytes) -> "Certificate":
-        """Parse the base64-decoded body of a PEM CERTIFICATE block."""
-        return Certificate.from_dict(from_canonical_json(der))
+        """Parse the base64-decoded body of a PEM CERTIFICATE block.
+
+        Memoized by the DER bytes (immutable in, immutable out).
+        """
+        hit = _DER_MEMO.get(der)
+        if hit is None:
+            hit = Certificate.from_dict(from_canonical_json(der))
+            if len(_DER_MEMO) >= _DER_MEMO_MAX:
+                _DER_MEMO.pop(next(iter(_DER_MEMO)))
+            _DER_MEMO[der] = hit
+        return hit
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         kind = "CA" if self.is_ca else ("proxy" if self.is_proxy else "EEC")
@@ -152,8 +198,16 @@ class Certificate:
 
 
 def keypair_to_pem(key: KeyPair) -> str:
-    """PEM-frame a private key (used in the DCSC P blob)."""
-    return pem_encode(PEM_KEY_LABEL, canonical_json(key.to_dict()))
+    """PEM-frame a private key (used in the DCSC P blob).
+
+    Memoized on the key instance: delegation re-serializes the same
+    (memoized) session keys on every login.
+    """
+    cached = key.__dict__.get("_pem_memo")
+    if cached is None:
+        cached = pem_encode(PEM_KEY_LABEL, canonical_json(key.to_dict()))
+        object.__setattr__(key, "_pem_memo", cached)
+    return cached
 
 
 def keypair_from_pem(text: str) -> KeyPair:

@@ -16,6 +16,16 @@ from repro.pki.rsa import KeyPair
 from repro.util.encoding import pem_decode_all
 
 
+#: Round-trip parse memo: PEM text produced by :meth:`Credential.to_pem`
+#: (or parsed once already) -> the credential object.  Credentials are
+#: immutable and ``from_pem`` is the exact inverse of ``to_pem``, so
+#: handing back the original object is indistinguishable from re-parsing
+#: — and every GSI login does this round trip (the client serializes,
+#: the same-process server parses) once per session.
+_ROUNDTRIP: dict[str, "Credential"] = {}
+_ROUNDTRIP_MAX = 1024
+
+
 @dataclass(frozen=True)
 class Credential:
     """A usable identity: leaf-first certificate chain + private key."""
@@ -61,11 +71,23 @@ class Credential:
         "1. An X.509 certificate in PEM format / 2. A private key in PEM
         format / 3. Additional X.509 certificates in PEM format".
         """
+        memo = self.__dict__.get("_pem_memo")
+        if memo is None:
+            memo = {}
+            object.__setattr__(self, "_pem_memo", memo)
+        text = memo.get(include_key)
+        if text is not None:
+            return text
         parts = [self.chain[0].to_pem()]
         if include_key:
             parts.append(keypair_to_pem(self.key))
         parts.extend(c.to_pem() for c in self.chain[1:])
-        return "".join(parts)
+        text = memo[include_key] = "".join(parts)
+        if include_key:
+            if len(_ROUNDTRIP) >= _ROUNDTRIP_MAX:
+                _ROUNDTRIP.pop(next(iter(_ROUNDTRIP)))
+            _ROUNDTRIP[text] = self
+        return text
 
     @staticmethod
     def from_pem(text: str) -> "Credential":
@@ -82,6 +104,10 @@ class Credential:
             keypair_from_der,
         )
 
+        hit = _ROUNDTRIP.get(text)
+        if hit is not None:
+            return hit
+
         certs: list[Certificate] = []
         keys: list[KeyPair] = []
         for label, der in pem_decode_all(text):
@@ -97,4 +123,8 @@ class Credential:
             raise CertificateError(
                 f"credential PEM must contain exactly one private key, found {len(keys)}"
             )
-        return Credential(chain=tuple(certs), key=keys[0])
+        parsed = Credential(chain=tuple(certs), key=keys[0])
+        if len(_ROUNDTRIP) >= _ROUNDTRIP_MAX:
+            _ROUNDTRIP.pop(next(iter(_ROUNDTRIP)))
+        _ROUNDTRIP[text] = parsed
+        return parsed

@@ -45,22 +45,45 @@ def create_proxy(
     clipped to the parent's expiry: a proxy cannot outlive its signer.
     """
     rng = rng or random.Random()
-    if not parent.valid_at(clock.now):
+    now = clock.now
+    if not parent.valid_at(now):
         raise CertificateError("cannot create a proxy from an expired credential")
+    # Delegation memo: GSI re-derives its delegation rng from the world
+    # seed on every login, so the same (parent, rng state) pair requests
+    # an identical proxy — same key, same serial, same subject — with
+    # only the validity window anchored at a later ``now``.  Replaying
+    # the cached proxy is indistinguishable as long as it is still well
+    # inside its window (proxies are presented within milliseconds of
+    # delegation and sessions live for virtual seconds); past the
+    # halfway point we mint a fresh one, so nothing downstream can ever
+    # see an expired credential where it previously saw a valid one.
+    memo = parent.__dict__.get("_proxy_memo")
+    if memo is None:
+        memo = {}
+        object.__setattr__(parent, "_proxy_memo", memo)
+    memo_key = (lifetime, key_bits, rng.getstate())
+    hit = memo.get(memo_key)
+    if hit is not None:
+        proxy, post_state, fresh_until = hit
+        if proxy.chain[0].not_before <= now <= fresh_until:
+            rng.setstate(post_state)
+            return proxy
     key = generate_keypair(key_bits, rng)
     serial = rng.randrange(1, 1 << 31)
-    not_after = min(clock.now + lifetime, parent.expires_at())
+    not_after = min(now + lifetime, parent.expires_at())
     proxy_cert = Certificate(
         subject=parent.subject.with_cn(str(serial)),
         issuer=parent.subject,
         serial=serial,
-        not_before=clock.now,
+        not_before=now,
         not_after=not_after,
         public_key=key.public,
         is_ca=False,
         extensions={"proxy": True},
     ).signed_by(parent.key)
-    return Credential(chain=(proxy_cert, *parent.chain), key=key)
+    proxy = Credential(chain=(proxy_cert, *parent.chain), key=key)
+    memo[memo_key] = (proxy, rng.getstate(), now + (not_after - now) / 2)
+    return proxy
 
 
 def is_proxy_subject(subject: DistinguishedName, parent_subject: DistinguishedName) -> bool:

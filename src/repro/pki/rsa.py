@@ -107,11 +107,26 @@ def _random_prime(bits: int, rng: random.Random) -> int:
             return candidate
 
 
+#: (bits, rng state) -> (keypair, rng state after generation).  GSI
+#: delegation re-derives its rng stream from the world seed on every
+#: login, so fleet runs request the identical (bits, state) pair
+#: thousands of times; replaying the memo — same keypair, same
+#: post-generation state — is bit-for-bit identical to regenerating.
+_KEYGEN_MEMO: dict[tuple[int, tuple], tuple[KeyPair, tuple]] = {}
+_KEYGEN_MEMO_MAX = 256
+
+
 def generate_keypair(bits: int = 512, rng: random.Random | None = None) -> KeyPair:
     """Generate an RSA key pair of (approximately) ``bits`` modulus bits."""
     if bits < 64:
         raise ValueError("modulus must be at least 64 bits")
     rng = rng or random.Random()
+    memo_key = (bits, rng.getstate())
+    hit = _KEYGEN_MEMO.get(memo_key)
+    if hit is not None:
+        pair, post_state = hit
+        rng.setstate(post_state)
+        return pair
     e = 65537
     half = bits // 2
     while True:
@@ -124,7 +139,19 @@ def generate_keypair(bits: int = 512, rng: random.Random | None = None) -> KeyPa
         if phi % e == 0:
             continue
         d = pow(e, -1, phi)
-        return KeyPair(n=n, e=e, d=d)
+        pair = KeyPair(n=n, e=e, d=d)
+        # Stash the CRT parameters on the instance (KeyPair is frozen, so
+        # via object.__setattr__): signing with p/q halves the modulus
+        # width, ~4x faster, and produces the identical signature integer.
+        # Keys rebuilt from serialized (n, e, d) simply lack the stash and
+        # fall back to the plain private-exponent path.
+        object.__setattr__(
+            pair, "_crt", (p, q, d % (p - 1), d % (q - 1), pow(q, -1, p))
+        )
+        if len(_KEYGEN_MEMO) >= _KEYGEN_MEMO_MAX:
+            _KEYGEN_MEMO.pop(next(iter(_KEYGEN_MEMO)))
+        _KEYGEN_MEMO[memo_key] = (pair, rng.getstate())
+        return pair
 
 
 def _digest_int(data: bytes, n: int) -> int:
@@ -134,8 +161,19 @@ def _digest_int(data: bytes, n: int) -> int:
 
 
 def sign(key: KeyPair, data: bytes) -> int:
-    """Sign ``data`` with the private exponent; returns the signature integer."""
-    return pow(_digest_int(data, key.n), key.d, key.n)
+    """Sign ``data`` with the private exponent; returns the signature integer.
+
+    Uses the CRT decomposition when the key carries one (generated keys
+    do); the result is bit-identical to ``pow(m, d, n)``.
+    """
+    m = _digest_int(data, key.n)
+    crt = getattr(key, "_crt", None)
+    if crt is None:
+        return pow(m, key.d, key.n)
+    p, q, dp, dq, qinv = crt
+    mp = pow(m % p, dp, p)
+    mq = pow(m % q, dq, q)
+    return mq + ((mp - mq) * qinv % p) * q
 
 
 def verify(public: PublicKey, data: bytes, signature: int) -> bool:

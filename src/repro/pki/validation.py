@@ -60,6 +60,10 @@ class TrustStore:
 
     anchors: dict[str, Certificate] = field(default_factory=dict)
     policies: dict[str, SigningPolicy] = field(default_factory=dict)
+    #: successful validate_chain results against this store, keyed by the
+    #: participating certificate fingerprints; cleared whenever the
+    #: anchor set changes (certificates themselves are immutable)
+    _memo: dict = field(default_factory=dict, repr=False, compare=False)
 
     def add_anchor(self, cert: Certificate, policy: SigningPolicy | None = None) -> None:
         """Trust ``cert`` as a root, optionally with a signing policy."""
@@ -67,12 +71,14 @@ class TrustStore:
         self.anchors[fp] = cert
         if policy is not None:
             self.policies[fp] = policy
+        self._memo.clear()
 
     def remove_anchor(self, cert: Certificate) -> None:
         """Stop trusting a root (and drop its policy)."""
         fp = cert.fingerprint()
         self.anchors.pop(fp, None)
         self.policies.pop(fp, None)
+        self._memo.clear()
 
     def find_anchor(self, cert: Certificate) -> Certificate | None:
         """The anchor equal to ``cert`` (by fingerprint), if trusted."""
@@ -114,6 +120,25 @@ def validate_chain(
     """
     if not chain:
         raise CertificateError("empty certificate chain")
+
+    extra_anchors = tuple(extra_anchors)
+    extra_intermediates = tuple(extra_intermediates)
+
+    # The walk's outcome depends only on the participating certificates
+    # (immutable), the anchor set (memo cleared on change), and whether
+    # every chain certificate is inside its validity window.  A prior
+    # success therefore replays as long as ``now`` stays inside the
+    # chain's common window; anything else falls through to the full walk.
+    memo_key = (
+        tuple(c.fingerprint() for c in chain),
+        tuple(c.fingerprint() for c in extra_anchors),
+        tuple(c.fingerprint() for c in extra_intermediates),
+    )
+    hit = trust._memo.get(memo_key)
+    if hit is not None:
+        result, lo, hi = hit
+        if lo <= now <= hi:
+            return result
 
     extra_anchor_fps = {c.fingerprint(): c for c in extra_anchors}
     pool = list(chain) + list(extra_intermediates)
@@ -200,13 +225,21 @@ def validate_chain(
             )
 
     subject = chain[0].subject
-    return ValidationResult(
+    result = ValidationResult(
         subject=subject,
         identity=strip_proxy_cns(subject),
         anchor=anchor,
         chain_length=len(walked),
         policy_checked=policy_checked,
     )
+    if len(trust._memo) >= 4096:
+        trust._memo.pop(next(iter(trust._memo)))
+    trust._memo[memo_key] = (
+        result,
+        max(c.not_before for c in chain),
+        min(c.not_after for c in chain),
+    )
+    return result
 
 
 def _find_signer(cert: Certificate, candidates: Iterable[Certificate]) -> Certificate | None:

@@ -60,9 +60,17 @@ class BatchCoalescer:
         self.threshold_bytes = threshold_bytes
         self.max_files = max_files
         self._buckets: dict[tuple[str, str, str], CoalescedBatch] = {}
+        # O(1) depth accounting: the admission controller reads total and
+        # per-user held counts on every submit
+        self._depth = 0
+        self._user_depths: dict[str, int] = {}
 
     def __len__(self) -> int:
-        return sum(len(b.tasks) for b in self._buckets.values())
+        return self._depth
+
+    def depth_for(self, user: str) -> int:
+        """Coalescer-held tasks for one user (across all endpoint buckets)."""
+        return self._user_depths.get(user, 0)
 
     def add(self, task: ScheduledTask) -> ScheduledTask | None:
         """Absorb a coalescible task (returns None) or pass it through."""
@@ -74,6 +82,8 @@ class BatchCoalescer:
         if bucket is None:
             bucket = self._buckets[key] = CoalescedBatch(*key)
         bucket.tasks.append(task)
+        self._depth += 1
+        self._user_depths[task.user] = self._user_depths.get(task.user, 0) + 1
         return None
 
     def flush(
@@ -98,4 +108,6 @@ class BatchCoalescer:
                         tasks=chunk,
                     )))
         self._buckets.clear()
+        self._depth = 0
+        self._user_depths.clear()
         return out

@@ -14,11 +14,20 @@ Determinism: selection is ``min()`` over ``(band, vtime, head_seq)``
 where ``seq`` is the global submission counter, so ordering is
 seed-stable and independent of dict enumeration order.  Priority bands
 dispatch strictly before lower bands; fair-share applies within a band.
+
+Selection is O(log U) in the number of users: lane heads are indexed in
+a lazy min-heap keyed by ``(band, vtime, head_seq)``.  Every operation
+that can change a lane's dispatch key (push to an idle lane, requeue,
+charge, head pop) bumps the lane's version and pushes a fresh heap
+entry; stale entries are discarded when they surface.  The pre-heap
+linear scan survives as :class:`LinearScanFairShareQueue` — the
+executable specification the differential property test replays against.
 """
 
 from __future__ import annotations
 
 import enum
+import heapq
 import itertools
 from collections import deque
 from dataclasses import dataclass, field
@@ -77,22 +86,44 @@ class ScheduledTask:
 
 @dataclass
 class _UserLane:
-    """Per-user FIFO plus fair-share accounting."""
+    """Per-user FIFO plus fair-share accounting.
+
+    ``version`` invalidates heap entries: every change to the lane's
+    dispatch key bumps it, so any older entry that surfaces from the
+    heap is recognizably stale and dropped.
+    """
 
     weight: float = 1.0
     vtime: float = 0.0
     fifo: deque = field(default_factory=deque)
     delivered_bytes: int = 0
+    version: int = 0
 
 
 class FairShareQueue:
-    """Byte-weighted fair queuing across users with FIFO tie-breaks."""
+    """Byte-weighted fair queuing across users with FIFO tie-breaks.
+
+    Dispatch is O(log U): runnable lanes are indexed by a lazy min-heap
+    of ``((band, vtime, head_seq), version, user)`` entries.
+    """
 
     def __init__(self) -> None:
         self._lanes: dict[str, _UserLane] = {}
         self._seq = itertools.count(1)
         self._global_vtime = 0.0
         self._depth = 0
+        #: lazy heap of (dispatch key, lane version, user) over lane heads
+        self._heap: list[tuple[tuple[int, float, int], int, str]] = []
+
+    def _reindex(self, user: str, lane: _UserLane) -> None:
+        """The lane's dispatch key changed: invalidate and re-push."""
+        lane.version += 1
+        if lane.fifo:
+            head = lane.fifo[0]
+            heapq.heappush(
+                self._heap,
+                ((-head.priority, lane.vtime, head.seq), lane.version, user),
+            )
 
     # -- weights ----------------------------------------------------------
 
@@ -100,7 +131,9 @@ class FairShareQueue:
         """Assign a fair-share weight (default 1.0; must be positive)."""
         if weight <= 0:
             raise ValueError(f"fair-share weight must be positive (got {weight})")
-        self._lane(user).weight = float(weight)
+        lane = self._lane(user)
+        lane.weight = float(weight)
+        self._reindex(user, lane)
 
     def weight(self, user: str) -> float:
         """The user's fair-share weight."""
@@ -132,12 +165,15 @@ class FairShareQueue:
         working (the standard start-time fair queuing rule).
         """
         lane = self._lane(task.user)
-        if not lane.fifo:
+        was_idle = not lane.fifo
+        if was_idle:
             lane.vtime = max(lane.vtime, self._global_vtime)
         task.seq = next(self._seq)
         task.state = TaskState.QUEUED
         lane.fifo.append(task)
         self._depth += 1
+        if was_idle:  # a tail append behind an existing head changes no key
+            self._reindex(task.user, lane)
         return task
 
     def requeue(self, task: ScheduledTask) -> ScheduledTask:
@@ -153,6 +189,7 @@ class FairShareQueue:
         task.state = TaskState.QUEUED
         lane.fifo.appendleft(task)
         self._depth += 1
+        self._reindex(task.user, lane)
         return task
 
     def pop_next(
@@ -163,20 +200,29 @@ class FairShareQueue:
         ``admissible`` is the backpressure hook: a lane whose head fails
         the check is skipped this round (the task stays queued and keeps
         its position).  Returns None when nothing is runnable.
+
+        The winner is the minimum ``(band, vtime, head_seq)`` over lanes
+        with an admissible head — popped from the lazy heap in O(log U),
+        discarding stale entries and setting inadmissible lanes aside
+        (their entries are still current, so they go straight back).
         """
-        best: tuple[int, float, int] | None = None
+        heap = self._heap
+        skipped: list[tuple[tuple[int, float, int], int, str]] = []
         best_user: str | None = None
-        for user in sorted(self._lanes):
+        while heap:
+            _key, version, user = heap[0]
             lane = self._lanes[user]
-            if not lane.fifo:
+            if version != lane.version or not lane.fifo:
+                heapq.heappop(heap)  # stale: the lane was re-keyed or emptied
                 continue
-            head = lane.fifo[0]
-            if admissible is not None and not admissible(head):
+            if admissible is not None and not admissible(lane.fifo[0]):
+                skipped.append(heapq.heappop(heap))
                 continue
-            key = (-head.priority, lane.vtime, head.seq)
-            if best is None or key < best:
-                best = key
-                best_user = user
+            heapq.heappop(heap)
+            best_user = user
+            break
+        for entry in skipped:
+            heapq.heappush(heap, entry)
         if best_user is None:
             return None
         lane = self._lanes[best_user]
@@ -184,6 +230,7 @@ class FairShareQueue:
         self._depth -= 1
         task.state = TaskState.CLAIMED
         self._global_vtime = max(self._global_vtime, lane.vtime)
+        self._reindex(best_user, lane)
         return task
 
     def charge(self, user: str, nbytes: int) -> None:
@@ -196,6 +243,7 @@ class FairShareQueue:
         lane = self._lane(user)
         lane.vtime += nbytes / lane.weight
         lane.delivered_bytes += nbytes
+        self._reindex(user, lane)
         if self._depth == 0:
             # end of a busy period: global virtual time catches up to the
             # largest finish tag served (the SFQ idle-transition rule), so
@@ -236,6 +284,45 @@ class FairShareQueue:
             abs(delivered[user] / total - weights[user] / wsum)
             for user in delivered
         )
+
+
+class LinearScanFairShareQueue(FairShareQueue):
+    """The pre-heap O(U log U) dispatch scan, kept as executable spec.
+
+    Selection semantics are defined by this scan: minimum
+    ``(band, vtime, head_seq)`` over every lane with an admissible head,
+    lanes visited in sorted user order.  The differential property test
+    drives it against :class:`FairShareQueue` across random operation
+    interleavings; any divergence in pop sequence is a bug in the heap
+    index, never in this reference.
+    """
+
+    def pop_next(
+        self, admissible: Callable[[ScheduledTask], bool] | None = None
+    ) -> ScheduledTask | None:
+        """Dispatch the next task by scanning every lane (the spec)."""
+        best: tuple[int, float, int] | None = None
+        best_user: str | None = None
+        for user in sorted(self._lanes):
+            lane = self._lanes[user]
+            if not lane.fifo:
+                continue
+            head = lane.fifo[0]
+            if admissible is not None and not admissible(head):
+                continue
+            key = (-head.priority, lane.vtime, head.seq)
+            if best is None or key < best:
+                best = key
+                best_user = user
+        if best_user is None:
+            return None
+        lane = self._lanes[best_user]
+        task = lane.fifo.popleft()
+        self._depth -= 1
+        task.state = TaskState.CLAIMED
+        self._global_vtime = max(self._global_vtime, lane.vtime)
+        self._reindex(best_user, lane)
+        return task
 
 
 def jain_index(values: Iterator[float] | list[float]) -> float:

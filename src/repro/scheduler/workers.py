@@ -26,6 +26,7 @@ recovery instead of spinning.
 
 from __future__ import annotations
 
+import heapq
 import itertools
 import math
 from dataclasses import dataclass, field
@@ -98,17 +99,26 @@ class Lease:
 
 
 class LeaseTable:
-    """Outstanding leases, with the one-live-lease-per-task invariant."""
+    """Outstanding leases, with the one-live-lease-per-task invariant.
+
+    Expiry tracking is a lazy min-heap keyed by ``(expires_at,
+    lease_id)``: grants and renewals push entries, releases and renewals
+    leave stale entries behind, and :meth:`expired`/:meth:`next_expiry`
+    discard anything whose ``expires_at`` no longer matches the lease.
+    A drain tick therefore pays O(1) when nothing has lapsed, instead of
+    re-sorting every live lease.
+    """
 
     def __init__(self) -> None:
         self._by_task: dict[str, Lease] = {}
         self._ids = itertools.count(1)
+        self._expiry_heap: list[tuple[float, int, Lease]] = []
 
     def __len__(self) -> int:
         return len(self._by_task)
 
     def outstanding(self) -> list[Lease]:
-        """Live leases in grant order."""
+        """Live leases in grant order (a sorted view for tools and tests)."""
         return sorted(self._by_task.values(), key=lambda lease: lease.lease_id)
 
     def grant(self, task: ScheduledTask, worker_id: str, now: float,
@@ -128,6 +138,7 @@ class LeaseTable:
             attempt=task.attempts,
         )
         self._by_task[task.task_id] = lease
+        heapq.heappush(self._expiry_heap, (lease.expires_at, lease.lease_id, lease))
         return lease
 
     def renew(self, lease: Lease, now: float, lease_s: float) -> bool:
@@ -135,6 +146,7 @@ class LeaseTable:
         if lease.released or lease.expired(now):
             return False
         lease.expires_at = now + lease_s
+        heapq.heappush(self._expiry_heap, (lease.expires_at, lease.lease_id, lease))
         return True
 
     def release(self, lease: Lease) -> None:
@@ -142,9 +154,37 @@ class LeaseTable:
         lease.released = True
         self._by_task.pop(lease.task.task_id, None)
 
+    def _entry_stale(self, expires_at: float, lease: Lease) -> bool:
+        return lease.released or expires_at != lease.expires_at
+
     def expired(self, now: float) -> list[Lease]:
-        """Every outstanding lease that has lapsed by ``now``."""
-        return [lease for lease in self.outstanding() if lease.expired(now)]
+        """Every outstanding lease that has lapsed by ``now``, in grant order.
+
+        Pops the expiry heap up to ``now``; lapsed leases are re-indexed
+        so they keep being reported until the caller releases them.
+        """
+        heap = self._expiry_heap
+        lapsed: list[Lease] = []
+        while heap and heap[0][0] <= now:
+            expires_at, _lease_id, lease = heapq.heappop(heap)
+            if self._entry_stale(expires_at, lease):
+                continue
+            lapsed.append(lease)
+        for lease in lapsed:
+            heapq.heappush(heap, (lease.expires_at, lease.lease_id, lease))
+        lapsed.sort(key=lambda lease: lease.lease_id)
+        return lapsed
+
+    def next_expiry(self) -> float | None:
+        """Earliest live-lease expiry, or None with no leases outstanding."""
+        heap = self._expiry_heap
+        while heap:
+            expires_at, _lease_id, lease = heap[0]
+            if self._entry_stale(expires_at, lease):
+                heapq.heappop(heap)
+                continue
+            return expires_at
+        return None
 
 
 @dataclass
@@ -193,6 +233,7 @@ class FleetScheduler:
             )
             for i in range(self.config.workers)
         ]
+        self._workers_by_id = {w.worker_id: w for w in self.workers}
         self._task_ids = itertools.count(1)
         self._completed: list[ScheduledTask] = []
 
@@ -259,7 +300,7 @@ class FleetScheduler:
         self.admission.admit(
             task,
             queue_depth=len(self.queue) + len(self.coalescer),
-            user_depth=self.queue.depth_for(task.user) + self._coalescer_depth_for(task.user),
+            user_depth=self.queue.depth_for(task.user) + self.coalescer.depth_for(task.user),
         )
         if not task.task_id:
             task.task_id = self.next_task_id()
@@ -279,13 +320,6 @@ class FleetScheduler:
         self._depth_g.set(len(self.queue) + len(self.coalescer))
         return task
 
-    def _coalescer_depth_for(self, user: str) -> int:
-        return sum(
-            len(bucket.tasks)
-            for key, bucket in self.coalescer._buckets.items()
-            if key[0] == user
-        )
-
     def set_weight(self, user: str, weight: float) -> None:
         """Assign a user's fair-share weight."""
         self.queue.set_weight(user, weight)
@@ -295,24 +329,35 @@ class FleetScheduler:
     def run_until_idle(self, max_ticks: int | None = None) -> int:
         """Dispatch until queue and leases are empty; returns tasks serviced.
 
-        This *is* the fleet scheduler's event loop, on virtual time: a
-        tick claims for every free live worker, executes the claims, and
-        between ticks the clock jumps to the next lease expiry or worker
-        recovery when nothing can run.
+        This *is* the fleet scheduler's event loop, on virtual time, and
+        it is event-driven: every claim round is preceded by a wakeup
+        event — task-available (submit/flush/requeue), worker-free
+        (completion or lapse), or lease-expiry/host-recovery (the clock
+        jumps straight to the earliest one via :meth:`_wait_for_next_event`
+        when nothing can run; no fixed-interval polling ever happens).
+        While the drain runs, a single repeating sweep renews every live
+        lease — one scheduler event per heartbeat interval for the whole
+        pool, not one per in-flight task.
         """
         serviced = 0
         ticks = 0
-        while True:
-            self._flush_batches()
-            self._requeue_lapsed()
-            if not len(self.queue) and not len(self.leases):
-                break
-            ticks += 1
-            if max_ticks is not None and ticks > max_ticks:
-                raise SchedulerError(
-                    f"drain did not converge within {max_ticks} ticks")
-            serviced += self._tick()
-            self._depth_g.set(len(self.queue) + len(self.coalescer))
+        sweep = self.world.scheduler.every(
+            self.config.heartbeat_s, self._sweep_heartbeats,
+            label="scheduler.heartbeat-sweep")
+        try:
+            while True:
+                self._flush_batches()
+                self._requeue_lapsed()
+                if not len(self.queue) and not len(self.leases):
+                    break
+                ticks += 1
+                if max_ticks is not None and ticks > max_ticks:
+                    raise SchedulerError(
+                        f"drain did not converge within {max_ticks} ticks")
+                serviced += self._tick()
+                self._depth_g.set(len(self.queue) + len(self.coalescer))
+        finally:
+            sweep.cancel()
         return serviced
 
     def _flush_batches(self) -> None:
@@ -350,6 +395,8 @@ class FleetScheduler:
             if not self._alive(worker, now):
                 continue
             alive += 1
+            if not len(self.queue):
+                continue  # nothing queued: the scan only refreshes liveness
             task = self.queue.pop_next(admissible=self.admission.can_start)
             if task is None:
                 continue
@@ -397,11 +444,6 @@ class FleetScheduler:
         world = self.world
         task = lease.task
         started = world.now
-        heartbeat = world.scheduler.every(
-            self.config.heartbeat_s,
-            lambda: self._heartbeat(worker, lease),
-            label=f"heartbeat:{task.task_id}",
-        )
         try:
             with world.tracer.span(
                 "scheduler.claim",
@@ -434,19 +476,30 @@ class FleetScheduler:
                         attempts=task.attempts,
                     )
         finally:
-            heartbeat.cancel()
             service_s = world.now - started
             self._service_h.observe(service_s)
             self.leases.release(lease)
             self.admission.on_finish(task, service_s)
             self._fair_error_g.set(self.queue.fair_share_error())
 
-    def _heartbeat(self, worker: Worker, lease: Lease) -> None:
-        """Renew a live worker's lease; a downed host never renews."""
+    def _sweep_heartbeats(self) -> None:
+        """Renew every live claim in one pass (the coalesced heartbeat).
+
+        Replaces the per-task repeating heartbeat events: one scheduler
+        event per interval covers the whole pool.  Abandoned claims are
+        never renewed (their worker crashed; the lease must lapse), and
+        a downed host cannot renew.
+        """
         now = self.world.now
-        if worker.host is not None and self.world.faults.host_down(worker.host, now):
-            return
-        self.leases.renew(lease, now, self.config.lease_s)
+        faults = self.world.faults
+        for lease in self.leases.outstanding():
+            if lease.abandoned:
+                continue
+            worker = self._workers_by_id.get(lease.worker_id)
+            host = worker.host if worker is not None else None
+            if host is not None and faults.host_down(host, now):
+                continue
+            self.leases.renew(lease, now, self.config.lease_s)
 
     def _requeue_lapsed(self) -> None:
         world = self.world
@@ -455,9 +508,9 @@ class FleetScheduler:
             self.leases.release(lease)
             self.admission.on_finish(task)
             self._expired_c.inc()
-            for worker in self.workers:
-                if worker.lease is lease:
-                    worker.lease = None
+            worker = self._workers_by_id.get(lease.worker_id)
+            if worker is not None and worker.lease is lease:
+                worker.lease = None
             world.emit(
                 "scheduler.lease_expired", "lease lapsed; reclaiming task",
                 task=task.task_id, worker=lease.worker_id,
@@ -486,9 +539,10 @@ class FleetScheduler:
         """Nothing can run now: jump to the next expiry or host recovery."""
         world = self.world
         now = world.now
-        candidates: list[float] = [
-            lease.expires_at for lease in self.leases.outstanding()
-        ]
+        candidates: list[float] = []
+        next_expiry = self.leases.next_expiry()
+        if next_expiry is not None:
+            candidates.append(next_expiry)
         for worker in self.workers:
             if worker.host is not None and not self._alive(worker, now):
                 up = world.faults.next_clear_time((), (worker.host,), now)

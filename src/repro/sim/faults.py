@@ -206,6 +206,10 @@ class FaultPlan:
     """The set of scheduled faults for a simulation run."""
 
     def __init__(self) -> None:
+        #: bumped on every mutation; callers may cache derived views
+        #: (e.g. "which targets on this path have faults at all") keyed
+        #: by this counter
+        self.epoch = 0
         self._link_faults: list[LinkFault] = []
         self._host_faults: list[HostFault] = []
         self._degradations: list[DegradationFault] = []
@@ -226,6 +230,7 @@ class FaultPlan:
         fault = LinkFault(link_id=link_id, start=at, duration=duration)
         self._link_faults.append(fault)
         self._link_idx.add(link_id, fault)
+        self.epoch += 1
         return fault
 
     def crash_host(self, host: str, at: float, duration: float) -> HostFault:
@@ -235,6 +240,7 @@ class FaultPlan:
         fault = HostFault(host=host, start=at, duration=duration)
         self._host_faults.append(fault)
         self._host_idx.add(host, fault)
+        self.epoch += 1
         return fault
 
     def degrade_link(
@@ -248,6 +254,7 @@ class FaultPlan:
         fault = DegradationFault(link_id=link_id, start=at, duration=duration, factor=factor)
         self._degradations.append(fault)
         self._degrade_idx.add(link_id, fault)
+        self.epoch += 1
         return fault
 
     def drop_control(self, host: str, at: float, duration: float) -> ControlChannelFault:
@@ -257,6 +264,7 @@ class FaultPlan:
         fault = ControlChannelFault(host=host, start=at, duration=duration)
         self._control_faults.append(fault)
         self._control_idx.add(host, fault)
+        self.epoch += 1
         return fault
 
     # -- queries --------------------------------------------------------------
@@ -268,6 +276,14 @@ class FaultPlan:
     def host_down(self, host: str, t: float) -> bool:
         """Is ``host`` down at time ``t``?"""
         return self._host_idx.covers(host, t)
+
+    def has_link_faults(self, link_id: str) -> bool:
+        """Does ``link_id`` have any scheduled down-window at all?"""
+        return link_id in self._link_idx._raw
+
+    def has_host_faults(self, host: str) -> bool:
+        """Does ``host`` have any scheduled crash window at all?"""
+        return host in self._host_idx._raw
 
     def control_down(self, host: str, t: float) -> bool:
         """Is ``host``'s control plane unreachable at time ``t``?"""
@@ -353,6 +369,7 @@ class FaultPlan:
 
     def clear(self) -> None:
         """Remove all scheduled faults."""
+        self.epoch += 1
         self._link_faults.clear()
         self._host_faults.clear()
         self._degradations.clear()

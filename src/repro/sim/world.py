@@ -63,7 +63,7 @@ class World:
     @property
     def now(self) -> float:
         """Current virtual time (seconds)."""
-        return self.clock.now
+        return self.clock._now  # one property hop, not two: hottest call in the tree
 
     def advance(self, dt: float) -> float:
         """Advance the clock and fire any scheduler events that came due."""
@@ -85,14 +85,15 @@ class World:
         Events emitted inside an active tracer span carry its trace and
         span ids, tying the flat log to the causal tree.
         """
-        ctx = self.tracer.current
+        stack = self.tracer._stack
+        if stack:
+            ctx = stack[-1].context
+            trace_id, span_id = ctx.trace_id, ctx.span_id
+        else:
+            trace_id = span_id = None
         return self.log.emit(
-            self.clock.now,
-            category,
-            message,
-            trace_id=ctx.trace_id if ctx is not None else None,
-            span_id=ctx.span_id if ctx is not None else None,
-            **fields,
+            self.clock.now, category, message,
+            trace_id=trace_id, span_id=span_id, **fields,
         )
 
     def span(self, name: str, **fields: Any):

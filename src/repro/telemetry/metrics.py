@@ -90,6 +90,8 @@ class _Metric:
         self.labelnames: tuple[str, ...] = tuple(labelnames)
 
     def _key(self, labels: dict[str, Any]) -> tuple[str, ...]:
+        if not labels and not self.labelnames:
+            return ()
         return _freeze_labels(self.labelnames, labels)
 
     def samples(self) -> list[Sample]:  # pragma: no cover - overridden

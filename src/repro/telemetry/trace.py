@@ -27,7 +27,6 @@ propagated trace header would behave in a real deployment.
 
 from __future__ import annotations
 
-from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Iterator
 
@@ -35,7 +34,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.world import World
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TraceContext:
     """Where in the causal tree a piece of work happens."""
 
@@ -49,7 +48,7 @@ class TraceContext:
         return self.parent_id is None
 
 
-@dataclass
+@dataclass(slots=True)
 class Span:
     """One timed operation inside a trace."""
 
@@ -193,43 +192,33 @@ class Tracer:
         """The active span's context, or None outside any span."""
         return self._stack[-1].context if self._stack else None
 
-    @contextmanager
-    def span(self, name: str, **fields: Any):
+    def span(self, name: str, **fields: Any) -> "_SpanHandle":
         """Open a child span of the active span (or a new root trace).
 
-        Exceptions propagate, but mark the span ``status="error"`` with
-        the exception recorded, so fault-interrupted work is visible in
-        the timeline.
+        Returns a context manager yielding the :class:`Span`.  Exceptions
+        propagate, but mark the span ``status="error"`` with the
+        exception recorded, so fault-interrupted work is visible in the
+        timeline.  (A plain handle object, not a generator: span entry
+        runs on every control-channel command, and the ``contextmanager``
+        machinery was a measurable share of fleet drain time.)
         """
-        parent = self.current
-        if parent is None:
+        stack = self._stack
+        if stack:
+            parent = stack[-1].context
+            trace_id = parent.trace_id
+            parent_id = parent.span_id
+        else:
             self._trace_seq += 1
             trace_id = f"trace-{self._trace_seq:04d}"
             parent_id = None
-        else:
-            trace_id = parent.trace_id
-            parent_id = parent.span_id
         self._span_seq += 1
         ctx = TraceContext(
             trace_id=trace_id, span_id=f"span-{self._span_seq:05d}", parent_id=parent_id
         )
-        span = Span(context=ctx, name=name, start_time=self._world.now, fields=dict(fields))
-        self._stack.append(span)
+        span = Span(context=ctx, name=name, start_time=self._world.now, fields=fields)
+        stack.append(span)
         self._spans.append(span)
-        try:
-            yield span
-        except BaseException as exc:
-            span.status = "error"
-            span.error = f"{type(exc).__name__}: {exc}"
-            raise
-        finally:
-            span.end_time = self._world.now
-            self._stack.pop()
-            self._evict()
-            slow = getattr(self._world, "slow_ops", None)
-            if slow is not None:
-                slow.record(span.name, span.start_time, span.duration_s,
-                            span_id=ctx.span_id)
+        return _SpanHandle(self, span)
 
     # -- queries --------------------------------------------------------------
 
@@ -261,3 +250,31 @@ class Tracer:
     def clear(self) -> None:
         """Drop recorded spans (open spans stay on the stack)."""
         self._spans = [s for s in self._spans if s.end_time is None]
+
+
+class _SpanHandle:
+    """Context manager closing one span (see :meth:`Tracer.span`)."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: Tracer, span: Span) -> None:
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        span = self._span
+        if exc is not None:
+            span.status = "error"
+            span.error = f"{type(exc).__name__}: {exc}"
+        tracer = self._tracer
+        span.end_time = tracer._world.now
+        tracer._stack.pop()
+        tracer._evict()
+        slow = getattr(tracer._world, "slow_ops", None)
+        if slow is not None:
+            slow.record(span.name, span.start_time, span.duration_s,
+                        span_id=span.context.span_id)
+        return False

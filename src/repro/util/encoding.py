@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import base64
 import json
-import textwrap
+import re
 from typing import Any
 
 from repro.errors import ProtocolError
@@ -37,9 +37,12 @@ def b64decode_str(text: str) -> bytes:
         raise ProtocolError(f"invalid base64 payload: {exc}", code=501) from exc
 
 
+_NON_PRINTABLE = re.compile(r"[^\x20-\x7e]")
+
+
 def is_printable_ascii(text: str) -> bool:
     """True iff every character is in the printable ASCII range 32..126."""
-    return all(32 <= ord(c) <= 126 for c in text)
+    return _NON_PRINTABLE.search(text) is None
 
 
 def pem_encode(label: str, der: bytes) -> str:
@@ -49,7 +52,10 @@ def pem_encode(label: str, der: bytes) -> str:
     True
     """
     body = base64.b64encode(der).decode("ascii")
-    wrapped = "\n".join(textwrap.wrap(body, _PEM_LINE)) if body else ""
+    # base64 has no whitespace, so fixed-width slicing matches textwrap
+    wrapped = "\n".join(
+        body[i : i + _PEM_LINE] for i in range(0, len(body), _PEM_LINE)
+    )
     return f"-----BEGIN {label}-----\n{wrapped}\n-----END {label}-----\n"
 
 

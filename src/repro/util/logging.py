@@ -23,7 +23,7 @@ from typing import Any, Callable, Iterator
 SUBSCRIBER_ERROR_CATEGORY = "telemetry.subscriber_error"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Event:
     """One structured log record.
 
@@ -111,8 +111,14 @@ class EventLog:
             self.dropped_events += 1
 
     def _append(self, event: Event) -> None:
+        # inline single-step eviction: appends outnumber capacity changes
+        # by orders of magnitude, and at steady state exactly one event
+        # falls off per append
         self._events.append(event)
-        self._evict()
+        cap = self._capacity
+        if cap is not None and len(self._events) > cap:
+            self._events.popleft()
+            self.dropped_events += 1
 
     # -- recording ----------------------------------------------------------
 
@@ -133,8 +139,10 @@ class EventLog:
         remaining subscribers still receive the original event.
         """
         ev = Event(time=time, category=category, message=message,
-                   fields=dict(fields), trace_id=trace_id, span_id=span_id)
+                   fields=fields, trace_id=trace_id, span_id=span_id)
         self._append(ev)
+        if not self._subscribers:
+            return ev
         for sub in list(self._subscribers):
             try:
                 sub(ev)

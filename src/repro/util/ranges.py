@@ -9,7 +9,12 @@ is equality of content.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from typing import Iterable, Iterator
+
+#: sorts after any real end offset, so (start, _INF) bisects past every
+#: range whose start is <= start
+_INF = float("inf")
 
 
 class ByteRangeSet:
@@ -78,11 +83,21 @@ class ByteRangeSet:
         """True iff [start, end) is fully covered."""
         if start == end:
             return True
-        return any(s <= start and end <= e for s, e in self._ranges)
+        # ranges are sorted, coalesced, and disjoint: [start, end) is
+        # covered iff the last range starting at or before start reaches end
+        i = bisect_right(self._ranges, (start, _INF)) - 1
+        if i < 0:
+            return False
+        s, e = self._ranges[i]
+        return s <= start and end <= e
 
     def contains_point(self, offset: int) -> bool:
         """True iff ``offset`` lies inside a range."""
-        return any(s <= offset < e for s, e in self._ranges)
+        i = bisect_right(self._ranges, (offset, _INF)) - 1
+        if i < 0:
+            return False
+        s, e = self._ranges[i]
+        return s <= offset < e
 
     def covers(self, size: int) -> bool:
         """True iff [0, size) is fully covered."""

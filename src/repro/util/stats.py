@@ -1,0 +1,25 @@
+"""Small statistics helpers shared by the benchmark harnesses.
+
+Kept deliberately tiny: benchmarks report nearest-rank percentiles over
+wall-clock samples, and both fleet benches must agree on the exact
+definition so their baselines stay comparable.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of ``samples`` at quantile ``q`` in [0, 1].
+
+    The rank is ``round(q * (n - 1))`` into the sorted samples, clamped
+    to the valid index range; an empty sample list yields 0.0.  This is
+    the definition the fleet benchmarks have always used, extracted here
+    so the scheduler and wall-clock benches cannot drift apart.
+    """
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    idx = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return ordered[idx]

@@ -1,0 +1,52 @@
+"""Unit tests for the shared benchmark percentile helper."""
+
+import pytest
+
+from repro.util.stats import percentile
+
+
+def test_empty_samples_yield_zero():
+    assert percentile([], 0.5) == 0.0
+
+
+def test_single_sample_is_every_percentile():
+    for q in (0.0, 0.5, 0.99, 1.0):
+        assert percentile([7.5], q) == 7.5
+
+
+def test_endpoints_are_min_and_max():
+    samples = [9.0, 1.0, 5.0, 3.0]
+    assert percentile(samples, 0.0) == 1.0
+    assert percentile(samples, 1.0) == 9.0
+
+
+def test_input_order_is_irrelevant():
+    assert percentile([3.0, 1.0, 2.0], 0.5) == percentile([1.0, 2.0, 3.0], 0.5)
+
+
+def test_nearest_rank_definition():
+    # rank = round(q * (n - 1)) into the sorted list
+    samples = list(range(11))  # 0..10, already sorted
+    assert percentile(samples, 0.50) == 5
+    assert percentile(samples, 0.99) == 10
+    assert percentile(samples, 0.05) == 0  # round(0.5) banker's-rounds to 0
+    assert percentile(samples, 0.25) == 2  # round(2.5) banker's-rounds to 2
+
+
+def test_matches_the_benches_historical_definition():
+    # the exact expression both fleet benches used before extraction
+    def legacy(samples, q):
+        if not samples:
+            return 0.0
+        ordered = sorted(samples)
+        idx = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+        return ordered[idx]
+
+    cases = [
+        ([4.2, 1.1, 9.9, 2.0, 7.3], 0.5),
+        ([4.2, 1.1, 9.9, 2.0, 7.3], 0.99),
+        ([1.0, 2.0], 0.75),
+        (list(range(100)), 0.95),
+    ]
+    for samples, q in cases:
+        assert percentile(samples, q) == pytest.approx(legacy(samples, q))
