@@ -16,6 +16,8 @@ Usage::
     PYTHONPATH=src python benchmarks/bench_scheduler_fleet.py --quick   # CI smoke
     PYTHONPATH=src python benchmarks/bench_scheduler_fleet.py --quick \
         --check BENCH_scheduler.json                                    # regression gate
+    PYTHONPATH=src python benchmarks/bench_scheduler_fleet.py --quick \
+        --overhead-check                                  # observability tax gate
 
 ``BENCH_scheduler.json`` at the repo root is the committed full-run
 baseline and ``BENCH_scheduler_quick.json`` the quick-mode one (CI
@@ -24,6 +26,13 @@ checks quick against quick so scenarios match).  ``--check`` fails on a
 on a >30% ``queue_wait_p99_s`` increase; that metric is deterministic
 virtual time, so any drift is a behaviour change (``BENCH_TOLERANCE``
 overrides the tolerance, a fraction).
+
+``--observability`` runs the same storm with the flight recorder and
+SLO engine attached (``World.enable_observability``).  ``--overhead-check``
+runs the scenario both ways, best-of-2 per mode, and fails if the
+instrumented run's jobs/sec falls more than ``OVERHEAD_TOLERANCE``
+(default 10%) below the bare run — the "observability is near-free"
+gate.
 """
 
 from __future__ import annotations
@@ -110,8 +119,11 @@ def build_fleet(seed: int, users: int):
     return world, go, ep_a, ep_b
 
 
-def run_bench(seed: int, users: int, jobs: int, quick: bool) -> dict:
+def run_bench(seed: int, users: int, jobs: int, quick: bool,
+              observability: bool = False) -> dict:
     world, go, ep_a, ep_b = build_fleet(seed, users)
+    if observability:
+        world.enable_observability()
     accounts = []
     for u in range(users):
         account = go.register_user(f"user{u}@globusid")
@@ -149,9 +161,17 @@ def run_bench(seed: int, users: int, jobs: int, quick: bool) -> dict:
     delivered = go.scheduler.queue.delivered_bytes()
     metrics = world.metrics
     total_wall = submit_wall + drain_wall
+    observability_results = {}
+    if observability:
+        observability_results = {
+            "flight_records": len(world.flight_recorder),
+            "slo_alerts_fired": int(
+                metrics.get("slo_alerts_total").total()),
+        }
     return {
         "schema": SCHEMA,
         "quick": quick,
+        "observability": observability,
         "scenario": {
             "seed": seed,
             "users": users,
@@ -177,6 +197,7 @@ def run_bench(seed: int, users: int, jobs: int, quick: bool) -> dict:
                 metrics.counter("scheduler_batches_coalesced_total").value()),
             "batched_files": int(
                 metrics.counter("scheduler_batched_files_total").value()),
+            **observability_results,
         },
         "env": {
             "python": platform.python_version(),
@@ -224,6 +245,41 @@ def check_regression(current: dict, baseline_path: pathlib.Path) -> int:
     return 1 if failed else 0
 
 
+def overhead_check(seed: int, users: int, jobs: int, quick: bool) -> int:
+    """Exit code 1 if full observability costs more than the tolerance.
+
+    Best-of-2 wall-clock runs per mode: the max filters out one-off
+    allocator/GC stalls the same way the CI bench-smoke gate does.  The
+    virtual-time outcome must be bit-identical across modes — the
+    recorder and SLO engine only observe — so that is asserted too.
+    """
+    tol = float(os.environ.get("OVERHEAD_TOLERANCE", "0.10"))
+    best = {}
+    virtual = {}
+    for mode in (False, True):
+        label = "observability" if mode else "bare"
+        rates = []
+        for _ in range(2):
+            rep = run_bench(seed, users, jobs, quick=quick, observability=mode)
+            rates.append(rep["results"]["jobs_per_s"])
+            virtual[mode] = (rep["results"]["virtual_duration_s"],
+                             rep["results"]["queue_wait_p99_s"],
+                             rep["results"]["bytes_delivered"])
+        best[mode] = max(rates)
+        print(f"[overhead] {label}: best-of-2 {best[mode]:.1f} jobs/s "
+              f"(runs: {', '.join(f'{r:.1f}' for r in rates)})")
+    if virtual[False] != virtual[True]:
+        print(f"[overhead] FAIL: virtual outcome diverged "
+              f"bare={virtual[False]} instrumented={virtual[True]}")
+        return 1
+    floor = best[False] * (1.0 - tol)
+    tax = 1.0 - best[True] / best[False]
+    verdict = "OK" if best[True] >= floor else "REGRESSION"
+    print(f"[overhead] tax {tax:+.1%} (tolerance {tol:.0%}, "
+          f"floor {floor:.1f} jobs/s) -> {verdict}")
+    return 0 if best[True] >= floor else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
@@ -235,12 +291,21 @@ def main(argv: list[str] | None = None) -> int:
                         default=REPO_ROOT / "BENCH_scheduler.json")
     parser.add_argument("--check", type=pathlib.Path, default=None,
                         help="baseline JSON to gate against (>30%% regression fails)")
+    parser.add_argument("--observability", action="store_true",
+                        help="attach the flight recorder + SLO engine")
+    parser.add_argument("--overhead-check", action="store_true",
+                        help="gate instrumented jobs/sec against the bare run "
+                             "(OVERHEAD_TOLERANCE, default 10%%)")
     args = parser.parse_args(argv)
 
     users = args.users if args.users is not None else 50
     jobs = args.jobs if args.jobs is not None else (500 if args.quick else 5000)
 
-    report = run_bench(args.seed, users, jobs, quick=args.quick)
+    if args.overhead_check:
+        return overhead_check(args.seed, users, jobs, quick=args.quick)
+
+    report = run_bench(args.seed, users, jobs, quick=args.quick,
+                       observability=args.observability)
     args.out.write_text(json.dumps(report, indent=2) + "\n")
     r = report["results"]
     print(

@@ -407,7 +407,10 @@ class TransferEngine:
         )
         self._bytes_child("complete", options.transport).inc(total)
         self._transfers_complete.inc()
-        self._duration_obs.observe(result.duration_s)
+        ctx = world.tracer.current
+        self._duration_obs.observe(
+            result.duration_s,
+            exemplar=ctx.trace_id if ctx is not None else None)
         span.fields.update(nbytes=total, rate_bps=result.rate_bps,
                            streams=result.streams, stripes=result.stripes)
         return result

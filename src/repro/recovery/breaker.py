@@ -92,6 +92,10 @@ class CircuitBreaker:
         e = self._entries.get(key)
         return e.stats["opened"] if e else 0
 
+    def endpoints(self) -> list[str]:
+        """Every endpoint with breaker history, sorted (for dashboards)."""
+        return sorted(self._entries)
+
     # -- the gate -----------------------------------------------------------------
 
     def check(self, key: str) -> None:

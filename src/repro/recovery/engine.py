@@ -97,6 +97,11 @@ class RecoveryEngine:
         self._marker_corruptions_c = self._counter(
             "recovery_marker_corruptions_total",
             "Restart markers discarded or truncated by recovery loops")
+        self._attempt_h = world.metrics.histogram(
+            "recovery_attempt_seconds",
+            "Virtual seconds one recovery attempt spent executing",
+            labelnames=("component",))
+        self._attempt_obs = self._attempt_h.labels(component=component)
 
     # -- counters ---------------------------------------------------------------
 
@@ -163,10 +168,18 @@ class RecoveryEngine:
                     retries_legacy.inc(component=component)
                 attempt_started = world.now
                 try:
-                    with world.tracer.span(
-                        self.attempt_span_name, attempt=attempt_no
-                    ):
-                        result = operation(Attempt(attempt_no, checkpoint))
+                    try:
+                        with world.tracer.span(
+                            self.attempt_span_name, attempt=attempt_no
+                        ):
+                            result = operation(Attempt(attempt_no, checkpoint))
+                    finally:
+                        # inner finally: duration excludes the backoff the
+                        # except handler sleeps through below
+                        ctx = world.tracer.current
+                        self._attempt_obs.observe(
+                            world.now - attempt_started,
+                            exemplar=ctx.trace_id if ctx is not None else None)
                 except retry_on as exc:
                     last_exc = exc
                     faults_survived += 1

@@ -69,6 +69,7 @@ class AdmissionController:
         self._active_per_endpoint: dict[str, int] = {}
         self._bytes_per_endpoint: dict[str, int] = {}
         self._service_ewma_s: float | None = None
+        self._rejections: dict[str, int] = {}
         metrics = world.metrics
         self._rejected_c = metrics.counter(
             "scheduler_rejected_total",
@@ -89,22 +90,31 @@ class AdmissionController:
         """
         lim = self.limits
         if lim.max_queue_depth is not None and queue_depth >= lim.max_queue_depth:
-            self._rejected_c.inc(reason="queue_full")
             hint = self.retry_after_hint(queue_depth)
+            self._reject("queue_full", task, hint)
             raise QueueFullError(
                 f"task queue is full ({queue_depth}/{lim.max_queue_depth}); "
                 f"retry in ~{hint:.0f}s",
                 retry_after_s=hint,
             )
         if lim.max_queued_per_user is not None and user_depth >= lim.max_queued_per_user:
-            self._rejected_c.inc(reason="user_quota")
             hint = self.retry_after_hint(user_depth)
+            self._reject("user_quota", task, hint)
             raise QuotaExceededError(
                 f"user {task.user!r} already has {user_depth} tasks queued "
                 f"(quota {lim.max_queued_per_user}); retry in ~{hint:.0f}s",
                 user=task.user,
                 retry_after_s=hint,
             )
+
+    def _reject(self, reason: str, task: ScheduledTask, retry_after_s: float) -> None:
+        self._rejected_c.inc(reason=reason)
+        self._rejections[reason] = self._rejections.get(reason, 0) + 1
+        self.world.emit(
+            "scheduler.rejected", "submission refused by admission control",
+            reason=reason, user=task.user, task=task.task_id or None,
+            retry_after_s=round(retry_after_s, 3),
+        )
 
     def retry_after_hint(self, depth: int) -> float:
         """Estimated virtual seconds until a resubmission can be admitted.
@@ -165,3 +175,12 @@ class AdmissionController:
     def bytes_in_flight_for(self, endpoint: str) -> int:
         """Size-hint bytes currently charged against one endpoint."""
         return self._bytes_per_endpoint.get(endpoint, 0)
+
+    def stats(self) -> dict:
+        """Rejections by type plus the service-time EWMA (for dumps)."""
+        return {
+            "rejections": dict(sorted(self._rejections.items())),
+            "service_ewma_s": self._service_ewma_s,
+            "retry_after_hint_s": self.retry_after_hint(
+                sum(self._active_per_endpoint.values()) // 2 or 1),
+        }

@@ -69,6 +69,9 @@ class ScheduledTask:
     job_id: str = ""
     delivered_bytes: int = 0
     error: str = ""
+    #: trace id of the submit span — the task's primary trace, carried on
+    #: every scheduler event and used as the histogram exemplar
+    trace_id: str = ""
     #: sub-threshold tasks may fold into a batch unless this is False
     coalesce: bool = True
     #: callbacks the owning service uses to reflect state onto its jobs
@@ -251,6 +254,39 @@ class FairShareQueue:
             self._global_vtime = max(self._global_vtime, lane.vtime)
 
     # -- introspection ----------------------------------------------------
+
+    @property
+    def global_vtime(self) -> float:
+        """The queue-wide virtual time (max finish tag served so far)."""
+        return self._global_vtime
+
+    def lane_vtime(self, user: str) -> float:
+        """The virtual start tag a task pushed for ``user`` would carry.
+
+        An idle lane re-enters at the global virtual time, so this is
+        ``max(lane.vtime, global_vtime)`` — the number the flight
+        recorder stamps on the submit event.
+        """
+        lane = self._lanes.get(user)
+        if lane is None or not lane.fifo:
+            base = lane.vtime if lane is not None else 0.0
+            return max(base, self._global_vtime)
+        return lane.vtime
+
+    def lane_stats(self) -> list[dict[str, Any]]:
+        """Per-user lane state (weight, vtime tag, depth, delivered bytes)."""
+        out = []
+        for user in sorted(self._lanes):
+            lane = self._lanes[user]
+            out.append({
+                "user": user,
+                "weight": lane.weight,
+                "vtime": self.lane_vtime(user),
+                "depth": len(lane.fifo),
+                "delivered_bytes": lane.delivered_bytes,
+                "head_seq": lane.fifo[0].seq if lane.fifo else None,
+            })
+        return out
 
     def tasks(self) -> Iterator[ScheduledTask]:
         """Every queued task, in deterministic (user, FIFO) order."""

@@ -308,11 +308,14 @@ class FleetScheduler:
         self._submitted_c.inc()
         with self.world.tracer.span(
             "scheduler.submit", task=task.task_id, user=task.user
-        ):
+        ) as sp:
+            task.trace_id = sp.context.trace_id
             self.world.emit(
                 "scheduler.submitted", "task queued",
                 task=task.task_id, user=task.user, job=task.job_id,
                 bytes=task.size_hint,
+                src=task.src_endpoint, dst=task.dst_endpoint,
+                lane_vtime=self.queue.lane_vtime(task.user),
             )
             absorbed = self.coalescer.add(task)
             if absorbed is not None:
@@ -404,13 +407,15 @@ class FleetScheduler:
             self.admission.on_start(task)
             lease = self.leases.grant(task, worker.worker_id, now, self.config.lease_s)
             task.claimed_at = now
-            self._wait_h.observe(now - task.submitted_at)
+            wait_s = now - task.submitted_at
+            self._wait_h.observe(wait_s, exemplar=task.trace_id or None)
             if task.on_claim is not None:
                 task.on_claim(task)
             world.emit(
                 "scheduler.claimed", "task leased to worker",
                 task=task.task_id, worker=worker.worker_id,
                 attempt=task.attempts, lease_expires_at=lease.expires_at,
+                wait_s=wait_s, trace=task.trace_id or None,
             )
             # Crash model: a host fault beginning inside the lease window
             # kills this claim before any byte moves — the lease simply
@@ -450,6 +455,14 @@ class FleetScheduler:
                 task=task.task_id, worker=worker.worker_id,
                 user=task.user, attempt=task.attempts,
             ):
+                # the dispatch event binds this claim's trace to the task,
+                # so recovery/transfer events emitted inside the claim span
+                # attach causally to the task's flight record
+                world.emit(
+                    "scheduler.dispatch", "claim executing",
+                    task=task.task_id, worker=worker.worker_id,
+                    attempt=task.attempts, trace=task.trace_id or None,
+                )
                 try:
                     result = task.execute()
                 except ReproError as exc:
@@ -459,6 +472,7 @@ class FleetScheduler:
                     world.emit(
                         "scheduler.task_failed", "task raised during execution",
                         task=task.task_id, error=str(exc),
+                        trace=task.trace_id or None,
                     )
                 else:
                     task.state = TaskState.DONE
@@ -473,11 +487,11 @@ class FleetScheduler:
                     world.emit(
                         "scheduler.task_done", "task serviced",
                         task=task.task_id, user=task.user, bytes=delivered,
-                        attempts=task.attempts,
+                        attempts=task.attempts, trace=task.trace_id or None,
                     )
         finally:
             service_s = world.now - started
-            self._service_h.observe(service_s)
+            self._service_h.observe(service_s, exemplar=task.trace_id or None)
             self.leases.release(lease)
             self.admission.on_finish(task, service_s)
             self._fair_error_g.set(self.queue.fair_share_error())
@@ -514,7 +528,7 @@ class FleetScheduler:
             world.emit(
                 "scheduler.lease_expired", "lease lapsed; reclaiming task",
                 task=task.task_id, worker=lease.worker_id,
-                attempt=lease.attempt,
+                attempt=lease.attempt, trace=task.trace_id or None,
             )
             if task.attempts >= self.config.max_task_attempts:
                 task.state = TaskState.FAILED
@@ -528,6 +542,7 @@ class FleetScheduler:
                 world.emit(
                     "scheduler.task_failed", "task exhausted its claim attempts",
                     task=task.task_id, attempts=task.attempts,
+                    trace=task.trace_id or None,
                 )
                 continue
             self.queue.requeue(task)
@@ -590,5 +605,19 @@ class FleetScheduler:
                     "crashes": w.crashes,
                 }
                 for w in self.workers
+            ],
+            "lanes": self.queue.lane_stats(),
+            "global_vtime": self.queue.global_vtime,
+            "admission": self.admission.stats(),
+            "expiry_heap": [
+                {
+                    "task": lease.task.task_id, "worker": lease.worker_id,
+                    "expires_at": lease.expires_at,
+                    "expires_in_s": lease.expires_at - self.world.now,
+                    "abandoned": lease.abandoned,
+                }
+                for lease in sorted(
+                    self.leases.outstanding(),
+                    key=lambda le: (le.expires_at, le.lease_id))
             ],
         }

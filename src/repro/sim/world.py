@@ -57,6 +57,11 @@ class World:
         # Seeded chaos: disabled until configured and armed, but always
         # present so recovery code can route restart markers through it.
         self.chaos = FaultInjector(self)
+        # Fleet observability (flight recorder + SLO engine) is opt-in:
+        # both stay None until enable_observability() attaches them, so a
+        # plain world pays nothing for the subsystem.
+        self.flight_recorder = None
+        self.slo = None
 
     # -- time ------------------------------------------------------------
 
@@ -99,6 +104,35 @@ class World:
     def span(self, name: str, **fields: Any):
         """Open a tracer span (convenience for ``world.tracer.span``)."""
         return self.tracer.span(name, **fields)
+
+    def enable_observability(
+        self,
+        *,
+        flight_capacity: int = 4096,
+        slos=None,
+        queue_wait_slo_s: float = 600.0,
+    ):
+        """Attach the flight recorder and SLO engine to this world.
+
+        Idempotent: a second call returns the already-attached pair.
+        ``slos`` overrides the default objective set; ``queue_wait_slo_s``
+        tunes the stock queue-wait latency cut when defaults are used.
+        """
+        if self.flight_recorder is not None and self.slo is not None:
+            return self.flight_recorder, self.slo
+        # Lazy imports: telemetry.flightrecorder/slo import scheduler-facing
+        # types and must not load for worlds that never observe.
+        from repro.telemetry.flightrecorder import FlightRecorder
+        from repro.telemetry.slo import SLOEngine, default_slos, wire_slos
+
+        if self.flight_recorder is None:
+            self.flight_recorder = FlightRecorder(self, capacity=flight_capacity)
+        if self.slo is None:
+            if slos is None:
+                slos = default_slos(queue_wait_slo_s=queue_wait_slo_s)
+            self.slo = SLOEngine(self, slos)
+            wire_slos(self, self.slo)
+        return self.flight_recorder, self.slo
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -1,20 +1,29 @@
-"""Telemetry: tracing, metrics, and profiling for a world.
+"""Telemetry: tracing, metrics, profiling, and fleet observability.
 
-Three pillars (see DESIGN.md "Observability"):
+Five pillars (see DESIGN.md "Observability"):
 
 * :mod:`repro.telemetry.trace` — trace/span propagation over the
   virtual clock, with causal-tree reconstruction per transfer;
 * :mod:`repro.telemetry.metrics` — counters, gauges, and fixed-bucket
-  histograms with Prometheus-style text exposition;
+  histograms with Prometheus-style text exposition and optional
+  trace-id exemplars per bucket;
 * :mod:`repro.telemetry.profiling` — the ``@timed`` decorator and the
-  per-world slow-operation log.
+  per-world slow-operation log;
+* :mod:`repro.telemetry.flightrecorder` — the bounded per-job black
+  box: causal records assembled from scheduler/recovery/transfer
+  events, keyed by trace id;
+* :mod:`repro.telemetry.slo` — declarative objectives with
+  multi-window burn-rate alerting over virtual time.
 
-Every :class:`~repro.sim.world.World` owns one of each as
-``world.tracer``, ``world.metrics``, and ``world.slow_ops``.
+Every :class:`~repro.sim.world.World` owns the first three as
+``world.tracer``, ``world.metrics``, and ``world.slow_ops``; the last
+two attach on demand via ``world.enable_observability()``.
 """
 
+from repro.telemetry.flightrecorder import FlightEvent, FlightRecord, FlightRecorder
 from repro.telemetry.metrics import (
     Counter,
+    Exemplar,
     Gauge,
     Histogram,
     MetricError,
@@ -22,15 +31,29 @@ from repro.telemetry.metrics import (
     Sample,
 )
 from repro.telemetry.profiling import SlowOp, SlowOpLog, timed
+from repro.telemetry.slo import (
+    BurnWindow,
+    ServiceObjective,
+    SLOEngine,
+    default_slos,
+    wire_slos,
+)
 from repro.telemetry.trace import Span, Trace, TraceContext, Tracer, TimelineNode
 
 __all__ = [
+    "BurnWindow",
     "Counter",
+    "Exemplar",
+    "FlightEvent",
+    "FlightRecord",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "MetricError",
     "MetricsRegistry",
+    "SLOEngine",
     "Sample",
+    "ServiceObjective",
     "SlowOp",
     "SlowOpLog",
     "Span",
@@ -38,5 +61,7 @@ __all__ = [
     "Trace",
     "TraceContext",
     "Tracer",
+    "default_slos",
     "timed",
+    "wire_slos",
 ]

@@ -1,0 +1,353 @@
+"""The per-job flight recorder: a black box for fleet transfers.
+
+Operating a hosted transfer service means answering "what happened to
+*this* job?" long after it ran — why was its queue wait at p99, which
+worker crashed under it, how many restart markers did recovery absorb.
+The :class:`FlightRecorder` assembles that answer passively: it
+subscribes to the world's :class:`~repro.util.logging.EventLog` and
+folds scheduler / recovery / transfer events into one causal
+:class:`FlightRecord` per task — submit → admission verdict → queue
+(with its fair-share lane virtual start tag) → claim/lease → dispatch →
+every retry / restart-marker / breaker event → completion.
+
+Correlation works in two steps.  Scheduler events carry an explicit
+``task=`` field and bind directly.  Recovery and transfer events carry
+no task field, but they fire *inside* the scheduler's claim span, so
+their ``trace_id`` matches the trace the scheduler bound to the task at
+dispatch time (the ``scheduler.dispatch`` event) — the recorder keeps a
+``trace_id → task_id`` index and attaches them causally.  The submit
+span's trace id becomes the record's primary :attr:`FlightRecord.trace_id`,
+which is exactly the id histograms capture as exemplars, so a p99
+bucket's exemplar resolves to a full flight record via :meth:`by_trace`.
+
+The ring is bounded and seed-deterministic: ``capacity`` records are
+retained, completed records evicted oldest-first before in-flight ones;
+per-record event lists are bounded too (dropped counts are kept).  The
+whole store dumps as JSONL — the black box CI uploads when a chaos
+matrix job fails.  Nothing here touches the wall clock, and a world
+without an attached recorder pays zero cost.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Iterator
+
+from repro.util.logging import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.world import World
+
+#: default bound on retained records
+DEFAULT_CAPACITY = 4096
+#: default bound on events kept per record
+DEFAULT_EVENTS_PER_RECORD = 256
+
+#: event-category prefixes that land in flight records when trace-bound
+_CAUSAL_PREFIXES = (
+    "recovery.",
+    "gridftp.transfer.",
+    "globusonline.",
+    "slo.",
+)
+
+
+@dataclass(frozen=True, slots=True)
+class FlightEvent:
+    """One timeline entry inside a flight record."""
+
+    time: float
+    kind: str
+    detail: dict[str, Any]
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"time": self.time, "kind": self.kind, "detail": dict(self.detail)}
+
+
+@dataclass
+class FlightRecord:
+    """The assembled causal history of one scheduled task."""
+
+    task_id: str
+    user: str = ""
+    job_id: str = ""
+    src_endpoint: str = ""
+    dst_endpoint: str = ""
+    #: the submit span's trace id — the exemplar key for this record
+    trace_id: str = ""
+    #: every trace bound to this task (submit trace + one per dispatch)
+    trace_ids: list[str] = field(default_factory=list)
+    status: str = "queued"
+    size_hint: int = 0
+    delivered_bytes: int = 0
+    attempts: int = 0
+    #: recovery-loop faults absorbed while this task executed
+    recovery_faults: int = 0
+    #: restart markers discarded/truncated while this task executed
+    marker_corruptions: int = 0
+    lane_vtime: float | None = None
+    submitted_at: float | None = None
+    claimed_at: float | None = None
+    completed_at: float | None = None
+    error: str = ""
+    events: list[FlightEvent] = field(default_factory=list)
+    dropped_events: int = 0
+
+    @property
+    def complete(self) -> bool:
+        """The record covers the whole lifecycle (terminal state reached)."""
+        return (
+            self.status in ("done", "failed")
+            and self.submitted_at is not None
+            and self.completed_at is not None
+        )
+
+    @property
+    def queue_wait_s(self) -> float:
+        """Virtual seconds between submit and first claim (0 if unclaimed)."""
+        if self.submitted_at is None or self.claimed_at is None:
+            return 0.0
+        return self.claimed_at - self.submitted_at
+
+    @property
+    def total_s(self) -> float:
+        """Virtual seconds from submit to completion (0 while in flight)."""
+        if self.submitted_at is None or self.completed_at is None:
+            return 0.0
+        return self.completed_at - self.submitted_at
+
+    def events_of(self, kind: str) -> list[FlightEvent]:
+        """Timeline entries whose kind starts with ``kind``."""
+        return [ev for ev in self.events if ev.kind.startswith(kind)]
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-ready dict (the JSONL dump row)."""
+        return {
+            "task_id": self.task_id,
+            "user": self.user,
+            "job_id": self.job_id,
+            "src_endpoint": self.src_endpoint,
+            "dst_endpoint": self.dst_endpoint,
+            "trace_id": self.trace_id,
+            "trace_ids": list(self.trace_ids),
+            "status": self.status,
+            "size_hint": self.size_hint,
+            "delivered_bytes": self.delivered_bytes,
+            "attempts": self.attempts,
+            "recovery_faults": self.recovery_faults,
+            "marker_corruptions": self.marker_corruptions,
+            "lane_vtime": self.lane_vtime,
+            "submitted_at": self.submitted_at,
+            "claimed_at": self.claimed_at,
+            "completed_at": self.completed_at,
+            "queue_wait_s": self.queue_wait_s,
+            "total_s": self.total_s,
+            "error": self.error,
+            "dropped_events": self.dropped_events,
+            "events": [ev.to_dict() for ev in self.events],
+        }
+
+
+class FlightRecorder:
+    """Event-log subscriber assembling bounded per-task flight records."""
+
+    def __init__(
+        self,
+        world: "World",
+        capacity: int = DEFAULT_CAPACITY,
+        events_per_record: int = DEFAULT_EVENTS_PER_RECORD,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        if events_per_record < 1:
+            raise ValueError("events_per_record must be >= 1")
+        self.world = world
+        self.capacity = capacity
+        self.events_per_record = events_per_record
+        self._records: dict[str, FlightRecord] = {}
+        self._by_trace: dict[str, str] = {}
+        #: task ids that reached a terminal state, in completion order
+        self._completed_order: deque[str] = deque()
+        #: admission rejections (no task id exists for these)
+        self.rejections: deque[FlightEvent] = deque(maxlen=256)
+        metrics = world.metrics
+        self._records_g = metrics.gauge(
+            "flightrecorder_records", "Flight records currently retained")
+        self._evicted_c = metrics.counter(
+            "flightrecorder_evicted_total", "Flight records dropped by the ring bound")
+        self._records_g.set(0)
+        self._evicted_c.inc(0)
+        world.log.subscribe(self._on_event)
+        self._attached = True
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def detach(self) -> None:
+        """Stop recording (the assembled records stay queryable)."""
+        if self._attached:
+            self.world.log.unsubscribe(self._on_event)
+            self._attached = False
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    # -- assembly ----------------------------------------------------------
+
+    def _record_for(self, task_id: str) -> FlightRecord:
+        rec = self._records.get(task_id)
+        if rec is None:
+            rec = self._records[task_id] = FlightRecord(task_id=task_id)
+            self._evict()
+            self._records_g.set(len(self._records))
+        return rec
+
+    def _evict(self) -> None:
+        while len(self._records) > self.capacity:
+            victim = None
+            while self._completed_order:
+                candidate = self._completed_order.popleft()
+                if candidate in self._records:
+                    victim = candidate
+                    break
+            if victim is None:
+                # nothing terminal to drop: evict the oldest record
+                victim = next(iter(self._records))
+            self._drop(victim)
+            self._evicted_c.inc()
+
+    def _drop(self, task_id: str) -> None:
+        rec = self._records.pop(task_id, None)
+        if rec is None:
+            return
+        for tid in rec.trace_ids:
+            if self._by_trace.get(tid) == task_id:
+                del self._by_trace[tid]
+
+    def _bind_trace(self, rec: FlightRecord, trace_id: str | None) -> None:
+        if trace_id and trace_id not in rec.trace_ids:
+            rec.trace_ids.append(trace_id)
+            self._by_trace[trace_id] = rec.task_id
+
+    def _append(self, rec: FlightRecord, ev: Event) -> None:
+        if len(rec.events) >= self.events_per_record:
+            rec.dropped_events += 1
+            return
+        rec.events.append(FlightEvent(ev.time, ev.category, dict(ev.fields)))
+
+    def _on_event(self, ev: Event) -> None:
+        cat = ev.category
+        if cat.startswith("scheduler."):
+            self._on_scheduler_event(ev)
+            return
+        if cat.startswith(_CAUSAL_PREFIXES):
+            tid = ev.trace_id
+            if tid is not None:
+                task_id = self._by_trace.get(tid)
+                if task_id is not None:
+                    rec = self._records[task_id]
+                    self._append(rec, ev)
+                    if cat == "recovery.fault":
+                        rec.recovery_faults += 1
+                    elif cat in ("recovery.marker_corrupt",
+                                 "recovery.marker_truncated"):
+                        rec.marker_corruptions += 1
+
+    def _on_scheduler_event(self, ev: Event) -> None:
+        fields = ev.fields
+        if ev.category == "scheduler.rejected":
+            self.rejections.append(
+                FlightEvent(ev.time, ev.category, dict(fields)))
+            return
+        task_id = fields.get("task")
+        if not task_id:
+            return
+        rec = self._record_for(task_id)
+        self._append(rec, ev)
+        cat = ev.category
+        if cat == "scheduler.submitted":
+            rec.user = fields.get("user", rec.user)
+            rec.job_id = fields.get("job", rec.job_id)
+            rec.size_hint = fields.get("bytes", rec.size_hint)
+            rec.src_endpoint = fields.get("src", rec.src_endpoint)
+            rec.dst_endpoint = fields.get("dst", rec.dst_endpoint)
+            rec.lane_vtime = fields.get("lane_vtime", rec.lane_vtime)
+            rec.submitted_at = ev.time
+            if ev.trace_id is not None and not rec.trace_id:
+                rec.trace_id = ev.trace_id
+            self._bind_trace(rec, ev.trace_id)
+        elif cat == "scheduler.claimed":
+            if rec.claimed_at is None:
+                rec.claimed_at = ev.time
+            rec.attempts = fields.get("attempt", rec.attempts)
+            rec.status = "claimed"
+        elif cat == "scheduler.dispatch":
+            # the claim span's trace: recovery/transfer events of this
+            # execution carry it, and bind causally through it
+            self._bind_trace(rec, ev.trace_id)
+        elif cat == "scheduler.task_done":
+            rec.status = "done"
+            rec.completed_at = ev.time
+            rec.delivered_bytes = fields.get("bytes", rec.delivered_bytes)
+            rec.attempts = fields.get("attempts", rec.attempts)
+            self._completed_order.append(rec.task_id)
+        elif cat == "scheduler.task_failed":
+            rec.status = "failed"
+            rec.completed_at = ev.time
+            rec.error = str(fields.get("error", ""))
+            self._completed_order.append(rec.task_id)
+        elif cat == "scheduler.lease_expired":
+            rec.status = "queued"
+
+    # -- queries -----------------------------------------------------------
+
+    def record(self, task_id: str) -> FlightRecord | None:
+        """The flight record for one task id, or None."""
+        return self._records.get(task_id)
+
+    def by_trace(self, trace_id: str) -> FlightRecord | None:
+        """Resolve any bound trace id (e.g. a metric exemplar) to its record."""
+        task_id = self._by_trace.get(trace_id)
+        return self._records.get(task_id) if task_id is not None else None
+
+    def records(self) -> Iterator[FlightRecord]:
+        """Every retained record, oldest first."""
+        return iter(self._records.values())
+
+    def for_user(self, user: str) -> list[FlightRecord]:
+        """Records belonging to one user."""
+        return [r for r in self._records.values() if r.user == user]
+
+    def for_endpoint(self, endpoint: str) -> list[FlightRecord]:
+        """Records touching one endpoint (as source or destination)."""
+        return [
+            r for r in self._records.values()
+            if endpoint in (r.src_endpoint, r.dst_endpoint)
+        ]
+
+    def slowest(self, n: int = 10, by: str = "total_s") -> list[FlightRecord]:
+        """The ``n`` slowest records (``by`` = total_s or queue_wait_s)."""
+        if by not in ("total_s", "queue_wait_s"):
+            raise ValueError("by must be 'total_s' or 'queue_wait_s'")
+        ranked = sorted(
+            self._records.values(),
+            key=lambda r: (-getattr(r, by), r.task_id),
+        )
+        return ranked[:n]
+
+    # -- export ------------------------------------------------------------
+
+    def to_jsonl(self) -> str:
+        """Every record as JSON lines — the black-box dump."""
+        return "\n".join(
+            json.dumps(rec.to_dict(), sort_keys=True, default=str)
+            for rec in self._records.values()
+        )
+
+    def dump(self, path: str) -> int:
+        """Write :meth:`to_jsonl` to ``path``; returns records written."""
+        text = self.to_jsonl()
+        with open(path, "w") as fh:
+            fh.write(text + ("\n" if text else ""))
+        return len(self._records)

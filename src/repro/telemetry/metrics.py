@@ -23,6 +23,14 @@ print.
 Metric name conventions used across the codebase: ``*_total`` for
 counters, ``*_seconds`` for time histograms, no ``repro_`` prefix (the
 registry is already scoped to one world).
+
+Histograms optionally capture **exemplars** (OpenMetrics syntax): an
+``observe(value, exemplar=trace_id)`` call remembers the trace id of
+the observation per bucket (latest wins — deterministic under seeded
+replay), so a p99 bucket in the exposition links straight to the flight
+record of the job that landed there.  Exemplar syntax is emitted only
+on bucket lines that actually hold one; a registry with no exemplars
+renders byte-identical to before.
 """
 
 from __future__ import annotations
@@ -57,8 +65,21 @@ def _freeze_labels(labelnames: tuple[str, ...], labels: dict[str, Any]) -> tuple
     return tuple(str(labels[name]) for name in labelnames)
 
 
+@dataclass(frozen=True)
+class Exemplar:
+    """One trace-linked observation attached to a histogram bucket."""
+
+    trace_id: str
+    value: float
+
+
 def _escape_label_value(value: str) -> str:
     return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _escape_help(text: str) -> str:
+    # HELP lines escape backslash and newline (quotes are legal there)
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
 
 
 def _fmt_value(value: float) -> str:
@@ -135,7 +156,7 @@ class HistogramChild:
             key, [0] * (len(histogram.buckets) + 1)
         )
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, exemplar: str | None = None) -> None:
         """Record one observation on the bound series."""
         h, key = self._histogram, self._key
         for i, bound in enumerate(h.buckets):
@@ -143,9 +164,12 @@ class HistogramChild:
                 self._counts[i] += 1
                 break
         else:
+            i = len(h.buckets)
             self._counts[-1] += 1
         h._sums[key] = h._sums.get(key, 0.0) + value
         h._totals[key] = h._totals.get(key, 0) + 1
+        if exemplar is not None:
+            h._exemplars.setdefault(key, {})[i] = Exemplar(exemplar, value)
 
 
 class Counter(_Metric):
@@ -291,13 +315,16 @@ class Histogram(_Metric):
         self._counts: dict[tuple[str, ...], list[int]] = {}
         self._sums: dict[tuple[str, ...], float] = {}
         self._totals: dict[tuple[str, ...], int] = {}
+        # per-labelset: bucket index -> latest Exemplar (sampling rule:
+        # last observation into a bucket keeps its exemplar)
+        self._exemplars: dict[tuple[str, ...], dict[int, Exemplar]] = {}
 
     def labels(self, **labels: Any) -> HistogramChild:
         """A bound child for one labelset (O(1) ``observe`` afterwards)."""
         return HistogramChild(self, self._key(labels))
 
-    def observe(self, value: float, **labels: Any) -> None:
-        """Record one observation."""
+    def observe(self, value: float, exemplar: str | None = None, **labels: Any) -> None:
+        """Record one observation (``exemplar`` is an optional trace id)."""
         key = self._key(labels)
         counts = self._counts.setdefault(key, [0] * (len(self.buckets) + 1))
         for i, bound in enumerate(self.buckets):
@@ -305,9 +332,12 @@ class Histogram(_Metric):
                 counts[i] += 1
                 break
         else:
+            i = len(self.buckets)
             counts[-1] += 1
         self._sums[key] = self._sums.get(key, 0.0) + value
         self._totals[key] = self._totals.get(key, 0) + 1
+        if exemplar is not None:
+            self._exemplars.setdefault(key, {})[i] = Exemplar(exemplar, value)
 
     def count(self, **labels: Any) -> int:
         """Observations recorded for one labelled series."""
@@ -329,6 +359,13 @@ class Histogram(_Metric):
         out[float("inf")] = running + counts[-1]
         return out
 
+    def exemplars(self, **labels: Any) -> dict[float, Exemplar]:
+        """``{le: exemplar}`` for buckets holding one (``inf`` for overflow)."""
+        key = self._key(labels)
+        stored = self._exemplars.get(key, {})
+        bounds = self.buckets + (float("inf"),)
+        return {bounds[i]: ex for i, ex in sorted(stored.items())}
+
     def samples(self) -> list[Sample]:
         out = []
         for key in sorted(self._totals):
@@ -337,21 +374,32 @@ class Histogram(_Metric):
             out.append(Sample(self.name + "_sum", labels, self._sums[key]))
         return out
 
+    def _exemplar_suffix(self, key: tuple[str, ...], index: int) -> str:
+        ex = self._exemplars.get(key, {}).get(index)
+        if ex is None:
+            return ""
+        return (
+            f' # {{trace_id="{_escape_label_value(ex.trace_id)}"}}'
+            f" {_fmt_value(ex.value)}"
+        )
+
     def expose(self) -> list[str]:
         lines = []
         bucket_labelnames = self.labelnames + ("le",)
         for key in sorted(self._totals):
             running = 0
             counts = self._counts[key]
-            for bound, n in zip(self.buckets, counts):
+            for i, (bound, n) in enumerate(zip(self.buckets, counts)):
                 running += n
                 lines.append(
                     _series(self.name + "_bucket", bucket_labelnames,
                             key + (_fmt_value(bound),), running)
+                    + self._exemplar_suffix(key, i)
                 )
             lines.append(
                 _series(self.name + "_bucket", bucket_labelnames,
                         key + ("+Inf",), running + counts[-1])
+                + self._exemplar_suffix(key, len(self.buckets))
             )
             lines.append(_series(self.name + "_sum", self.labelnames, key, self._sums[key]))
             lines.append(_series(self.name + "_count", self.labelnames, key,
@@ -437,7 +485,7 @@ class MetricsRegistry:
         for name in sorted(self._metrics):
             metric = self._metrics[name]
             if metric.help:
-                lines.append(f"# HELP {name} {metric.help}")
+                lines.append(f"# HELP {name} {_escape_help(metric.help)}")
             lines.append(f"# TYPE {name} {metric.kind}")
             lines.extend(metric.expose())
         return "\n".join(lines) + ("\n" if lines else "")

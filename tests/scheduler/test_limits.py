@@ -113,3 +113,31 @@ def test_none_disables_every_knob(world):
     for _ in range(100):
         ctrl.on_start(mk(size=10**9))
     assert ctrl.can_start(mk(size=10**9))
+
+
+# -- rejection telemetry (observability) -----------------------------------
+
+
+def test_rejections_emit_events_and_stats(world, ctrl):
+    with pytest.raises(QueueFullError):
+        ctrl.admit(mk(), queue_depth=3, user_depth=0)
+    with pytest.raises(QuotaExceededError):
+        ctrl.admit(mk(user="bob"), queue_depth=1, user_depth=2)
+    events = world.log.select("scheduler.rejected")
+    assert [ev.fields["reason"] for ev in events] == ["queue_full", "user_quota"]
+    assert events[1].fields["user"] == "bob"
+    assert events[0].fields["retry_after_s"] > 0
+    stats = ctrl.stats()
+    assert stats["rejections"] == {"queue_full": 1, "user_quota": 1}
+    assert stats["service_ewma_s"] is None
+    assert stats["retry_after_hint_s"] > 0
+
+
+def test_stats_tracks_service_ewma(world, ctrl):
+    task = mk()
+    ctrl.on_start(task)
+    ctrl.on_finish(task, service_s=10.0)
+    assert ctrl.stats()["service_ewma_s"] == pytest.approx(10.0)
+    ctrl.on_start(task)
+    ctrl.on_finish(task, service_s=20.0)
+    assert ctrl.stats()["service_ewma_s"] == pytest.approx(12.0)

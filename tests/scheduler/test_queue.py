@@ -140,3 +140,41 @@ def test_jain_index_extremes():
     assert jain_index([1, 0, 0, 0]) == pytest.approx(0.25)
     assert jain_index([]) == 1.0
     assert jain_index([0, 0]) == 1.0
+
+
+# -- lane introspection (observability) ------------------------------------
+
+
+def test_lane_stats_and_vtime_tags():
+    q = FairShareQueue()
+    q.set_weight("bob", 2.0)
+    q.push(mk("alice", size=4000))
+    q.push(mk("bob", size=4000))
+    stats = {row["user"]: row for row in q.lane_stats()}
+    assert stats["alice"]["depth"] == 1
+    assert stats["alice"]["vtime"] == 0.0
+    assert stats["bob"]["weight"] == 2.0
+    assert stats["alice"]["head_seq"] == 1
+    drain(q)
+    stats = {row["user"]: row for row in q.lane_stats()}
+    assert stats["alice"]["depth"] == 0
+    assert stats["alice"]["head_seq"] is None
+    assert stats["alice"]["delivered_bytes"] == 4000
+    # alice charged 4000/1.0, bob 4000/2.0; bob's charge emptied the
+    # queue, so global vtime catches up to his finish tag
+    assert stats["alice"]["vtime"] == pytest.approx(4000.0)
+    assert stats["bob"]["vtime"] == pytest.approx(2000.0)
+    assert q.global_vtime == pytest.approx(2000.0)
+
+
+def test_idle_lane_vtime_reports_reentry_tag():
+    q = FairShareQueue()
+    q.push(mk("alice", size=8000))
+    drain(q)
+    assert q.global_vtime == pytest.approx(8000.0)
+    # bob never queued: a push now would re-enter at the global vtime,
+    # and lane_vtime says so before the push happens
+    assert q.lane_vtime("bob") == pytest.approx(8000.0)
+    t = q.push(mk("bob"))
+    assert q.lane_vtime("bob") == pytest.approx(8000.0)
+    assert t.state is TaskState.QUEUED

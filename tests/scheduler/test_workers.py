@@ -184,3 +184,60 @@ def test_config_validation():
         SchedulerConfig(heartbeat_s=60.0, lease_s=60.0)
     with pytest.raises(ValueError):
         SchedulerConfig(max_task_attempts=0)
+
+
+# -- observability wiring --------------------------------------------------
+
+
+def test_submit_stamps_trace_and_events_carry_it(world):
+    sched = FleetScheduler(world, SchedulerConfig(
+        workers=1, batch_threshold_bytes=0))
+    task = sched.submit(mk(world, task_id="t1"))
+    assert task.trace_id.startswith("trace-")
+    sub = world.log.select("scheduler.submitted")[0]
+    assert sub.trace_id == task.trace_id
+    assert "lane_vtime" in sub.fields
+    assert sub.fields["src"] == "ep-a"
+    sched.run_until_idle()
+    claimed = world.log.select("scheduler.claimed")[0]
+    assert claimed.fields["trace"] == task.trace_id
+    assert claimed.fields["wait_s"] >= 0.0
+    done = world.log.select("scheduler.task_done")[0]
+    assert done.fields["trace"] == task.trace_id
+    dispatch = world.log.select("scheduler.dispatch")[0]
+    assert dispatch.fields["task"] == "t1"
+    # the dispatch event fires inside the claim span: its trace differs
+    # from the submit trace and binds the claim's causal tree
+    assert dispatch.trace_id is not None
+    assert dispatch.trace_id != task.trace_id
+
+
+def test_queue_wait_histogram_captures_exemplars(world):
+    sched = FleetScheduler(world, SchedulerConfig(
+        workers=1, batch_threshold_bytes=0))
+    t1 = sched.submit(mk(world, task_id="t1"))
+    sched.submit(mk(world, user="bob", task_id="t2"))
+    sched.run_until_idle()
+    h = world.metrics.get("scheduler_queue_wait_seconds")
+    exemplars = h.exemplars()
+    assert exemplars
+    assert any(ex.trace_id == t1.trace_id for ex in exemplars.values())
+    assert world.metrics.get("scheduler_service_seconds").exemplars()
+
+
+def test_snapshot_includes_observability_sections(world):
+    sched = FleetScheduler(world, SchedulerConfig(
+        workers=2, batch_threshold_bytes=0))
+    for i in range(3):
+        sched.submit(mk(world, user=f"u{i}", task_id=f"t{i}"))
+    task = sched.queue.pop_next()
+    task.attempts += 1
+    sched.leases.grant(task, "w0", world.now, sched.config.lease_s)
+    snap = sched.snapshot()
+    assert {row["user"] for row in snap["lanes"]} == {"u0", "u1", "u2"}
+    assert snap["global_vtime"] == 0.0
+    assert snap["admission"]["rejections"] == {}
+    (entry,) = snap["expiry_heap"]
+    assert entry["task"] == task.task_id
+    assert entry["expires_in_s"] == pytest.approx(sched.config.lease_s)
+    assert entry["abandoned"] is False

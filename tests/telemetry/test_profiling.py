@@ -80,6 +80,68 @@ def test_slow_op_log_capacity_and_queries():
     assert len(log) == 0
 
 
+def test_threshold_boundary_is_inclusive():
+    log = SlowOpLog(threshold_s=2.0)
+    assert not log.record("under", 0.0, 1.999999)
+    assert log.record("exact", 0.0, 2.0)  # at-threshold ops are slow ops
+    assert log.record("over", 0.0, 2.5)
+    assert [op.name for op in log] == ["exact", "over"]
+    assert log.total_recorded == 2
+
+
+def test_slow_op_log_records_span_id():
+    log = SlowOpLog(threshold_s=0.5)
+    assert log.record("spanned", 3.0, 1.0, span_id="span-0007")
+    (entry,) = log.entries("spanned")
+    assert entry.span_id == "span-0007"
+    assert entry.start_time == 3.0
+    # record() without a span id leaves it None
+    log.record("bare", 4.0, 1.0)
+    assert log.entries("bare")[0].span_id is None
+
+
+def test_slow_op_log_validates_capacity():
+    import pytest as _pytest
+    with _pytest.raises(ValueError):
+        SlowOpLog(threshold_s=1.0, capacity=0)
+
+
+def test_entries_filters_by_name_prefix():
+    log = SlowOpLog(threshold_s=0.0)
+    log.record("gridftp.retr", 0.0, 1.0)
+    log.record("gridftp.stor", 1.0, 2.0)
+    log.record("scheduler.claim", 2.0, 3.0)
+    assert len(log.entries("gridftp.")) == 2
+    assert len(log.entries("scheduler.")) == 1
+    assert len(log.entries()) == 3
+    assert [op.name for op in log.slowest(2)] == [
+        "scheduler.claim", "gridftp.stor"]
+
+
+def test_timed_metric_emission_spans_buckets():
+    w = World(seed=2)
+    comp = _Component(w)
+    for seconds in (0.25, 3.0, 40.0):
+        comp.costly(seconds)
+    h = w.metrics.get(OP_HISTOGRAM)
+    assert h.count(category="demo.costly") == 3
+    assert h.sum(category="demo.costly") == pytest.approx(43.25)
+    buckets = h.bucket_counts(category="demo.costly")
+    assert buckets[0.5] == 1   # only the 0.25s op
+    assert buckets[5.0] == 2   # plus the 3s op
+    assert buckets[60.0] == 3  # all of them
+
+
+def test_timed_ring_eviction_under_sustained_slowness():
+    w = World(seed=2, slow_op_threshold_s=0.5)
+    w.slow_ops._entries = type(w.slow_ops._entries)(maxlen=4)
+    comp = _Component(w)
+    for _ in range(6):
+        comp.costly(1.0)
+    assert len(w.slow_ops) == 4  # ring keeps only the newest
+    assert w.slow_ops.total_recorded == 6
+
+
 def test_dtp_storage_ops_are_instrumented():
     from repro.gridftp.dtp import DataTransferProcess
     from repro.storage.posix import PosixStorage

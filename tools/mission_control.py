@@ -1,0 +1,167 @@
+#!/usr/bin/env python
+"""Mission control: one snapshot dashboard for a simulated fleet.
+
+``render(world, scheduler, breaker=...)`` assembles the operator view
+the REST portal will eventually serve: per-user queue depths and
+fair-share virtual tags, outstanding leases ordered by expiry, circuit
+breaker states per endpoint, SLO burn rates with alert status, and the
+top-N slowest flight records (with their exemplar trace ids, so a row
+here links to a ``# {trace_id=...}`` exemplar in the Prometheus text).
+
+Requires ``world.enable_observability()`` for the SLO and flight
+recorder panels; without it those panels report "not attached".  Run
+directly for a self-contained chaos demo:
+
+    PYTHONPATH=src python tools/mission_control.py
+    PYTHONPATH=src python tools/mission_control.py --seed 11 --top 5
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.metrics.report import render_table  # noqa: E402
+
+
+def _fmt_vt(value: float | None) -> str:
+    return f"{value:.0f}" if value is not None else "-"
+
+
+def render(world, scheduler=None, breaker=None, top: int = 10) -> str:
+    """The full dashboard as one printable block."""
+    sections = [f"mission control @ t={world.now:.2f}s (virtual)"]
+
+    if scheduler is not None:
+        snap = scheduler.snapshot()
+        sections.append(render_table(
+            f"fair-share lanes ({len(snap['lanes'])} users, "
+            f"global vtime {snap['global_vtime']:.0f})",
+            ["user", "depth", "weight", "vtime_tag", "delivered_bytes"],
+            [
+                [ln["user"], ln["depth"], f"{ln['weight']:g}",
+                 _fmt_vt(ln["vtime"]), ln["delivered_bytes"]]
+                for ln in snap["lanes"]
+            ],
+        ))
+        sections.append(render_table(
+            f"outstanding leases ({len(snap['expiry_heap'])}, by expiry)",
+            ["task", "worker", "expires_in_s", "abandoned"],
+            [
+                [le["task"], le["worker"], f"{le['expires_in_s']:.1f}",
+                 le["abandoned"]]
+                for le in snap["expiry_heap"]
+            ],
+        ))
+        adm = snap["admission"]
+        ewma = adm["service_ewma_s"]
+        sections.append(render_table(
+            "admission control",
+            ["rejections", "service_ewma_s", "retry_after_hint_s"],
+            [[
+                ", ".join(f"{k}={v}" for k, v in adm["rejections"].items()) or "-",
+                f"{ewma:.2f}" if ewma is not None else "-",
+                f"{adm['retry_after_hint_s']:.1f}",
+            ]],
+        ))
+
+    if breaker is not None:
+        endpoints = breaker.endpoints()
+        sections.append(render_table(
+            f"circuit breakers ({len(endpoints)} endpoints)",
+            ["endpoint", "state", "failures", "times_opened", "retry_after_s"],
+            [
+                [ep, breaker.state(ep).value, breaker.failures(ep),
+                 breaker.times_opened(ep), f"{breaker.retry_after_s(ep):.1f}"]
+                for ep in endpoints
+            ],
+        ))
+
+    slo = getattr(world, "slo", None)
+    if slo is not None:
+        rows = []
+        for row in slo.status():
+            burn = " ".join(f"{w}={b:g}x" for w, b in row["burn"].items())
+            rows.append([
+                row["slo"], f"{row['objective']:.0%}", row["good"], row["bad"],
+                burn, f"{row['budget_remaining']:g}",
+                "FIRING" if row["alert"] else "ok",
+                row["exemplar_trace"] or "-",
+            ])
+        sections.append(render_table(
+            "SLO burn rates",
+            ["slo", "objective", "good", "bad", "burn", "budget_left",
+             "alert", "exemplar"],
+            rows,
+        ))
+    else:
+        sections.append("SLO engine: not attached "
+                        "(call world.enable_observability())")
+
+    recorder = getattr(world, "flight_recorder", None)
+    if recorder is not None:
+        rows = []
+        for rec in recorder.slowest(top, by="total_s"):
+            rows.append([
+                rec.task_id, rec.user, rec.status, rec.attempts,
+                f"{rec.queue_wait_s:.1f}", f"{rec.total_s:.1f}",
+                rec.recovery_faults, rec.trace_id or "-",
+            ])
+        sections.append(render_table(
+            f"slowest flight records (top {top} of {len(recorder)})",
+            ["task", "user", "status", "attempts", "wait_s", "total_s",
+             "faults", "trace"],
+            rows,
+        ))
+    else:
+        sections.append("flight recorder: not attached "
+                        "(call world.enable_observability())")
+
+    return "\n\n".join(sections)
+
+
+def _demo(seed: int, top: int) -> str:
+    """A small chaotic fleet drained to idle, then snapshotted."""
+    from repro.scheduler import FleetScheduler, ScheduledTask, SchedulerConfig
+    from repro.sim.world import World
+
+    world = World(seed=seed)
+    world.enable_observability(queue_wait_slo_s=120.0)
+    world.faults.crash_host("wh-1", 60.0, 120.0)
+    sched = FleetScheduler(world, SchedulerConfig(
+        workers=2, worker_hosts=("wh-0", "wh-1"), lease_s=40.0,
+        heartbeat_s=8.0, batch_threshold_bytes=0))
+
+    def payload(duration_s: float):
+        def run():
+            world.advance(duration_s)
+        return run
+
+    rng = world.rng.python("mission-control-demo")
+    for i in range(12):
+        sched.submit(ScheduledTask(
+            task_id=f"task-{i:06d}", user=f"user{i % 4}",
+            src_endpoint="alcf#dtn", dst_endpoint="nersc#dtn",
+            size_hint=(i + 1) * 4_000_000,
+            execute=payload(rng.uniform(10.0, 40.0)),
+        ))
+    sched.run_until_idle()
+    return render(world, sched, top=top)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--top", type=int, default=10,
+                        help="slowest flight records to show")
+    args = parser.parse_args(argv)
+    print(_demo(args.seed, args.top))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

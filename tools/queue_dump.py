@@ -55,6 +55,37 @@ def dump(scheduler: FleetScheduler) -> str:
             for w in snap["workers"]
         ],
     ))
+    sections.append(render_table(
+        f"fair-share lanes ({len(snap['lanes'])}, global vtime "
+        f"{snap['global_vtime']:.0f})",
+        ["user", "depth", "weight", "vtime_tag", "head_seq", "delivered_bytes"],
+        [
+            [ln["user"], ln["depth"], f"{ln['weight']:g}", f"{ln['vtime']:.0f}",
+             ln["head_seq"] if ln["head_seq"] is not None else "-",
+             ln["delivered_bytes"]]
+            for ln in snap["lanes"]
+        ],
+    ))
+    sections.append(render_table(
+        f"lease-expiry heap ({len(snap['expiry_heap'])}, soonest first)",
+        ["task", "worker", "expires_at", "expires_in_s", "abandoned"],
+        [
+            [e["task"], e["worker"], f"{e['expires_at']:.2f}",
+             f"{e['expires_in_s']:.2f}", e["abandoned"]]
+            for e in snap["expiry_heap"]
+        ],
+    ))
+    adm = snap["admission"]
+    ewma = adm["service_ewma_s"]
+    sections.append(render_table(
+        "admission controller",
+        ["rejections_by_type", "service_ewma_s", "retry_after_hint_s"],
+        [[
+            ", ".join(f"{k}={v}" for k, v in adm["rejections"].items()) or "-",
+            f"{ewma:.2f}" if ewma is not None else "-",
+            f"{adm['retry_after_hint_s']:.1f}",
+        ]],
+    ))
     return "\n\n".join(sections)
 
 
