@@ -33,6 +33,23 @@ runs the scenario both ways, best-of-2 per mode, and fails if the
 instrumented run's jobs/sec falls more than ``OVERHEAD_TOLERANCE``
 (default 10%) below the bare run — the "observability is near-free"
 gate.
+
+Sharded control plane (DESIGN.md §14)::
+
+    # the GO storm through N scheduler shards with work-stealing
+    PYTHONPATH=src python benchmarks/bench_scheduler_fleet.py --shards 8
+
+    # control-plane-only scale tier: 100k users hashed across 8 shards,
+    # reporting jobs/s and bytes of RSS per queued job
+    PYTHONPATH=src python benchmarks/bench_scheduler_fleet.py \
+        --scale --shards 8 --users 100000 --out BENCH_scheduler_sharded.json
+
+    # the N=1 bitwise-equivalence gate (exit 1 on any fingerprint drift)
+    PYTHONPATH=src python benchmarks/bench_scheduler_fleet.py --fingerprint-check
+
+``BENCH_scheduler_sharded.json`` is the committed full scale-tier
+baseline and ``BENCH_scheduler_sharded_quick.json`` the quick-mode one
+CI gates against (``--scale --quick --check ...``).
 """
 
 from __future__ import annotations
@@ -58,7 +75,15 @@ from repro.auth import (  # noqa: E402
 from repro.core.gcmu import install_gcmu  # noqa: E402
 from repro.globusonline.service import GlobusOnline  # noqa: E402
 from repro.globusonline.transfer import JobStatus  # noqa: E402
-from repro.scheduler import SchedulerConfig, jain_index  # noqa: E402
+from repro.scheduler import (  # noqa: E402
+    FleetScheduler,
+    ScheduledTask,
+    SchedulerConfig,
+    SchedulerLimits,
+    ShardedFleetScheduler,
+    jain_index,
+    scheduler_fingerprint,
+)
 from repro.sim.faults import ChaosConfig  # noqa: E402
 from repro.sim.world import World  # noqa: E402
 from repro.storage.data import SyntheticData  # noqa: E402
@@ -88,7 +113,7 @@ def make_site(world, host, site_name, users, register_with, endpoint_name):
     return endpoint
 
 
-def build_fleet(seed: int, users: int):
+def build_fleet(seed: int, users: int, shards: int | None = None):
     """The soak topology at benchmark scale, chaos armed on the workers."""
     world = World(seed=seed, event_capacity=50_000, span_capacity=50_000)
     net = world.network
@@ -103,7 +128,7 @@ def build_fleet(seed: int, users: int):
         lease_s=120.0,
         heartbeat_s=20.0,
         max_task_attempts=50,
-    ))
+    ), shards=shards)
     ep_a = make_site(
         world, "dtn-a", "alcf",
         {f"user{i}": f"pw{i}" for i in range(users)},
@@ -120,8 +145,8 @@ def build_fleet(seed: int, users: int):
 
 
 def run_bench(seed: int, users: int, jobs: int, quick: bool,
-              observability: bool = False) -> dict:
-    world, go, ep_a, ep_b = build_fleet(seed, users)
+              observability: bool = False, shards: int | None = None) -> dict:
+    world, go, ep_a, ep_b = build_fleet(seed, users, shards=shards)
     if observability:
         world.enable_observability()
     accounts = []
@@ -160,6 +185,11 @@ def run_bench(seed: int, users: int, jobs: int, quick: bool,
              for t in go.scheduler.completed_tasks]
     delivered = go.scheduler.queue.delivered_bytes()
     metrics = world.metrics
+
+    def total(name: str) -> int:
+        metric = metrics.get(name)
+        return int(metric.total()) if metric is not None else 0
+
     total_wall = submit_wall + drain_wall
     observability_results = {}
     if observability:
@@ -177,6 +207,9 @@ def run_bench(seed: int, users: int, jobs: int, quick: bool,
             "users": users,
             "jobs": jobs,
             "workers": len(WORKER_HOSTS),
+            # only sharded runs carry the key: unsharded scenarios stay
+            # byte-identical to the pre-sharding baselines
+            **({"shards": shards} if shards is not None else {}),
         },
         "results": {
             "wall_s": round(total_wall, 4),
@@ -190,13 +223,12 @@ def run_bench(seed: int, users: int, jobs: int, quick: bool,
             "queue_wait_p99_s": round(percentile(waits, 0.99), 3),
             "jain_fairness": round(jain_index(delivered.values()), 4),
             "bytes_delivered": sum(delivered.values()),
-            "worker_crashes": int(
-                metrics.counter("scheduler_worker_crashes_total").value()),
-            "requeues": int(metrics.counter("scheduler_requeued_total").value()),
-            "batches_coalesced": int(
-                metrics.counter("scheduler_batches_coalesced_total").value()),
-            "batched_files": int(
-                metrics.counter("scheduler_batched_files_total").value()),
+            "worker_crashes": total("scheduler_worker_crashes_total"),
+            "requeues": total("scheduler_requeued_total"),
+            "batches_coalesced": total("scheduler_batches_coalesced_total"),
+            "batched_files": total("scheduler_batched_files_total"),
+            **({"steals": total("scheduler_steals_total")}
+               if shards is not None else {}),
             **observability_results,
         },
         "env": {
@@ -204,6 +236,155 @@ def run_bench(seed: int, users: int, jobs: int, quick: bool,
             "machine": platform.machine(),
         },
     }
+
+
+def _rss_bytes() -> int:
+    """Resident set size, bytes.  /proc on Linux, ru_maxrss elsewhere."""
+    try:
+        with open("/proc/self/status") as fh:
+            for line in fh:
+                if line.startswith("VmRSS:"):
+                    return int(line.split()[1]) * 1024
+    except OSError:
+        pass
+    import resource
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # Linux reports KiB, macOS bytes
+    return rss * 1024 if sys.platform != "darwin" else rss
+
+
+def run_scale_bench(seed: int, users: int, jobs: int, shards: int,
+                    quick: bool) -> dict:
+    """The "millions of users" tier: control plane only, no data plane.
+
+    100k users hashed across N shards, each submitting no-op jobs
+    directly to the sharded scheduler — no Globus Online accounts, no
+    topology, no byte movement — so the numbers isolate what the
+    control plane itself costs: scheduler operations per second and
+    resident bytes per queued job (sampled at peak queue depth, after
+    the submit storm and before the drain).
+    """
+    import gc
+
+    world = World(seed=seed, event_capacity=10_000, span_capacity=10_000)
+    # scale tier runs admission wide open: the point is to *hold* a
+    # 100k-user backlog, not to reject it at the door
+    config = SchedulerConfig(
+        workers=max(64, shards),
+        lease_s=3600.0,
+        heartbeat_s=600.0,
+        limits=SchedulerLimits(
+            max_queue_depth=None, max_queued_per_user=None,
+            max_active_per_endpoint=None,
+            max_bytes_in_flight_per_endpoint=None),
+    )
+    sched = ShardedFleetScheduler(world, config, shards=shards)
+    size = 1_000_000
+
+    gc.collect()
+    rss_before = _rss_bytes()
+    t0 = time.perf_counter()
+    for n in range(jobs):
+        sched.submit(ScheduledTask(
+            task_id=f"task-{n}", user=f"user{n % users}",
+            src_endpoint=f"src-{n % 64}", dst_endpoint=f"dst-{n % 64}",
+            size_hint=size, execute=lambda: size, measure=lambda r: r,
+        ))
+    submit_wall = time.perf_counter() - t0
+    queued = len(sched.queue)
+    gc.collect()
+    rss_peak = _rss_bytes()
+
+    t1 = time.perf_counter()
+    serviced = sched.run_until_idle(max_ticks=100_000_000)
+    drain_wall = time.perf_counter() - t1
+    assert serviced == jobs, f"lost jobs: {serviced} != {jobs}"
+
+    total_wall = submit_wall + drain_wall
+    rss_per_job = max(0, rss_peak - rss_before) / max(1, queued)
+    delivered = sched.queue.delivered_bytes()
+    return {
+        "schema": SCHEMA,
+        "quick": quick,
+        "observability": False,
+        "scenario": {
+            "mode": "scale",
+            "seed": seed,
+            "users": users,
+            "jobs": jobs,
+            "shards": shards,
+            "workers": config.workers,
+        },
+        "results": {
+            "wall_s": round(total_wall, 4),
+            "submit_wall_s": round(submit_wall, 4),
+            "drain_wall_s": round(drain_wall, 4),
+            "jobs_per_s": round(jobs / total_wall, 2),
+            "submit_jobs_per_s": round(jobs / submit_wall, 2),
+            "drain_jobs_per_s": round(jobs / drain_wall, 2),
+            "succeeded": serviced,
+            "failed": 0,
+            "peak_queue_depth": queued,
+            "rss_bytes_per_queued_job": round(rss_per_job, 1),
+            "rss_peak_bytes": rss_peak,
+            "jain_fairness": round(jain_index(delivered.values()), 4),
+            "virtual_duration_s": round(world.now, 2),
+        },
+        "env": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+    }
+
+
+def fingerprint_check(seed: int, users: int, jobs: int) -> int:
+    """Exit 1 unless ShardedFleetScheduler(n=1) is bitwise FleetScheduler.
+
+    Runs the identical direct-submission workload (crash chaos included)
+    through both schedulers in separate worlds and compares the PR-5
+    fingerprint field by field: completion order, per-task delivered
+    bytes, per-user bytes, every lifecycle count, and the virtual clock.
+    """
+    def drive(sharded: bool) -> dict:
+        world = World(seed=seed, event_capacity=10_000, span_capacity=10_000)
+        world.chaos.configure(ChaosConfig(
+            host_crash_every_s=600.0, host_downtime_s=(10.0, 30.0),
+            horizon_s=10 * 24 * 3600.0,
+        ))
+        world.chaos.arm(hosts=list(WORKER_HOSTS))
+        config = SchedulerConfig(
+            workers=len(WORKER_HOSTS), worker_hosts=WORKER_HOSTS,
+            lease_s=40.0, heartbeat_s=8.0, max_task_attempts=100)
+        sched = (ShardedFleetScheduler(world, config, shards=1)
+                 if sharded else FleetScheduler(world, config))
+        for i in range(users):
+            sched.set_weight(f"user{i}", 1.0 + (i % 4))
+        for i in range(jobs):
+            size = 1000 + (i * 7919) % 50000
+            sched.submit(ScheduledTask(
+                task_id="", user=f"user{i % users}",
+                src_endpoint=f"ep-{i % 4}", dst_endpoint=f"ep-{(i + 1) % 4}",
+                size_hint=size,
+                execute=lambda size=size: (world.advance(2.0), size)[1],
+                measure=lambda r: r,
+            ))
+        sched.run_until_idle(max_ticks=100_000_000)
+        return scheduler_fingerprint(world, sched)
+
+    single = drive(sharded=False)
+    sharded = drive(sharded=True)
+    failed = False
+    for key in single:
+        ok = sharded[key] == single[key]
+        failed = failed or not ok
+        detail = "" if ok else f"  single={single[key]!r}  sharded={sharded[key]!r}"
+        if key in ("completion_order", "delivered_bytes", "bytes_by_user"):
+            detail = "" if ok else "  (diverged)"
+        print(f"[fingerprint] {key}: {'OK' if ok else 'MISMATCH'}{detail}")
+    print(f"[fingerprint] {jobs} jobs / {users} users, "
+          f"{int(single['crashes'])} crashes survived -> "
+          f"{'FAIL' if failed else 'IDENTICAL'}")
+    return 1 if failed else 0
 
 
 def check_regression(current: dict, baseline_path: pathlib.Path) -> int:
@@ -240,6 +421,21 @@ def check_regression(current: dict, baseline_path: pathlib.Path) -> int:
         print(
             f"[check] queue wait p99 (virtual s): current={cur_p99:.3f} "
             f"baseline={base_p99:.3f} ceiling={ceiling:.3f} -> {verdict}"
+        )
+
+    base_rss = baseline["results"].get("rss_bytes_per_queued_job")
+    cur_rss = current["results"].get("rss_bytes_per_queued_job")
+    if base_rss is not None and cur_rss is not None:
+        # Memory per queued job (scale tier only).  RSS is allocator- and
+        # machine-dependent, so the same loose tolerance applies: this
+        # catches a per-task bookkeeping structure growing a copy of the
+        # queue, not malloc jitter.
+        ceiling = base_rss * (1.0 + tol)
+        verdict = "OK" if cur_rss <= ceiling else "REGRESSION"
+        failed = failed or cur_rss > ceiling
+        print(
+            f"[check] RSS bytes/queued job: current={cur_rss:.1f} "
+            f"baseline={base_rss:.1f} ceiling={ceiling:.1f} -> {verdict}"
         )
 
     return 1 if failed else 0
@@ -296,7 +492,45 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--overhead-check", action="store_true",
                         help="gate instrumented jobs/sec against the bare run "
                              "(OVERHEAD_TOLERANCE, default 10%%)")
+    parser.add_argument("--shards", type=int, default=None,
+                        help="run the sharded control plane with N shards")
+    parser.add_argument("--scale", action="store_true",
+                        help="control-plane-only scale tier: direct "
+                             "submissions, no data plane (default 100000 "
+                             "users / 2 jobs each / 8 shards)")
+    parser.add_argument("--fingerprint-check", action="store_true",
+                        help="gate ShardedFleetScheduler(n=1) bitwise against "
+                             "FleetScheduler on the 5k-job/50-user workload")
     args = parser.parse_args(argv)
+
+    if args.fingerprint_check:
+        return fingerprint_check(
+            args.seed,
+            args.users if args.users is not None else 50,
+            args.jobs if args.jobs is not None else 5000)
+
+    if args.scale:
+        users = args.users if args.users is not None else (
+            5000 if args.quick else 100_000)
+        jobs = args.jobs if args.jobs is not None else 2 * users
+        shards = args.shards if args.shards is not None else 8
+        report = run_scale_bench(args.seed, users, jobs, shards,
+                                 quick=args.quick)
+        args.out.write_text(json.dumps(report, indent=2) + "\n")
+        r = report["results"]
+        print(
+            f"[scale] {jobs} jobs / {users} users / {shards} shards in "
+            f"{r['wall_s']}s ({r['jobs_per_s']} jobs/s; submit "
+            f"{r['submit_jobs_per_s']}, drain {r['drain_jobs_per_s']})"
+        )
+        print(
+            f"[scale] {r['rss_bytes_per_queued_job']} RSS bytes per queued "
+            f"job at depth {r['peak_queue_depth']}; jain {r['jain_fairness']}"
+            f"  [saved to {args.out}]"
+        )
+        if args.check is not None:
+            return check_regression(report, args.check)
+        return 0
 
     users = args.users if args.users is not None else 50
     jobs = args.jobs if args.jobs is not None else (500 if args.quick else 5000)
@@ -305,11 +539,12 @@ def main(argv: list[str] | None = None) -> int:
         return overhead_check(args.seed, users, jobs, quick=args.quick)
 
     report = run_bench(args.seed, users, jobs, quick=args.quick,
-                       observability=args.observability)
+                       observability=args.observability, shards=args.shards)
     args.out.write_text(json.dumps(report, indent=2) + "\n")
     r = report["results"]
+    shard_note = f" / {args.shards} shards" if args.shards is not None else ""
     print(
-        f"{jobs} jobs / {users} users in {r['wall_s']}s "
+        f"{jobs} jobs / {users} users{shard_note} in {r['wall_s']}s "
         f"({r['jobs_per_s']} jobs/s wall, {r['virtual_duration_s']}s virtual)"
     )
     print(
@@ -317,6 +552,7 @@ def main(argv: list[str] | None = None) -> int:
         f"jain {r['jain_fairness']}; "
         f"{r['worker_crashes']} crashes, {r['requeues']} requeues, "
         f"{r['batches_coalesced']} batches ({r['batched_files']} files folded)"
+        + (f", {r['steals']} steals" if "steals" in r else "")
     )
     print(f"succeeded {r['succeeded']} / failed {r['failed']}  [saved to {args.out}]")
 

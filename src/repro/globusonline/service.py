@@ -40,6 +40,7 @@ from repro.scheduler import (
     FleetScheduler,
     ScheduledTask,
     SchedulerConfig,
+    ShardedFleetScheduler,
     TaskState,
 )
 
@@ -107,6 +108,7 @@ class GlobusOnline:
         world: "World",
         host: str,
         scheduler_config: SchedulerConfig | None = None,
+        shards: int | None = None,
     ) -> None:
         world.network.host(host)  # must exist in the topology
         self.world = world
@@ -127,11 +129,21 @@ class GlobusOnline:
         )
         # every submission flows through the fleet scheduler: fair-share
         # queuing across accounts, lease-based workers, admission control,
-        # and small-file coalescing into pipelined batch jobs.
-        self.scheduler = FleetScheduler(
-            world, scheduler_config or SchedulerConfig(),
-            fold_batch=self._fold_batch,
-        )
+        # and small-file coalescing into pipelined batch jobs.  With
+        # shards=N the control plane hashes accounts across N scheduler
+        # shards behind the work-stealing router (DESIGN.md §14);
+        # shards=None keeps the single unsharded scheduler.
+        if shards is None:
+            self.scheduler: FleetScheduler | ShardedFleetScheduler = (
+                FleetScheduler(
+                    world, scheduler_config or SchedulerConfig(),
+                    fold_batch=self._fold_batch,
+                ))
+        else:
+            self.scheduler = ShardedFleetScheduler(
+                world, scheduler_config or SchedulerConfig(),
+                fold_batch=self._fold_batch, shards=shards,
+            )
 
     # -- registry -----------------------------------------------------------
 

@@ -9,6 +9,9 @@ See DESIGN.md §11 for the scheduling model.  The public surface:
 * :class:`SchedulerLimits` / :class:`AdmissionController` — bounded
   queue, quotas, per-endpoint backpressure (``limits``).
 * :class:`BatchCoalescer` — small-file coalescing (``batching``).
+* :class:`ShardedFleetScheduler` / :func:`user_shard` /
+  :func:`scheduler_fingerprint` — the sharded control plane and its
+  equivalence gate (``sharding``, DESIGN.md §14).
 """
 
 from repro.scheduler.batching import (
@@ -21,12 +24,18 @@ from repro.scheduler.limits import (
     DEFAULT_RETRY_AFTER_S,
     AdmissionController,
     SchedulerLimits,
+    ServiceTimeEwma,
 )
 from repro.scheduler.queue import (
     FairShareQueue,
     ScheduledTask,
     TaskState,
     jain_index,
+)
+from repro.scheduler.sharding import (
+    ShardedFleetScheduler,
+    scheduler_fingerprint,
+    user_shard,
 )
 from repro.scheduler.workers import (
     FleetScheduler,
@@ -50,7 +59,11 @@ __all__ = [
     "ScheduledTask",
     "SchedulerConfig",
     "SchedulerLimits",
+    "ServiceTimeEwma",
+    "ShardedFleetScheduler",
     "TaskState",
     "Worker",
     "jain_index",
+    "scheduler_fingerprint",
+    "user_shard",
 ]

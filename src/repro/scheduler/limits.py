@@ -34,6 +34,30 @@ if TYPE_CHECKING:  # pragma: no cover
 DEFAULT_RETRY_AFTER_S = 30.0
 
 
+class ServiceTimeEwma:
+    """An exponentially-weighted service-time average, shareable by reference.
+
+    The retry-after hints the admission door hands out are paced by
+    observed claim service times.  Keeping the estimator in its own
+    object lets a sharded control plane hand *one* instance to every
+    shard's controller, so two shards at the same depth quote the same
+    hint — a client retrying against any shard sees one consistent
+    backoff story, not N divergent ones.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: float | None = None
+
+    def update(self, service_s: float) -> None:
+        """Fold one observed claim service time into the average."""
+        self.value = (
+            service_s if self.value is None
+            else 0.8 * self.value + 0.2 * service_s
+        )
+
+
 @dataclass(frozen=True)
 class SchedulerLimits:
     """The backpressure contract, in one immutable bundle.
@@ -62,23 +86,33 @@ class AdmissionController:
     """Enforces :class:`SchedulerLimits` and keeps the in-flight books."""
 
     def __init__(self, world: "World", limits: SchedulerLimits | None = None,
-                 workers: int = 1) -> None:
+                 workers: int = 1, *, shard: str | None = None,
+                 service_ewma: ServiceTimeEwma | None = None) -> None:
         self.world = world
         self.limits = limits or SchedulerLimits()
         self.workers = max(1, workers)
+        self.shard = shard
         self._active_per_endpoint: dict[str, int] = {}
         self._bytes_per_endpoint: dict[str, int] = {}
-        self._service_ewma_s: float | None = None
+        self.service_ewma = service_ewma if service_ewma is not None else ServiceTimeEwma()
         self._rejections: dict[str, int] = {}
+        # a sharded controller labels its series and events by shard; the
+        # unsharded path keeps the exact label-free registrations
+        self._metric_shard = {} if shard is None else {"shard": shard}
+        self._event_shard = dict(self._metric_shard)
+        shard_labels = () if shard is None else ("shard",)
         metrics = world.metrics
         self._rejected_c = metrics.counter(
             "scheduler_rejected_total",
-            "Submissions refused by admission control", labelnames=("reason",))
+            "Submissions refused by admission control",
+            labelnames=shard_labels + ("reason",))
         self._inflight_tasks_g = metrics.gauge(
-            "scheduler_inflight_tasks", "Claims currently holding capacity")
+            "scheduler_inflight_tasks", "Claims currently holding capacity",
+            labelnames=shard_labels)
         self._inflight_bytes_g = metrics.gauge(
             "scheduler_inflight_bytes",
-            "Size-hint bytes of claims currently holding capacity")
+            "Size-hint bytes of claims currently holding capacity",
+            labelnames=shard_labels)
 
     # -- submit-time admission -------------------------------------------
 
@@ -108,12 +142,12 @@ class AdmissionController:
             )
 
     def _reject(self, reason: str, task: ScheduledTask, retry_after_s: float) -> None:
-        self._rejected_c.inc(reason=reason)
+        self._rejected_c.inc(reason=reason, **self._metric_shard)
         self._rejections[reason] = self._rejections.get(reason, 0) + 1
         self.world.emit(
             "scheduler.rejected", "submission refused by admission control",
             reason=reason, user=task.user, task=task.task_id or None,
-            retry_after_s=round(retry_after_s, 3),
+            retry_after_s=round(retry_after_s, 3), **self._event_shard,
         )
 
     def retry_after_hint(self, depth: int) -> float:
@@ -121,11 +155,14 @@ class AdmissionController:
 
         Depth over the worker pool, paced by the observed service-time
         EWMA; a configured default before any completion has been seen.
+        The EWMA may be shared fleet-wide (see :class:`ServiceTimeEwma`),
+        in which case every shard quotes from the same estimate.
         """
-        if self._service_ewma_s is None:
+        ewma = self.service_ewma.value
+        if ewma is None:
             return DEFAULT_RETRY_AFTER_S
         drains = max(1.0, depth / self.workers)
-        return max(1.0, drains * self._service_ewma_s)
+        return max(1.0, drains * ewma)
 
     # -- claim-time backpressure -----------------------------------------
 
@@ -149,8 +186,8 @@ class AdmissionController:
                 self._active_per_endpoint.get(endpoint, 0) + 1)
             self._bytes_per_endpoint[endpoint] = (
                 self._bytes_per_endpoint.get(endpoint, 0) + task.size_hint)
-        self._inflight_tasks_g.inc()
-        self._inflight_bytes_g.inc(task.size_hint)
+        self._inflight_tasks_g.inc(**self._metric_shard)
+        self._inflight_bytes_g.inc(task.size_hint, **self._metric_shard)
 
     def on_finish(self, task: ScheduledTask, service_s: float | None = None) -> None:
         """Release a claim's capacity (completion, failure, or lapse)."""
@@ -159,12 +196,10 @@ class AdmissionController:
                 0, self._active_per_endpoint.get(endpoint, 0) - 1)
             self._bytes_per_endpoint[endpoint] = max(
                 0, self._bytes_per_endpoint.get(endpoint, 0) - task.size_hint)
-        self._inflight_tasks_g.dec()
-        self._inflight_bytes_g.dec(task.size_hint)
+        self._inflight_tasks_g.dec(**self._metric_shard)
+        self._inflight_bytes_g.dec(task.size_hint, **self._metric_shard)
         if service_s is not None:
-            ewma = self._service_ewma_s
-            self._service_ewma_s = (
-                service_s if ewma is None else 0.8 * ewma + 0.2 * service_s)
+            self.service_ewma.update(service_s)
 
     # -- introspection ----------------------------------------------------
 
@@ -180,7 +215,7 @@ class AdmissionController:
         """Rejections by type plus the service-time EWMA (for dumps)."""
         return {
             "rejections": dict(sorted(self._rejections.items())),
-            "service_ewma_s": self._service_ewma_s,
+            "service_ewma_s": self.service_ewma.value,
             "retry_after_hint_s": self.retry_after_hint(
                 sum(self._active_per_endpoint.values()) // 2 or 1),
         }

@@ -39,7 +39,11 @@ from repro.scheduler.batching import (
     BatchCoalescer,
     CoalescedBatch,
 )
-from repro.scheduler.limits import AdmissionController, SchedulerLimits
+from repro.scheduler.limits import (
+    AdmissionController,
+    SchedulerLimits,
+    ServiceTimeEwma,
+)
 from repro.scheduler.queue import FairShareQueue, ScheduledTask, TaskState
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -205,6 +209,14 @@ class FleetScheduler:
     builds the single batch task to dispatch instead (the Globus Online
     service folds them into one pipelined ``BatchTransferJob``).  With
     no hook, batching is off and every task dispatches as submitted.
+
+    ``shard`` embeds this scheduler as one shard of a
+    :class:`~repro.scheduler.sharding.ShardedFleetScheduler`: every
+    ``scheduler_*`` series gains a ``shard`` label, every scheduler
+    event carries a ``shard=`` field, and worker ids take
+    ``worker_prefix`` so they stay unique across the fleet.  With
+    ``shard=None`` (the default) registrations, events, and worker
+    names are exactly the label-free single-scheduler ones.
     """
 
     def __init__(
@@ -212,12 +224,18 @@ class FleetScheduler:
         world: "World",
         config: SchedulerConfig | None = None,
         fold_batch: Callable[[CoalescedBatch], ScheduledTask] | None = None,
+        *,
+        shard: str | None = None,
+        worker_prefix: str = "w",
+        service_ewma: ServiceTimeEwma | None = None,
     ) -> None:
         self.world = world
         self.config = config or SchedulerConfig()
+        self.shard = shard
         self.queue = FairShareQueue()
         self.admission = AdmissionController(
-            world, self.config.limits, workers=self.config.workers)
+            world, self.config.limits, workers=self.config.workers,
+            shard=shard, service_ewma=service_ewma)
         self.fold_batch = fold_batch
         self.coalescer = BatchCoalescer(
             threshold_bytes=self.config.batch_threshold_bytes
@@ -227,7 +245,7 @@ class FleetScheduler:
         self.leases = LeaseTable()
         self.workers = [
             Worker(
-                worker_id=f"w{i}",
+                worker_id=f"{worker_prefix}{i}",
                 host=self.config.worker_hosts[i]
                 if i < len(self.config.worker_hosts) else None,
             )
@@ -236,53 +254,75 @@ class FleetScheduler:
         self._workers_by_id = {w.worker_id: w for w in self.workers}
         self._task_ids = itertools.count(1)
         self._completed: list[ScheduledTask] = []
+        # sharded instances label series and stamp events by shard; the
+        # unsharded path passes empty dicts so nothing changes
+        self._metric_shard = {} if shard is None else {"shard": shard}
+        self._event_shard = dict(self._metric_shard)
+        shard_labels = () if shard is None else ("shard",)
 
         # pre-register every scheduler_* instrument so the series are
         # visible in Prometheus exposition from init, before any traffic
         metrics = world.metrics
         self._submitted_c = metrics.counter(
-            "scheduler_submitted_total", "Tasks accepted into the fleet queue")
+            "scheduler_submitted_total", "Tasks accepted into the fleet queue",
+            labelnames=shard_labels)
         self._completed_c = metrics.counter(
-            "scheduler_completed_total", "Tasks serviced to completion")
+            "scheduler_completed_total", "Tasks serviced to completion",
+            labelnames=shard_labels)
         self._failed_c = metrics.counter(
             "scheduler_task_failures_total",
-            "Tasks abandoned after exhausting their claim attempts or raising")
+            "Tasks abandoned after exhausting their claim attempts or raising",
+            labelnames=shard_labels)
         self._requeued_c = metrics.counter(
-            "scheduler_requeued_total", "Tasks returned to the queue by lease lapses")
+            "scheduler_requeued_total", "Tasks returned to the queue by lease lapses",
+            labelnames=shard_labels)
         self._expired_c = metrics.counter(
-            "scheduler_lease_expirations_total", "Leases that lapsed without release")
+            "scheduler_lease_expirations_total", "Leases that lapsed without release",
+            labelnames=shard_labels)
         self._crashes_c = metrics.counter(
-            "scheduler_worker_crashes_total", "Claims lost to worker host crashes")
+            "scheduler_worker_crashes_total", "Claims lost to worker host crashes",
+            labelnames=shard_labels)
         self._batches_c = metrics.counter(
             "scheduler_batches_coalesced_total",
-            "Batch tasks built by small-file coalescing")
+            "Batch tasks built by small-file coalescing",
+            labelnames=shard_labels)
         self._batched_files_c = metrics.counter(
-            "scheduler_batched_files_total", "Single-file tasks folded into batches")
+            "scheduler_batched_files_total", "Single-file tasks folded into batches",
+            labelnames=shard_labels)
         self._bytes_c = metrics.counter(
             "scheduler_bytes_delivered_total", "Bytes delivered, by user",
-            labelnames=("user",))
+            labelnames=shard_labels + ("user",))
         for counter in (self._submitted_c, self._completed_c, self._failed_c,
                         self._requeued_c, self._expired_c, self._crashes_c,
                         self._batches_c, self._batched_files_c):
-            counter.inc(0)
+            counter.inc(0, **self._metric_shard)
         self._depth_g = metrics.gauge(
-            "scheduler_queue_depth", "Tasks waiting for dispatch")
+            "scheduler_queue_depth", "Tasks waiting for dispatch",
+            labelnames=shard_labels)
         self._fair_error_g = metrics.gauge(
             "scheduler_fair_share_error",
-            "Max |byte share - weight share| across active users")
+            "Max |byte share - weight share| across active users",
+            labelnames=shard_labels)
         self._workers_alive_g = metrics.gauge(
-            "scheduler_workers_alive", "Workers whose hosts are currently up")
-        self._depth_g.set(0)
-        self._fair_error_g.set(0)
-        self._workers_alive_g.set(self.config.workers)
+            "scheduler_workers_alive", "Workers whose hosts are currently up",
+            labelnames=shard_labels)
+        self._depth_g.set(0, **self._metric_shard)
+        self._fair_error_g.set(0, **self._metric_shard)
+        # the fair-share-error gauge costs O(active users) to recompute;
+        # refresh it every completion for small fleets but amortize to
+        # one full pass per ~lanes/64 completions at 100k-user scale
+        # (run_until_idle always leaves it freshly computed on exit)
+        self._fair_stride = 1
+        self._since_fair = 0
+        self._workers_alive_g.set(self.config.workers, **self._metric_shard)
         self._wait_h = metrics.histogram(
             "scheduler_queue_wait_seconds",
             "Virtual seconds between submit and first claim",
-            buckets=_WAIT_BUCKETS)
+            buckets=_WAIT_BUCKETS, labelnames=shard_labels)
         self._service_h = metrics.histogram(
             "scheduler_service_seconds",
             "Virtual seconds a claim spent executing",
-            buckets=_WAIT_BUCKETS)
+            buckets=_WAIT_BUCKETS, labelnames=shard_labels)
         # limits gauges are registered by the AdmissionController
 
     # -- submission --------------------------------------------------------
@@ -305,7 +345,7 @@ class FleetScheduler:
         if not task.task_id:
             task.task_id = self.next_task_id()
         task.submitted_at = self.world.now
-        self._submitted_c.inc()
+        self._submitted_c.inc(**self._metric_shard)
         with self.world.tracer.span(
             "scheduler.submit", task=task.task_id, user=task.user
         ) as sp:
@@ -316,11 +356,12 @@ class FleetScheduler:
                 bytes=task.size_hint,
                 src=task.src_endpoint, dst=task.dst_endpoint,
                 lane_vtime=self.queue.lane_vtime(task.user),
+                **self._event_shard,
             )
             absorbed = self.coalescer.add(task)
             if absorbed is not None:
                 self.queue.push(absorbed)
-        self._depth_g.set(len(self.queue) + len(self.coalescer))
+        self._depth_g.set(len(self.queue) + len(self.coalescer), **self._metric_shard)
         return task
 
     def set_weight(self, user: str, weight: float) -> None:
@@ -358,9 +399,12 @@ class FleetScheduler:
                     raise SchedulerError(
                         f"drain did not converge within {max_ticks} ticks")
                 serviced += self._tick()
-                self._depth_g.set(len(self.queue) + len(self.coalescer))
+                self._depth_g.set(len(self.queue) + len(self.coalescer),
+                                  **self._metric_shard)
         finally:
             sweep.cancel()
+        self._fair_error_g.set(self.queue.fair_share_error(),
+                               **self._metric_shard)
         return serviced
 
     def _flush_batches(self) -> None:
@@ -374,23 +418,80 @@ class FleetScheduler:
         task = self.fold_batch(bucket)
         if not task.task_id:
             task.task_id = self.next_task_id()
-        self._batches_c.inc()
-        self._batched_files_c.inc(len(bucket.tasks))
+        self._batches_c.inc(**self._metric_shard)
+        self._batched_files_c.inc(len(bucket.tasks), **self._metric_shard)
         self.world.emit(
             "scheduler.coalesced", "small files folded into one batch task",
             task=task.task_id, user=bucket.user, files=len(bucket.tasks),
-            bytes=bucket.total_bytes,
+            bytes=bucket.total_bytes, **self._event_shard,
         )
         return task
 
     def _alive(self, worker: Worker, now: float) -> bool:
         return worker.host is None or not self.world.faults.host_down(worker.host, now)
 
-    def _tick(self) -> int:
-        """One claim round: simultaneous claims, serial execution."""
+    def _claim_for(self, worker: Worker, now: float) -> Lease | None:
+        """One worker claims this scheduler's next dispatchable task.
+
+        Returns None when nothing is runnable (empty queue or every lane
+        head inadmissible).  A returned lease with ``abandoned=True``
+        means the claim happened but the worker's host crashes inside
+        the lease window — the claim is parked on the worker and will
+        requeue by lapse.  The worker may belong to *another* shard (the
+        work-stealing path): all bookkeeping stays on this scheduler's
+        queue/lease/admission books; only the worker identity and crash
+        model come from the claimant.
+        """
         world = self.world
-        now = world.now
+        task = self.queue.pop_next(admissible=self.admission.can_start)
+        if task is None:
+            return None
+        task.attempts += 1
+        self.admission.on_start(task)
+        lease = self.leases.grant(task, worker.worker_id, now, self.config.lease_s)
+        task.claimed_at = now
+        wait_s = now - task.submitted_at
+        self._wait_h.observe(wait_s, exemplar=task.trace_id or None,
+                             **self._metric_shard)
+        if task.on_claim is not None:
+            task.on_claim(task)
+        world.emit(
+            "scheduler.claimed", "task leased to worker",
+            task=task.task_id, worker=worker.worker_id,
+            attempt=task.attempts, lease_expires_at=lease.expires_at,
+            wait_s=wait_s, trace=task.trace_id or None, **self._event_shard,
+        )
+        # Crash model: a host fault beginning inside the lease window
+        # kills this claim before any byte moves — the lease simply
+        # lapses and the task requeues.  No partial side effects.
+        crash_at = None
+        if worker.host is not None:
+            crash_at = world.faults.first_interruption(
+                (), (worker.host,), now, now + self.config.lease_s)
+        if crash_at is not None:
+            lease.abandoned = True
+            worker.lease = lease
+            worker.crashes += 1
+            self._crashes_c.inc(**self._metric_shard)
+            world.emit(
+                "scheduler.worker_crashed", "worker lost mid-claim; lease will lapse",
+                task=task.task_id, worker=worker.worker_id, crash_at=crash_at,
+                **self._event_shard,
+            )
+        return lease
+
+    def _claim_phase(
+        self, now: float
+    ) -> tuple[list[tuple[Worker, Lease]], list[Worker], int]:
+        """Every free, live worker claims at the same virtual instant.
+
+        Returns ``(claims, free, alive)``: the executable claims in claim
+        order, the workers that stayed free (nothing runnable locally —
+        work-stealing candidates for a sharded router), and the live
+        worker count.
+        """
         claims: list[tuple[Worker, Lease]] = []
+        free: list[Worker] = []
         alive = 0
         for worker in self.workers:
             if worker.lease is not None:
@@ -399,43 +500,20 @@ class FleetScheduler:
                 continue
             alive += 1
             if not len(self.queue):
+                free.append(worker)
                 continue  # nothing queued: the scan only refreshes liveness
-            task = self.queue.pop_next(admissible=self.admission.can_start)
-            if task is None:
-                continue
-            task.attempts += 1
-            self.admission.on_start(task)
-            lease = self.leases.grant(task, worker.worker_id, now, self.config.lease_s)
-            task.claimed_at = now
-            wait_s = now - task.submitted_at
-            self._wait_h.observe(wait_s, exemplar=task.trace_id or None)
-            if task.on_claim is not None:
-                task.on_claim(task)
-            world.emit(
-                "scheduler.claimed", "task leased to worker",
-                task=task.task_id, worker=worker.worker_id,
-                attempt=task.attempts, lease_expires_at=lease.expires_at,
-                wait_s=wait_s, trace=task.trace_id or None,
-            )
-            # Crash model: a host fault beginning inside the lease window
-            # kills this claim before any byte moves — the lease simply
-            # lapses and the task requeues.  No partial side effects.
-            crash_at = None
-            if worker.host is not None:
-                crash_at = world.faults.first_interruption(
-                    (), (worker.host,), now, now + self.config.lease_s)
-            if crash_at is not None:
-                lease.abandoned = True
-                worker.lease = lease
-                worker.crashes += 1
-                self._crashes_c.inc()
-                world.emit(
-                    "scheduler.worker_crashed", "worker lost mid-claim; lease will lapse",
-                    task=task.task_id, worker=worker.worker_id, crash_at=crash_at,
-                )
-                continue
-            claims.append((worker, lease))
-        self._workers_alive_g.set(alive)
+            lease = self._claim_for(worker, now)
+            if lease is None:
+                free.append(worker)
+            elif not lease.abandoned:
+                claims.append((worker, lease))
+        return claims, free, alive
+
+    def _tick(self) -> int:
+        """One claim round: simultaneous claims, serial execution."""
+        now = self.world.now
+        claims, _free, alive = self._claim_phase(now)
+        self._workers_alive_g.set(alive, **self._metric_shard)
 
         executed = 0
         for worker, lease in claims:
@@ -462,17 +540,18 @@ class FleetScheduler:
                     "scheduler.dispatch", "claim executing",
                     task=task.task_id, worker=worker.worker_id,
                     attempt=task.attempts, trace=task.trace_id or None,
+                    **self._event_shard,
                 )
                 try:
                     result = task.execute()
                 except ReproError as exc:
                     task.state = TaskState.FAILED
                     task.error = str(exc)
-                    self._failed_c.inc()
+                    self._failed_c.inc(**self._metric_shard)
                     world.emit(
                         "scheduler.task_failed", "task raised during execution",
                         task=task.task_id, error=str(exc),
-                        trace=task.trace_id or None,
+                        trace=task.trace_id or None, **self._event_shard,
                     )
                 else:
                     task.state = TaskState.DONE
@@ -481,20 +560,28 @@ class FleetScheduler:
                         delivered = task.measure(result)
                     task.delivered_bytes = delivered
                     self.queue.charge(task.user, delivered)
-                    self._bytes_c.inc(delivered, user=task.user)
-                    self._completed_c.inc()
+                    self._bytes_c.inc(delivered, user=task.user,
+                                      **self._metric_shard)
+                    self._completed_c.inc(**self._metric_shard)
                     self._completed.append(task)
                     world.emit(
                         "scheduler.task_done", "task serviced",
                         task=task.task_id, user=task.user, bytes=delivered,
                         attempts=task.attempts, trace=task.trace_id or None,
+                        **self._event_shard,
                     )
         finally:
             service_s = world.now - started
-            self._service_h.observe(service_s, exemplar=task.trace_id or None)
+            self._service_h.observe(service_s, exemplar=task.trace_id or None,
+                                    **self._metric_shard)
             self.leases.release(lease)
             self.admission.on_finish(task, service_s)
-            self._fair_error_g.set(self.queue.fair_share_error())
+            self._since_fair += 1
+            if self._since_fair >= self._fair_stride:
+                self._since_fair = 0
+                self._fair_error_g.set(self.queue.fair_share_error(),
+                                       **self._metric_shard)
+                self._fair_stride = max(1, self.queue.lane_count() // 64)
 
     def _sweep_heartbeats(self) -> None:
         """Renew every live claim in one pass (the coalesced heartbeat).
@@ -521,7 +608,7 @@ class FleetScheduler:
             task = lease.task
             self.leases.release(lease)
             self.admission.on_finish(task)
-            self._expired_c.inc()
+            self._expired_c.inc(**self._metric_shard)
             worker = self._workers_by_id.get(lease.worker_id)
             if worker is not None and worker.lease is lease:
                 worker.lease = None
@@ -529,6 +616,7 @@ class FleetScheduler:
                 "scheduler.lease_expired", "lease lapsed; reclaiming task",
                 task=task.task_id, worker=lease.worker_id,
                 attempt=lease.attempt, trace=task.trace_id or None,
+                **self._event_shard,
             )
             if task.attempts >= self.config.max_task_attempts:
                 task.state = TaskState.FAILED
@@ -536,24 +624,27 @@ class FleetScheduler:
                     f"abandoned after {task.attempts} lapsed claims "
                     f"(max_task_attempts={self.config.max_task_attempts})"
                 )
-                self._failed_c.inc()
+                self._failed_c.inc(**self._metric_shard)
                 if task.on_requeue is not None:
                     task.on_requeue(task)
                 world.emit(
                     "scheduler.task_failed", "task exhausted its claim attempts",
                     task=task.task_id, attempts=task.attempts,
-                    trace=task.trace_id or None,
+                    trace=task.trace_id or None, **self._event_shard,
                 )
                 continue
             self.queue.requeue(task)
-            self._requeued_c.inc()
+            self._requeued_c.inc(**self._metric_shard)
             if task.on_requeue is not None:
                 task.on_requeue(task)
 
-    def _wait_for_next_event(self) -> None:
-        """Nothing can run now: jump to the next expiry or host recovery."""
+    def _next_event_candidates(self, now: float) -> list[float]:
+        """Future wakeup times: earliest lease expiry + host recoveries.
+
+        Split out so a sharded router can merge candidates across every
+        shard before advancing the one shared clock.
+        """
         world = self.world
-        now = world.now
         candidates: list[float] = []
         next_expiry = self.leases.next_expiry()
         if next_expiry is not None:
@@ -563,7 +654,12 @@ class FleetScheduler:
                 up = world.faults.next_clear_time((), (worker.host,), now)
                 if up > now:
                     candidates.append(up)
-        future = [t for t in candidates if t > now and math.isfinite(t)]
+        return [t for t in candidates if t > now and math.isfinite(t)]
+
+    def _wait_for_next_event(self) -> None:
+        """Nothing can run now: jump to the next expiry or host recovery."""
+        world = self.world
+        future = self._next_event_candidates(world.now)
         if not future:
             raise SchedulerError(
                 "scheduler stalled: tasks queued but no worker can ever run them"

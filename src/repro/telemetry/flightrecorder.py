@@ -77,6 +77,8 @@ class FlightRecord:
     dst_endpoint: str = ""
     #: the submit span's trace id — the exemplar key for this record
     trace_id: str = ""
+    #: home scheduler shard (sharded control plane only; "" unsharded)
+    shard: str = ""
     #: every trace bound to this task (submit trace + one per dispatch)
     trace_ids: list[str] = field(default_factory=list)
     status: str = "queued"
@@ -131,6 +133,7 @@ class FlightRecord:
             "src_endpoint": self.src_endpoint,
             "dst_endpoint": self.dst_endpoint,
             "trace_id": self.trace_id,
+            "shard": self.shard,
             "trace_ids": list(self.trace_ids),
             "status": self.status,
             "size_hint": self.size_hint,
@@ -273,6 +276,7 @@ class FlightRecorder:
             rec.src_endpoint = fields.get("src", rec.src_endpoint)
             rec.dst_endpoint = fields.get("dst", rec.dst_endpoint)
             rec.lane_vtime = fields.get("lane_vtime", rec.lane_vtime)
+            rec.shard = str(fields.get("shard", rec.shard))
             rec.submitted_at = ev.time
             if ev.trace_id is not None and not rec.trace_id:
                 rec.trace_id = ev.trace_id

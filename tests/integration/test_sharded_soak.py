@@ -1,0 +1,203 @@
+"""Sharded-control-plane soak: crash workers AND whole shards mid-claim.
+
+The single-scheduler soak (test_scheduler_soak) proves the lease
+machinery under random worker crashes.  This campaign raises the
+stakes for the sharded plane: on top of the same chaos campaign,
+scripted blackouts take down *every worker host of one shard at once*
+— the worst case the router's work-stealing exists for.  Acceptance:
+
+* every job completes (zero lost) exactly once (zero duplicated);
+* the crash campaign really bit, including the shard blackouts;
+* work-stealing actually rescued the blacked-out shards' queues
+  (cross-shard steals > 0);
+* Jain's fairness index over per-user delivered bytes >= 0.95 — a
+  user homed on a dead shard is not starved;
+* delivered file bytes are identical to a crash-free unsharded run;
+* the whole campaign replays bit for bit under the same seed.
+
+``CHAOS_SEED`` narrows the seed matrix (one seed per CI matrix entry).
+"""
+
+import os
+
+import pytest
+
+from repro.globusonline.service import GlobusOnline
+from repro.globusonline.transfer import JobStatus
+from repro.scheduler import SchedulerConfig, jain_index, user_shard
+from repro.sim.faults import ChaosConfig
+from repro.sim.world import World
+from repro.storage.data import SyntheticData
+from repro.util.units import MB, gbps
+from tests.conftest import make_gcmu_site
+
+SEEDS = [7, 11, 23]
+if os.environ.get("CHAOS_SEED"):
+    SEEDS = [int(os.environ["CHAOS_SEED"])]
+
+N_SHARDS = 4
+N_USERS = 10
+JOBS_PER_USER = 6
+FILE_SIZE = 8 * MB  # above the coalescing threshold: one claim per job
+WORKER_HOSTS = tuple(f"go-worker-{i}" for i in range(8))
+
+CAMPAIGN = ChaosConfig(
+    host_crash_every_s=22.0,
+    host_downtime_s=(5.0, 15.0),
+    horizon_s=2 * 3600.0,
+)
+
+#: scripted whole-shard blackouts: (shard index, start, duration).
+#: worker i serves shard i % N, so shard s's hosts are every Nth host.
+BLACKOUTS = ((0, 45.0, 60.0), (2, 160.0, 60.0), (1, 300.0, 45.0))
+
+
+def _shard_hosts(shard):
+    return [WORKER_HOSTS[i] for i in range(len(WORKER_HOSTS))
+            if i % N_SHARDS == shard]
+
+
+def _build(seed, crashes=True, shards=N_SHARDS):
+    world = World(seed=seed)
+    net = world.network
+    for h in ("dtn-a", "dtn-b", "saas"):
+        net.add_host(h, nic_bps=gbps(10))
+    net.add_link("dtn-a", "dtn-b", gbps(10), 0.04, loss=1e-5)
+    net.add_link("saas", "dtn-a", gbps(1), 0.02)
+    net.add_link("saas", "dtn-b", gbps(1), 0.02)
+    config = SchedulerConfig(
+        workers=len(WORKER_HOSTS),
+        worker_hosts=WORKER_HOSTS if crashes else (),
+        lease_s=40.0,
+        heartbeat_s=8.0,
+        max_task_attempts=50,
+    )
+    go = GlobusOnline(world, "saas", scheduler_config=config, shards=shards)
+    ep_a = make_gcmu_site(
+        world, "dtn-a", "alcf",
+        {f"user{i}": f"pw{i}" for i in range(N_USERS)},
+        register_with=go, endpoint_name="alcf#dtn")
+    ep_b = make_gcmu_site(world, "dtn-b", "nersc", {"sink": "pwS"},
+                          register_with=go, endpoint_name="nersc#dtn")
+    if crashes:
+        world.chaos.configure(CAMPAIGN)
+        world.chaos.arm(hosts=list(WORKER_HOSTS))
+        # on top of the random campaign: take out every host of one
+        # shard simultaneously, shard by shard
+        for shard, start, duration in BLACKOUTS:
+            for host in _shard_hosts(shard):
+                world.faults.crash_host(host, at=start, duration=duration)
+    return world, go, ep_a, ep_b
+
+
+def _run_campaign(seed, crashes=True, shards=N_SHARDS):
+    world, go, ep_a, ep_b = _build(seed, crashes=crashes, shards=shards)
+    jobs = []
+    for u in range(N_USERS):
+        username = f"user{u}"
+        uid = ep_a.accounts.get(username).uid
+        account = go.register_user(f"{username}@globusid")
+        go.activate(account, "alcf#dtn", username, f"pw{u}")
+        go.activate(account, "nersc#dtn", "sink", "pwS")
+        for j in range(JOBS_PER_USER):
+            path = f"/home/{username}/f{j}.dat"
+            ep_a.storage.write_file(
+                path, SyntheticData(seed=1000 * u + j, length=FILE_SIZE), uid=uid)
+            jobs.append(go.submit_transfer(
+                account, "alcf#dtn", path,
+                "nersc#dtn", f"/home/sink/{username}-f{j}.dat", defer=True))
+    go.process_queue()
+    uid_sink = ep_b.accounts.get("sink").uid
+    fingerprints = {
+        f"{j.user}:{j.dst_path}": ep_b.storage.open_read(j.dst_path, uid_sink).fingerprint()
+        for j in jobs
+    }
+    return {"world": world, "go": go, "jobs": jobs, "fingerprints": fingerprints}
+
+
+def _total(world, name):
+    metric = world.metrics.get(name)
+    return metric.total() if metric is not None else 0.0
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_sharded_soak_zero_lost_zero_duplicated(seed):
+    run = _run_campaign(seed)
+    world, go, jobs = run["world"], run["go"], run["jobs"]
+    njobs = N_USERS * JOBS_PER_USER
+    assert len(jobs) == njobs
+    assert all(j.status is JobStatus.SUCCEEDED for j in jobs)
+    # completions balance submissions exactly, across every shard
+    assert _total(world, "scheduler_submitted_total") == njobs
+    assert _total(world, "scheduler_completed_total") == njobs
+    assert _total(world, "scheduler_task_failures_total") == 0
+    assert len(go.scheduler.leases) == 0
+    assert len(go.scheduler.queue) == 0
+    # the campaign bit hard: random crashes plus three shard blackouts
+    crashes = _total(world, "scheduler_worker_crashes_total")
+    assert crashes >= 20, crashes
+    assert (_total(world, "scheduler_requeued_total")
+            == _total(world, "scheduler_lease_expirations_total"))
+    # every completion is credited to the user's home shard
+    completed = world.metrics.get("scheduler_completed_total")
+    for u in range(N_USERS):
+        home = user_shard(f"user{u}@globusid", N_SHARDS)
+        assert completed.value(shard=str(home)) > 0
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_sharded_soak_work_stealing_rescues_dead_shards(seed):
+    run = _run_campaign(seed)
+    world = run["world"]
+    # a whole shard went dark mid-campaign; its queue only drained
+    # because foreign workers stole it
+    steals = _total(world, "scheduler_steals_total")
+    assert steals > 0, "shard blackouts should force cross-shard steals"
+    # fairness survived the blackouts: per-user delivered bytes stay
+    # tight even for users homed on the shards that died
+    delivered = run["go"].scheduler.queue.delivered_bytes()
+    assert len(delivered) == N_USERS
+    assert jain_index(delivered.values()) >= 0.95
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_sharded_soak_bytes_identical_to_unsharded_clean_run(seed):
+    chaotic = _run_campaign(seed, crashes=True, shards=N_SHARDS)
+    baseline = _run_campaign(seed, crashes=False, shards=None)
+    assert chaotic["fingerprints"] == baseline["fingerprints"]
+    assert _total(chaotic["world"], "scheduler_worker_crashes_total") >= 20
+    assert _total(baseline["world"], "scheduler_worker_crashes_total") == 0
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_sharded_soak_replays_bit_for_bit(seed):
+    a = _run_campaign(seed)
+    b = _run_campaign(seed)
+    assert a["fingerprints"] == b["fingerprints"]
+    for counter in ("scheduler_worker_crashes_total", "scheduler_requeued_total",
+                    "scheduler_completed_total", "scheduler_steals_total"):
+        assert _total(a["world"], counter) == _total(b["world"], counter)
+    assert a["world"].now == b["world"].now
+
+
+def test_sharded_metrics_and_flight_records_carry_shard():
+    world, go, ep_a, ep_b = _build(SEEDS[0], crashes=False)
+    recorder, _ = world.enable_observability()
+    username = "user0"
+    uid = ep_a.accounts.get(username).uid
+    account = go.register_user(f"{username}@globusid")
+    go.activate(account, "alcf#dtn", username, "pw0")
+    go.activate(account, "nersc#dtn", "sink", "pwS")
+    ep_a.storage.write_file(
+        "/home/user0/one.dat", SyntheticData(seed=1, length=FILE_SIZE), uid=uid)
+    job = go.submit_transfer(account, "alcf#dtn", "/home/user0/one.dat",
+                             "nersc#dtn", "/home/sink/one.dat", defer=True)
+    go.process_queue()
+    assert job.status is JobStatus.SUCCEEDED
+    home = str(user_shard(f"{username}@globusid", N_SHARDS))
+    # the exposition carries shard-labelled scheduler series
+    text = world.metrics.render_prometheus()
+    assert f'scheduler_completed_total{{shard="{home}"}} 1' in text
+    # and the flight record knows its home shard
+    records = [r for r in recorder.records() if r.user == f"{username}@globusid"]
+    assert records and all(r.shard == home for r in records)

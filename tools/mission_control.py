@@ -7,6 +7,8 @@ fair-share virtual tags, outstanding leases ordered by expiry, circuit
 breaker states per endpoint, SLO burn rates with alert status, and the
 top-N slowest flight records (with their exemplar trace ids, so a row
 here links to a ``# {trace_id=...}`` exemplar in the Prometheus text).
+A ``ShardedFleetScheduler`` renders one lane/lease/admission panel set
+per shard under a fleet-totals header (``--shards N`` in the demo).
 
 Requires ``world.enable_observability()`` for the SLO and flight
 recorder panels; without it those panels report "not attached".  Run
@@ -32,42 +34,59 @@ def _fmt_vt(value: float | None) -> str:
     return f"{value:.0f}" if value is not None else "-"
 
 
+def _scheduler_panels(snap: dict, prefix: str = "") -> list[str]:
+    """Lane, lease, and admission tables for one scheduler (or one
+    shard of a sharded control plane)."""
+    panels = [render_table(
+        f"{prefix}fair-share lanes ({len(snap['lanes'])} users, "
+        f"global vtime {snap['global_vtime']:.0f})",
+        ["user", "depth", "weight", "vtime_tag", "delivered_bytes"],
+        [
+            [ln["user"], ln["depth"], f"{ln['weight']:g}",
+             _fmt_vt(ln["vtime"]), ln["delivered_bytes"]]
+            for ln in snap["lanes"]
+        ],
+    )]
+    panels.append(render_table(
+        f"{prefix}outstanding leases ({len(snap['expiry_heap'])}, by expiry)",
+        ["task", "worker", "expires_in_s", "abandoned"],
+        [
+            [le["task"], le["worker"], f"{le['expires_in_s']:.1f}",
+             le["abandoned"]]
+            for le in snap["expiry_heap"]
+        ],
+    ))
+    adm = snap["admission"]
+    ewma = adm["service_ewma_s"]
+    panels.append(render_table(
+        f"{prefix}admission control",
+        ["rejections", "service_ewma_s", "retry_after_hint_s"],
+        [[
+            ", ".join(f"{k}={v}" for k, v in adm["rejections"].items()) or "-",
+            f"{ewma:.2f}" if ewma is not None else "-",
+            f"{adm['retry_after_hint_s']:.1f}",
+        ]],
+    ))
+    return panels
+
+
 def render(world, scheduler=None, breaker=None, top: int = 10) -> str:
     """The full dashboard as one printable block."""
     sections = [f"mission control @ t={world.now:.2f}s (virtual)"]
 
     if scheduler is not None:
         snap = scheduler.snapshot()
-        sections.append(render_table(
-            f"fair-share lanes ({len(snap['lanes'])} users, "
-            f"global vtime {snap['global_vtime']:.0f})",
-            ["user", "depth", "weight", "vtime_tag", "delivered_bytes"],
-            [
-                [ln["user"], ln["depth"], f"{ln['weight']:g}",
-                 _fmt_vt(ln["vtime"]), ln["delivered_bytes"]]
-                for ln in snap["lanes"]
-            ],
-        ))
-        sections.append(render_table(
-            f"outstanding leases ({len(snap['expiry_heap'])}, by expiry)",
-            ["task", "worker", "expires_in_s", "abandoned"],
-            [
-                [le["task"], le["worker"], f"{le['expires_in_s']:.1f}",
-                 le["abandoned"]]
-                for le in snap["expiry_heap"]
-            ],
-        ))
-        adm = snap["admission"]
-        ewma = adm["service_ewma_s"]
-        sections.append(render_table(
-            "admission control",
-            ["rejections", "service_ewma_s", "retry_after_hint_s"],
-            [[
-                ", ".join(f"{k}={v}" for k, v in adm["rejections"].items()) or "-",
-                f"{ewma:.2f}" if ewma is not None else "-",
-                f"{adm['retry_after_hint_s']:.1f}",
-            ]],
-        ))
+        if "shards" in snap:
+            sections.append(
+                f"sharded control plane: {snap['n_shards']} shards, "
+                f"{snap['queued_total']} queued, "
+                f"{snap['leases_total']} leases outstanding")
+            for shard_snap in snap["shards"]:
+                sections.extend(
+                    _scheduler_panels(shard_snap,
+                                      prefix=f"shard {shard_snap['shard']} "))
+        else:
+            sections.extend(_scheduler_panels(snap))
 
     if breaker is not None:
         endpoints = breaker.endpoints()
@@ -124,17 +143,23 @@ def render(world, scheduler=None, breaker=None, top: int = 10) -> str:
     return "\n\n".join(sections)
 
 
-def _demo(seed: int, top: int) -> str:
+def _demo(seed: int, top: int, shards: int | None = None) -> str:
     """A small chaotic fleet drained to idle, then snapshotted."""
-    from repro.scheduler import FleetScheduler, ScheduledTask, SchedulerConfig
+    from repro.scheduler import (
+        FleetScheduler, ScheduledTask, SchedulerConfig, ShardedFleetScheduler,
+    )
     from repro.sim.world import World
 
     world = World(seed=seed)
     world.enable_observability(queue_wait_slo_s=120.0)
     world.faults.crash_host("wh-1", 60.0, 120.0)
-    sched = FleetScheduler(world, SchedulerConfig(
-        workers=2, worker_hosts=("wh-0", "wh-1"), lease_s=40.0,
-        heartbeat_s=8.0, batch_threshold_bytes=0))
+    config = SchedulerConfig(
+        workers=max(2, shards or 0), worker_hosts=("wh-0", "wh-1"),
+        lease_s=40.0, heartbeat_s=8.0, batch_threshold_bytes=0)
+    if shards is None:
+        sched = FleetScheduler(world, config)
+    else:
+        sched = ShardedFleetScheduler(world, config, shards=shards)
 
     def payload(duration_s: float):
         def run():
@@ -158,8 +183,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--seed", type=int, default=7)
     parser.add_argument("--top", type=int, default=10,
                         help="slowest flight records to show")
+    parser.add_argument("--shards", type=int, default=None,
+                        help="demo the sharded control plane with N shards")
     args = parser.parse_args(argv)
-    print(_demo(args.seed, args.top))
+    print(_demo(args.seed, args.top, shards=args.shards))
     return 0
 
 

@@ -3,13 +3,15 @@
 
 ``dump(scheduler)`` renders ``FleetScheduler.snapshot()`` through the
 repo's plain-text table renderer — the operator's `qstat` for the
-simulated fleet.  Import it next to a live scheduler, or run this file
-directly for a self-contained demo that freezes a mid-drain scheduler
-(one lease in flight, a backlog queued, one worker host down) and
-prints the dump.
+simulated fleet.  A ``ShardedFleetScheduler`` snapshot renders one
+table block per shard under a fleet-totals header.  Import it next to
+a live scheduler, or run this file directly for a self-contained demo
+that freezes a mid-drain scheduler (one lease in flight, a backlog
+queued, one worker host down) and prints the dump.
 
     PYTHONPATH=src python tools/queue_dump.py
     PYTHONPATH=src python tools/queue_dump.py --seed 11
+    PYTHONPATH=src python tools/queue_dump.py --shards 3
 """
 
 from __future__ import annotations
@@ -25,9 +27,31 @@ from repro.metrics.report import render_table  # noqa: E402
 from repro.scheduler import FleetScheduler  # noqa: E402
 
 
-def dump(scheduler: FleetScheduler) -> str:
-    """All three snapshot tables as one printable block."""
+def dump(scheduler) -> str:
+    """Every snapshot table as one printable block.
+
+    Accepts a :class:`FleetScheduler` or a
+    :class:`~repro.scheduler.ShardedFleetScheduler`; the sharded form
+    is recognised by the ``shards`` list in its snapshot and rendered
+    shard by shard.
+    """
     snap = scheduler.snapshot()
+    if "shards" in snap:
+        blocks = [
+            f"sharded scheduler state @ t={snap['now']:.2f}s — "
+            f"{snap['n_shards']} shards, {snap['queued_total']} queued, "
+            f"{snap['leases_total']} leases outstanding"
+        ]
+        for shard_snap in snap["shards"]:
+            blocks.append(f"=== shard {shard_snap['shard']} ===")
+            blocks.append(_dump_one(shard_snap))
+        return "\n\n".join(blocks)
+    return _dump_one(snap)
+
+
+def _dump_one(snap: dict) -> str:
+    """One scheduler's snapshot tables (a single shard, or the whole
+    unsharded scheduler)."""
     sections = [f"scheduler state @ t={snap['now']:.2f}s"]
     sections.append(render_table(
         f"queued tasks ({len(snap['queued'])})",
@@ -89,16 +113,22 @@ def dump(scheduler: FleetScheduler) -> str:
     return "\n\n".join(sections)
 
 
-def _demo(seed: int) -> str:
+def _demo(seed: int, shards: int | None = None) -> str:
     """A scheduler frozen mid-drain: queued backlog, one live lease,
-    one downed worker host."""
-    from repro.scheduler import ScheduledTask, SchedulerConfig
+    one downed worker host.  With ``shards`` the same freeze-frame runs
+    on the sharded control plane."""
+    from repro.scheduler import ScheduledTask, SchedulerConfig, ShardedFleetScheduler
     from repro.sim.world import World
 
     world = World(seed=seed)
     world.faults.crash_host("wh-1", 0.0, 900.0)
-    sched = FleetScheduler(world, SchedulerConfig(
-        workers=2, worker_hosts=("wh-0", "wh-1"), batch_threshold_bytes=0))
+    config = SchedulerConfig(
+        workers=max(2, shards or 0), worker_hosts=("wh-0", "wh-1"),
+        batch_threshold_bytes=0)
+    if shards is None:
+        sched = FleetScheduler(world, config)
+    else:
+        sched = ShardedFleetScheduler(world, config, shards=shards)
     for i in range(5):
         sched.submit(ScheduledTask(
             task_id=f"task-{i:06d}", user=f"user{i % 3}",
@@ -106,18 +136,23 @@ def _demo(seed: int) -> str:
             size_hint=(i + 1) * 1_000_000, execute=lambda: None,
         ))
     world.advance(12.5)
-    # claim the head task by hand so the lease table has a live entry
-    task = sched.queue.pop_next()
+    # claim a head task by hand so a lease table has a live entry
+    claim_on = sched if shards is None else next(
+        s for s in sched.shards if len(s.queue))
+    task = claim_on.queue.pop_next()
     task.attempts += 1
-    sched.leases.grant(task, "w0", world.now, sched.config.lease_s)
+    claim_on.leases.grant(task, claim_on.workers[0].worker_id,
+                          world.now, claim_on.config.lease_s)
     return dump(sched)
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--shards", type=int, default=None,
+                        help="demo the sharded control plane with N shards")
     args = parser.parse_args(argv)
-    print(_demo(args.seed))
+    print(_demo(args.seed, shards=args.shards))
     return 0
 
 
