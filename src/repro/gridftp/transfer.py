@@ -83,9 +83,14 @@ class TransferOptions:
         return stack
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class TransferResult:
-    """Outcome of a completed transfer."""
+    """Outcome of a completed transfer.
+
+    Logically immutable; not ``frozen=True`` because a frozen dataclass
+    ``__init__`` goes through ``object.__setattr__`` per field and this
+    object is built once per transfer on the fleet hot path.
+    """
 
     nbytes: int
     start_time: float
@@ -143,6 +148,69 @@ class _Flow:
     path: PathStats
 
 
+class _TransferProfile:
+    """Route/rate/plan state shared by identical repeat transfers.
+
+    A fleet moves millions of files over a handful of (source hosts,
+    sink hosts, options, size) shapes; everything here is a pure
+    function of that shape and the topology, so recomputing it per
+    transfer is waste.  Cached values are the *identical* floats the
+    inline computation produced — virtual-time outcomes cannot drift.
+    Invalidation: the owning cache is keyed by the network's
+    ``topology_version``; the per-fault-plan view refreshes on the
+    plan's mutation ``epoch``.
+    """
+
+    __slots__ = ("flows", "nstripes", "max_rtt", "stack", "stack_describe",
+                 "rate_bps", "links", "hosts", "setup_extra", "plan",
+                 "_fault_view")
+
+    def __init__(self, engine: "TransferEngine", source: "SourceSpec",
+                 sink: "SinkSpec", options: "TransferOptions") -> None:
+        self.flows = engine._flows(source, sink)
+        self.nstripes = len(self.flows)
+        self.max_rtt = max(f.path.rtt_s for f in self.flows)
+        stack = self.stack = options.build_stack()
+        self.stack_describe = stack.describe()
+        rate = 0.0
+        for f in self.flows:
+            per_flow = stack.throughput(f.path, options.parallelism)
+            if options.concurrency > 1:
+                per_flow = min(per_flow, f.path.bottleneck_bps / options.concurrency)
+            rate += per_flow
+        self.rate_bps = rate
+        links, hosts = TransferEngine._all_resources(self.flows)
+        self.links = tuple(sorted(links))
+        self.hosts = tuple(sorted(hosts))
+        self.setup_extra = (
+            max(stack.setup_time_s(f.path) for f in self.flows)
+            + max(stack.ramp_penalty_s(f.path, options.parallelism)
+                  for f in self.flows)
+        )
+        self.plan = ModeEPlan.plan(source.data.size, options.block_size, None)
+        self._fault_view: tuple | None = None
+
+    def fault_view(self, faults) -> tuple[tuple[str, ...], tuple[str, ...], tuple[str, ...]]:
+        """(faulted links, faulted hosts, degraded links) on this route.
+
+        Subsets carrying any scheduled fault at all — resources outside
+        them can never change ``first_interruption`` or
+        ``bandwidth_factor``, so the common all-clean route skips both
+        scans entirely.  Cached per fault-plan epoch.
+        """
+        fv = self._fault_view
+        epoch = faults.epoch
+        if fv is None or fv[0] != epoch:
+            fv = (
+                epoch,
+                tuple(l for l in self.links if faults.has_link_faults(l)),
+                tuple(h for h in self.hosts if faults.has_host_faults(h)),
+                tuple(l for l in self.links if faults.has_degradations(l)),
+            )
+            self._fault_view = fv
+        return fv[1], fv[2], fv[3]
+
+
 class TransferEngine:
     """Executes transfers against one world.
 
@@ -187,6 +255,9 @@ class TransferEngine:
         self._transfers_fault.inc(0.0)
         self._degraded.inc(0.0)
         self._faults_data_channel.inc(0.0)
+        # transfer-shape profiles, dropped whenever the topology mutates
+        self._profiles: dict[tuple, _TransferProfile] = {}
+        self._profiles_topo_version = -1
 
     @classmethod
     def for_world(cls, world: World) -> "TransferEngine":
@@ -275,6 +346,19 @@ class TransferEngine:
             finally:
                 active.dec()
 
+    def _profile(self, source: SourceSpec, sink: SinkSpec,
+                 options: TransferOptions) -> _TransferProfile:
+        """The cached :class:`_TransferProfile` for this transfer shape."""
+        tv = self.world.network.topology_version
+        if tv != self._profiles_topo_version:
+            self._profiles.clear()
+            self._profiles_topo_version = tv
+        key = (source.hosts, sink.hosts, options, source.data.size)
+        prof = self._profiles.get(key)
+        if prof is None:
+            prof = self._profiles[key] = _TransferProfile(self, source, sink, options)
+        return prof
+
     def _execute(
         self,
         source: SourceSpec,
@@ -286,35 +370,33 @@ class TransferEngine:
         span,
     ) -> TransferResult:
         world = self.world
-        flows = self._flows(source, sink)
+        prof = self._profile(source, sink, options)
+        flows = prof.flows
+        network = world.network
         for f in flows:
-            world.network.check_path_up(f.path)
+            network.check_path_up(f.path)
 
         window_start = world.now
 
         # 1. data channel authentication (sender connects, receiver listens).
         # Mode E data channels are cached across files, so a reused channel
         # (charge_setup=False) re-validates logically but pays no time.
-        max_rtt = max(f.path.rtt_s for f in flows)
-        authed = authenticate_data_channel(source.security, sink.security, world.now)
+        authed = authenticate_data_channel(source.security, sink.security, window_start)
         extra_time = 0.0
         if authed and charge_setup:
-            extra_time += 2.0 * max_rtt
+            extra_time += 2.0 * prof.max_rtt
 
-        # 2. achievable rate.  Concurrent whole-file transfers (the
-        # "concurrency" optimization) share the bottleneck fairly.
-        stack = options.build_stack()
-        rate_bps = 0.0
-        for f in flows:
-            per_flow = stack.throughput(f.path, options.parallelism)
-            if options.concurrency > 1:
-                per_flow = min(per_flow, f.path.bottleneck_bps / options.concurrency)
-            rate_bps += per_flow
+        # 2. achievable rate (profiled).  Concurrent whole-file transfers
+        # (the "concurrency" optimization) share the bottleneck fairly.
+        rate_bps = prof.rate_bps
         if rate_bps <= 0:
             raise TransferError("zero achievable rate on every flow")
-        # chaos degradation episodes slow the transfer without cutting it
-        links, hosts = self._all_resources(flows)
-        degrade = world.faults.bandwidth_factor(links, window_start)
+        # chaos degradation episodes slow the transfer without cutting it;
+        # only links with any scheduled episode can change the factor
+        f_links, f_hosts, d_links = prof.fault_view(world.faults)
+        degrade = (
+            world.faults.bandwidth_factor(d_links, window_start) if d_links else 1.0
+        )
         if degrade < 1.0:
             rate_bps *= degrade
             world.emit(
@@ -324,22 +406,26 @@ class TransferEngine:
             )
             self._degraded.inc()
         if charge_setup:
-            extra_time += max(stack.setup_time_s(f.path) for f in flows)
-            extra_time += max(stack.ramp_penalty_s(f.path, options.parallelism) for f in flows)
+            extra_time += prof.setup_extra
         if advance_clock:
             world.advance(extra_time)
 
         # 3. the block schedule (range arithmetic — no Block objects)
-        plan = ModeEPlan.plan(source.data.size, options.block_size, source.needed)
+        plan = (
+            prof.plan
+            if source.needed is None
+            else ModeEPlan.plan(source.data.size, options.block_size, source.needed)
+        )
         total = plan.total_bytes
         start = world.now if advance_clock else world.now + extra_time
         payload_s = total * 8.0 / rate_bps
         end = start + payload_s
 
-        # 4. fault check over the whole window (setup included)
+        # 4. fault check over the whole window (setup included); resources
+        # with no scheduled outage at all cannot interrupt anything
         fault_at = None
-        if advance_clock:
-            fault_at = world.faults.first_interruption(links, hosts, window_start, end)
+        if advance_clock and (f_links or f_hosts):
+            fault_at = world.faults.first_interruption(f_links, f_hosts, window_start, end)
 
         if fault_at is not None:
             delivered = 0
@@ -381,15 +467,20 @@ class TransferEngine:
         else:
             sink.sink.close(complete=False)
             verified = False
+        nstripes = prof.nstripes
+        nstreams = options.parallelism * nstripes
         markers = progress_markers(
-            start, payload_s, total, stripes=len(flows), interval_s=options.marker_interval_s
+            start, payload_s, total, stripes=nstripes, interval_s=options.marker_interval_s
         )
+        end_time = world.now if advance_clock else end
+        duration = end_time - window_start
+        eff_rate = total * 8.0 / duration if duration > 0 else 0.0
         result = TransferResult(
             nbytes=total,
             start_time=window_start,
-            end_time=world.now if advance_clock else end,
-            streams=options.parallelism * len(flows),
-            stripes=len(flows),
+            end_time=end_time,
+            streams=nstreams,
+            stripes=nstripes,
             verified=verified,
             checksum=source.data.fingerprint(),
             markers=tuple(markers),
@@ -398,21 +489,21 @@ class TransferEngine:
             "gridftp.transfer.complete",
             "transfer complete",
             nbytes=total,
-            duration=result.duration_s,
-            rate_bps=result.rate_bps,
-            streams=result.streams,
-            stripes=result.stripes,
-            stack=stack.describe(),
+            duration=duration,
+            rate_bps=eff_rate,
+            streams=nstreams,
+            stripes=nstripes,
+            stack=prof.stack_describe,
             verified=verified,
         )
         self._bytes_child("complete", options.transport).inc(total)
         self._transfers_complete.inc()
         ctx = world.tracer.current
         self._duration_obs.observe(
-            result.duration_s,
+            duration,
             exemplar=ctx.trace_id if ctx is not None else None)
-        span.fields.update(nbytes=total, rate_bps=result.rate_bps,
-                           streams=result.streams, stripes=result.stripes)
+        span.fields.update(nbytes=total, rate_bps=eff_rate,
+                           streams=nstreams, stripes=nstripes)
         return result
 
     @staticmethod
@@ -434,7 +525,10 @@ class TransferEngine:
             if synthetic is not None:
                 sink.write_synthetic_range(0, 0, synthetic)
             return
-        for start, end in plan.delivered_prefix(limit):
+        # no budget: the plan's own spans are the delivery — skip the
+        # ByteRangeSet round-trip and burst each span as one bulk write
+        spans = plan.ranges if limit is None else plan.delivered_prefix(limit)
+        for start, end in spans:
             if synthetic is not None:
                 sink.write_synthetic_range(start, end - start, synthetic)
             else:

@@ -128,11 +128,15 @@ class Network:
         self._path_links_cache: dict[tuple[str, str], tuple[Link, ...]] = {}
         self._route_cache_hits = 0
         self._route_cache_misses = 0
+        #: bumped on every topology mutation; callers may cache derived
+        #: route state (e.g. transfer profiles) keyed by this counter
+        self.topology_version = 0
 
     # -- route cache ---------------------------------------------------------
 
     def invalidate_routes(self) -> None:
         """Drop every memoized route (called on any topology mutation)."""
+        self.topology_version += 1
         self._path_cache.clear()
         self._path_links_cache.clear()
 

@@ -285,6 +285,10 @@ class FaultPlan:
         """Does ``host`` have any scheduled crash window at all?"""
         return host in self._host_idx._raw
 
+    def has_degradations(self, link_id: str) -> bool:
+        """Does ``link_id`` have any scheduled degradation episode at all?"""
+        return link_id in self._degrade_idx._raw
+
     def control_down(self, host: str, t: float) -> bool:
         """Is ``host``'s control plane unreachable at time ``t``?"""
         return self._control_idx.covers(host, t)

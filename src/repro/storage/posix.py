@@ -56,15 +56,33 @@ class PosixStorage(DataStorageInterface):
 
     name = "posix"
 
+    #: resolution caches reset past this size (bounds fleet-scale memory)
+    _CACHE_CAP = 131072
+
     def __init__(self, clock: Clock) -> None:
         self.clock = clock
         self.root = _Node(
             name="/", owner_uid=0, mode=0o755, mtime=clock.now, is_dir=True
         )
+        # namespace version: bumped by any mutation that can change how a
+        # path resolves or whether a walk is permitted (mkdir/delete/
+        # rename/chmod/chown).  Adding *file content* under an existing
+        # name does not bump it — only successful resolutions are cached,
+        # so a new file simply misses until first resolved.
+        self._ns_version = 0
+        self._walk_cache: dict[tuple[str, int, bool], tuple[int, _Node]] = {}
+        self._parent_cache: dict[tuple[str, int], tuple[int, _Node, str]] = {}
+
+    def _bump_ns(self) -> None:
+        self._ns_version += 1
 
     # -- traversal -------------------------------------------------------------
 
     def _walk(self, path: str, uid: int, check_exec: bool = True) -> _Node:
+        key = (path, uid, check_exec)
+        hit = self._walk_cache.get(key)
+        if hit is not None and hit[0] == self._ns_version:
+            return hit[1]
         node = self.root
         for part in split_path(path):
             if not node.is_dir:
@@ -75,9 +93,16 @@ class PosixStorage(DataStorageInterface):
             if child is None:
                 raise FileNotFoundStorageError(f"no such path: {path!r}")
             node = child
+        if len(self._walk_cache) > self._CACHE_CAP:
+            self._walk_cache.clear()
+        self._walk_cache[key] = (self._ns_version, node)
         return node
 
     def _walk_parent(self, path: str, uid: int) -> tuple[_Node, str]:
+        key = (path, uid)
+        hit = self._parent_cache.get(key)
+        if hit is not None and hit[0] == self._ns_version:
+            return hit[1], hit[2]
         parts = split_path(path)
         if not parts:
             raise StorageError("cannot operate on the root directory")
@@ -85,6 +110,9 @@ class PosixStorage(DataStorageInterface):
         parent = self._walk(parent_path, uid)
         if not parent.is_dir:
             raise NotADirectoryStorageError(f"{parent_path!r} is not a directory")
+        if len(self._parent_cache) > self._CACHE_CAP:
+            self._parent_cache.clear()
+        self._parent_cache[key] = (self._ns_version, parent, parts[-1])
         return parent, parts[-1]
 
     # -- DSI reads ----------------------------------------------------------------
@@ -197,6 +225,7 @@ class PosixStorage(DataStorageInterface):
         parent.children[name] = _Node(
             name=name, owner_uid=uid, mode=0o755, mtime=self.clock.now, is_dir=True
         )
+        self._bump_ns()
 
     def makedirs(self, path: str, uid: int) -> None:
         """Create every missing component of ``path`` (mkdir -p)."""
@@ -217,6 +246,7 @@ class PosixStorage(DataStorageInterface):
         if not parent.permits(uid, _W):
             raise PermissionDeniedError(f"uid {uid} cannot delete from {path!r}")
         del parent.children[name]
+        self._bump_ns()
 
     def rename(self, old: str, new: str, uid: int) -> None:
         """Move a file (RNFR/RNTO)."""
@@ -235,6 +265,7 @@ class PosixStorage(DataStorageInterface):
         node.name = new_name
         node.mtime = self.clock.now
         new_parent.children[new_name] = node
+        self._bump_ns()
 
     # -- convenience for tests/examples -------------------------------------------
 
@@ -255,8 +286,10 @@ class PosixStorage(DataStorageInterface):
         if uid not in (0, node.owner_uid):
             raise PermissionDeniedError(f"uid {uid} cannot chmod {path!r}")
         node.mode = mode
+        self._bump_ns()
 
     def chown(self, path: str, owner_uid: int) -> None:
         """Root-only ownership change (no uid argument: callers are setup code)."""
         node = self._walk(path, 0, check_exec=False)
         node.owner_uid = owner_uid
+        self._bump_ns()

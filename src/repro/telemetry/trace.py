@@ -34,9 +34,14 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.world import World
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(slots=True)
 class TraceContext:
-    """Where in the causal tree a piece of work happens."""
+    """Where in the causal tree a piece of work happens.
+
+    Logically immutable; unfrozen because frozen-dataclass construction
+    pays object.__setattr__ per field and one context is minted for
+    every span on the fleet hot path.
+    """
 
     trace_id: str
     span_id: str
@@ -270,11 +275,12 @@ class _SpanHandle:
             span.status = "error"
             span.error = f"{type(exc).__name__}: {exc}"
         tracer = self._tracer
-        span.end_time = tracer._world.now
+        end = tracer._world.now
+        span.end_time = end
         tracer._stack.pop()
         tracer._evict()
         slow = getattr(tracer._world, "slow_ops", None)
-        if slow is not None:
-            slow.record(span.name, span.start_time, span.duration_s,
+        if slow is not None and end - span.start_time >= slow.threshold_s:
+            slow.record(span.name, span.start_time, end - span.start_time,
                         span_id=span.context.span_id)
         return False

@@ -23,14 +23,17 @@ from typing import Any, Callable, Iterator
 SUBSCRIBER_ERROR_CATEGORY = "telemetry.subscriber_error"
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(slots=True)
 class Event:
     """One structured log record.
 
     ``time`` is virtual seconds, ``category`` a dotted topic such as
     ``"gridftp.command"`` or ``"myproxy.issue"``, and ``fields`` arbitrary
     key/value detail.  ``trace_id``/``span_id`` tie the event into the
-    tracer's causal tree when it was emitted inside a span.
+    tracer's causal tree when it was emitted inside a span.  Treat
+    records as immutable once logged: the class is unfrozen only because
+    a frozen dataclass pays object.__setattr__ per field on every
+    construction, and emit() sits on the fleet hot path.
     """
 
     time: float
@@ -140,9 +143,17 @@ class EventLog:
         """
         ev = Event(time=time, category=category, message=message,
                    fields=fields, trace_id=trace_id, span_id=span_id)
-        self._append(ev)
         if not self._subscribers:
+            # fast path: no publication, no isolation machinery — just the
+            # ring append (inlined; steady state evicts exactly one)
+            events = self._events
+            events.append(ev)
+            cap = self._capacity
+            if cap is not None and len(events) > cap:
+                events.popleft()
+                self.dropped_events += 1
             return ev
+        self._append(ev)
         for sub in list(self._subscribers):
             try:
                 sub(ev)

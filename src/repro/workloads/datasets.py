@@ -10,13 +10,14 @@ content seed) plus a helper to materialize them into a storage backend.
 
 from __future__ import annotations
 
+import math
+import random
 from dataclasses import dataclass
-
-import numpy as np
 
 from repro.storage.data import LiteralData, SyntheticData
 from repro.storage.dsi import DataStorageInterface
 from repro.util.units import GB, KB, MB
+from repro.util.vector import HAS_NUMPY, np
 
 #: files at or below this size carry literal bytes (full integrity checks);
 #: larger files are synthetic (see repro.storage.data)
@@ -32,10 +33,17 @@ class FileSpec:
     seed: int
 
     def make_data(self):
-        """Content object for this spec (literal below the threshold)."""
+        """Content object for this spec (literal below the threshold).
+
+        Content bytes come from numpy's PCG64 when available, else from
+        the stdlib generator — the backends yield *different* bytes, but
+        each is deterministic per seed and every consumer compares
+        source against sink within one run, never across backends.
+        """
         if self.size <= LITERAL_THRESHOLD:
-            rng = np.random.default_rng(self.seed)
-            return LiteralData(rng.bytes(self.size))
+            if HAS_NUMPY:
+                return LiteralData(np.random.default_rng(self.seed).bytes(self.size))
+            return LiteralData(random.Random(self.seed).randbytes(self.size))
         return SyntheticData(seed=self.seed, length=self.size)
 
 
@@ -65,24 +73,41 @@ def climate_mix(
     ESG datasets (paper ref [12]) are dominated by mid-size NetCDF files
     with a long tail.
     """
-    rng = np.random.default_rng(seed)
-    sizes = np.clip(
-        rng.lognormal(mean=np.log(200 * MB), sigma=1.0, size=count), 1 * MB, 8 * GB
-    ).astype(np.int64)
+    if HAS_NUMPY:
+        rng = np.random.default_rng(seed)
+        sizes = np.clip(
+            rng.lognormal(mean=np.log(200 * MB), sigma=1.0, size=count), 1 * MB, 8 * GB
+        ).astype(np.int64)
+        sizes = [int(s) for s in sizes]
+    else:
+        pyrng = random.Random(seed)
+        mu = math.log(200 * MB)
+        sizes = [
+            int(min(max(pyrng.lognormvariate(mu, 1.0), 1 * MB), 8 * GB))
+            for _ in range(count)
+        ]
     return [
-        FileSpec(path=f"{directory}/cmip.{i:04d}.nc", size=int(s), seed=seed * 7_000_003 + i)
+        FileSpec(path=f"{directory}/cmip.{i:04d}.nc", size=s, seed=seed * 7_000_003 + i)
         for i, s in enumerate(sizes)
     ]
 
 
 def hep_mix(count: int = 100, directory: str = "/data/lhc", seed: int = 4) -> list[FileSpec]:
     """An LHC-ish mix: ~2 GB event files with modest spread."""
-    rng = np.random.default_rng(seed)
-    sizes = np.clip(
-        rng.normal(loc=2 * GB, scale=512 * MB, size=count), 256 * MB, 8 * GB
-    ).astype(np.int64)
+    if HAS_NUMPY:
+        rng = np.random.default_rng(seed)
+        sizes = np.clip(
+            rng.normal(loc=2 * GB, scale=512 * MB, size=count), 256 * MB, 8 * GB
+        ).astype(np.int64)
+        sizes = [int(s) for s in sizes]
+    else:
+        pyrng = random.Random(seed)
+        sizes = [
+            int(min(max(pyrng.gauss(2 * GB, 512 * MB), 256 * MB), 8 * GB))
+            for _ in range(count)
+        ]
     return [
-        FileSpec(path=f"{directory}/run.{i:05d}.root", size=int(s), seed=seed * 9_000_017 + i)
+        FileSpec(path=f"{directory}/run.{i:05d}.root", size=s, seed=seed * 9_000_017 + i)
         for i, s in enumerate(sizes)
     ]
 

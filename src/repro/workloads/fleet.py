@@ -22,10 +22,9 @@ the *simulator* itself runs the paper's workload.
 
 from __future__ import annotations
 
+import math
 import random
 from dataclasses import dataclass, field
-
-import numpy as np
 
 from repro.gridftp.dcau import DataChannelSecurity, DCAUMode
 from repro.gridftp.mode_e import DEFAULT_BLOCK_SIZE
@@ -41,6 +40,29 @@ from repro.sim.world import World
 from repro.storage.data import LiteralData, SyntheticData
 from repro.storage.posix import PosixStorage
 from repro.util.units import DAY, GB, KB, PB, gbps
+from repro.util.vector import HAS_NUMPY, np
+
+
+class _GaussRng:
+    """``standard_normal``-compatible fallback when numpy is absent.
+
+    Draws come from :class:`random.Random` instead of numpy's PCG64, so
+    the *values* differ between backends — the fleet model's consumers
+    assert statistical properties, not exact streams — but each backend
+    is individually deterministic for a given seed.
+    """
+
+    def __init__(self, seed: int) -> None:
+        self._rng = random.Random(seed)
+
+    def standard_normal(self) -> float:
+        return self._rng.gauss(0.0, 1.0)
+
+
+def _fleet_rng(seed: int):
+    if HAS_NUMPY:
+        return np.random.default_rng(seed)
+    return _GaussRng(seed)
 
 
 @dataclass(frozen=True)
@@ -68,7 +90,7 @@ class FleetModel:
         midpoint_fraction: float = 0.55,
         growth_rate: float = 0.006,
     ) -> None:
-        self.rng = np.random.default_rng(seed)
+        self.rng = _fleet_rng(seed)
         self.days = days
         self.final_servers = final_servers
         self.final_transfers_per_day = final_transfers_per_day
@@ -79,8 +101,8 @@ class FleetModel:
 
     def _logistic(self, day: int) -> float:
         """Adoption fraction in (0, 1] at ``day``."""
-        raw = 1.0 / (1.0 + np.exp(-self.growth_rate * (day - self.midpoint)))
-        end = 1.0 / (1.0 + np.exp(-self.growth_rate * (self.days - self.midpoint)))
+        raw = 1.0 / (1.0 + math.exp(-self.growth_rate * (day - self.midpoint)))
+        end = 1.0 / (1.0 + math.exp(-self.growth_rate * (self.days - self.midpoint)))
         return float(raw / end)
 
     def day(self, day_index: int) -> FleetDay:
@@ -227,19 +249,29 @@ class FleetTransferScenario:
         self._payload = LiteralData(
             bytes(rng.getrandbits(8) for _ in range(cfg.small_file_bytes))
         )
+        # the small-file hot path reuses one spec/options trio per call:
+        # the engine treats specs as read-only, so only the sink handle
+        # needs swapping between transfers
+        self._small_source = SourceSpec(
+            hosts=("dtn-src",), data=self._payload, security=self._security
+        )
+        self._small_sink = SinkSpec(
+            hosts=("dtn-dst",),
+            sink=None,  # type: ignore[arg-type]  # set per transfer
+            security=self._security,
+        )
+        self._small_options = TransferOptions(block_size=cfg.block_size)
 
     # -- the two phases -------------------------------------------------------
 
     def run_small_file(self, index: int) -> TransferResult:
         """Move one small file dtn-src -> dtn-dst (the per-file hot path)."""
-        cfg = self.config
-        sink = self.storage.open_write(
+        sink_spec = self._small_sink
+        sink_spec.sink = self.storage.open_write(
             f"/fleet/file-{index}.dat", 0, self._payload.size
         )
         return self.engine.execute(
-            SourceSpec(hosts=("dtn-src",), data=self._payload, security=self._security),
-            SinkSpec(hosts=("dtn-dst",), sink=sink, security=self._security),
-            TransferOptions(block_size=cfg.block_size),
+            self._small_source, sink_spec, self._small_options
         )
 
     def run_small_files(self, on_each=None) -> FleetRunStats:

@@ -1,0 +1,176 @@
+"""Scalar-vs-vectorized differential harness (Hypothesis).
+
+The PR-5 pattern, applied to the vectorized core: every array-backed /
+numpy hot path keeps its original scalar implementation as an executable
+specification, and these properties drain randomized workloads through
+both sides demanding *identical* results — firing order, observed clock,
+plan geometry, delivered ranges.  The CI matrix runs this file twice,
+with numpy present and with ``REPRO_NO_NUMPY=1``, so the pure-Python
+fallback is held to the same spec as the accelerated path.
+
+Covered pairs:
+
+* :class:`repro.sim.events.Scheduler` (array-backed, run-batched) vs
+  :class:`repro.sim.events.ScalarScheduler` (heap of dataclasses) —
+  random schedules with same-timestamp collisions, cancellations,
+  same-instant insertions from callbacks, and reentrant ``fire_due``.
+* :func:`repro.gridftp.mode_e.plan_blocks` vs
+  :func:`repro.gridftp.mode_e.plan_blocks_scalar` — random sizes, block
+  sizes, and restart range sets.
+* ``ModeEPlan._delivered_prefix_vector`` vs the scalar budget walk —
+  random multi-range restart plans under random byte budgets.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gridftp.mode_e import ModeEPlan, plan_blocks, plan_blocks_scalar
+from repro.util.ranges import ByteRangeSet
+from repro.sim.clock import Clock
+from repro.sim.events import ScalarScheduler, Scheduler
+from repro.util.vector import HAS_NUMPY
+
+# -- event engine ----------------------------------------------------------
+
+#: a coarse delay grid so random schedules collide on timestamps — run
+#: batching only engages on same-time groups, so collisions are the point
+_DELAYS = st.sampled_from([0.0, 0.25, 0.25, 0.5, 0.5, 1.0, 1.0, 2.0, 3.0])
+
+_OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("at"), _DELAYS, st.integers(0, 5)),
+        st.tuples(st.just("cancel"), st.integers(0, 63), st.just(0)),
+        st.tuples(st.just("fire"), _DELAYS, st.just(0)),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+class _Driver:
+    """Replays one op program against one engine, recording every firing."""
+
+    def __init__(self, engine_cls) -> None:
+        self.clock = Clock()
+        self.engine = engine_cls(self.clock)
+        self.log: list[tuple[object, float]] = []
+        self.handles: list = []
+        self._keys = itertools.count()
+
+    def _nested(self, key: int):
+        def cb() -> None:
+            self.log.append((("nested", key), self.clock.now))
+        return cb
+
+    def _callback(self, key: int, behavior: int):
+        def cb() -> None:
+            self.log.append((key, self.clock.now))
+            if behavior == 1:
+                # same-instant insertion: must fire after the current run
+                self.handles.append(
+                    self.engine.at(self.clock.now, self._nested(key)))
+            elif behavior == 2:
+                self.handles.append(
+                    self.engine.after(0.5, self._nested(key)))
+            elif behavior == 3 and self.handles:
+                # cancel a deterministic victim — possibly an unfired
+                # same-timestamp sibling of this very run
+                self.handles[key % len(self.handles)].cancel()
+            elif behavior == 4:
+                # reentrant drain: advance mid-callback and fire again
+                self.clock.advance(0.25)
+                self.engine.fire_due()
+        return cb
+
+    def run(self, ops) -> None:
+        for op, arg, behavior in ops:
+            if op == "at":
+                key = next(self._keys)
+                self.handles.append(self.engine.at(
+                    self.clock.now + arg, self._callback(key, behavior)))
+            elif op == "cancel":
+                next(self._keys)  # keep key streams aligned across engines
+                if self.handles:
+                    self.handles[int(arg) % len(self.handles)].cancel()
+            else:  # fire
+                next(self._keys)
+                self.clock.advance(arg)
+                self.engine.fire_due()
+        # final drain: jump past everything still pending
+        self.clock.advance(1e6)
+        self.engine.fire_due()
+
+
+@settings(max_examples=200, deadline=None)
+@given(_OPS)
+def test_event_engines_drain_identically(ops):
+    vector = _Driver(Scheduler)
+    scalar = _Driver(ScalarScheduler)
+    vector.run(ops)
+    scalar.run(ops)
+    assert vector.log == scalar.log
+    assert vector.engine.pending() == scalar.engine.pending()
+    assert vector.engine.next_due == scalar.engine.next_due
+    assert vector.clock.now == scalar.clock.now
+
+
+@settings(max_examples=50, deadline=None)
+@given(_OPS)
+def test_batch_stats_account_for_every_firing(ops):
+    d = _Driver(Scheduler)
+    d.run(ops)
+    stats = d.engine.stats
+    assert stats.total_events == len(d.log)
+    assert sum(stats.run_histogram().values()) == stats.runs
+
+
+# -- mode-E block planning -------------------------------------------------
+
+_SIZES = st.integers(min_value=0, max_value=4 << 20)
+_BLOCKS = st.sampled_from([1, 7, 512, 4096, 65536, 262144])
+
+
+@st.composite
+def _restart_ranges(draw, total_size: int):
+    """A valid ``needed`` set: disjoint in-file ranges (or None)."""
+    if total_size == 0 or draw(st.booleans()):
+        return None
+    n = draw(st.integers(1, 12))
+    points = sorted(draw(st.lists(
+        st.integers(0, total_size), min_size=2 * n, max_size=2 * n)))
+    rs = ByteRangeSet()
+    added = False
+    for a, b in zip(points[::2], points[1::2]):
+        if a < b:
+            rs.add(a, b)
+            added = True
+    return rs if added else None
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.data())
+def test_plan_blocks_matches_scalar_spec(data):
+    total = data.draw(_SIZES)
+    block = data.draw(_BLOCKS)
+    needed = data.draw(_restart_ranges(total))
+    assert plan_blocks(total, block, needed) == \
+        plan_blocks_scalar(total, block, needed)
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.data())
+def test_delivered_prefix_vector_matches_scalar_walk(data):
+    total = data.draw(st.integers(min_value=1, max_value=4 << 20))
+    block = data.draw(_BLOCKS)
+    needed = data.draw(_restart_ranges(total))
+    plan = ModeEPlan.plan(total, block, needed)
+    limit = data.draw(st.integers(0, plan.total_bytes + block))
+    scalar = plan._delivered_prefix_scalar(limit)
+    assert plan.delivered_prefix(limit).ranges == scalar.ranges
+    if HAS_NUMPY and plan.ranges:
+        vector = plan._delivered_prefix_vector(limit)
+        assert vector.ranges == scalar.ranges

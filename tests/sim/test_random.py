@@ -1,6 +1,11 @@
 """Deterministic RNG streams."""
 
+import pytest
+
 from repro.sim.random import RngFactory
+from repro.util.vector import HAS_NUMPY
+
+needs_numpy = pytest.mark.skipif(not HAS_NUMPY, reason="numpy not available")
 
 
 def test_named_streams_are_independent():
@@ -19,6 +24,7 @@ def test_same_name_reproduces_sequence():
     assert first == second
 
 
+@needs_numpy
 def test_numpy_streams_deterministic():
     f = RngFactory(5)
     a = f.numpy("w").integers(0, 1 << 30, size=4)
@@ -26,6 +32,7 @@ def test_numpy_streams_deterministic():
     assert (a == b).all()
 
 
+@needs_numpy
 def test_seed_changes_everything():
     a = RngFactory(1).numpy("x").random()
     b = RngFactory(2).numpy("x").random()

@@ -6,10 +6,15 @@ Runs the same scenario as ``benchmarks/bench_wallclock_fleet.py``
 cumulative time — the tool that found the route-walk, fault-scan, and
 fingerprint hot spots this codebase's caches now cover.
 
-    python tools/profile_hotpath.py            # 1k files, top 20
-    python tools/profile_hotpath.py --full     # the full 10k-file phase
-    python tools/profile_hotpath.py --top 40   # more rows
-    python tools/profile_hotpath.py --striped  # profile the striped phase
+    python tools/profile_hotpath.py             # 1k files, top 20
+    python tools/profile_hotpath.py --full      # the full 10k-file phase
+    python tools/profile_hotpath.py --top 40    # more rows
+    python tools/profile_hotpath.py --striped   # profile the striped phase
+    python tools/profile_hotpath.py --scheduler # fleet-scheduler drain
+
+Every mode ends with the event-engine batch report (run-length
+histogram, batched vs scalar firing counts) — the wallclock phases fire
+no absolute-time events, so the drain mode is where batching shows.
 """
 
 from __future__ import annotations
@@ -24,10 +29,34 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from repro.util.vector import VECTOR_BACKEND  # noqa: E402
 from repro.workloads.fleet import (  # noqa: E402
     FleetTransferScenario,
     FleetWorkloadConfig,
 )
+
+
+def print_batch_report(world) -> None:
+    """Event-engine batching counters (the CI regression artifact).
+
+    A healthy vectorized core shows most fired events inside runs of
+    length >= 2; a batching regression (timestamp jitter splitting
+    cohorts, say) shows up here as the scalar share creeping up long
+    before it costs enough wall time to trip the bench gates.
+    """
+    stats = world.scheduler.stats
+    total = stats.total_events
+    print(f"vector backend: {VECTOR_BACKEND}")
+    print(
+        f"event batches: {stats.runs} runs, {total} events fired "
+        f"({stats.batched_events} batched / {stats.scalar_events} scalar), "
+        f"max run {stats.max_run}"
+    )
+    hist = stats.run_histogram()
+    if hist:
+        width = max(len(str(b)) for b in hist)
+        for bucket, count in hist.items():
+            print(f"  run length >= {bucket:>{width}}: {count} runs")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -36,6 +65,9 @@ def main(argv: list[str] | None = None) -> int:
                         help="profile the full 10k-file phase (default: quick 1k)")
     parser.add_argument("--striped", action="store_true",
                         help="profile the multi-GiB striped phase instead")
+    parser.add_argument("--scheduler", action="store_true",
+                        help="profile the fleet-scheduler drain instead "
+                             "(500 jobs / 50 users, the bench quick tier)")
     parser.add_argument("--top", type=int, default=20,
                         help="rows to print (default 20)")
     parser.add_argument("--sort", default="cumulative",
@@ -44,6 +76,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--seed", type=int, default=None,
                         help="override the scenario seed")
     args = parser.parse_args(argv)
+
+    if args.scheduler:
+        return profile_scheduler(args)
 
     cfg = FleetWorkloadConfig()
     if not args.full:
@@ -71,6 +106,48 @@ def main(argv: list[str] | None = None) -> int:
     )
     info = scenario.world.network.route_cache_info()
     print(f"route cache: {info['hits']} hits / {info['misses']} misses")
+    print_batch_report(scenario.world)
+    return 0
+
+
+def profile_scheduler(args) -> int:
+    """Profile the fleet-scheduler drain (the bench quick workload)."""
+    sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+    from bench_scheduler_fleet import build_fleet
+
+    from repro.storage.data import SyntheticData
+    from repro.util.units import KB, MB
+
+    seed = 7 if args.seed is None else args.seed
+    users, jobs = 50, 500
+    world, go, ep_a, _ep_b = build_fleet(seed=seed, users=users)
+    accounts = []
+    for u in range(users):
+        account = go.register_user(f"user{u}@globusid")
+        go.activate(account, "alcf#dtn", f"user{u}", f"pw{u}")
+        go.activate(account, "nersc#dtn", "sink", "pwS")
+        accounts.append(account)
+    for n in range(jobs):
+        u = n % users
+        username = f"user{u}"
+        uid = ep_a.accounts.get(username).uid
+        small = (n // users) % 4 != 3
+        size = 256 * KB if small else 8 * MB
+        path = f"/home/{username}/j{n}.dat"
+        ep_a.storage.write_file(path, SyntheticData(seed=n, length=size), uid=uid)
+        go.submit_transfer(accounts[u], "alcf#dtn", path, "nersc#dtn",
+                           f"/home/sink/{username}-j{n}.dat", defer=True)
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    go.process_queue()
+    profiler.disable()
+
+    out = io.StringIO()
+    pstats.Stats(profiler, stream=out).sort_stats(args.sort).print_stats(args.top)
+    print(out.getvalue())
+    print(f"profiled: {jobs} jobs / {users} users drained")
+    print_batch_report(world)
     return 0
 
 
