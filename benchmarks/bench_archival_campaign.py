@@ -1,0 +1,190 @@
+"""Archival pipeline benchmark: a chaos-soaked multi-site campaign.
+
+Drives the full five-component archival pipeline (picker -> bundler ->
+replicator -> verifier -> deleter) over the fleet scheduler while chaos
+crashes every component and worker host and a destination site blacks
+out repeatedly, and reports:
+
+* wall-clock throughput (bundles/sec and source bytes/sec of simulator
+  progress);
+* virtual campaign duration and per-bundle archival latency (submit to
+  ``completed``, p50/p99 virtual seconds);
+* injected-fault evidence: component crashes, worker crashes, lease
+  expirations, blackout-blocked transfers;
+* catalog outcome counts (must be 100% ``source-deleted``).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_archival_campaign.py          # full run
+    PYTHONPATH=src python benchmarks/bench_archival_campaign.py --quick  # CI smoke
+    PYTHONPATH=src python benchmarks/bench_archival_campaign.py --quick \
+        --check BENCH_archival_quick.json                                # gate
+
+``BENCH_archival.json`` at the repo root is the committed full-run
+baseline and ``BENCH_archival_quick.json`` the quick-mode one (CI gates
+quick against quick so scenarios match).  ``--check`` fails on a >30%
+bundles/sec wall-clock regression, and — when the baseline scenario
+matches — on *any* drift in the deterministic virtual-time outcome
+(campaign duration, fault counts, catalog history digest): those are
+seeded virtual time, so a change there is a behaviour change, not a
+slow machine.  ``BENCH_TOLERANCE`` overrides the wall-clock tolerance.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import platform
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.archive import ArchivalCampaign, CampaignConfig  # noqa: E402
+from repro.util.stats import percentile  # noqa: E402
+
+SCHEMA = "bench_archival_campaign/v1"
+DEFAULT_TOLERANCE = 0.30
+
+
+def run_bench(seed: int, quick: bool, shards: int = 1) -> dict:
+    config = CampaignConfig(seed=seed, shards=shards)
+    if quick:
+        config = config.quick()
+    campaign = ArchivalCampaign(config)
+
+    t0 = time.perf_counter()
+    stats = campaign.run()
+    wall = time.perf_counter() - t0
+
+    catalog = campaign.catalog
+    bundles = catalog.bundles
+    source_bytes = sum(b.size for b in bundles)
+    latencies = [b.completed_at - b.created_at
+                 for b in bundles if b.completed_at > 0.0]
+    metrics = campaign.world.metrics
+
+    def total(name: str) -> int:
+        metric = metrics.get(name)
+        return int(metric.total()) if metric is not None else 0
+
+    blocked = len(campaign.world.log.select("archive.replica_blocked"))
+    return {
+        "schema": SCHEMA,
+        "quick": quick,
+        "scenario": {
+            "seed": seed,
+            "requests": config.requests,
+            "files_per_request": config.files_per_request,
+            "file_bytes": config.file_bytes,
+            "dest_sites": config.dest_sites,
+            "quorum": config.quorum,
+            **({"shards": shards} if shards > 1 else {}),
+        },
+        "results": {
+            "wall_s": round(wall, 4),
+            "bundles": len(bundles),
+            "bundles_per_s": round(len(bundles) / wall, 2),
+            "source_bytes": source_bytes,
+            "source_bytes_per_s": round(source_bytes / wall, 1),
+            "virtual_duration_s": round(campaign.world.now, 2),
+            "bundle_latency_p50_s": round(percentile(latencies, 0.50), 2),
+            "bundle_latency_p99_s": round(percentile(latencies, 0.99), 2),
+            "counts": stats["counts"],
+            "injected_faults": stats["injected_faults"],
+            "component_crashes": stats["component_crashes"],
+            "worker_crashes": stats["worker_crashes"],
+            "lease_expirations": total("archive_lease_expirations_total"),
+            "replicas_submitted": total("archive_replicas_submitted_total"),
+            "replica_resubmissions": total(
+                "archive_replica_resubmissions_total"),
+            "checksum_mismatches": total("archive_checksum_mismatches_total"),
+            "bytes_replicated": total("archive_bytes_replicated_total"),
+            "blackout_blocked_transfers": blocked,
+            "history_digest": stats["history_digest"],
+        },
+        "env": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+    }
+
+
+def check_regression(current: dict, baseline_path: pathlib.Path) -> int:
+    """Exit code 1 on wall-clock regression or virtual-outcome drift.
+
+    bundles/sec is wall-clock (noisy across machines; the loose
+    tolerance catches an algorithmic regression, not CI jitter).  The
+    virtual outcome — campaign duration, fault counts, catalog history
+    digest — is seeded deterministic, so when the scenarios match it is
+    compared *exactly*: any drift means the pipeline's behaviour
+    changed and the baseline must be consciously re-cut.
+    """
+    baseline = json.loads(baseline_path.read_text())
+    tol = float(os.environ.get("BENCH_TOLERANCE", DEFAULT_TOLERANCE))
+    failed = False
+
+    base_rate = baseline["results"]["bundles_per_s"]
+    cur_rate = current["results"]["bundles_per_s"]
+    floor = base_rate * (1.0 - tol)
+    verdict = "OK" if cur_rate >= floor else "REGRESSION"
+    failed = failed or cur_rate < floor
+    print(
+        f"[check] bundles/sec: current={cur_rate:.2f} baseline={base_rate:.2f} "
+        f"floor={floor:.2f} (tolerance {tol:.0%}) -> {verdict}"
+    )
+
+    if baseline.get("scenario") != current.get("scenario"):
+        print("[check] virtual outcome: skipped (baseline scenario differs)")
+        return 1 if failed else 0
+
+    for key in ("virtual_duration_s", "injected_faults",
+                "lease_expirations", "history_digest"):
+        base_v = baseline["results"].get(key)
+        cur_v = current["results"].get(key)
+        ok = base_v == cur_v
+        failed = failed or not ok
+        shown = (str(cur_v)[:16], str(base_v)[:16]) \
+            if key == "history_digest" else (cur_v, base_v)
+        print(f"[check] {key} (virtual, exact): current={shown[0]} "
+              f"baseline={shown[1]} -> {'OK' if ok else 'DRIFT'}")
+    return 1 if failed else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="CI-smoke size (2 requests x 8 files)")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--shards", type=int, default=1,
+                        help="run the campaign over N scheduler shards")
+    parser.add_argument("--out", type=pathlib.Path, default=None)
+    parser.add_argument("--check", type=pathlib.Path, default=None,
+                        help="baseline JSON to gate against "
+                             "(>30%% wall regression or any virtual drift fails)")
+    args = parser.parse_args(argv)
+
+    report = run_bench(args.seed, quick=args.quick, shards=args.shards)
+    out = args.out or REPO_ROOT / (
+        "BENCH_archival_quick.json" if args.quick else "BENCH_archival.json")
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    r = report["results"]
+    print(
+        f"[bench] {r['bundles']} bundles archived in {r['wall_s']}s wall "
+        f"({r['bundles_per_s']} bundles/s), virtual {r['virtual_duration_s']}s, "
+        f"{r['injected_faults']} faults "
+        f"({r['component_crashes']} component / {r['worker_crashes']} worker), "
+        f"{r['blackout_blocked_transfers']} blackout-blocked transfers"
+    )
+    print(f"[bench] counts: {r['counts']}  -> {out}")
+
+    if args.check is not None:
+        return check_regression(report, args.check)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,55 @@
+"""Durable multi-site archival pipeline over the fleet scheduler.
+
+The LTA-style subsystem: a transactional :class:`Catalog` of archival
+requests and bundles, five claim-based components
+(:class:`Picker` -> :class:`Bundler` -> :class:`Replicator` ->
+:class:`SiteMoveVerifier` -> :class:`Deleter`), an
+:class:`ArchivePipeline` driver, and the seeded
+:class:`ArchivalCampaign` harness that runs all of it under chaos.
+"""
+
+from repro.archive.base import ArchiveComponent
+from repro.archive.bundler import Bundler
+from repro.archive.campaign import (
+    ArchivalCampaign,
+    ArchiveSite,
+    CampaignConfig,
+)
+from repro.archive.catalog import (
+    CLAIMABLE,
+    TERMINAL,
+    ArchiveRequest,
+    Bundle,
+    BundleStatus,
+    Catalog,
+    Replica,
+    RequestStatus,
+    archive_slos,
+)
+from repro.archive.deleter import Deleter
+from repro.archive.picker import Picker
+from repro.archive.pipeline import ArchivePipeline
+from repro.archive.replicator import Replicator
+from repro.archive.verifier import SiteMoveVerifier
+
+__all__ = [
+    "ArchiveComponent",
+    "ArchivalCampaign",
+    "ArchivePipeline",
+    "ArchiveRequest",
+    "ArchiveSite",
+    "Bundle",
+    "BundleStatus",
+    "Bundler",
+    "CLAIMABLE",
+    "CampaignConfig",
+    "Catalog",
+    "Deleter",
+    "Picker",
+    "Replica",
+    "Replicator",
+    "RequestStatus",
+    "SiteMoveVerifier",
+    "TERMINAL",
+    "archive_slos",
+]

@@ -1,0 +1,116 @@
+"""The claim-cycle discipline shared by every archival component.
+
+A component is one single-purpose daemon (LTA-style): it serves exactly
+one catalog status queue, claiming rows under leases and committing
+transitions.  The crash model is the fleet scheduler's, verbatim: at
+claim time the component's host is checked for a fault onset anywhere
+inside the lease window — if one exists, the claim is *abandoned* with
+no side effects (the component dies before doing anything), the lease
+lapses, and :meth:`~repro.archive.catalog.Catalog.requeue_lapsed` puts
+the row back.  Deciding the crash at claim time is what makes
+exactly-once provable: work either fully happens under a live lease or
+never starts.
+
+An abandoned claim parks the component (mirroring how a crashed
+scheduler worker holds its dead lease) until the lease is released by
+the lapse sweep — by which point the host's downtime window has normally
+passed and the component resumes.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.scheduler.leases import Lease
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.archive.catalog import Catalog
+    from repro.sim.world import World
+
+
+class ArchiveComponent:
+    """One claim-based pipeline stage bound to a catalog queue."""
+
+    name = "component"
+
+    def __init__(self, world: "World", catalog: "Catalog",
+                 host: str | None = None,
+                 max_per_cycle: int | None = None) -> None:
+        self.world = world
+        self.catalog = catalog
+        self.host = host
+        #: claim at most this many rows per cycle (None = drain the queue).
+        #: Capping makes the pipeline interleave stages instead of moving
+        #: the whole backlog through each stage in one burst, so work
+        #: spreads across the campaign timeline and fault windows.
+        self.max_per_cycle = max_per_cycle
+        self.crashes = 0
+        self._parked: Lease | None = None
+
+    def alive(self, now: float) -> bool:
+        """Is the component's host up (hostless components never crash)?"""
+        return self.host is None or not self.world.faults.host_down(self.host, now)
+
+    # -- the claim cycle ---------------------------------------------------
+
+    def _claim(self):
+        """Claim the next row this component serves (or None)."""
+        raise NotImplementedError
+
+    def work(self, item, lease: Lease) -> None:
+        """Process one claimed row and commit its transition(s)."""
+        raise NotImplementedError
+
+    def cycle(self) -> int:
+        """Claim-and-process rows until the queue is dry or the host dies."""
+        return self._drive(self._claim, self.work)
+
+    def _drive(self, claim, work) -> int:
+        """The shared claim loop (components with a second queue reuse it)."""
+        world = self.world
+        catalog = self.catalog
+        if self._parked is not None:
+            if not self._parked.released:
+                return 0  # still holding an abandoned claim; lease must lapse
+            self._parked = None
+        done = 0
+        while True:
+            if self.max_per_cycle is not None and done >= self.max_per_cycle:
+                return done
+            now = world.now
+            if not self.alive(now):
+                return done
+            claimed = claim()
+            if claimed is None:
+                return done
+            item, lease = claimed
+            # Crash model: a host fault beginning inside the lease window
+            # kills this claim before any side effect.  The lease lapses
+            # and the row requeues — identical discipline to
+            # FleetScheduler._claim_for.
+            crash_at = None
+            if self.host is not None:
+                crash_at = world.faults.first_interruption(
+                    (), (self.host,), now, now + catalog.lease_s)
+            if crash_at is not None:
+                lease.abandoned = True
+                self._parked = lease
+                self.crashes += 1
+                catalog.note_component_crash(self.name, item, crash_at)
+                return done
+            with world.tracer.span(
+                f"archive.{self.name}",
+                item=item.task_id, attempt=item.attempts,
+            ):
+                world.emit(
+                    f"archive.{self.name}.dispatch", "claim executing",
+                    item=item.task_id, attempt=item.attempts,
+                )
+                work(item, lease)
+            done += 1
+
+    def _advance(self, lease: Lease, dt: float) -> None:
+        """Charge virtual work time, renewing the lease across it."""
+        if dt > 0:
+            self.world.advance(dt)
+        self.catalog.renew(lease)

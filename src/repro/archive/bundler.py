@@ -1,0 +1,87 @@
+"""Bundler: coalesces a bundle's files into one staged payload.
+
+Under a claim on a ``specified`` bundle, the bundler reads every member
+file from the source DSI, builds the manifest — per-file (size, digest)
+rows through the shared :func:`repro.storage.checksum` helper, so
+payloads the transfer engine already hashed are never re-hashed — and
+writes the concatenated payload to the source site's staging area.  Two
+transitions under the same lease: ``created`` once the payload and
+manifest exist, ``staged`` once the staged file re-reads clean.  I/O
+time is charged in virtual seconds at ``io_bps`` with the lease renewed
+across the advance.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.archive.base import ArchiveComponent
+from repro.archive.catalog import Bundle, BundleStatus
+from repro.errors import ArchiveError
+from repro.storage.data import LiteralData, checksum
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.archive.campaign import ArchiveSite
+    from repro.archive.catalog import Catalog
+    from repro.scheduler.leases import Lease
+    from repro.sim.world import World
+
+
+class Bundler(ArchiveComponent):
+    """``specified`` -> ``created`` -> ``staged``."""
+
+    name = "bundler"
+
+    def __init__(
+        self,
+        world: "World",
+        catalog: "Catalog",
+        source: "ArchiveSite",
+        host: str | None = None,
+        io_bps: float = 200 * 1024 * 1024,
+        staging_dir: str = "/archive/staging",
+        max_per_cycle: int | None = None,
+    ) -> None:
+        super().__init__(world, catalog, host, max_per_cycle)
+        if io_bps <= 0:
+            raise ValueError("io_bps must be positive")
+        self.source = source
+        self.io_bps = io_bps
+        self.staging_dir = staging_dir
+
+    def _claim(self):
+        return self.catalog.claim_bundle(BundleStatus.SPECIFIED, self.name)
+
+    def work(self, bundle: Bundle, lease: "Lease") -> None:
+        storage = self.source.storage
+        uid = self.catalog.request(bundle.request_id).uid
+        manifest: dict[str, tuple[int, str]] = {}
+        payload = bytearray()
+        for path in bundle.files:
+            raw = storage.open_read(path, uid).read_all()
+            manifest[path] = (len(raw), checksum(raw))
+            payload += raw
+        blob = bytes(payload)
+        digest = checksum(blob)
+        # read every member + write the staged copy, in virtual time
+        self._advance(lease, 2 * len(blob) / self.io_bps)
+        staged_path = f"{self.staging_dir}/{bundle.bundle_id}.bundle"
+        storage.write_file(staged_path, LiteralData(blob), uid=0)
+        self.catalog.commit(
+            lease, BundleStatus.CREATED, actor=self.name, release=False,
+            manifest=manifest, checksum=digest, size=len(blob),
+            staged_path=staged_path,
+        )
+        # staging verification: the staged copy must re-read to the same
+        # digest before any replica is cut from it
+        staged_digest = checksum(storage.open_read(staged_path, 0))
+        if staged_digest != digest:  # pragma: no cover - staging is lossless here
+            raise ArchiveError(
+                f"staged bundle {bundle.bundle_id} digest mismatch: "
+                f"{staged_digest} != {digest}")
+        self.world.emit(
+            "archive.bundled", "bundle payload staged",
+            bundle=bundle.bundle_id, files=len(bundle.files),
+            bytes=len(blob), checksum=digest,
+        )
+        self.catalog.commit(lease, BundleStatus.STAGED, actor=self.name)

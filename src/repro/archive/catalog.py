@@ -1,0 +1,595 @@
+"""The archival catalog: a transactional table of requests and bundles.
+
+Modeled on the LTA (Long Term Archive) component pipeline: every unit
+of archival work is a row here, components *claim* rows under leases
+(the same :class:`~repro.scheduler.leases.LeaseTable` the fleet
+scheduler's workers use), and every status change is a validated,
+history-logged transaction.  The bundle state machine::
+
+    ephemeral -> specified -> created -> staged -> transferring
+              -> verifying -> completed -> source-deleted
+
+with two loops: ``verifying -> staged`` re-replicates a bundle whose
+far-end checksum failed, and any non-terminal status may quarantine to
+``failed`` after exhausting its claim attempts.
+
+Crash-recovery invariants (DESIGN.md §16):
+
+* a claim abandoned to a component crash has no side effects — the
+  lease lapses, :meth:`Catalog.requeue_lapsed` puts the row back at the
+  *front* of its status queue, and the next claimant redoes the work;
+* :meth:`Catalog.commit` refuses a transition on a lapsed lease, so a
+  zombie claimant can never double-apply;
+* ``source-deleted`` is reachable only from ``completed``, and
+  ``completed`` is only committed by the verifier after every replica
+  re-checksums clean — the source copy cannot be retired early;
+* every claim, lapse, crash, and transition appends one row to the
+  history log, and :meth:`Catalog.history_digest` hashes the log, so a
+  seed replay can assert the whole campaign is bit-for-bit identical.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.errors import IllegalTransitionError, LeaseLostError
+from repro.scheduler.leases import Lease, LeaseTable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.world import World
+
+#: bundle end-to-end latency buckets (virtual seconds, created -> completed)
+_LATENCY_BUCKETS = (1.0, 5.0, 15.0, 60.0, 300.0, 900.0, 1800.0, 3600.0, 4 * 3600.0)
+
+
+class BundleStatus(enum.Enum):
+    """Lifecycle of one archival bundle."""
+
+    EPHEMERAL = "ephemeral"
+    SPECIFIED = "specified"
+    CREATED = "created"
+    STAGED = "staged"
+    TRANSFERRING = "transferring"
+    VERIFYING = "verifying"
+    COMPLETED = "completed"
+    SOURCE_DELETED = "source-deleted"
+    FAILED = "failed"
+
+
+class RequestStatus(enum.Enum):
+    """Lifecycle of one archival request (fans out into bundles)."""
+
+    QUEUED = "queued"
+    PICKED = "picked"
+    FAILED = "failed"
+
+
+#: bundle statuses with a claim queue (a component serves each)
+CLAIMABLE = (
+    BundleStatus.SPECIFIED,
+    BundleStatus.STAGED,
+    BundleStatus.TRANSFERRING,
+    BundleStatus.VERIFYING,
+    BundleStatus.COMPLETED,
+)
+
+#: terminal bundle statuses
+TERMINAL = frozenset({BundleStatus.SOURCE_DELETED, BundleStatus.FAILED})
+
+_LEGAL: dict[BundleStatus, frozenset[BundleStatus]] = {
+    BundleStatus.EPHEMERAL: frozenset({BundleStatus.SPECIFIED, BundleStatus.FAILED}),
+    BundleStatus.SPECIFIED: frozenset({BundleStatus.CREATED, BundleStatus.FAILED}),
+    BundleStatus.CREATED: frozenset({BundleStatus.STAGED, BundleStatus.FAILED}),
+    BundleStatus.STAGED: frozenset({BundleStatus.TRANSFERRING, BundleStatus.FAILED}),
+    BundleStatus.TRANSFERRING: frozenset({BundleStatus.VERIFYING, BundleStatus.FAILED}),
+    # verifying -> staged is the re-replication loop after a bad checksum
+    BundleStatus.VERIFYING: frozenset(
+        {BundleStatus.COMPLETED, BundleStatus.STAGED, BundleStatus.FAILED}),
+    BundleStatus.COMPLETED: frozenset(
+        {BundleStatus.SOURCE_DELETED, BundleStatus.FAILED}),
+    BundleStatus.SOURCE_DELETED: frozenset(),
+    BundleStatus.FAILED: frozenset(),
+}
+
+
+@dataclass
+class Replica:
+    """One destination copy of a bundle."""
+
+    site: str
+    path: str
+    transferred: bool = False
+    verified: bool = False
+    #: the scheduler task currently (or last) moving this replica
+    task: Any = None
+
+
+@dataclass
+class ArchiveRequest:
+    """A client's ask: archive these source paths to these sites."""
+
+    request_id: str
+    user: str
+    source_site: str
+    dest_sites: tuple[str, ...]
+    paths: tuple[str, ...]
+    uid: int = 0
+    status: RequestStatus = RequestStatus.QUEUED
+    attempts: int = 0
+    submitted_at: float = 0.0
+    error: str = ""
+
+    @property
+    def task_id(self) -> str:
+        """Lease-table identity (requests and bundles share one table)."""
+        return self.request_id
+
+
+@dataclass
+class Bundle:
+    """One coalesced unit of archival transfer."""
+
+    bundle_id: str
+    request_id: str
+    files: tuple[str, ...]
+    size: int
+    status: BundleStatus = BundleStatus.EPHEMERAL
+    attempts: int = 0
+    #: source-side digest of the bundle payload (repro.storage.checksum)
+    checksum: str = ""
+    #: per-file (size, digest) rows, in bundle byte order
+    manifest: dict[str, tuple[int, str]] = field(default_factory=dict)
+    staged_path: str = ""
+    replicas: list[Replica] = field(default_factory=list)
+    created_at: float = 0.0
+    completed_at: float = 0.0
+    error: str = ""
+
+    @property
+    def task_id(self) -> str:
+        """Lease-table identity (requests and bundles share one table)."""
+        return self.bundle_id
+
+    def verified_replicas(self) -> int:
+        """How many replicas have re-checksummed clean at the far end."""
+        return sum(1 for r in self.replicas if r.verified)
+
+
+class Catalog:
+    """Requests + bundles + leases + history, behind one transactional facade.
+
+    Per-status FIFO queues make claim order deterministic; the shared
+    :class:`LeaseTable` makes claims exclusive; ``commit`` validates the
+    lease *and* the transition before anything changes.
+    """
+
+    def __init__(
+        self,
+        world: "World",
+        lease_s: float = 120.0,
+        max_claim_attempts: int = 10,
+    ) -> None:
+        if lease_s <= 0:
+            raise ValueError("lease_s must be positive")
+        if max_claim_attempts < 1:
+            raise ValueError("max_claim_attempts must be at least 1")
+        self.world = world
+        self.lease_s = lease_s
+        self.max_claim_attempts = max_claim_attempts
+        self.leases = LeaseTable()
+        self._requests: dict[str, ArchiveRequest] = {}
+        self._bundles: dict[str, Bundle] = {}
+        self._pickable: deque[str] = deque()
+        self._ready: dict[BundleStatus, deque[str]] = {s: deque() for s in CLAIMABLE}
+        self._history: list[tuple[int, float, str, str, str, str, str]] = []
+        self._hseq = itertools.count(1)
+
+        metrics = world.metrics
+        self._requests_c = metrics.counter(
+            "archive_requests_total", "Archival requests accepted into the catalog")
+        self._transitions_c = metrics.counter(
+            "archive_transitions_total", "Catalog status transitions committed",
+            labelnames=("status",))
+        self._claims_c = metrics.counter(
+            "archive_claims_total", "Catalog rows claimed under lease",
+            labelnames=("component",))
+        self._expired_c = metrics.counter(
+            "archive_lease_expirations_total",
+            "Catalog leases that lapsed without release")
+        self._crashes_c = metrics.counter(
+            "archive_component_crashes_total",
+            "Claims lost to archival component host crashes",
+            labelnames=("component",))
+        self._failed_c = metrics.counter(
+            "archive_bundles_failed_total",
+            "Bundles quarantined after exhausting their claim attempts")
+        self._status_g = metrics.gauge(
+            "archive_bundles", "Bundles currently in each status",
+            labelnames=("status",))
+        self._latency_h = metrics.histogram(
+            "archive_bundle_latency_seconds",
+            "Virtual seconds from bundle creation to quorum-verified completion",
+            buckets=_LATENCY_BUCKETS)
+        self._requests_c.inc(0)
+        self._expired_c.inc(0)
+        self._failed_c.inc(0)
+        for status in BundleStatus:
+            self._status_g.set(0, status=status.value)
+            self._transitions_c.inc(0, status=status.value)
+
+    # -- history ----------------------------------------------------------
+
+    def _record(self, kind: str, item_id: str, frm: str, to: str, actor: str) -> None:
+        self._history.append(
+            (next(self._hseq), self.world.now, kind, item_id, frm, to, actor))
+
+    @property
+    def history(self) -> tuple[tuple[int, float, str, str, str, str, str], ...]:
+        """Every claim/lapse/crash/transition, in commit order."""
+        return tuple(self._history)
+
+    def history_digest(self) -> str:
+        """sha256 over the canonical history log (the replay fingerprint)."""
+        h = hashlib.sha256()
+        for row in self._history:
+            h.update("|".join(map(repr, row)).encode())
+            h.update(b"\n")
+        return h.hexdigest()
+
+    # -- intake -----------------------------------------------------------
+
+    def submit(self, request: ArchiveRequest) -> ArchiveRequest:
+        """Accept a request; the picker will claim it."""
+        if request.request_id in self._requests:
+            raise LeaseLostError(f"request {request.request_id} already submitted")
+        request.submitted_at = self.world.now
+        self._requests[request.request_id] = request
+        self._pickable.append(request.request_id)
+        self._requests_c.inc()
+        self._record("request", request.request_id, "", "queued", "client")
+        self.world.emit(
+            "archive.request_submitted", "archival request queued",
+            request=request.request_id, user=request.user,
+            files=len(request.paths), dests=",".join(request.dest_sites),
+        )
+        return request
+
+    def add_bundle(self, bundle: Bundle, actor: str) -> Bundle:
+        """Register a new bundle (ephemeral; created under a request claim)."""
+        if bundle.bundle_id in self._bundles:
+            raise LeaseLostError(f"bundle {bundle.bundle_id} already exists")
+        bundle.created_at = self.world.now
+        self._bundles[bundle.bundle_id] = bundle
+        self._status_g.inc(status=bundle.status.value)
+        self._record("bundle", bundle.bundle_id, "", bundle.status.value, actor)
+        return bundle
+
+    def specify(self, bundle: Bundle, actor: str) -> None:
+        """ephemeral -> specified: the bundle enters the work queues.
+
+        Runs under the *request's* lease (the picker is mid-claim), so
+        no bundle lease exists yet.
+        """
+        self._transition(bundle, BundleStatus.SPECIFIED, actor)
+
+    # -- claims -----------------------------------------------------------
+
+    def claim_request(self, component: str) -> tuple[ArchiveRequest, Lease] | None:
+        """Lease the next pickable request to ``component``."""
+        if not self._pickable:
+            return None
+        rid = self._pickable.popleft()
+        request = self._requests[rid]
+        return request, self._grant(request, component)
+
+    def claim_bundle(
+        self, status: BundleStatus, component: str, predicate=None,
+    ) -> tuple[Bundle, Lease] | None:
+        """Lease the next ``status`` bundle (optionally the next passing
+        ``predicate``; skipped bundles rotate to the back of the queue)."""
+        queue = self._ready[status]
+        for _ in range(len(queue)):
+            bid = queue.popleft()
+            bundle = self._bundles[bid]
+            if predicate is not None and not predicate(bundle):
+                queue.append(bid)
+                continue
+            return bundle, self._grant(bundle, component)
+        return None
+
+    def _grant(self, item: ArchiveRequest | Bundle, component: str) -> Lease:
+        now = self.world.now
+        item.attempts += 1
+        lease = self.leases.grant(item, component, now, self.lease_s)
+        self._claims_c.inc(component=component)
+        self._record("claim", item.task_id, self._status_of(item), component, component)
+        self.world.emit(
+            "archive.claimed", "catalog row leased",
+            item=item.task_id, component=component, attempt=item.attempts,
+            lease_expires_at=lease.expires_at,
+        )
+        return lease
+
+    def note_component_crash(self, component: str, item: ArchiveRequest | Bundle,
+                             crash_at: float) -> None:
+        """Record a claim lost to a component host crash (lease will lapse)."""
+        self._crashes_c.inc(component=component)
+        self._record("crash", item.task_id, self._status_of(item), component, component)
+        self.world.emit(
+            "archive.component_crashed",
+            "component lost mid-claim; lease will lapse",
+            item=item.task_id, component=component, crash_at=crash_at,
+        )
+
+    @staticmethod
+    def _status_of(item: ArchiveRequest | Bundle) -> str:
+        return item.status.value
+
+    def _check_live(self, lease: Lease) -> None:
+        if lease.released or lease.expired(self.world.now):
+            raise LeaseLostError(
+                f"lease on {lease.task.task_id} held by {lease.worker_id} "
+                f"lapsed at {lease.expires_at:.3f} (now {self.world.now:.3f})"
+            )
+
+    def renew(self, lease: Lease) -> bool:
+        """Heartbeat a claim through long virtual-time work."""
+        return self.leases.renew(lease, self.world.now, self.lease_s)
+
+    # -- transactions ------------------------------------------------------
+
+    def commit(
+        self,
+        lease: Lease,
+        new_status: BundleStatus,
+        actor: str,
+        release: bool = True,
+        **fields: Any,
+    ) -> None:
+        """Apply one bundle transition under a still-live lease.
+
+        ``release=False`` keeps the claim for a follow-up transition in
+        the same unit of work (the bundler's created -> staged pair).
+        ``fields`` update bundle columns atomically with the transition.
+        """
+        self._check_live(lease)
+        bundle = lease.task
+        if not isinstance(bundle, Bundle):
+            raise IllegalTransitionError(
+                f"commit() is for bundles; {bundle.task_id} is a request")
+        for key, value in fields.items():
+            setattr(bundle, key, value)
+        self._transition(bundle, new_status, actor)
+        if new_status is BundleStatus.COMPLETED:
+            bundle.completed_at = self.world.now
+            latency = bundle.completed_at - bundle.created_at
+            self._latency_h.observe(latency)
+            self._slo_latency("archive_bundle_latency", latency)
+        if release:
+            self.leases.release(lease)
+
+    def commit_request(self, lease: Lease, new_status: RequestStatus,
+                       actor: str) -> None:
+        """Apply one request transition under a still-live lease."""
+        self._check_live(lease)
+        request = lease.task
+        if not isinstance(request, ArchiveRequest):
+            raise IllegalTransitionError(
+                f"commit_request() is for requests; {request.task_id} is a bundle")
+        old = request.status
+        if old is not RequestStatus.QUEUED or new_status is RequestStatus.QUEUED:
+            raise IllegalTransitionError(
+                f"request {request.request_id}: {old.value} -> {new_status.value}")
+        request.status = new_status
+        self._record("request", request.request_id, old.value, new_status.value, actor)
+        self.world.emit(
+            "archive.request_done", "request fanned out into bundles",
+            request=request.request_id, status=new_status.value, actor=actor,
+        )
+        self.leases.release(lease)
+
+    def release_claim(self, lease: Lease, actor: str) -> None:
+        """Yield a claim without transitioning (row rejoins its queue's back)."""
+        self._check_live(lease)
+        item = lease.task
+        self.leases.release(lease)
+        self._record("yield", item.task_id, self._status_of(item),
+                     self._status_of(item), actor)
+        self._enqueue(item, front=False)
+
+    def _transition(self, bundle: Bundle, new_status: BundleStatus,
+                    actor: str) -> None:
+        old = bundle.status
+        if new_status not in _LEGAL[old]:
+            raise IllegalTransitionError(
+                f"bundle {bundle.bundle_id}: {old.value} -> {new_status.value}")
+        bundle.status = new_status
+        self._status_g.dec(status=old.value)
+        self._status_g.inc(status=new_status.value)
+        self._transitions_c.inc(status=new_status.value)
+        self._record("bundle", bundle.bundle_id, old.value, new_status.value, actor)
+        self.world.emit(
+            "archive.transition", "bundle status advanced",
+            bundle=bundle.bundle_id, request=bundle.request_id,
+            frm=old.value, to=new_status.value, actor=actor,
+        )
+        if new_status in self._ready:
+            self._ready[new_status].append(bundle.bundle_id)
+        self._slo_ratio("archive_replication_success",
+                        good=int(new_status is BundleStatus.COMPLETED),
+                        bad=int(new_status is BundleStatus.FAILED))
+
+    # -- lapse recovery ----------------------------------------------------
+
+    def requeue_lapsed(self) -> int:
+        """Release every lapsed lease; rows rejoin the *front* of their queue.
+
+        A row that lapsed ``max_claim_attempts`` times quarantines to
+        ``failed`` instead of cycling forever.
+        """
+        now = self.world.now
+        requeued = 0
+        for lease in self.leases.expired(now):
+            item = lease.task
+            self.leases.release(lease)
+            self._expired_c.inc()
+            self._record("lapse", item.task_id, self._status_of(item),
+                         lease.worker_id, lease.worker_id)
+            self.world.emit(
+                "archive.lease_expired", "claim lapsed; requeueing row",
+                item=item.task_id, component=lease.worker_id,
+                attempt=lease.attempt,
+            )
+            if item.attempts >= self.max_claim_attempts:
+                self._quarantine(item, lease.worker_id)
+                continue
+            self._enqueue(item, front=True)
+            requeued += 1
+        return requeued
+
+    def _enqueue(self, item: ArchiveRequest | Bundle, front: bool) -> None:
+        if isinstance(item, Bundle):
+            queue = self._ready[item.status]
+        else:
+            queue = self._pickable
+        if front:
+            queue.appendleft(item.task_id)
+        else:
+            queue.append(item.task_id)
+
+    def _quarantine(self, item: ArchiveRequest | Bundle, actor: str) -> None:
+        old = self._status_of(item)
+        item.error = (
+            f"quarantined after {item.attempts} lapsed claims "
+            f"(max_claim_attempts={self.max_claim_attempts})"
+        )
+        if isinstance(item, Bundle):
+            item.status = BundleStatus.FAILED
+            self._status_g.dec(status=old)
+            self._status_g.inc(status=BundleStatus.FAILED.value)
+            self._transitions_c.inc(status=BundleStatus.FAILED.value)
+        else:
+            item.status = RequestStatus.FAILED
+        self._failed_c.inc()
+        self._record("quarantine", item.task_id, old, "failed", actor)
+        self.world.emit(
+            "archive.quarantined", "row exhausted its claim attempts",
+            item=item.task_id, attempts=item.attempts,
+        )
+        self._slo_ratio("archive_replication_success", good=0, bad=1)
+
+    # -- SLO hooks ---------------------------------------------------------
+
+    def _slo_latency(self, name: str, value_s: float) -> None:
+        slo = self.world.slo
+        if slo is None:
+            return
+        try:
+            slo.observe_latency(name, value_s)
+        except KeyError:
+            pass  # world observes with a non-archival objective set
+
+    def _slo_ratio(self, name: str, good: int, bad: int) -> None:
+        slo = self.world.slo
+        if slo is None or (good == 0 and bad == 0):
+            return
+        try:
+            slo.record(name, good=good, bad=bad)
+        except KeyError:
+            pass  # world observes with a non-archival objective set
+
+    # -- introspection -----------------------------------------------------
+
+    def request(self, request_id: str) -> ArchiveRequest:
+        """Look up one request."""
+        return self._requests[request_id]
+
+    def bundle(self, bundle_id: str) -> Bundle:
+        """Look up one bundle."""
+        return self._bundles[bundle_id]
+
+    @property
+    def requests(self) -> tuple[ArchiveRequest, ...]:
+        """Every request, in submission order."""
+        return tuple(self._requests.values())
+
+    @property
+    def bundles(self) -> tuple[Bundle, ...]:
+        """Every bundle, in creation order."""
+        return tuple(self._bundles.values())
+
+    def counts(self) -> dict[str, int]:
+        """Bundle counts per status (tools and assertions)."""
+        out = {status.value: 0 for status in BundleStatus}
+        for bundle in self._bundles.values():
+            out[bundle.status.value] += 1
+        return out
+
+    def done(self) -> bool:
+        """Nothing left: every request fanned out, every bundle terminal."""
+        return (
+            not self._pickable
+            and not len(self.leases)
+            and all(r.status is not RequestStatus.QUEUED
+                    for r in self._requests.values())
+            and all(b.status in TERMINAL for b in self._bundles.values())
+        )
+
+    def snapshot(self) -> dict[str, Any]:
+        """Catalog state for dumps and the tools' status tables."""
+        return {
+            "now": self.world.now,
+            "requests": [
+                {
+                    "request": r.request_id, "user": r.user,
+                    "status": r.status.value, "files": len(r.paths),
+                    "dests": ",".join(r.dest_sites), "attempts": r.attempts,
+                    "bundles": sum(1 for b in self._bundles.values()
+                                   if b.request_id == r.request_id),
+                }
+                for r in self._requests.values()
+            ],
+            "bundles": [
+                {
+                    "bundle": b.bundle_id, "request": b.request_id,
+                    "status": b.status.value, "files": len(b.files),
+                    "bytes": b.size, "attempts": b.attempts,
+                    "replicas": f"{b.verified_replicas()}/{len(b.replicas)}",
+                    "checksum": b.checksum[:18] if b.checksum else "-",
+                }
+                for b in self._bundles.values()
+            ],
+            "leases": [
+                {
+                    "item": lease.task.task_id, "component": lease.worker_id,
+                    "expires_at": lease.expires_at, "abandoned": lease.abandoned,
+                }
+                for lease in self.leases.outstanding()
+            ],
+            "counts": self.counts(),
+        }
+
+
+def archive_slos(bundle_latency_slo_s: float = 1800.0):
+    """The archival pipeline's objectives (append to ``default_slos()``)."""
+    from repro.telemetry.slo import ServiceObjective
+
+    return (
+        ServiceObjective(
+            name="archive_bundle_latency",
+            description=f"95% of bundles reach quorum-verified completion "
+                        f"within {bundle_latency_slo_s:g} virtual seconds",
+            objective=0.95,
+            threshold_s=bundle_latency_slo_s,
+        ),
+        ServiceObjective(
+            name="archive_replication_success",
+            description="99% of terminal bundles complete rather than quarantine",
+            objective=0.99,
+        ),
+    )

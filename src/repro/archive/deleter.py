@@ -1,0 +1,76 @@
+"""Deleter: retires source copies once enough replicas verified.
+
+The pipeline's only destructive stage, so it is the most defensive:
+under a claim on a ``completed`` bundle it re-asserts the quorum
+invariant (``verified_replicas() >= quorum``) before touching anything,
+then removes the bundle's member files and staged payload from the
+source site.  Every delete is ``exists()``-guarded, making the work
+idempotent — a deleter crash after removing half the files lapses the
+lease, the bundle requeues as ``completed``, and the retry deletes the
+remainder without erroring on the already-gone half.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.archive.base import ArchiveComponent
+from repro.archive.catalog import Bundle, BundleStatus
+from repro.errors import ArchiveError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.archive.campaign import ArchiveSite
+    from repro.archive.catalog import Catalog
+    from repro.scheduler.leases import Lease
+    from repro.sim.world import World
+
+
+class Deleter(ArchiveComponent):
+    """``completed`` -> ``source-deleted``, never before quorum."""
+
+    name = "deleter"
+
+    def __init__(
+        self,
+        world: "World",
+        catalog: "Catalog",
+        source: "ArchiveSite",
+        host: str | None = None,
+        quorum: int = 2,
+        max_per_cycle: int | None = None,
+    ) -> None:
+        super().__init__(world, catalog, host, max_per_cycle)
+        if quorum < 1:
+            raise ValueError("quorum must be at least 1")
+        self.source = source
+        self.quorum = quorum
+        self._deletes_c = world.metrics.counter(
+            "archive_source_deletes_total",
+            "Source files retired after quorum-verified replication")
+        self._deletes_c.inc(0)
+
+    def _claim(self):
+        return self.catalog.claim_bundle(BundleStatus.COMPLETED, self.name)
+
+    def work(self, bundle: Bundle, lease: "Lease") -> None:
+        good = bundle.verified_replicas()
+        if good < self.quorum:
+            raise ArchiveError(
+                f"refusing source delete for {bundle.bundle_id}: only "
+                f"{good} verified replicas (quorum {self.quorum})")
+        storage = self.source.storage
+        uid = self.catalog.request(bundle.request_id).uid
+        removed = 0
+        for path in bundle.files:
+            if storage.exists(path):
+                storage.delete(path, uid)
+                removed += 1
+        if bundle.staged_path and storage.exists(bundle.staged_path):
+            storage.delete(bundle.staged_path, 0)
+        self._deletes_c.inc(removed)
+        self.world.emit(
+            "archive.source_deleted", "source copies retired",
+            bundle=bundle.bundle_id, files=removed,
+            verified_replicas=good,
+        )
+        self.catalog.commit(lease, BundleStatus.SOURCE_DELETED, actor=self.name)

@@ -1,0 +1,95 @@
+"""Picker: splits an archival request into bundle specifications.
+
+The LTA pipeline's first stage.  Under a claim on the *request*, the
+picker stats every source path, greedily packs files into bundle specs
+bounded by ``max_bundle_bytes``/``max_bundle_files`` (small-file
+coalescing is the whole point of bundling), registers each bundle as
+``ephemeral`` and immediately specifies it — then marks the request
+picked.  All of that is one unit of work under one lease: a picker
+crash leaves no bundles behind, and a re-pick after a lapse recreates
+the identical split (stats are deterministic), so bundle identity is
+stable across crashes.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.archive.base import ArchiveComponent
+from repro.archive.catalog import ArchiveRequest, Bundle, Replica, RequestStatus
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.archive.campaign import ArchiveSite
+    from repro.archive.catalog import Catalog
+    from repro.scheduler.leases import Lease
+    from repro.sim.world import World
+
+
+class Picker(ArchiveComponent):
+    """request -> bundle specs (``queued`` request, ``specified`` bundles)."""
+
+    name = "picker"
+
+    def __init__(
+        self,
+        world: "World",
+        catalog: "Catalog",
+        source: "ArchiveSite",
+        host: str | None = None,
+        max_bundle_bytes: int = 16 * 1024 * 1024,
+        max_bundle_files: int = 64,
+        max_per_cycle: int | None = None,
+    ) -> None:
+        super().__init__(world, catalog, host, max_per_cycle)
+        if max_bundle_bytes < 1 or max_bundle_files < 1:
+            raise ValueError("bundle caps must be positive")
+        self.source = source
+        self.max_bundle_bytes = max_bundle_bytes
+        self.max_bundle_files = max_bundle_files
+
+    def _claim(self):
+        return self.catalog.claim_request(self.name)
+
+    def work(self, request: ArchiveRequest, lease: "Lease") -> None:
+        groups = self._split(request)
+        for index, group in enumerate(groups):
+            paths, nbytes = group
+            bundle_id = f"{request.request_id}-b{index:03d}"
+            bundle = Bundle(
+                bundle_id=bundle_id,
+                request_id=request.request_id,
+                files=tuple(paths),
+                size=nbytes,
+                replicas=[
+                    Replica(site=site, path=f"/archive/{bundle_id}.bundle")
+                    for site in request.dest_sites
+                ],
+            )
+            self.catalog.add_bundle(bundle, actor=self.name)
+            self.catalog.specify(bundle, actor=self.name)
+        self.world.emit(
+            "archive.picked", "request split into bundles",
+            request=request.request_id, bundles=len(groups),
+            files=len(request.paths),
+        )
+        self.catalog.commit_request(lease, RequestStatus.PICKED, actor=self.name)
+
+    def _split(self, request: ArchiveRequest) -> list[tuple[list[str], int]]:
+        """Greedy first-fit pack, in path order (deterministic)."""
+        storage = self.source.storage
+        groups: list[tuple[list[str], int]] = []
+        current: list[str] = []
+        current_bytes = 0
+        for path in request.paths:
+            size = storage.stat(path, request.uid).size
+            if current and (
+                current_bytes + size > self.max_bundle_bytes
+                or len(current) >= self.max_bundle_files
+            ):
+                groups.append((current, current_bytes))
+                current, current_bytes = [], 0
+            current.append(path)
+            current_bytes += size
+        if current:
+            groups.append((current, current_bytes))
+        return groups

@@ -1,0 +1,100 @@
+"""Site-move verifier: re-checksums every replica at its destination.
+
+Under a claim on a ``verifying`` bundle, each replica's archived copy is
+read back through the destination site's DSI and hashed with the shared
+:func:`repro.storage.checksum` helper — an end-to-end check that the
+bytes *on the far disk* match the staged bundle, not just that the
+transfer engine reported success.  A clean quorum commits ``completed``;
+any mismatched replica is deleted at the destination and the bundle
+drops back to ``staged`` so the replicator re-cuts exactly the bad
+copies (its submit phase skips replicas already marked transferred).
+
+Verification models a control-plane checksum request the archive
+service can issue even while a site's data plane is dark, so the
+verifier never waits out blackouts — it charges read time at
+``verify_bps`` and renews its lease across the advance.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.archive.base import ArchiveComponent
+from repro.archive.catalog import Bundle, BundleStatus
+from repro.storage.data import checksum
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.archive.campaign import ArchiveSite
+    from repro.archive.catalog import Catalog
+    from repro.scheduler.leases import Lease
+    from repro.sim.world import World
+
+
+class SiteMoveVerifier(ArchiveComponent):
+    """``verifying`` -> ``completed`` (quorum) or back to ``staged``."""
+
+    name = "verifier"
+
+    def __init__(
+        self,
+        world: "World",
+        catalog: "Catalog",
+        sites: dict[str, "ArchiveSite"],
+        host: str | None = None,
+        verify_bps: float = 500 * 1024 * 1024,
+        quorum: int = 2,
+        max_per_cycle: int | None = None,
+    ) -> None:
+        super().__init__(world, catalog, host, max_per_cycle)
+        if verify_bps <= 0:
+            raise ValueError("verify_bps must be positive")
+        if quorum < 1:
+            raise ValueError("quorum must be at least 1")
+        self.sites = sites
+        self.verify_bps = verify_bps
+        self.quorum = quorum
+        self._verified_c = world.metrics.counter(
+            "archive_replicas_verified_total",
+            "Replica copies whose destination re-checksum matched")
+        self._mismatch_c = world.metrics.counter(
+            "archive_checksum_mismatches_total",
+            "Replica copies whose destination re-checksum did not match")
+        self._verified_c.inc(0)
+        self._mismatch_c.inc(0)
+
+    def _claim(self):
+        return self.catalog.claim_bundle(BundleStatus.VERIFYING, self.name)
+
+    def work(self, bundle: Bundle, lease: "Lease") -> None:
+        for replica in bundle.replicas:
+            if replica.verified:
+                continue
+            site = self.sites[replica.site]
+            self._advance(lease, bundle.size / self.verify_bps)
+            digest = checksum(site.storage.open_read(replica.path, 0))
+            if digest == bundle.checksum:
+                replica.verified = True
+                self._verified_c.inc()
+                self.world.emit(
+                    "archive.replica_verified", "destination checksum matched",
+                    bundle=bundle.bundle_id, site=replica.site,
+                    checksum=digest,
+                )
+            else:
+                self._mismatch_c.inc()
+                self.world.emit(
+                    "archive.replica_corrupt",
+                    "destination checksum mismatch; replica discarded",
+                    bundle=bundle.bundle_id, site=replica.site,
+                    expected=bundle.checksum, got=digest,
+                )
+                site.storage.delete(replica.path, 0)
+                replica.transferred = False
+                replica.verified = False
+                replica.task = None
+        good = bundle.verified_replicas()
+        if good >= self.quorum and good == len(bundle.replicas):
+            self.catalog.commit(lease, BundleStatus.COMPLETED, actor=self.name)
+        else:
+            # drop back so the replicator re-cuts the discarded copies
+            self.catalog.commit(lease, BundleStatus.STAGED, actor=self.name)

@@ -173,6 +173,19 @@ class LeaseLostError(SchedulerError):
 
 
 # ---------------------------------------------------------------------------
+# Archival pipeline
+# ---------------------------------------------------------------------------
+
+
+class ArchiveError(ReproError):
+    """An archival-pipeline failure (catalog misuse, quorum violation)."""
+
+
+class IllegalTransitionError(ArchiveError):
+    """A component tried a bundle/request status change the state machine forbids."""
+
+
+# ---------------------------------------------------------------------------
 # PAM / local accounts
 # ---------------------------------------------------------------------------
 

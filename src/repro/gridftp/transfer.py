@@ -26,7 +26,7 @@ from repro.gridftp.perf import PerfMarker, progress_markers
 from repro.net.tcp import TCPModel
 from repro.net.topology import PathStats
 from repro.sim.world import World
-from repro.storage.data import FileData, SyntheticData
+from repro.storage.data import FileData, SyntheticData, checksum
 from repro.storage.dsi import WriteSink
 from repro.util.ranges import ByteRangeSet
 from repro.xio.drivers import GsiProtectDriver, Protection, TcpDriver, UdtDriver
@@ -462,7 +462,7 @@ class TransferEngine:
             committed = sink.sink.close(complete=True)
             verified = (
                 committed is not None
-                and committed.fingerprint() == source.data.fingerprint()
+                and checksum(committed) == checksum(source.data)
             )
         else:
             sink.sink.close(complete=False)
@@ -482,7 +482,7 @@ class TransferEngine:
             streams=nstreams,
             stripes=nstripes,
             verified=verified,
-            checksum=source.data.fingerprint(),
+            checksum=checksum(source.data),
             markers=tuple(markers),
         )
         world.emit(

@@ -20,6 +20,7 @@ from repro.scheduler.batching import (
     BatchCoalescer,
     CoalescedBatch,
 )
+from repro.scheduler.leases import Lease, LeaseTable
 from repro.scheduler.limits import (
     DEFAULT_RETRY_AFTER_S,
     AdmissionController,
@@ -39,8 +40,6 @@ from repro.scheduler.sharding import (
 )
 from repro.scheduler.workers import (
     FleetScheduler,
-    Lease,
-    LeaseTable,
     SchedulerConfig,
     Worker,
 )

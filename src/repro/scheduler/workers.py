@@ -1,7 +1,10 @@
 """Claim-based workers with leases, heartbeats, and expiry-requeue.
 
 The fleet scheduler's execution model in one paragraph: workers *claim*
-tasks from the fair-share queue under a **lease**.  A live worker
+tasks from the fair-share queue under a **lease** (the lease/heartbeat/
+expiry-requeue primitive itself lives in
+:mod:`repro.scheduler.leases`, shared with the archival pipeline's
+components).  A live worker
 renews its lease by heartbeat (a repeating virtual-time event) while it
 drives the claim to completion; a worker whose host crashes never
 heartbeats, its lease lapses, and the task **requeues** with its
@@ -26,25 +29,29 @@ recovery instead of spinning.
 
 from __future__ import annotations
 
-import heapq
 import itertools
 import math
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable
 
-from repro.errors import LeaseLostError, ReproError, SchedulerError
+from repro.errors import ReproError, SchedulerError
 from repro.scheduler.batching import (
     DEFAULT_BATCH_MAX_FILES,
     DEFAULT_BATCH_THRESHOLD_BYTES,
     BatchCoalescer,
     CoalescedBatch,
 )
+from repro.scheduler.leases import Lease, LeaseTable
 from repro.scheduler.limits import (
     AdmissionController,
     SchedulerLimits,
     ServiceTimeEwma,
 )
 from repro.scheduler.queue import FairShareQueue, ScheduledTask, TaskState
+
+__all__ = [
+    "SchedulerConfig", "Lease", "LeaseTable", "Worker", "FleetScheduler",
+]
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.world import World
@@ -81,114 +88,6 @@ class SchedulerConfig:
                              "(a live worker must renew before expiry)")
         if self.max_task_attempts < 1:
             raise ValueError("max_task_attempts must be at least 1")
-
-
-@dataclass
-class Lease:
-    """One worker's time-bounded claim on one task."""
-
-    lease_id: int
-    task: ScheduledTask
-    worker_id: str
-    granted_at: float
-    expires_at: float
-    attempt: int
-    #: the claiming worker crashed before executing; lease will lapse
-    abandoned: bool = False
-    released: bool = False
-
-    def expired(self, now: float) -> bool:
-        """Has the lease lapsed without being released?"""
-        return not self.released and now >= self.expires_at
-
-
-class LeaseTable:
-    """Outstanding leases, with the one-live-lease-per-task invariant.
-
-    Expiry tracking is a lazy min-heap keyed by ``(expires_at,
-    lease_id)``: grants and renewals push entries, releases and renewals
-    leave stale entries behind, and :meth:`expired`/:meth:`next_expiry`
-    discard anything whose ``expires_at`` no longer matches the lease.
-    A drain tick therefore pays O(1) when nothing has lapsed, instead of
-    re-sorting every live lease.
-    """
-
-    def __init__(self) -> None:
-        self._by_task: dict[str, Lease] = {}
-        self._ids = itertools.count(1)
-        self._expiry_heap: list[tuple[float, int, Lease]] = []
-
-    def __len__(self) -> int:
-        return len(self._by_task)
-
-    def outstanding(self) -> list[Lease]:
-        """Live leases in grant order (a sorted view for tools and tests)."""
-        return sorted(self._by_task.values(), key=lambda lease: lease.lease_id)
-
-    def grant(self, task: ScheduledTask, worker_id: str, now: float,
-              lease_s: float) -> Lease:
-        """Lease a task to a worker; a second live lease is a bug."""
-        if task.task_id in self._by_task:
-            raise LeaseLostError(
-                f"task {task.task_id} is already leased to "
-                f"{self._by_task[task.task_id].worker_id}"
-            )
-        lease = Lease(
-            lease_id=next(self._ids),
-            task=task,
-            worker_id=worker_id,
-            granted_at=now,
-            expires_at=now + lease_s,
-            attempt=task.attempts,
-        )
-        self._by_task[task.task_id] = lease
-        heapq.heappush(self._expiry_heap, (lease.expires_at, lease.lease_id, lease))
-        return lease
-
-    def renew(self, lease: Lease, now: float, lease_s: float) -> bool:
-        """Heartbeat: extend a still-live lease.  False if it lapsed."""
-        if lease.released or lease.expired(now):
-            return False
-        lease.expires_at = now + lease_s
-        heapq.heappush(self._expiry_heap, (lease.expires_at, lease.lease_id, lease))
-        return True
-
-    def release(self, lease: Lease) -> None:
-        """Drop a lease (completion or lapse-requeue)."""
-        lease.released = True
-        self._by_task.pop(lease.task.task_id, None)
-
-    def _entry_stale(self, expires_at: float, lease: Lease) -> bool:
-        return lease.released or expires_at != lease.expires_at
-
-    def expired(self, now: float) -> list[Lease]:
-        """Every outstanding lease that has lapsed by ``now``, in grant order.
-
-        Pops the expiry heap up to ``now``; lapsed leases are re-indexed
-        so they keep being reported until the caller releases them.
-        """
-        heap = self._expiry_heap
-        lapsed: list[Lease] = []
-        while heap and heap[0][0] <= now:
-            expires_at, _lease_id, lease = heapq.heappop(heap)
-            if self._entry_stale(expires_at, lease):
-                continue
-            lapsed.append(lease)
-        for lease in lapsed:
-            heapq.heappush(heap, (lease.expires_at, lease.lease_id, lease))
-        lapsed.sort(key=lambda lease: lease.lease_id)
-        return lapsed
-
-    def next_expiry(self) -> float | None:
-        """Earliest live-lease expiry, or None with no leases outstanding."""
-        heap = self._expiry_heap
-        while heap:
-            expires_at, _lease_id, lease = heap[0]
-            if self._entry_stale(expires_at, lease):
-                heapq.heappop(heap)
-                continue
-            return expires_at
-        return None
 
 
 @dataclass

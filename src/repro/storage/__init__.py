@@ -8,7 +8,13 @@ that interface; :class:`PosixStorage` and :class:`HpssStorage` are two
 behaviourally distinct backends that exercise it.
 """
 
-from repro.storage.data import FileData, LiteralData, SyntheticData, PartialData
+from repro.storage.data import (
+    FileData,
+    LiteralData,
+    PartialData,
+    SyntheticData,
+    checksum,
+)
 from repro.storage.dsi import DataStorageInterface, FileStat, WriteSink
 from repro.storage.posix import PosixStorage
 from repro.storage.hpss import HpssStorage
@@ -23,4 +29,5 @@ __all__ = [
     "WriteSink",
     "PosixStorage",
     "HpssStorage",
+    "checksum",
 ]

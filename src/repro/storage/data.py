@@ -27,6 +27,22 @@ def _sha256_hex(content: bytes) -> str:
     and bytes objects cache their own hash, so repeat lookups are cheap."""
     return hashlib.sha256(content).hexdigest()
 
+
+def checksum(source: "bytes | FileData") -> str:
+    """The canonical content digest, memoized where content is literal.
+
+    Accepts raw bytes or any :class:`FileData`.  Every integrity check in
+    the system — transfer verification, archival bundle manifests, the
+    site-move verifier's far-end re-checksum — routes through here, so
+    identical payloads hash once per process regardless of which layer
+    asks.  For non-literal content the digest is the data's own
+    :meth:`~FileData.fingerprint` (synthetic content is *defined* by its
+    seed, so both ends agree without materializing bytes).
+    """
+    if isinstance(source, (bytes, bytearray, memoryview)):
+        return "sha256:" + _sha256_hex(bytes(source))
+    return source.fingerprint()
+
 _CHUNK = 32  # one sha256 digest's worth of synthetic bytes per counter block
 #: refuse to materialize more than this many synthetic bytes in one read
 _MAX_SYNTH_READ = 64 * 1024 * 1024

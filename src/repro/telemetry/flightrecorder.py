@@ -51,6 +51,7 @@ _CAUSAL_PREFIXES = (
     "gridftp.transfer.",
     "globusonline.",
     "slo.",
+    "archive.",
 )
 
 

@@ -1,0 +1,260 @@
+"""Catalog unit tests: claims, transitions, lapses, quarantine, history."""
+
+import pytest
+
+from repro.archive.catalog import (
+    ArchiveRequest,
+    Bundle,
+    BundleStatus,
+    Catalog,
+    Replica,
+    RequestStatus,
+)
+from repro.errors import IllegalTransitionError, LeaseLostError
+from repro.sim.world import World
+
+
+def make_catalog(lease_s=10.0, max_claim_attempts=5):
+    world = World(seed=1)
+    return world, Catalog(world, lease_s=lease_s,
+                          max_claim_attempts=max_claim_attempts)
+
+
+def make_request(rid="req-1", nfiles=2):
+    return ArchiveRequest(
+        request_id=rid, user="u", source_site="site-0",
+        dest_sites=("site-1", "site-2"),
+        paths=tuple(f"/d/{rid}-f{i}" for i in range(nfiles)),
+    )
+
+
+def make_bundle(cat, bid="b-1", rid="req-1"):
+    bundle = Bundle(
+        bundle_id=bid, request_id=rid, files=(f"/d/{bid}",), size=10,
+        replicas=[Replica("site-1", f"/a/{bid}"), Replica("site-2", f"/a/{bid}")],
+    )
+    cat.add_bundle(bundle, actor="test")
+    cat.specify(bundle, actor="test")
+    return bundle
+
+
+def test_submit_and_pick_flow():
+    _, cat = make_catalog()
+    request = cat.submit(make_request())
+    assert request.status is RequestStatus.QUEUED
+    claimed = cat.claim_request("picker")
+    assert claimed is not None
+    got, lease = claimed
+    assert got is request and got.attempts == 1
+    # leased: nothing else to pick
+    assert cat.claim_request("picker") is None
+    cat.commit_request(lease, RequestStatus.PICKED, actor="picker")
+    assert request.status is RequestStatus.PICKED
+    assert len(cat.leases) == 0
+
+
+def test_duplicate_submit_rejected():
+    _, cat = make_catalog()
+    cat.submit(make_request())
+    with pytest.raises(LeaseLostError):
+        cat.submit(make_request())
+
+
+def test_claim_order_is_fifo():
+    _, cat = make_catalog()
+    first = make_bundle(cat, "b-1")
+    second = make_bundle(cat, "b-2")
+    got1, l1 = cat.claim_bundle(BundleStatus.SPECIFIED, "bundler")
+    got2, l2 = cat.claim_bundle(BundleStatus.SPECIFIED, "bundler")
+    assert (got1, got2) == (first, second)
+    assert cat.claim_bundle(BundleStatus.SPECIFIED, "bundler") is None
+
+
+def test_illegal_transition_rejected():
+    _, cat = make_catalog()
+    bundle = make_bundle(cat)
+    _, lease = cat.claim_bundle(BundleStatus.SPECIFIED, "bundler")
+    with pytest.raises(IllegalTransitionError):
+        cat.commit(lease, BundleStatus.TRANSFERRING, actor="bundler")
+    # the failed commit did not consume the lease or corrupt the status
+    assert bundle.status is BundleStatus.SPECIFIED
+    cat.commit(lease, BundleStatus.CREATED, actor="bundler")
+    assert bundle.status is BundleStatus.CREATED
+
+
+def test_commit_after_lapse_rejected():
+    world, cat = make_catalog(lease_s=10.0)
+    make_bundle(cat)
+    _, lease = cat.claim_bundle(BundleStatus.SPECIFIED, "bundler")
+    world.advance(11.0)
+    with pytest.raises(LeaseLostError):
+        cat.commit(lease, BundleStatus.CREATED, actor="bundler")
+
+
+def test_lapsed_row_requeues_at_front():
+    world, cat = make_catalog(lease_s=10.0)
+    lapsed = make_bundle(cat, "b-lapsed")
+    make_bundle(cat, "b-fresh")
+    got, _ = cat.claim_bundle(BundleStatus.SPECIFIED, "bundler")
+    assert got is lapsed
+    world.advance(11.0)
+    assert cat.requeue_lapsed() == 1
+    # the crashed claimant's row comes back ahead of the fresh one
+    got2, _ = cat.claim_bundle(BundleStatus.SPECIFIED, "bundler")
+    assert got2 is lapsed
+    assert got2.attempts == 2
+
+
+def test_quarantine_after_max_attempts():
+    world, cat = make_catalog(lease_s=10.0, max_claim_attempts=2)
+    bundle = make_bundle(cat)
+    for _ in range(2):
+        assert cat.claim_bundle(BundleStatus.SPECIFIED, "bundler") is not None
+        world.advance(11.0)
+        cat.requeue_lapsed()
+    assert bundle.status is BundleStatus.FAILED
+    assert "quarantined" in bundle.error
+    assert cat.claim_bundle(BundleStatus.SPECIFIED, "bundler") is None
+    assert world.metrics.counter("archive_bundles_failed_total").value() == 1
+
+
+def test_release_claim_rejoins_back_of_queue():
+    _, cat = make_catalog()
+    yielded = make_bundle(cat, "b-yield")
+    other = make_bundle(cat, "b-other")
+    _, lease = cat.claim_bundle(BundleStatus.SPECIFIED, "replicator")
+    cat.release_claim(lease, actor="replicator")
+    got, _ = cat.claim_bundle(BundleStatus.SPECIFIED, "replicator")
+    assert got is other
+    got2, _ = cat.claim_bundle(BundleStatus.SPECIFIED, "replicator")
+    assert got2 is yielded
+
+
+def test_commit_applies_fields_atomically():
+    _, cat = make_catalog()
+    bundle = make_bundle(cat)
+    _, lease = cat.claim_bundle(BundleStatus.SPECIFIED, "bundler")
+    cat.commit(lease, BundleStatus.CREATED, actor="bundler", release=False,
+               checksum="sha256:abc", size=42, staged_path="/stage/b-1")
+    assert (bundle.checksum, bundle.size, bundle.staged_path) == (
+        "sha256:abc", 42, "/stage/b-1")
+    cat.commit(lease, BundleStatus.STAGED, actor="bundler")
+    assert bundle.status is BundleStatus.STAGED
+    assert len(cat.leases) == 0
+
+
+def _drive_to(cat, bundle, target):
+    """Walk a bundle down the happy path to ``target`` via legal claims."""
+    chain = [
+        (BundleStatus.SPECIFIED, BundleStatus.CREATED),
+        (BundleStatus.STAGED, BundleStatus.TRANSFERRING),
+        (BundleStatus.TRANSFERRING, BundleStatus.VERIFYING),
+        (BundleStatus.VERIFYING, BundleStatus.COMPLETED),
+        (BundleStatus.COMPLETED, BundleStatus.SOURCE_DELETED),
+    ]
+    for claim_status, next_status in chain:
+        if bundle.status is target:
+            return
+        _, lease = cat.claim_bundle(claim_status, "test")
+        if next_status is BundleStatus.CREATED:
+            cat.commit(lease, BundleStatus.CREATED, actor="test", release=False)
+            cat.commit(lease, BundleStatus.STAGED, actor="test")
+        else:
+            if next_status is BundleStatus.COMPLETED:
+                for replica in bundle.replicas:
+                    replica.verified = True
+            cat.commit(lease, next_status, actor="test")
+    assert bundle.status is target
+
+
+def test_completed_observes_bundle_latency():
+    world, cat = make_catalog()
+    bundle = make_bundle(cat)
+    world.advance(30.0)
+    _drive_to(cat, bundle, BundleStatus.COMPLETED)
+    assert bundle.completed_at == world.now
+    exposition = world.metrics.render_prometheus()
+    assert "archive_bundle_latency_seconds_count 1" in exposition
+
+
+def test_full_lifecycle_and_done():
+    _, cat = make_catalog()
+    request = cat.submit(make_request())
+    _, lease = cat.claim_request("picker")
+    bundle = make_bundle(cat)
+    cat.commit_request(lease, RequestStatus.PICKED, actor="picker")
+    assert not cat.done()
+    _drive_to(cat, bundle, BundleStatus.SOURCE_DELETED)
+    assert cat.done()
+    assert request.status is RequestStatus.PICKED
+    assert cat.counts()["source-deleted"] == 1
+
+
+def test_commit_type_guards():
+    _, cat = make_catalog()
+    cat.submit(make_request())
+    _, request_lease = cat.claim_request("picker")
+    with pytest.raises(IllegalTransitionError):
+        cat.commit(request_lease, BundleStatus.CREATED, actor="picker")
+    make_bundle(cat)
+    _, bundle_lease = cat.claim_bundle(BundleStatus.SPECIFIED, "bundler")
+    with pytest.raises(IllegalTransitionError):
+        cat.commit_request(bundle_lease, RequestStatus.PICKED, actor="bundler")
+
+
+def test_claim_predicate_rotates_skipped_rows():
+    _, cat = make_catalog()
+    make_bundle(cat, "b-skip")
+    wanted = make_bundle(cat, "b-want")
+    got, lease = cat.claim_bundle(
+        BundleStatus.SPECIFIED, "collector",
+        predicate=lambda b: b.bundle_id == "b-want")
+    assert got is wanted
+    cat.release_claim(lease, actor="collector")
+    # nothing passes: every row rotates, nothing is lost
+    assert cat.claim_bundle(
+        BundleStatus.SPECIFIED, "collector", predicate=lambda b: False) is None
+    assert cat.claim_bundle(BundleStatus.SPECIFIED, "collector") is not None
+
+
+def test_history_digest_is_deterministic():
+    def run():
+        world, cat = make_catalog()
+        cat.submit(make_request())
+        _, lease = cat.claim_request("picker")
+        bundle = make_bundle(cat)
+        cat.commit_request(lease, RequestStatus.PICKED, actor="picker")
+        world.advance(5.0)
+        _drive_to(cat, bundle, BundleStatus.SOURCE_DELETED)
+        return cat.history_digest()
+
+    digest = run()
+    assert digest == run()
+    assert len(digest) == 64
+
+
+def test_metrics_present_from_init():
+    world, _ = make_catalog()
+    exposition = world.metrics.render_prometheus()
+    for name in (
+        "archive_requests_total",
+        "archive_transitions_total",
+        "archive_lease_expirations_total",
+        "archive_component_crashes_total",
+        "archive_bundles_failed_total",
+        "archive_bundles",
+        "archive_bundle_latency_seconds",
+    ):
+        assert f"# TYPE {name}" in exposition, name
+
+
+def test_snapshot_shape():
+    _, cat = make_catalog()
+    cat.submit(make_request())
+    make_bundle(cat)
+    cat.claim_bundle(BundleStatus.SPECIFIED, "bundler")
+    snap = cat.snapshot()
+    assert snap["requests"][0]["request"] == "req-1"
+    assert snap["bundles"][0]["status"] == "specified"
+    assert snap["leases"][0]["component"] == "bundler"
+    assert snap["counts"]["specified"] == 1

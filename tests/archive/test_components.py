@@ -1,0 +1,188 @@
+"""Component unit tests: picker packing, bundler staging, verifier
+mismatch re-replication, deleter quorum guard + idempotency, and the
+crash-at-claim parking discipline."""
+
+import pytest
+
+from repro.archive import ArchivalCampaign, BundleStatus, CampaignConfig
+from repro.errors import ArchiveError
+from repro.storage.data import LiteralData, checksum
+
+CALM = CampaignConfig(chaos=False, site_blackout=False)
+
+
+def calm_campaign():
+    return ArchivalCampaign(CALM)
+
+
+def submit_all(campaign):
+    for request in campaign.requests:
+        campaign.catalog.submit(request)
+
+
+def drain(cycle):
+    """Run a capped component cycle until its queue is dry."""
+    total = 0
+    while True:
+        n = cycle()
+        total += n
+        if n == 0:
+            return total
+
+
+def drive_to_verifying(campaign):
+    """Picker -> bundler -> replicator -> scheduler -> collect."""
+    submit_all(campaign)
+    drain(campaign.picker.cycle)
+    drain(campaign.bundler.cycle)
+    drain(campaign.replicator.cycle)
+    campaign.scheduler.run_until_idle()
+    drain(campaign.replicator.collect_cycle)
+
+
+def test_picker_respects_bundle_caps():
+    campaign = calm_campaign()
+    submit_all(campaign)
+    assert campaign.picker.cycle() == len(campaign.requests)
+    bundles = campaign.catalog.bundles
+    assert bundles, "picker produced no bundles"
+    cfg = campaign.config
+    for bundle in bundles:
+        assert bundle.status is BundleStatus.SPECIFIED
+        assert len(bundle.files) <= cfg.max_bundle_files
+        assert bundle.size <= cfg.max_bundle_bytes
+        assert len(bundle.replicas) == cfg.dest_sites
+    # every source path lands in exactly one bundle of its own request
+    for request in campaign.requests:
+        packed = [
+            path
+            for bundle in bundles if bundle.request_id == request.request_id
+            for path in bundle.files
+        ]
+        assert sorted(packed) == sorted(request.paths)
+        assert len(packed) == len(set(packed))
+
+
+def test_picker_split_is_deterministic():
+    first = calm_campaign()
+    submit_all(first)
+    first.picker.cycle()
+    second = calm_campaign()
+    submit_all(second)
+    second.picker.cycle()
+    assert ([(b.bundle_id, b.files, b.size) for b in first.catalog.bundles]
+            == [(b.bundle_id, b.files, b.size) for b in second.catalog.bundles])
+
+
+def test_bundler_stages_concatenated_payload():
+    campaign = calm_campaign()
+    submit_all(campaign)
+    drain(campaign.picker.cycle)
+    drain(campaign.bundler.cycle)
+    for bundle in campaign.catalog.bundles:
+        assert bundle.status is BundleStatus.STAGED
+        expected = campaign.expected_bundle_payload(bundle.bundle_id)
+        staged = campaign.source.storage.open_read(
+            bundle.staged_path, 0).read_all()
+        assert staged == expected
+        assert bundle.checksum == checksum(expected)
+        assert bundle.size == len(expected)
+        # manifest rows carry per-file sizes and digests in bundle order
+        assert list(bundle.manifest) == list(bundle.files)
+        for path, (size, digest) in bundle.manifest.items():
+            raw = campaign.source_payloads[path]
+            assert (size, digest) == (len(raw), checksum(raw))
+
+
+def test_verifier_discards_corrupt_replica_and_pipeline_recuts():
+    campaign = calm_campaign()
+    drive_to_verifying(campaign)
+    bundles = campaign.catalog.bundles
+    assert all(b.status is BundleStatus.VERIFYING for b in bundles)
+    victim = bundles[0]
+    bad_replica = victim.replicas[0]
+    site = campaign.sites[bad_replica.site]
+    # corrupt the archived copy at the destination (bit-rot in transit)
+    site.storage.delete(bad_replica.path, 0)
+    site.storage.write_file(bad_replica.path, LiteralData(b"garbage"), uid=0)
+
+    drain(campaign.verifier.cycle)
+    assert victim.status is BundleStatus.STAGED
+    assert not bad_replica.transferred and not bad_replica.verified
+    assert bad_replica.task is None
+    assert victim.replicas[1].verified  # the clean copy survives
+    metrics = campaign.world.metrics
+    assert metrics.counter("archive_checksum_mismatches_total").value() == 1
+    # the rest of the fleet completed verification untouched
+    assert all(b.status is BundleStatus.COMPLETED for b in bundles[1:])
+
+    # drive the re-replication loop: only the bad copy is re-cut
+    drain(campaign.replicator.cycle)
+    campaign.scheduler.run_until_idle()
+    drain(campaign.replicator.collect_cycle)
+    drain(campaign.verifier.cycle)
+    assert victim.status is BundleStatus.COMPLETED
+    assert campaign.replica_payload(victim.bundle_id, bad_replica.site) \
+        == campaign.expected_bundle_payload(victim.bundle_id)
+
+
+def test_deleter_refuses_below_quorum():
+    campaign = calm_campaign()
+    drive_to_verifying(campaign)
+    drain(campaign.verifier.cycle)
+    bundle = campaign.catalog.bundles[0]
+    assert bundle.status is BundleStatus.COMPLETED
+    # simulate a catalog corrupted past the verifier's guarantee
+    for replica in bundle.replicas:
+        replica.verified = False
+    with pytest.raises(ArchiveError, match="refusing source delete"):
+        campaign.deleter.cycle()
+    # nothing was removed
+    assert all(campaign.source.storage.exists(p) for p in bundle.files)
+
+
+def test_deleter_is_idempotent_across_partial_crashes():
+    campaign = calm_campaign()
+    drive_to_verifying(campaign)
+    drain(campaign.verifier.cycle)
+    bundle = campaign.catalog.bundles[0]
+    # a previous deleter attempt died halfway: half the files already gone
+    gone = bundle.files[: len(bundle.files) // 2]
+    for path in gone:
+        campaign.source.storage.delete(path, 0)
+    drain(campaign.deleter.cycle)
+    assert all(b.status is BundleStatus.SOURCE_DELETED
+               for b in campaign.catalog.bundles)
+    for b in campaign.catalog.bundles:
+        assert not any(campaign.source.storage.exists(p) for p in b.files)
+        assert not campaign.source.storage.exists(b.staged_path)
+
+
+def test_component_crash_parks_until_lease_lapses():
+    campaign = calm_campaign()
+    submit_all(campaign)
+    world, catalog = campaign.world, campaign.catalog
+    picker = campaign.picker
+    picker.host = "arch-picker"
+    # a crash onset inside the claim's lease window kills the claim
+    world.faults.crash_host("arch-picker", at=world.now + 5.0, duration=10.0)
+    assert picker.cycle() == 0
+    assert picker.crashes == 1
+    assert world.metrics.get(
+        "archive_component_crashes_total").value(component="picker") == 1
+    # parked: no work until the abandoned lease lapses and requeues
+    assert picker.cycle() == 0
+    world.advance(catalog.lease_s + 1.0)
+    assert catalog.requeue_lapsed() == 1
+    # host is back up (downtime [5, 15] passed) and the row requeued
+    assert picker.cycle() == len(campaign.requests)
+    request = campaign.requests[0]
+    assert request.attempts == 2  # the crashed claim counted one attempt
+
+
+def test_calm_campaign_completes_without_faults():
+    campaign = calm_campaign()
+    stats = campaign.run()
+    assert stats["injected_faults"] == 0
+    assert stats["counts"]["source-deleted"] == len(campaign.catalog.bundles)
+    assert len(campaign.catalog.leases) == 0

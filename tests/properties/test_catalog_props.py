@@ -1,0 +1,188 @@
+"""Property: random interleavings of claim / crash / lapse / complete /
+release over the archive catalog never lose, duplicate, or prematurely
+delete a bundle.
+
+The model mirrors the pipeline's discipline: "crash" forgets a live
+lease without releasing it (the claimant died mid-claim); "lapse"
+advances virtual time past expiry and sweeps; "complete" walks a held
+bundle one legal step, marking replicas verified before ``completed``
+and asserting the deleter's quorum guard before ``source-deleted``.
+After every operation the conservation invariant must hold: every
+bundle is in exactly one place — a status queue, the lease table, or a
+terminal status.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.archive.catalog import (
+    CLAIMABLE,
+    TERMINAL,
+    Bundle,
+    BundleStatus,
+    Catalog,
+    Replica,
+)
+from repro.errors import LeaseLostError
+from repro.sim.world import World
+
+QUORUM = 2
+
+#: the happy-path step a holder of each claimable status commits
+_NEXT = {
+    BundleStatus.SPECIFIED: BundleStatus.CREATED,
+    BundleStatus.STAGED: BundleStatus.TRANSFERRING,
+    BundleStatus.TRANSFERRING: BundleStatus.VERIFYING,
+    BundleStatus.VERIFYING: BundleStatus.COMPLETED,
+    BundleStatus.COMPLETED: BundleStatus.SOURCE_DELETED,
+}
+
+OPS = st.lists(
+    st.sampled_from(["claim", "crash", "lapse", "complete", "release"]),
+    max_size=80,
+)
+
+
+def _build(nbundles):
+    world = World(seed=3)
+    catalog = Catalog(world, lease_s=10.0, max_claim_attempts=10_000)
+    bundles = []
+    for i in range(nbundles):
+        bundle = Bundle(
+            bundle_id=f"b{i}", request_id="req", files=(f"/f{i}",), size=1,
+            replicas=[Replica("site-1", f"/a{i}"), Replica("site-2", f"/a{i}")],
+        )
+        catalog.add_bundle(bundle, actor="prop")
+        catalog.specify(bundle, actor="prop")
+        bundles.append(bundle)
+    return world, catalog, bundles
+
+
+def _assert_conserved(catalog, bundles):
+    """Each bundle is in exactly one queue, leased, or terminal."""
+    queued = [bid for status in CLAIMABLE for bid in catalog._ready[status]]
+    leased = [lease.task.task_id for lease in catalog.leases.outstanding()]
+    terminal = [b.bundle_id for b in bundles if b.status in TERMINAL]
+    placed = sorted(queued + leased + terminal)
+    assert placed == sorted(b.bundle_id for b in bundles), (
+        f"conservation violated: queued={queued} leased={leased} "
+        f"terminal={terminal}")
+    # queue membership matches status
+    for status in CLAIMABLE:
+        for bid in catalog._ready[status]:
+            assert catalog.bundle(bid).status is status
+
+
+@settings(max_examples=120, deadline=None)
+@given(ops=OPS, nbundles=st.integers(min_value=1, max_value=4))
+def test_interleavings_never_lose_dup_or_premature_delete(ops, nbundles):
+    world, catalog, bundles = _build(nbundles)
+    held = []  # (bundle, lease) pairs whose claimant is still alive
+
+    for op in ops:
+        if op == "claim":
+            for status in CLAIMABLE:
+                got = catalog.claim_bundle(status, "prop")
+                if got is not None:
+                    held.append(got)
+                    break
+        elif op == "crash":
+            if held:
+                # claimant dies: the lease is forgotten, never released
+                held.pop(0)
+        elif op == "lapse":
+            world.advance(catalog.lease_s + 1.0)
+            catalog.requeue_lapsed()
+            # every held lease lapsed with the clock jump
+            held = [(b, lease) for b, lease in held if not lease.released]
+        elif op == "complete":
+            if held:
+                bundle, lease = held.pop(0)
+                nxt = _NEXT[bundle.status]
+                if nxt is BundleStatus.COMPLETED:
+                    for replica in bundle.replicas:
+                        replica.verified = True
+                if nxt is BundleStatus.SOURCE_DELETED:
+                    # the deleter's guard: never delete below quorum
+                    assert bundle.verified_replicas() >= QUORUM
+                try:
+                    if nxt is BundleStatus.CREATED:
+                        catalog.commit(lease, nxt, actor="prop", release=False)
+                        catalog.commit(lease, BundleStatus.STAGED, actor="prop")
+                    else:
+                        catalog.commit(lease, nxt, actor="prop")
+                except LeaseLostError:
+                    pass  # lease lapsed under us: the row requeued, no step
+        elif op == "release":
+            if held:
+                _, lease = held.pop(0)
+                try:
+                    catalog.release_claim(lease, actor="prop")
+                except LeaseLostError:
+                    pass
+        _assert_conserved(catalog, bundles)
+
+    # drain: lapse everything and drive every bundle home
+    held.clear()
+    world.advance(catalog.lease_s + 1.0)
+    catalog.requeue_lapsed()
+    for _ in range(200):
+        progressed = False
+        for status in CLAIMABLE:
+            got = catalog.claim_bundle(status, "prop")
+            if got is None:
+                continue
+            bundle, lease = got
+            nxt = _NEXT[status]
+            if nxt is BundleStatus.COMPLETED:
+                for replica in bundle.replicas:
+                    replica.verified = True
+            if nxt is BundleStatus.SOURCE_DELETED:
+                assert bundle.verified_replicas() >= QUORUM
+            if nxt is BundleStatus.CREATED:
+                catalog.commit(lease, nxt, actor="prop", release=False)
+                catalog.commit(lease, BundleStatus.STAGED, actor="prop")
+            else:
+                catalog.commit(lease, nxt, actor="prop")
+            progressed = True
+        _assert_conserved(catalog, bundles)
+        if not progressed:
+            break
+    # no bundle was lost: every single one reached source-deleted
+    assert all(b.status is BundleStatus.SOURCE_DELETED for b in bundles)
+    assert catalog.done()
+    # and no bundle was archived twice: one source-deleted transition each
+    deletes = [row for row in catalog.history
+               if row[2] == "bundle" and row[5] == "source-deleted"]
+    assert len(deletes) == len(bundles)
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=OPS)
+def test_claim_exclusivity_under_interleaving(ops):
+    """A bundle with a live lease can never be claimed again."""
+    world, catalog, bundles = _build(1)
+    bundle = bundles[0]
+    lease = None
+    for op in ops:
+        if op == "claim":
+            got = catalog.claim_bundle(BundleStatus.SPECIFIED, "a")
+            if got is not None:
+                assert lease is None or lease.released or lease.expired(world.now)
+                lease = got[1]
+            elif lease is not None and not lease.expired(world.now) \
+                    and not lease.released:
+                # live lease: the double grant must be impossible
+                assert not any(
+                    bid == bundle.bundle_id
+                    for status in CLAIMABLE
+                    for bid in catalog._ready[status])
+        elif op == "lapse":
+            world.advance(catalog.lease_s + 1.0)
+            catalog.requeue_lapsed()
+        elif op == "release":
+            if lease is not None and not lease.released:
+                try:
+                    catalog.release_claim(lease, actor="a")
+                except LeaseLostError:
+                    pass

@@ -9,6 +9,10 @@ top-N slowest flight records (with their exemplar trace ids, so a row
 here links to a ``# {trace_id=...}`` exemplar in the Prometheus text).
 A ``ShardedFleetScheduler`` renders one lane/lease/admission panel set
 per shard under a fleet-totals header (``--shards N`` in the demo).
+Pass ``catalog=`` an archive :class:`~repro.archive.Catalog` to prepend
+the archival pipeline's panels — per-request fan-out, bundle counts by
+state-machine status, live component claims (``--archive`` in the demo
+runs a quick chaos campaign and renders its aftermath).
 
 Requires ``world.enable_observability()`` for the SLO and flight
 recorder panels; without it those panels report "not attached".  Run
@@ -70,9 +74,43 @@ def _scheduler_panels(snap: dict, prefix: str = "") -> list[str]:
     return panels
 
 
-def render(world, scheduler=None, breaker=None, top: int = 10) -> str:
+def _catalog_panels(catalog) -> list[str]:
+    """Archival pipeline panels: per-request fan-out, bundle status
+    counts, and the component claims currently in flight."""
+    snap = catalog.snapshot()
+    panels = [render_table(
+        f"archive requests ({len(snap['requests'])})",
+        ["request", "user", "status", "files", "bundles", "attempts"],
+        [
+            [r["request"], r["user"], r["status"], r["files"],
+             r["bundles"], r["attempts"]]
+            for r in snap["requests"]
+        ],
+    )]
+    counts = snap["counts"]
+    panels.append(render_table(
+        "bundle pipeline (by status)",
+        list(counts), [list(counts.values())],
+    ))
+    panels.append(render_table(
+        f"component claims ({len(snap['leases'])})",
+        ["item", "component", "expires_at", "abandoned"],
+        [
+            [le["item"], le["component"], f"{le['expires_at']:.2f}",
+             le["abandoned"]]
+            for le in snap["leases"]
+        ],
+    ))
+    return panels
+
+
+def render(world, scheduler=None, breaker=None, catalog=None,
+           top: int = 10) -> str:
     """The full dashboard as one printable block."""
     sections = [f"mission control @ t={world.now:.2f}s (virtual)"]
+
+    if catalog is not None:
+        sections.extend(_catalog_panels(catalog))
 
     if scheduler is not None:
         snap = scheduler.snapshot()
@@ -178,6 +216,16 @@ def _demo(seed: int, top: int, shards: int | None = None) -> str:
     return render(world, sched, top=top)
 
 
+def _archive_demo(seed: int, top: int) -> str:
+    """A quick chaos-soaked archival campaign, dashboarded post-run."""
+    from repro.archive import ArchivalCampaign, CampaignConfig
+
+    campaign = ArchivalCampaign(CampaignConfig(seed=seed).quick())
+    campaign.run()
+    return render(campaign.world, campaign.scheduler,
+                  catalog=campaign.catalog, top=top)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--seed", type=int, default=7)
@@ -185,8 +233,14 @@ def main(argv: list[str] | None = None) -> int:
                         help="slowest flight records to show")
     parser.add_argument("--shards", type=int, default=None,
                         help="demo the sharded control plane with N shards")
+    parser.add_argument("--archive", action="store_true",
+                        help="demo the dashboard on a quick archival "
+                             "chaos campaign")
     args = parser.parse_args(argv)
-    print(_demo(args.seed, args.top, shards=args.shards))
+    if args.archive:
+        print(_archive_demo(args.seed, args.top))
+    else:
+        print(_demo(args.seed, args.top, shards=args.shards))
     return 0
 
 

@@ -9,9 +9,14 @@ a live scheduler, or run this file directly for a self-contained demo
 that freezes a mid-drain scheduler (one lease in flight, a backlog
 queued, one worker host down) and prints the dump.
 
+``dump_catalog(catalog)`` is the same view for the archival pipeline's
+catalog: per-request fan-out, per-bundle state-machine status, live
+component claims, and status counts (``--archive`` for its demo).
+
     PYTHONPATH=src python tools/queue_dump.py
     PYTHONPATH=src python tools/queue_dump.py --seed 11
     PYTHONPATH=src python tools/queue_dump.py --shards 3
+    PYTHONPATH=src python tools/queue_dump.py --archive
 """
 
 from __future__ import annotations
@@ -113,6 +118,47 @@ def _dump_one(snap: dict) -> str:
     return "\n\n".join(sections)
 
 
+def dump_catalog(catalog) -> str:
+    """The archive catalog's status tables — `qstat` for the archival
+    pipeline (requests, bundles, component claims, status counts)."""
+    snap = catalog.snapshot()
+    sections = [f"archive catalog @ t={snap['now']:.2f}s"]
+    sections.append(render_table(
+        f"archive requests ({len(snap['requests'])})",
+        ["request", "user", "status", "files", "bundles", "attempts", "dests"],
+        [
+            [r["request"], r["user"], r["status"], r["files"], r["bundles"],
+             r["attempts"], r["dests"]]
+            for r in snap["requests"]
+        ],
+    ))
+    sections.append(render_table(
+        f"bundles ({len(snap['bundles'])})",
+        ["bundle", "request", "status", "files", "bytes", "attempts",
+         "replicas", "checksum"],
+        [
+            [b["bundle"], b["request"], b["status"], b["files"], b["bytes"],
+             b["attempts"], b["replicas"], b["checksum"]]
+            for b in snap["bundles"]
+        ],
+    ))
+    sections.append(render_table(
+        f"component claims ({len(snap['leases'])})",
+        ["item", "component", "expires_at", "abandoned"],
+        [
+            [le["item"], le["component"], f"{le['expires_at']:.2f}",
+             le["abandoned"]]
+            for le in snap["leases"]
+        ],
+    ))
+    counts = snap["counts"]
+    sections.append(render_table(
+        "bundle status counts",
+        list(counts), [list(counts.values())],
+    ))
+    return "\n\n".join(sections)
+
+
 def _demo(seed: int, shards: int | None = None) -> str:
     """A scheduler frozen mid-drain: queued backlog, one live lease,
     one downed worker host.  With ``shards`` the same freeze-frame runs
@@ -146,13 +192,37 @@ def _demo(seed: int, shards: int | None = None) -> str:
     return dump(sched)
 
 
+def _archive_demo(seed: int) -> str:
+    """An archival campaign frozen mid-flight: the picker and bundler
+    have run, the replicator holds claims with transfers queued."""
+    from repro.archive import ArchivalCampaign, CampaignConfig
+
+    campaign = ArchivalCampaign(CampaignConfig(
+        seed=seed, chaos=False, site_blackout=False).quick())
+    for request in campaign.requests:
+        campaign.catalog.submit(request)
+    while campaign.picker.cycle():
+        pass
+    while campaign.bundler.cycle():
+        pass
+    campaign.replicator.cycle()  # submits replica transfers, none drained
+    return "\n\n".join([dump_catalog(campaign.catalog),
+                        dump(campaign.scheduler)])
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--seed", type=int, default=7)
     parser.add_argument("--shards", type=int, default=None,
                         help="demo the sharded control plane with N shards")
+    parser.add_argument("--archive", action="store_true",
+                        help="demo the archive catalog tables on a "
+                             "mid-flight archival campaign")
     args = parser.parse_args(argv)
-    print(_demo(args.seed, shards=args.shards))
+    if args.archive:
+        print(_archive_demo(args.seed))
+    else:
+        print(_demo(args.seed, shards=args.shards))
     return 0
 
 
