@@ -125,7 +125,8 @@ class GlobusOnline:
             max_backoff_s=240.0, jitter=0.1,
         )
         self.breaker = CircuitBreaker(
-            world.clock, failure_threshold=5, reset_timeout_s=600.0
+            world.clock, failure_threshold=5, reset_timeout_s=600.0,
+            on_open=self._on_breaker_open,
         )
         # every submission flows through the fleet scheduler: fair-share
         # queuing across accounts, lease-based workers, admission control,
@@ -144,6 +145,24 @@ class GlobusOnline:
                 world, scheduler_config or SchedulerConfig(),
                 fold_batch=self._fold_batch, shards=shards,
             )
+
+    def _on_breaker_open(self, key: str) -> None:
+        """Flush pooled control channels when an endpoint pair's circuit opens.
+
+        The breaker key is ``"<src endpoint>-><dst endpoint>"``; a circuit
+        opening means the fabric has declared those sites unhealthy, so
+        holding authenticated channels to them would hand the next job a
+        connection the real world would have lost.  Safe unconditionally:
+        invalidation only forces the full handshake, which charges and
+        fails exactly as an unpooled world would.
+        """
+        pool = getattr(self.world, "_control_channel_pool", None)
+        if pool is None:
+            return
+        for name in key.split("->"):
+            record = self.endpoints.get(name)
+            if record is not None:
+                pool.invalidate_host(record.gridftp_address[0])
 
     # -- registry -----------------------------------------------------------
 

@@ -120,8 +120,10 @@ def _connect_sessions(go: "GlobusOnline", user: "GOUser", job: TransferJob):
         go.world, go.host, credential=dst_act.credential, trust=dst_rec.trust,
         username=user.name,
     )
-    src_session = src_client.connect(src_rec.gridftp_address)
-    dst_session = dst_client.connect(dst_rec.gridftp_address)
+    # pooled: repeat jobs between the same (user, endpoint) pair reuse the
+    # authenticated control channel instead of re-running the handshake
+    src_session = src_client.connect(src_rec.gridftp_address, pooled=True)
+    dst_session = dst_client.connect(dst_rec.gridftp_address, pooled=True)
     return src_rec, dst_rec, src_act, dst_act, src_session, dst_session
 
 
@@ -230,7 +232,7 @@ def _run_job(
         finally:
             for session in (src_session, dst_session):
                 try:
-                    session.channel.close()
+                    session.release()
                 except Exception:
                     pass
 
@@ -408,6 +410,6 @@ def _run_batch_job(
     finally:
         for session in (src_session, dst_session):
             try:
-                session.channel.close()
+                session.release()
             except Exception:
                 pass

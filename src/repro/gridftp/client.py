@@ -29,9 +29,13 @@ from repro.gridftp.transfer import (
     TransferResult,
 )
 from repro.gsi.delegation import delegate_credential
+from repro.gsi.session_cache import caching_enabled
 from repro.net.channel import ControlChannel
+from repro.util import opcount
 from repro.pki.certificate import Certificate
 from repro.pki.credential import Credential
+from repro.pki.dn import DistinguishedName
+from repro.xio.drivers import Protection
 from repro.pki.validation import TrustStore, validate_chain
 from repro.sim.world import World
 from repro.storage.dsi import DataStorageInterface
@@ -72,6 +76,273 @@ class GridFTPUrl:
         return f"{self.scheme}://{self.host}:{self.port}{self.path}"
 
 
+@dataclass
+class _PooledSession:
+    """One idle, authenticated control channel awaiting reuse."""
+
+    session: "ClientSession"
+    #: the delegated proxy's validity onset and memo half-life horizon;
+    #: inside [not_before, fresh_until] a fresh login's delegation memo
+    #: replays the *identical* proxy, so resuming this session's
+    #: server-side ``delegated`` is bit-for-bit what a fresh handshake
+    #: would have installed
+    delegated_not_before: float
+    fresh_until: float
+    client_trust: tuple[int, int]  # (uid, version) at release
+    server_trust: tuple[int, int]
+    server_credential_fp: str
+    released_at: float
+
+
+class ControlChannelPool:
+    """Per-world pool of authenticated GridFTP control channels.
+
+    Real GridFTP clients and Globus Online hold control connections open
+    across transfers; this pool gives the simulation the same amortized
+    behaviour *without changing any virtual outcome*.  A checkout replays
+    exactly the per-step fault checks and clock charges a fresh
+    ``connect()`` + AUTH/ADAT/USER login would make (TCP handshake
+    1.5 RTT, then three command round trips) and skips only the pure
+    wall-clock work: chain walks, RSA verification, proxy delegation and
+    PEM codec traffic.  That skip is sound because an entry is reused
+    only while every input that work depends on is pinned:
+
+    * same client credential (leaf fingerprint in the key) and the same
+      requested username mapping;
+    * inside the delegated proxy's memo half-life, where a fresh login's
+      delegation memo would reproduce the identical proxy;
+    * both trust stores unchanged — (uid, version) recorded at release;
+    * same server object behind the listener, same server credential;
+    * no host crash or control-channel drop touched either endpoint
+      while the channel sat idle (``FaultPlan.endpoint_disrupted``) —
+      faults active *now* are caught by the replayed checks themselves.
+
+    Any condition failing silently discards the entry and reports a
+    miss; the caller then performs the real handshake, which reproduces
+    whatever the fresh world would have done — success or failure — with
+    identical charges.  Entries are LRU-bounded; ``REPRO_NO_SESSION_CACHE``
+    disables pooling entirely.
+    """
+
+    MAX_ENTRIES = 256
+
+    def __init__(self, world: World) -> None:
+        self.world = world
+        self._entries: dict[tuple, _PooledSession] = {}
+        self.reuses = 0
+        self.misses = 0
+        self.invalidations = 0
+        self.evictions = 0
+        self._reuse_c = world.metrics.counter(
+            "control_channel_pool_reuses_total",
+            "Authenticated control channels reused from the pool",
+        )
+        self._miss_c = world.metrics.counter(
+            "control_channel_pool_misses_total",
+            "Pool misses (full GSI handshake performed)",
+        )
+        self._invalidate_c = world.metrics.counter(
+            "control_channel_pool_invalidations_total",
+            "Pooled channels discarded by fault/expiry/trust invalidation",
+        )
+        self._size_g = world.metrics.gauge(
+            "control_channel_pooled_sessions", "Idle authenticated channels held"
+        )
+
+    @classmethod
+    def for_world(cls, world: World) -> "ControlChannelPool":
+        """The world's pool, created on first use."""
+        pool = getattr(world, "_control_channel_pool", None)
+        if pool is None:
+            pool = cls(world)
+            world._control_channel_pool = pool
+        return pool
+
+    @staticmethod
+    def _key(client: "GridFTPClient", address: tuple[str, int], username: str | None) -> tuple:
+        return (
+            client.host,
+            address,
+            client.credential.certificate.fingerprint(),
+            username,
+        )
+
+    def checkout(
+        self,
+        client: "GridFTPClient",
+        address: tuple[str, int],
+        username: str | None,
+    ) -> "ClientSession | None":
+        """An authenticated session to ``address``, or None (do a real login)."""
+        key = self._key(client, address, username)
+        entry = self._entries.pop(key, None)
+        if entry is None:
+            self._miss()
+            return None
+        world = self.world
+        now = world.now
+        session = entry.session
+        channel = session.channel
+        server_session = channel._session
+        ok = (
+            entry.delegated_not_before <= now <= entry.fresh_until
+            and client.credential.valid_at(now)
+            and (client.trust.uid, client.trust.version) == entry.client_trust
+            and not channel.closed
+            and isinstance(server_session, GridFTPSession)
+            and not server_session.closed
+        )
+        if ok:
+            server = server_session.server
+            listener = world.network.listeners.get(address)
+            ok = (
+                (server.trust.uid, server.trust.version) == entry.server_trust
+                and server.credential.certificate.fingerprint()
+                == entry.server_credential_fp
+                and listener is not None
+                and listener.service is server
+                # chaos while the channel sat idle kills the connection;
+                # faults active at `now` are re-checked by the replay below
+                and not world.faults.endpoint_disrupted(
+                    (address[0], client.host), entry.released_at, now
+                )
+            )
+        if not ok:
+            self._discard(entry)
+            self._miss()
+            return None
+        # Replay the handshake's network behaviour.  Failures before any
+        # clock advance are treated as misses (the caller's real handshake
+        # re-raises them identically, still at zero charge); failures after
+        # an advance must raise here, at the exact virtual instant the
+        # fresh world would have raised.
+        network = world.network
+        try:
+            path = network.path(client.host, address[0])
+            network.check_path_up(path)
+        except Exception:
+            self._discard(entry)
+            self._miss()
+            return None
+        world.clock.advance(1.5 * path.rtt_s)  # TCP handshake, as sockets.connect
+        channel._path = path
+        try:
+            for _ in range(3):  # the AUTH, ADAT, USER round trips
+                channel._check_open()
+                world.clock.advance(path.rtt_s + channel.proc_time_s)
+        except Exception:
+            self._discard(entry)
+            raise
+        session.client = client
+        session.authenticated = True
+        session.logged_in_as = server_session.account.username
+        # The options pipeline is re-charged per lease; a reused session
+        # may take the charge-only fast path (see apply_options).
+        session._options_applied = None
+        session._options_fastpath = True
+        self.reuses += 1
+        self._reuse_c.inc()
+        self._size_g.set(len(self._entries))
+        opcount.bump("gsi.handshake.resumed")
+        world.emit(
+            "globusonline.session.reused",
+            "pooled control channel reused",
+            endpoint=f"{address[0]}:{address[1]}",
+            client=client.host,
+            user=client.username,
+        )
+        return session
+
+    def release(self, session: "ClientSession") -> bool:
+        """Park a session for reuse; closes it instead when ineligible."""
+        client = session.client
+        channel = session.channel
+        server_session = channel._session
+        now = self.world.now
+        eligible = (
+            caching_enabled()
+            and session.authenticated
+            and session.logged_in_as is not None
+            and not channel.closed
+            and isinstance(server_session, GridFTPSession)
+            and not server_session.closed
+            and client.credential is not None
+            and server_session.delegated is not None
+            and client.credential.valid_at(now)
+        )
+        if not eligible:
+            channel.close()
+            return False
+        leaf = server_session.delegated.chain[0]
+        fresh_until = leaf.not_before + (leaf.not_after - leaf.not_before) / 2.0
+        if not leaf.not_before <= now <= fresh_until:
+            channel.close()
+            return False
+        server = server_session.server
+        key = self._key(client, channel.address, session._pool_username)
+        old = self._entries.pop(key, None)
+        if old is not None and old.session is not session:
+            self._discard(old)
+        server_session.reset_for_reuse()
+        self._entries[key] = _PooledSession(
+            session=session,
+            delegated_not_before=leaf.not_before,
+            fresh_until=fresh_until,
+            client_trust=(client.trust.uid, client.trust.version),
+            server_trust=(server.trust.uid, server.trust.version),
+            server_credential_fp=server.credential.certificate.fingerprint(),
+            released_at=now,
+        )
+        if len(self._entries) > self.MAX_ENTRIES:
+            oldest = next(iter(self._entries))
+            self._discard(self._entries.pop(oldest))
+            self.evictions += 1
+        self._size_g.set(len(self._entries))
+        return True
+
+    def invalidate_host(self, host: str) -> int:
+        """Drop every pooled channel touching ``host`` (either end)."""
+        doomed = [
+            k for k in self._entries if k[0] == host or k[1][0] == host
+        ]
+        for k in doomed:
+            self._discard(self._entries.pop(k))
+        if doomed:
+            self.invalidations += len(doomed)
+            self._invalidate_c.inc(len(doomed))
+            self._size_g.set(len(self._entries))
+        return len(doomed)
+
+    def clear(self) -> int:
+        """Close and drop every pooled channel."""
+        n = len(self._entries)
+        for entry in list(self._entries.values()):
+            self._discard(entry)
+        self._entries.clear()
+        self._size_g.set(0)
+        return n
+
+    def stats(self) -> dict[str, int]:
+        """Point-in-time counters for ops tables and tests."""
+        return {
+            "pooled": len(self._entries),
+            "reuses": self.reuses,
+            "misses": self.misses,
+            "invalidations": self.invalidations,
+            "evictions": self.evictions,
+        }
+
+    def _miss(self) -> None:
+        self.misses += 1
+        self._miss_c.inc()
+
+    def _discard(self, entry: _PooledSession) -> None:
+        try:
+            entry.session.channel.close()
+        except Exception:
+            pass
+
+
 class GridFTPClient:
     """A user's GridFTP client on a particular host."""
 
@@ -91,6 +362,8 @@ class GridFTPClient:
         self.local_storage = local_storage
         self.username = username
         self.engine = TransferEngine.for_world(world)
+        # data_channel_security() memo: (inputs..., result) — see method
+        self._dcs_memo: tuple | None = None
 
     # -- connection ----------------------------------------------------------
 
@@ -99,11 +372,27 @@ class GridFTPClient:
         server: GridFTPServer | tuple[str, int],
         login: bool = True,
         username: str | None = None,
+        pooled: bool = False,
     ) -> "ClientSession":
-        """Open a control channel; optionally authenticate and log in."""
+        """Open a control channel; optionally authenticate and log in.
+
+        With ``pooled=True`` an idle authenticated channel to the same
+        endpoint (same credential, same username mapping) is reused from
+        the world's :class:`ControlChannelPool` when one is available,
+        and the returned session goes back to the pool on
+        :meth:`ClientSession.release` instead of closing.
+        """
         address = server.address if isinstance(server, GridFTPServer) else server
+        if pooled and login and self.credential is not None and caching_enabled():
+            hit = ControlChannelPool.for_world(self.world).checkout(
+                self, address, username
+            )
+            if hit is not None:
+                return hit
         channel = ControlChannel(self.world.network, self.host, address)
         session = ClientSession(self, channel)
+        session._pooled = pooled
+        session._pool_username = username
         if login:
             session.login(username=username)
         return session
@@ -112,14 +401,67 @@ class GridFTPClient:
 
     def data_channel_security(self, mode: DCAUMode) -> DataChannelSecurity:
         """The client side of a two-party data channel."""
+        # pure function of (mode, credential, trust) — memoize per client
+        # so batch jobs reuse one posture object (and its _side_key memo)
+        m = self._dcs_memo
+        if (
+            m is not None
+            and m[0] is mode
+            and m[1] is self.credential
+            and m[2] is self.trust
+            and m[3] == self.trust.version
+        ):
+            return m[4]
         expected = self.credential.identity if self.credential else None
-        return DataChannelSecurity(
+        sec = DataChannelSecurity(
             mode=mode,
             credential=self.credential,
             trust=self.trust,
             expected_identity=expected,
             endpoint_name=f"client@{self.host}",
         )
+        self._dcs_memo = (mode, self.credential, self.trust, self.trust.version, sec)
+        return sec
+
+
+def _options_server_state(options: TransferOptions) -> list[tuple[str, object]] | None:
+    """The server-session mutations the options pipeline would make.
+
+    Mirrors ``_cmd_type``/``_cmd_mode``/``_cmd_opts``/``_cmd_prot``/
+    ``_cmd_dcau``/``_cmd_sbuf`` for well-formed options.  Returns None
+    whenever any value could draw a protocol error from the real
+    handlers (non-int parallelism, missing DCAU subject, ...), so the
+    caller runs the genuine pipeline and errors surface as uncached.
+    """
+    if type(options.parallelism) is not int:
+        return None
+    if options.tcp_window_bytes and type(options.tcp_window_bytes) is not int:
+        return None
+    if not isinstance(options.protection, Protection):
+        return None
+    if not isinstance(options.dcau, DCAUMode):
+        return None
+    updates: list[tuple[str, object]] = [
+        ("type_", "I"),
+        ("mode", "E"),
+        ("parallelism", max(1, options.parallelism)),
+        ("protection", options.protection),
+    ]
+    if options.dcau is DCAUMode.SUBJECT:
+        if not options.dcau_subject:
+            return None  # "DCAU S" with no subject is a 501 on the wire
+        try:
+            subject = DistinguishedName.parse(str(options.dcau_subject))
+        except Exception:
+            return None
+        updates.append(("dcau_mode", DCAUMode.SUBJECT))
+        updates.append(("dcau_subject", subject))
+    else:
+        updates.append(("dcau_mode", options.dcau))
+        updates.append(("dcau_subject", None))
+    if options.tcp_window_bytes:
+        updates.append(("tcp_window", options.tcp_window_bytes))
+    return updates
 
 
 class ClientSession:
@@ -132,6 +474,10 @@ class ClientSession:
         self.authenticated = False
         self.logged_in_as: str | None = None
         self._options_applied: TransferOptions | None = None
+        # pool bookkeeping (set by GridFTPClient.connect / pool checkout)
+        self._pooled = False
+        self._pool_username: str | None = None
+        self._options_fastpath = False
 
     # -- low-level helpers ---------------------------------------------------
 
@@ -172,6 +518,7 @@ class ClientSession:
             raise AuthenticationError(
                 f"client {client.username!r} has no credential to authenticate with"
             )
+        opcount.bump("gsi.handshake.full")
         reply = self.command("AUTH GSSAPI")
         # the 334 carries the server's certificate chain; validate it
         # against *our* trust roots (the client half of mutual auth).
@@ -221,6 +568,27 @@ class ClientSession:
             commands.append(f"DCAU {options.dcau.value}")
         if options.tcp_window_bytes:
             commands.append(f"SBUF {options.tcp_window_bytes}")
+        if self._options_fastpath:
+            # Charge-only replay for a pooled session: every command in
+            # this pipeline is a deterministic state-setter on the server
+            # session (TYPE/MODE/OPTS/PBSZ/PROT/DCAU/SBUF), so we apply
+            # the identical state mutations directly and advance the
+            # clock by exactly what ControlChannel.pipeline would charge.
+            # Anything malformed falls through to the real pipeline so
+            # protocol errors surface exactly as uncached.
+            self._options_fastpath = False
+            updates = _options_server_state(options)
+            if updates is not None:
+                channel = self.channel
+                channel._check_open()
+                self.world.clock.advance(
+                    channel.rtt_s + channel.proc_time_s * len(commands)
+                )
+                server_session = self.server_session
+                for attr, value in updates:
+                    setattr(server_session, attr, value)
+                self._options_applied = options
+                return
         for lines in self.channel.pipeline(commands):
             raise_for_reply(Reply.parse(lines[-1]))
         self._options_applied = options
@@ -281,6 +649,18 @@ class ClientSession:
         """Close the session (QUIT)."""
         self.command("QUIT")
         self.channel.close()
+
+    def release(self) -> None:
+        """Give the session back: to the pool if pooled, else close it.
+
+        Pool-ineligible sessions (failed auth, chaos-closed channel,
+        credential past its delegation half-life) are closed outright,
+        exactly as a non-pooled caller would.
+        """
+        if self._pooled and caching_enabled():
+            ControlChannelPool.for_world(self.world).release(self)
+        else:
+            self.channel.close()
 
     # -- data port negotiation ----------------------------------------------------------
 

@@ -116,12 +116,18 @@ def lookup(verb: str) -> CommandSpec | None:
     return _REGISTRY.get(verb.upper())
 
 
+_FEATURE_MEMO: dict[bool, list[str]] = {}
+
+
 def feature_labels(dcsc_enabled: bool = True) -> list[str]:
     """The FEAT response body for a server."""
-    labels = sorted({spec.feature for spec in _REGISTRY.values() if spec.feature})
-    if not dcsc_enabled:
-        labels.remove("DCSC")
-    return labels
+    labels = _FEATURE_MEMO.get(dcsc_enabled)
+    if labels is None:
+        labels = sorted({spec.feature for spec in _REGISTRY.values() if spec.feature})
+        if not dcsc_enabled:
+            labels.remove("DCSC")
+        _FEATURE_MEMO[dcsc_enabled] = labels
+    return list(labels)
 
 
 def known_verbs() -> list[str]:

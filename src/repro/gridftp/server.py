@@ -26,7 +26,13 @@ from repro.errors import (
     StorageError,
 )
 from repro.gridftp import replies as R
-from repro.gridftp.commands import feature_labels, known_verbs, lookup, parse_command
+from repro.gridftp.commands import (
+    _PARSE_MEMO,
+    feature_labels,
+    known_verbs,
+    lookup,
+    parse_command,
+)
 from repro.gridftp.dcau import DataChannelSecurity, DCAUMode
 from repro.gridftp.dcsc import DcscContext, decode_dcsc_blob
 from repro.gridftp.restart import ByteRangeSet, parse_restart_marker
@@ -205,6 +211,8 @@ class GridFTPSession(ServerSession):
         self._stor_resume = False
         self.closed = False
         self.banner = str(R.BANNER)
+        # data_channel_security() memo: (inputs..., result) — see method
+        self._dcs_memo: tuple | None = None
 
     # -- dispatch -----------------------------------------------------------------
 
@@ -212,16 +220,22 @@ class GridFTPSession(ServerSession):
         """Process one command line; return reply lines."""
         if self.closed:
             return [str(R.SERVICE_UNAVAILABLE)]
-        try:
-            cmd = parse_command(line)
-        except ProtocolError:
-            return [str(R.UNRECOGNIZED)]
+        # inlined parse memo: the hit path is pure dict lookup, and every
+        # drain command pays it (the function call was measurable)
+        cmd = _PARSE_MEMO.get(line)
+        if cmd is None:
+            try:
+                cmd = parse_command(line)
+            except ProtocolError:
+                return [str(R.UNRECOGNIZED)]
         spec = lookup(cmd.verb)
-        with self.world.tracer.span(
-            "gridftp.command", verb=cmd.verb, server=self.server.name
+        world = self.world
+        server_name = self.server.name
+        with world.tracer.span(
+            "gridftp.command", verb=cmd.verb, server=server_name
         ):
-            self.world.emit("gridftp.command", "command", server=self.server.name,
-                            verb=cmd.verb, client=self.client_host)
+            world.emit("gridftp.command", "command", server=server_name,
+                       verb=cmd.verb, client=self.client_host)
             counter = self.server._cmd_counters.get(cmd.verb)
             if counter is None:
                 counter = self.server._cmd_counters[cmd.verb] = self.world.metrics.counter(
@@ -247,6 +261,34 @@ class GridFTPSession(ServerSession):
         """Tear down per-connection state."""
         self._release_data_ports()
         self.closed = True
+
+    def reset_for_reuse(self) -> None:
+        """Restore just-logged-in defaults, keeping the security state.
+
+        The control-channel pool parks sessions between jobs; a reused
+        session must present exactly the state a freshly authenticated
+        one would (transfer parameters at their defaults, no pending
+        intents or data ports, cwd back at the account home) so that the
+        client's option pipeline and data-port negotiation replay
+        identically.  ``peer``/``delegated``/``account`` survive — they
+        are what reuse amortizes.
+        """
+        self._release_data_ports()
+        self.remote_ports = []
+        self.pending.clear()
+        self.restart = None
+        self.dcsc = None
+        self._rnfr = None
+        self._stor_resume = False
+        self.type_ = "A"
+        self.mode = "S"
+        self.parallelism = 1
+        self.protection = Protection.CLEAR
+        self.dcau_mode = DCAUMode.SELF
+        self.dcau_subject = None
+        self.tcp_window = None
+        if self.account is not None:
+            self.cwd = self.account.home
 
     # -- security ------------------------------------------------------------------
 
@@ -529,10 +571,16 @@ class GridFTPSession(ServerSession):
         return [f"213 {digest}"]
 
     def _cmd_feat(self, arg: str) -> list[str]:
-        lines = [f"{R.FEATURES_FOLLOW.code}-{R.FEATURES_FOLLOW.text}"]
-        lines.extend(f" {label}" for label in feature_labels(self.server.dcsc_enabled))
-        lines.append("211 End")
-        return lines
+        # the FEAT body is a pure function of dcsc_enabled; build it once
+        # per flavour and hand out copies (clients probe FEAT per job)
+        dcsc_enabled = self.server.dcsc_enabled
+        lines = _FEAT_REPLY.get(dcsc_enabled)
+        if lines is None:
+            lines = [f"{R.FEATURES_FOLLOW.code}-{R.FEATURES_FOLLOW.text}"]
+            lines.extend(f" {label}" for label in feature_labels(dcsc_enabled))
+            lines.append("211 End")
+            _FEAT_REPLY[dcsc_enabled] = lines
+        return list(lines)
 
     def _cmd_noop(self, arg: str) -> list[str]:
         return [str(R.COMMAND_OK)]
@@ -622,6 +670,22 @@ class GridFTPSession(ServerSession):
         send and accept the user credential used by the other server").
         """
         trust = self.server.trust
+        # the posture is a pure function of (delegated, dcsc, dcau mode +
+        # subject, peer, trust) — all rebound, never mutated, by the
+        # handlers — so identity checks make a safe per-session memo;
+        # trust mutates in place but bumps .version on every change
+        m = self._dcs_memo
+        if (
+            m is not None
+            and m[0] is self.delegated
+            and m[1] is self.dcsc
+            and m[2] is self.dcau_mode
+            and m[3] is self.dcau_subject
+            and m[4] is self.peer
+            and m[5] is trust
+            and m[6] == trust.version
+        ):
+            return m[7]
         credential = self.delegated
         extra_anchors: tuple = ()
         extra_intermediates: tuple = ()
@@ -636,7 +700,7 @@ class GridFTPSession(ServerSession):
             expected = self.peer.identity
         elif self.dcau_mode is DCAUMode.SUBJECT:
             expected = self.dcau_subject
-        return DataChannelSecurity(
+        sec = DataChannelSecurity(
             mode=self.dcau_mode,
             credential=credential,
             trust=trust,
@@ -646,6 +710,11 @@ class GridFTPSession(ServerSession):
             expected_subject_override=override,
             endpoint_name=self.server.name,
         )
+        self._dcs_memo = (
+            self.delegated, self.dcsc, self.dcau_mode, self.dcau_subject,
+            self.peer, trust, trust.version, sec,
+        )
+        return sec
 
 
 #: verb -> unbound handler, resolved once at import time (the
@@ -658,3 +727,6 @@ _HANDLERS = {
 
 #: ADAT blob -> decoded PEM text (see GridFTPSession._cmd_adat)
 _ADAT_DECODE: dict[str, str] = {}
+
+#: dcsc_enabled -> built FEAT reply lines (see GridFTPSession._cmd_feat)
+_FEAT_REPLY: dict[bool, list[str]] = {}

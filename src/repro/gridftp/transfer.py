@@ -20,7 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 
 from repro.errors import TransferError, TransferFaultError
-from repro.gridftp.dcau import DataChannelSecurity, DCAUMode, authenticate_data_channel
+from repro.gridftp.dcau import DataChannelAuthCache, DataChannelSecurity, DCAUMode
 from repro.gridftp.mode_e import DEFAULT_BLOCK_SIZE, ModeEPlan
 from repro.gridftp.perf import PerfMarker, progress_markers
 from repro.net.tcp import TCPModel
@@ -258,6 +258,9 @@ class TransferEngine:
         # transfer-shape profiles, dropped whenever the topology mutates
         self._profiles: dict[tuple, _TransferProfile] = {}
         self._profiles_topo_version = -1
+        # DCAU successes replayed across files/jobs (wall-clock only; the
+        # 2*RTT setup charge stays governed by charge_setup below)
+        self.dcau_cache = DataChannelAuthCache()
 
     @classmethod
     def for_world(cls, world: World) -> "TransferEngine":
@@ -381,7 +384,9 @@ class TransferEngine:
         # 1. data channel authentication (sender connects, receiver listens).
         # Mode E data channels are cached across files, so a reused channel
         # (charge_setup=False) re-validates logically but pays no time.
-        authed = authenticate_data_channel(source.security, sink.security, window_start)
+        authed = self.dcau_cache.authenticate(
+            source.security, sink.security, window_start
+        )
         extra_time = 0.0
         if authed and charge_setup:
             extra_time += 2.0 * prof.max_rtt

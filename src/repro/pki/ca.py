@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import itertools
 import random
+from collections import deque
 
 from repro.errors import SigningPolicyError
 from repro.pki.certificate import Certificate
@@ -52,6 +53,7 @@ class CertificateAuthority:
         self.policy = policy
         self.enforce_own_policy = enforce_own_policy
         self._serials = itertools.count(self.rng.randrange(1, 1 << 24) << 16)
+        self._key_pool: dict[int, deque] = {}
         root = Certificate(
             subject=subject,
             issuer=subject,
@@ -99,6 +101,22 @@ class CertificateAuthority:
         )
         return cert.signed_by(self.key)
 
+    def pregenerate(self, count: int, key_bits: int = 512) -> None:
+        """Fill the key pool ahead of time (MyProxy key pregeneration).
+
+        Real MyProxy servers pregenerate RSA key pairs in idle time so a
+        logon never waits on prime search.  The pool draws from the same
+        rng stream, in the same order, that :meth:`issue_credential`
+        would — the i-th issued credential carries the identical key
+        whether or not it was pregenerated; only the wall-clock moment of
+        the generation work moves.  After construction the CA's rng feeds
+        key generation exclusively (serials come from a counter), so an
+        over-full pool never perturbs any other random stream.
+        """
+        pool = self._key_pool.setdefault(key_bits, deque())
+        for _ in range(count):
+            pool.append(generate_keypair(key_bits, self.rng))
+
     def issue_credential(
         self,
         subject: DistinguishedName,
@@ -112,7 +130,8 @@ class CertificateAuthority:
         lifetime) and what site admins did manually in the conventional
         workflow (with a long one).
         """
-        key = generate_keypair(key_bits, self.rng)
+        pool = self._key_pool.get(key_bits)
+        key = pool.popleft() if pool else generate_keypair(key_bits, self.rng)
         cert = self.issue(subject, key.public, lifetime=lifetime, extensions=extensions)
         return Credential(chain=(cert, self.certificate), key=key)
 

@@ -93,7 +93,13 @@ class DistinguishedName:
     # -- accessors -----------------------------------------------------------
 
     def __str__(self) -> str:
-        return "".join(f"/{attr}={_escape(value)}" for attr, value in self.rdns)
+        # DNs are immutable and stringified on hot paths (DCAU cache
+        # keys, event fields); render once per instance.
+        cached = self.__dict__.get("_str_memo")
+        if cached is None:
+            cached = "".join(f"/{attr}={_escape(value)}" for attr, value in self.rdns)
+            object.__setattr__(self, "_str_memo", cached)
+        return cached
 
     def get(self, attr: str) -> list[str]:
         """All values of the given attribute, in order."""

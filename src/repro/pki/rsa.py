@@ -17,6 +17,13 @@ import hashlib
 import random
 from dataclasses import dataclass
 
+from repro.util import opcount
+
+try:  # pragma: no cover - exercised whenever sympy is present
+    from sympy import isprime as _bpsw_isprime
+except Exception:  # pragma: no cover - environments without sympy
+    _bpsw_isprime = None
+
 # Small primes for fast trial division before Miller-Rabin.
 _SMALL_PRIMES = [
     2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67,
@@ -85,17 +92,29 @@ def _is_probable_prime(n: int, rng: random.Random) -> bool:
     while d % 2 == 0:
         d //= 2
         r += 1
-    for _ in range(_MR_ROUNDS):
+    for round_no in range(_MR_ROUNDS):
         a = rng.randrange(2, n - 1)
         x = pow(a, d, n)
         if x in (1, n - 1):
-            continue
-        for _ in range(r - 1):
-            x = pow(x, 2, n)
-            if x == n - 1:
-                break
+            pass
         else:
-            return False
+            for _ in range(r - 1):
+                x = pow(x, 2, n)
+                if x == n - 1:
+                    break
+            else:
+                return False
+        # A genuinely prime n passes every round, so the loop consumes
+        # exactly _MR_ROUNDS randrange draws and no other randomness.
+        # Once the first round passes, a deterministic BPSW check settles
+        # primality; for primes we replay the remaining draws and skip
+        # their modexps — bit-identical verdict and rng stream, ~6x
+        # cheaper.  Composites that slip past round one (rare
+        # pseudoprimes) fall back to the full loop unchanged.
+        if round_no == 0 and _bpsw_isprime is not None and _bpsw_isprime(n):
+            for _ in range(_MR_ROUNDS - 1):
+                rng.randrange(2, n - 1)
+            return True
     return True
 
 
@@ -126,7 +145,9 @@ def generate_keypair(bits: int = 512, rng: random.Random | None = None) -> KeyPa
     if hit is not None:
         pair, post_state = hit
         rng.setstate(post_state)
+        opcount.bump("rsa.keygen.memo")
         return pair
+    opcount.bump("rsa.keygen.full")
     e = 65537
     half = bits // 2
     while True:
@@ -166,6 +187,7 @@ def sign(key: KeyPair, data: bytes) -> int:
     Uses the CRT decomposition when the key carries one (generated keys
     do); the result is bit-identical to ``pow(m, d, n)``.
     """
+    opcount.bump("rsa.sign")
     m = _digest_int(data, key.n)
     crt = getattr(key, "_crt", None)
     if crt is None:
@@ -176,8 +198,28 @@ def sign(key: KeyPair, data: bytes) -> int:
     return mq + ((mp - mq) * qinv % p) * q
 
 
+#: (n, e, digest, signature) -> verification outcome.  Chain validation
+#: re-verifies the same handful of CA/host/proxy signatures for every
+#: login in a fleet run; the verdict for a fixed (key, digest, signature)
+#: triple is a pure function, so replaying it is exact.  Both outcomes
+#: are cached — a forged signature stays forged.
+_VERIFY_MEMO: dict[tuple[int, int, int, int], bool] = {}
+_VERIFY_MEMO_MAX = 8192
+
+
 def verify(public: PublicKey, data: bytes, signature: int) -> bool:
     """True iff ``signature`` over ``data`` verifies with ``public``."""
     if not 0 < signature < public.n:
         return False
-    return pow(signature, public.e, public.n) == _digest_int(data, public.n)
+    digest = _digest_int(data, public.n)
+    memo_key = (public.n, public.e, digest, signature)
+    hit = _VERIFY_MEMO.get(memo_key)
+    if hit is not None:
+        opcount.bump("rsa.verify.memo")
+        return hit
+    opcount.bump("rsa.verify")
+    ok = pow(signature, public.e, public.n) == digest
+    if len(_VERIFY_MEMO) >= _VERIFY_MEMO_MAX:
+        _VERIFY_MEMO.pop(next(iter(_VERIFY_MEMO)))
+    _VERIFY_MEMO[memo_key] = ok
+    return ok

@@ -22,6 +22,7 @@ Validation rules:
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
@@ -34,6 +35,10 @@ from repro.pki.certificate import Certificate
 from repro.pki.dn import DistinguishedName
 from repro.pki.policy import SigningPolicy
 from repro.pki.proxy import is_proxy_subject, strip_proxy_cns
+from repro.util import opcount
+
+#: process-wide TrustStore identity source (see TrustStore.uid)
+_TRUST_UIDS = itertools.count()
 
 
 @dataclass(frozen=True)
@@ -64,6 +69,12 @@ class TrustStore:
     #: participating certificate fingerprints; cleared whenever the
     #: anchor set changes (certificates themselves are immutable)
     _memo: dict = field(default_factory=dict, repr=False, compare=False)
+    #: stable process-unique identity, safe to embed in cache keys (unlike
+    #: ``id()``, never reused after garbage collection)
+    uid: int = field(default_factory=lambda: next(_TRUST_UIDS), repr=False, compare=False)
+    #: bumped whenever the anchor set changes; session/pool caches keyed on
+    #: (uid, version) self-invalidate when an operator edits the store
+    version: int = field(default=0, repr=False, compare=False)
 
     def add_anchor(self, cert: Certificate, policy: SigningPolicy | None = None) -> None:
         """Trust ``cert`` as a root, optionally with a signing policy."""
@@ -72,6 +83,7 @@ class TrustStore:
         if policy is not None:
             self.policies[fp] = policy
         self._memo.clear()
+        self.version += 1
 
     def remove_anchor(self, cert: Certificate) -> None:
         """Stop trusting a root (and drop its policy)."""
@@ -79,6 +91,7 @@ class TrustStore:
         self.anchors.pop(fp, None)
         self.policies.pop(fp, None)
         self._memo.clear()
+        self.version += 1
 
     def find_anchor(self, cert: Certificate) -> Certificate | None:
         """The anchor equal to ``cert`` (by fingerprint), if trusted."""
@@ -138,7 +151,9 @@ def validate_chain(
     if hit is not None:
         result, lo, hi = hit
         if lo <= now <= hi:
+            opcount.bump("chain.validate.memo")
             return result
+    opcount.bump("chain.validate.full")
 
     extra_anchor_fps = {c.fingerprint(): c for c in extra_anchors}
     pool = list(chain) + list(extra_intermediates)

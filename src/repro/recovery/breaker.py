@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Protocol
+from typing import Callable, Protocol
 
 from repro.errors import CircuitOpenError
 
@@ -51,6 +51,7 @@ class CircuitBreaker:
         clock: _ClockLike,
         failure_threshold: int = 5,
         reset_timeout_s: float = 600.0,
+        on_open: Callable[[str], None] | None = None,
     ) -> None:
         if failure_threshold < 1:
             raise ValueError("failure_threshold must be >= 1")
@@ -59,6 +60,10 @@ class CircuitBreaker:
         self.clock = clock
         self.failure_threshold = failure_threshold
         self.reset_timeout_s = reset_timeout_s
+        #: invoked with the endpoint key each time a circuit opens; the
+        #: transfer service uses it to flush pooled control channels to
+        #: an endpoint the fabric has just declared unhealthy
+        self.on_open = on_open
         self._entries: dict[str, _Entry] = {}
 
     def _entry(self, key: str) -> _Entry:
@@ -141,6 +146,8 @@ class CircuitBreaker:
             e.opened_at = self.clock.now
             e.half_open_trial = False
             e.stats["opened"] += 1
+            if self.on_open is not None:
+                self.on_open(key)
             return CircuitState.OPEN
         return CircuitState.CLOSED
 

@@ -43,9 +43,13 @@ class _IntervalIndex:
     mutation (schedules are build-then-query, so rebuilds are rare).
     """
 
+    # A built entry of None caches "this target has no faults at all" —
+    # the common case on fleet hot paths (chaos arms worker hosts, not
+    # DTNs), so point queries for clean targets cost one dict hit.
+
     def __init__(self) -> None:
         self._raw: dict[str, list] = {}
-        self._built: dict[str, tuple[list, list[float], list[float]]] = {}
+        self._built: dict[str, tuple[list, list[float], list[float]] | None] = {}
 
     def add(self, target: str, fault) -> None:
         self._raw.setdefault(target, []).append(fault)
@@ -56,25 +60,28 @@ class _IntervalIndex:
         self._built.clear()
 
     def _entry(self, target: str) -> tuple[list, list[float], list[float]] | None:
-        entry = self._built.get(target)
-        if entry is None:
-            raw = self._raw.get(target)
-            if not raw:
-                return None
-            faults = sorted(raw, key=lambda f: f.start)
-            starts = [f.start for f in faults]
-            prefix_end: list[float] = []
-            running = float("-inf")
-            for f in faults:
-                running = max(running, f.end)
-                prefix_end.append(running)
-            entry = (faults, starts, prefix_end)
-            self._built[target] = entry
+        if target in self._built:
+            return self._built[target]
+        raw = self._raw.get(target)
+        if not raw:
+            self._built[target] = None
+            return None
+        faults = sorted(raw, key=lambda f: f.start)
+        starts = [f.start for f in faults]
+        prefix_end: list[float] = []
+        running = float("-inf")
+        for f in faults:
+            running = max(running, f.end)
+            prefix_end.append(running)
+        entry = (faults, starts, prefix_end)
+        self._built[target] = entry
         return entry
 
     def covers(self, target: str, t: float) -> bool:
         """Is any of the target's intervals active at ``t``?"""
-        entry = self._entry(target)
+        entry = self._built.get(target, False)
+        if entry is False:
+            entry = self._entry(target)
         if entry is None:
             return False
         _, starts, prefix_end = entry
@@ -325,6 +332,25 @@ class FaultPlan:
             if hit is not None and (best is None or hit < best):
                 best = hit
         return best
+
+    def endpoint_disrupted(
+        self, hosts: Iterable[str], start: float, end: float
+    ) -> bool:
+        """Did a host crash *or control-channel drop* hit any listed host
+        in [start, end]?
+
+        Unlike :meth:`first_interruption` (which models data flows, where
+        control drops don't matter), this is the control-plane question
+        the session pool asks: an authenticated control connection does
+        not survive either fault class, so a pooled channel whose idle
+        window overlaps one must be discarded rather than reused.
+        """
+        for host in hosts:
+            if self._host_idx.first_overlap(host, start, end) is not None:
+                return True
+            if self._control_idx.first_overlap(host, start, end) is not None:
+                return True
+        return False
 
     def next_clear_time(
         self, link_ids: Iterable[str], hosts: Iterable[str], t: float

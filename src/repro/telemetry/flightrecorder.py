@@ -88,6 +88,8 @@ class FlightRecord:
     attempts: int = 0
     #: recovery-loop faults absorbed while this task executed
     recovery_faults: int = 0
+    #: pooled control channels reused while this task executed
+    session_reuses: int = 0
     #: restart markers discarded/truncated while this task executed
     marker_corruptions: int = 0
     lane_vtime: float | None = None
@@ -141,6 +143,7 @@ class FlightRecord:
             "delivered_bytes": self.delivered_bytes,
             "attempts": self.attempts,
             "recovery_faults": self.recovery_faults,
+            "session_reuses": self.session_reuses,
             "marker_corruptions": self.marker_corruptions,
             "lane_vtime": self.lane_vtime,
             "submitted_at": self.submitted_at,
@@ -257,6 +260,8 @@ class FlightRecorder:
                     elif cat in ("recovery.marker_corrupt",
                                  "recovery.marker_truncated"):
                         rec.marker_corruptions += 1
+                    elif cat == "globusonline.session.reused":
+                        rec.session_reuses += 1
 
     def _on_scheduler_event(self, ev: Event) -> None:
         fields = ev.fields

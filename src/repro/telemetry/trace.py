@@ -174,6 +174,10 @@ class Tracer:
         self._capacity = span_capacity
         self._trace_seq = 0
         self._span_seq = 0
+        # free list of _SpanHandle objects: a handle is dead the moment
+        # its ``with`` block exits, so recycling them spares one
+        # allocation per span on the fleet hot path
+        self._handle_pool: list["_SpanHandle"] = []
 
     def _evict(self) -> None:
         # amortized: let the store grow to 2x capacity, then trim the
@@ -223,6 +227,11 @@ class Tracer:
         span = Span(context=ctx, name=name, start_time=self._world.now, fields=fields)
         stack.append(span)
         self._spans.append(span)
+        pool = self._handle_pool
+        if pool:
+            handle = pool.pop()
+            handle._span = span
+            return handle
         return _SpanHandle(self, span)
 
     # -- queries --------------------------------------------------------------
@@ -278,9 +287,14 @@ class _SpanHandle:
         end = tracer._world.now
         span.end_time = end
         tracer._stack.pop()
-        tracer._evict()
+        cap = tracer._capacity
+        if cap is not None and len(tracer._spans) > 2 * cap:
+            tracer._evict()
         slow = getattr(tracer._world, "slow_ops", None)
         if slow is not None and end - span.start_time >= slow.threshold_s:
             slow.record(span.name, span.start_time, end - span.start_time,
                         span_id=span.context.span_id)
+        self._span = None  # drop the reference before pooling the handle
+        if len(tracer._handle_pool) < 64:
+            tracer._handle_pool.append(self)
         return False

@@ -141,8 +141,15 @@ class EventLog:
         the log but not re-published, to avoid recursion) and the
         remaining subscribers still receive the original event.
         """
-        ev = Event(time=time, category=category, message=message,
-                   fields=fields, trace_id=trace_id, span_id=span_id)
+        return self.emit_event(Event(time, category, message, fields,
+                                     trace_id, span_id))
+
+    def emit_event(self, ev: Event) -> Event:
+        """Record an already-constructed event (hot-path form of emit).
+
+        ``World.emit`` builds the :class:`Event` itself and calls this
+        directly, skipping a kwargs repack per record.
+        """
         if not self._subscribers:
             # fast path: no publication, no isolation machinery — just the
             # ring append (inlined; steady state evicts exactly one)
@@ -161,16 +168,16 @@ class EventLog:
                 self.subscriber_errors += 1
                 self._append(
                     Event(
-                        time=time,
+                        time=ev.time,
                         category=SUBSCRIBER_ERROR_CATEGORY,
                         message="subscriber raised during publish",
                         fields={
                             "subscriber": getattr(sub, "__qualname__", repr(sub)),
                             "error": f"{type(exc).__name__}: {exc}",
-                            "event_category": category,
+                            "event_category": ev.category,
                         },
-                        trace_id=trace_id,
-                        span_id=span_id,
+                        trace_id=ev.trace_id,
+                        span_id=ev.span_id,
                     )
                 )
         return ev

@@ -1,0 +1,169 @@
+"""GSI session resumption: keying, TTL, eviction, and the escape hatch.
+
+The cache is a wall-clock optimization; these tests pin the security
+properties that make it safe — an expired proxy can never resume, trust
+changes force a full handshake, failures are never cached — plus the
+bounded-LRU mechanics and the ``REPRO_NO_SESSION_CACHE`` escape hatch.
+"""
+
+import pytest
+
+from repro.errors import AuthenticationError
+from repro.gsi.context import establish_context
+from repro.gsi.session_cache import (
+    SessionCache,
+    caching_enabled,
+    default_session_cache,
+    reset_default_session_cache,
+)
+from repro.pki.ca import CertificateAuthority
+from repro.pki.dn import DistinguishedName as DN
+from repro.pki.proxy import create_proxy
+from repro.pki.validation import TrustStore
+from repro.sim.clock import Clock
+from repro.sim.random import RngFactory
+from repro.util.units import DAY, HOUR
+
+
+@pytest.fixture
+def env():
+    clock = Clock()
+    rng = RngFactory(13).python("ctx")
+    ca = CertificateAuthority(DN.parse("/O=T/CN=CA"), clock, rng, key_bits=256)
+    user = ca.issue_credential(DN.parse("/O=T/CN=alice"), lifetime=DAY)
+    host = ca.issue_credential(DN.parse("/O=T/OU=hosts/CN=dtn1"), lifetime=DAY)
+    trust = TrustStore()
+    trust.add_anchor(ca.certificate)
+    return clock, rng, ca, user, host, trust
+
+
+def test_repeat_establishment_resumes(env):
+    clock, rng, ca, user, host, trust = env
+    cache = SessionCache()
+    proxy = create_proxy(user, clock, rng)
+    c1 = establish_context(proxy, host, trust, trust, clock.now, cache=cache)
+    c2 = establish_context(proxy, host, trust, trust, clock.now, cache=cache)
+    assert c2 is c1  # the token replays the original context object
+    assert cache.stats() == {
+        "tokens": 1, "hits": 1, "misses": 1, "expirations": 0, "evictions": 0,
+    }
+
+
+def test_resumed_context_matches_full_handshake(env):
+    clock, rng, ca, user, host, trust = env
+    cache = SessionCache()
+    proxy = create_proxy(user, clock, rng)
+    full = establish_context(proxy, host, trust, trust, clock.now, cache=None)
+    establish_context(proxy, host, trust, trust, clock.now, cache=cache)
+    resumed = establish_context(proxy, host, trust, trust, clock.now, cache=cache)
+    assert cache.hits == 1
+    # everything the simulation reads off a context must match
+    assert resumed.initiator_subject == full.initiator_subject
+    assert resumed.initiator_identity == full.initiator_identity
+    assert resumed.acceptor_subject == full.acceptor_subject
+    assert resumed.acceptor_identity == full.acceptor_identity
+    assert resumed.encrypted == full.encrypted
+    assert resumed.integrity == full.integrity
+
+
+def test_different_peer_is_a_miss(env):
+    clock, rng, ca, user, host, trust = env
+    cache = SessionCache()
+    proxy = create_proxy(user, clock, rng)
+    other = ca.issue_credential(DN.parse("/O=T/OU=hosts/CN=dtn2"), lifetime=DAY)
+    establish_context(proxy, host, trust, trust, clock.now, cache=cache)
+    establish_context(proxy, other, trust, trust, clock.now, cache=cache)
+    assert cache.hits == 0
+    assert cache.misses == 2
+    assert len(cache) == 2
+
+
+def test_trust_store_version_bump_is_a_miss(env):
+    clock, rng, ca, user, host, trust = env
+    cache = SessionCache()
+    proxy = create_proxy(user, clock, rng)
+    establish_context(proxy, host, trust, trust, clock.now, cache=cache)
+    other_ca = CertificateAuthority(DN.parse("/O=X/CN=X"), clock, rng, key_bits=256)
+    trust.add_anchor(other_ca.certificate)  # bumps trust.version
+    establish_context(proxy, host, trust, trust, clock.now, cache=cache)
+    assert cache.hits == 0
+    assert cache.misses == 2
+
+
+def test_expired_proxy_cannot_resume(env):
+    clock, rng, ca, user, host, trust = env
+    cache = SessionCache()
+    proxy = create_proxy(user, clock, rng, lifetime=12 * HOUR)
+    establish_context(proxy, host, trust, trust, clock.now, cache=cache)
+    clock.advance(13 * HOUR)  # past the proxy, inside the EEC/host window
+    # the token is dropped (TTL = credential validity) and the full
+    # handshake re-runs — and rejects the expired proxy, exactly like a
+    # cache-off world would
+    with pytest.raises(AuthenticationError):
+        establish_context(proxy, host, trust, trust, clock.now, cache=cache)
+    assert cache.expirations == 1
+    assert cache.hits == 0
+    assert len(cache) == 0
+
+
+def test_failures_are_never_cached(env):
+    clock, rng, ca, user, host, trust = env
+    cache = SessionCache()
+    other_ca = CertificateAuthority(DN.parse("/O=X/CN=X"), clock, rng, key_bits=256)
+    stranger = other_ca.issue_credential(DN.parse("/O=X/CN=eve"))
+    for _ in range(2):
+        with pytest.raises(AuthenticationError):
+            establish_context(stranger, host, trust, trust, clock.now, cache=cache)
+    assert len(cache) == 0
+    assert cache.misses == 2  # both attempts ran (and failed) in full
+
+
+def test_lru_eviction_is_bounded(env):
+    clock, rng, ca, user, host, trust = env
+    cache = SessionCache(max_entries=2)
+    proxy = create_proxy(user, clock, rng)
+    hosts = [
+        ca.issue_credential(DN.parse(f"/O=T/OU=hosts/CN=h{i}"), lifetime=DAY)
+        for i in range(3)
+    ]
+    for h in hosts:
+        establish_context(proxy, h, trust, trust, clock.now, cache=cache)
+    assert len(cache) == 2
+    assert cache.evictions == 1
+    # h0 was the LRU victim: re-establishing it is a miss, h2 is a hit
+    establish_context(proxy, hosts[2], trust, trust, clock.now, cache=cache)
+    assert cache.hits == 1
+    establish_context(proxy, hosts[0], trust, trust, clock.now, cache=cache)
+    assert cache.misses == 4
+
+
+def test_escape_hatch_bypasses_the_default_cache(env, monkeypatch):
+    clock, rng, ca, user, host, trust = env
+    proxy = create_proxy(user, clock, rng)
+    monkeypatch.setenv("REPRO_NO_SESSION_CACHE", "1")
+    assert not caching_enabled()
+    fresh = reset_default_session_cache()
+    c1 = establish_context(proxy, host, trust, trust, clock.now)
+    c2 = establish_context(proxy, host, trust, trust, clock.now)
+    assert c1 is not c2  # both ran in full
+    assert len(fresh) == 0 and fresh.hits == 0 and fresh.misses == 0
+    monkeypatch.delenv("REPRO_NO_SESSION_CACHE")
+    assert caching_enabled()
+    establish_context(proxy, host, trust, trust, clock.now)
+    establish_context(proxy, host, trust, trust, clock.now)
+    assert default_session_cache().hits == 1
+    reset_default_session_cache()
+
+
+def test_invalidate_and_clear(env):
+    clock, rng, ca, user, host, trust = env
+    cache = SessionCache()
+    proxy = create_proxy(user, clock, rng)
+    establish_context(proxy, host, trust, trust, clock.now, cache=cache)
+    key = next(iter(cache._tokens))
+    assert cache.invalidate(key)
+    assert not cache.invalidate(key)
+    establish_context(proxy, host, trust, trust, clock.now, cache=cache)
+    cache.clear()
+    assert len(cache) == 0
+    assert cache.misses == 2  # stats survive clear()

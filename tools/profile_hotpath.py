@@ -29,11 +29,29 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from repro.util import opcount  # noqa: E402
 from repro.util.vector import VECTOR_BACKEND  # noqa: E402
 from repro.workloads.fleet import (  # noqa: E402
     FleetTransferScenario,
     FleetWorkloadConfig,
 )
+
+
+def print_crypto_report(ops_before) -> None:
+    """Crypto-op tallies for the profiled run (the CI gate's numbers).
+
+    Deterministic per (seed, scenario): the ``*.resumed`` / ``*.memo`` /
+    ``*.cached`` rows are work the session caches skipped; their
+    ``*.full`` twins creeping up is a cache that stopped hitting.
+    """
+    ops = opcount.since(ops_before)
+    if not ops:
+        print("crypto ops: none recorded")
+        return
+    width = max(len(name) for name in ops)
+    print("crypto ops (seeded-deterministic; gated exactly in CI):")
+    for name in sorted(ops):
+        print(f"  {name:<{width}}  {ops[name]}")
 
 
 def print_batch_report(world) -> None:
@@ -89,6 +107,7 @@ def main(argv: list[str] | None = None) -> int:
         cfg = replace(cfg, seed=args.seed)
 
     scenario = FleetTransferScenario(cfg)
+    ops_before = opcount.snapshot()
     profiler = cProfile.Profile()
     profiler.enable()
     if args.striped:
@@ -107,6 +126,7 @@ def main(argv: list[str] | None = None) -> int:
     info = scenario.world.network.route_cache_info()
     print(f"route cache: {info['hits']} hits / {info['misses']} misses")
     print_batch_report(scenario.world)
+    print_crypto_report(ops_before)
     return 0
 
 
@@ -138,6 +158,7 @@ def profile_scheduler(args) -> int:
         go.submit_transfer(accounts[u], "alcf#dtn", path, "nersc#dtn",
                            f"/home/sink/{username}-j{n}.dat", defer=True)
 
+    ops_before = opcount.snapshot()
     profiler = cProfile.Profile()
     profiler.enable()
     go.process_queue()
@@ -148,6 +169,7 @@ def profile_scheduler(args) -> int:
     print(out.getvalue())
     print(f"profiled: {jobs} jobs / {users} users drained")
     print_batch_report(world)
+    print_crypto_report(ops_before)
     return 0
 
 
